@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the core data structure and the simulator kernel.
+
+Not a paper figure -- these track the raw cost of the two hot paths
+everything else is built on: hash-tree lookups/rehashes and the
+event-loop's process switching. Regressions here slow every experiment
+in the suite.
+"""
+
+import random
+
+from repro.core.hash_tree import HashTree
+from repro.platform.events import Timeout
+from repro.platform.simulator import Simulator
+
+
+def build_tree(leaves=64, width=64, seed=7):
+    """A tree grown to ``leaves`` owners by random even splits."""
+    tree = HashTree(0, width=width)
+    rng = random.Random(seed)
+    next_owner = 1
+    while len(tree) < leaves:
+        owner = rng.choice(tree.owners())
+        candidates = tree.split_candidates(owner)
+        if not candidates:
+            continue
+        tree.apply_split(candidates[0], next_owner)
+        next_owner += 1
+    return tree
+
+
+def test_tree_lookup_throughput(benchmark):
+    tree = build_tree()
+    rng = random.Random(1)
+    probes = [format(rng.getrandbits(64), "064b") for _ in range(1000)]
+
+    def lookups():
+        for bits in probes:
+            tree.lookup(bits)
+
+    benchmark(lookups)
+
+
+def test_tree_split_merge_cycle(benchmark):
+    def cycle():
+        tree = build_tree(leaves=32)
+        for owner in list(tree.owners())[:16]:
+            if len(tree) > 1 and tree.has_owner(owner):
+                tree.apply_merge(owner)
+        return tree
+
+    tree = benchmark(cycle)
+    tree.check_invariants()
+
+
+def test_tree_clone(benchmark):
+    tree = build_tree(leaves=128)
+    clone = benchmark(tree.clone)
+    assert len(clone) == len(tree)
+
+
+def test_simulator_process_switching(benchmark):
+    def run_processes():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(100):
+                yield Timeout(0.001)
+
+        for _ in range(100):
+            sim.spawn(ticker())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_processes)
+    assert events >= 10_000

@@ -1,0 +1,146 @@
+"""GM -- guaranteed delivery to fast movers (paper §6 future work).
+
+"One issue that was not considered in this paper is guaranteed agent
+discovery; that is, ensuring that the location of an agent is found
+even if an agent moves faster than the requests for its location."
+
+This benchmark sweeps the target residence time down toward the
+locate-and-contact round-trip and compares:
+
+* **naive** -- one locate followed by one send (what an application
+  would do with the bare mechanism);
+* **messenger** -- the :class:`repro.core.messaging.AgentMessenger`
+  protocol (bounded direct retries, then IAgent relay with
+  forward-on-update).
+
+Expected shape: the naive success rate collapses as residence
+approaches the round trip; the messenger holds ~100% delivery at a
+bounded latency cost.
+"""
+
+from conftest import once
+
+from repro.core.messaging import AgentMessenger
+from repro.harness.tables import format_table
+from repro.metrics.summary import mean
+from repro.platform.messages import AgentNotFound, RpcError
+from repro.platform.naming import AgentNamer
+from repro.platform.random import RandomStreams
+from repro.platform.runtime import AgentRuntime
+from repro.platform.simulator import Simulator
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+from repro.workloads.scenarios import Scenario
+from repro.core.mechanism import HashLocationMechanism
+from repro.core.errors import LocateFailedError
+
+RESIDENCES_MS = (30, 60, 120, 250, 500)
+TARGETS = 15
+MESSAGES_PER_TARGET = 4
+
+
+def _naive_send(runtime, mechanism, from_node, target):
+    try:
+        node = yield from mechanism.locate(from_node, target)
+        reply = yield runtime.rpc(
+            from_node, node, target, "user-message", "naive",
+            timeout=mechanism.config.rpc_timeout,
+        )
+        return reply.get("status") == "ok"
+    except (LocateFailedError, AgentNotFound, RpcError):
+        return False
+
+
+def _one_run(residence_ms, seed, use_messenger):
+    runtime = AgentRuntime(
+        sim=Simulator(),
+        streams=RandomStreams(seed=seed),
+        namer=AgentNamer(seed=seed),
+    )
+    runtime.create_nodes(8)
+    mechanism = HashLocationMechanism(Scenario(name="gm").config)
+    runtime.install_location_mechanism(mechanism)
+    messenger = AgentMessenger(mechanism) if use_messenger else None
+    agents = spawn_population(
+        runtime, TARGETS, ConstantResidence(residence_ms / 1000.0)
+    )
+    runtime.sim.run(until=2.0)
+
+    outcomes = []
+    latencies = []
+
+    def campaign():
+        for sequence in range(MESSAGES_PER_TARGET):
+            for agent in agents:
+                start = runtime.sim.now
+                if use_messenger:
+                    receipt = yield from messenger.send(
+                        "node-0", agent.agent_id, ("msg", sequence)
+                    )
+                    delivered = receipt.delivered
+                else:
+                    delivered = yield from _naive_send(
+                        runtime, mechanism, "node-0", agent.agent_id
+                    )
+                outcomes.append(delivered)
+                if delivered:
+                    latencies.append(runtime.sim.now - start)
+
+    runtime.sim.run_process(campaign())
+    return (
+        sum(outcomes) / len(outcomes),
+        mean(latencies) * 1000 if latencies else float("nan"),
+    )
+
+
+def run_gm(seeds):
+    rows = []
+    for residence_ms in RESIDENCES_MS:
+        naive = [_one_run(residence_ms, seed, False) for seed in seeds]
+        relay = [_one_run(residence_ms, seed, True) for seed in seeds]
+        rows.append(
+            {
+                "residence_ms": residence_ms,
+                "naive_rate": mean([rate for rate, _ in naive]),
+                "naive_ms": mean([ms for _, ms in naive]),
+                "messenger_rate": mean([rate for rate, _ in relay]),
+                "messenger_ms": mean([ms for _, ms in relay]),
+            }
+        )
+    return rows
+
+
+def test_guaranteed_delivery(benchmark, seeds):
+    rows = once(benchmark, lambda: run_gm(seeds))
+
+    print("\nGM: delivery success vs target mobility")
+    print(
+        format_table(
+            ["residence (ms)", "naive ok", "naive ms", "messenger ok",
+             "messenger ms"],
+            [
+                [
+                    str(row["residence_ms"]),
+                    f"{row['naive_rate'] * 100:5.1f}%",
+                    f"{row['naive_ms']:7.1f}",
+                    f"{row['messenger_rate'] * 100:5.1f}%",
+                    f"{row['messenger_ms']:7.1f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+    fastest = rows[0]
+    slowest = rows[-1]
+
+    # At leisurely mobility both approaches work.
+    assert slowest["naive_rate"] > 0.9
+    assert slowest["messenger_rate"] > 0.95
+
+    # At near-RTT mobility the naive approach visibly loses messages...
+    assert fastest["naive_rate"] < 0.9
+    # ...while the messenger keeps (essentially) everything.
+    assert fastest["messenger_rate"] > 0.95
+    for row in rows:
+        assert row["messenger_rate"] >= row["naive_rate"] - 1e-9

@@ -1,0 +1,56 @@
+"""NODES -- scalability with deployment size (extension).
+
+The paper's experiments fix the LAN and sweep the agent population and
+mobility; its §1 claim is broader: "a location schema in such systems
+should scale well with the number of agents and their distribution".
+This bench sweeps the *node* count at a fixed, heavy workload. The
+two-tier design should be indifferent: LHAgents are per-node (constant
+local cost), the IAgent population is sized by load (not by nodes), and
+only the split planner's placement choice sees the extra machines.
+
+The centralized comparator is also indifferent to node count -- its
+bottleneck is the single agent -- so the point of the figure is that
+the hash mechanism keeps its flat profile while the deployment grows,
+with no hidden per-node cost.
+"""
+
+from conftest import once
+
+from repro.harness.sweeps import sweep
+from repro.harness.tables import series_table
+from repro.workloads.scenarios import exp1_scenario
+
+NODE_COUNTS = (4, 8, 16, 32)
+
+
+def run_nodes(seeds):
+    return sweep(
+        lambda n: exp1_scenario(60).with_overrides(
+            name=f"nodes-{int(n)}", num_nodes=int(n)
+        ),
+        NODE_COUNTS,
+        mechanisms=["centralized", "hash"],
+        seeds=seeds,
+    )
+
+
+def test_node_scaling(benchmark, seeds):
+    series = once(benchmark, lambda: run_nodes(seeds))
+
+    print("\nNODES: location time vs deployment size (60 TAgents)")
+    print(series_table(series, x_label="nodes"))
+
+    hashed = [point.mean_ms for point in series["hash"]]
+    central = [point.mean_ms for point in series["centralized"]]
+
+    # Flat across an 8x node range for the hash mechanism.
+    assert max(hashed) < 2.0 * min(hashed)
+
+    # And it keeps beating the centralized scheme at this load.
+    for hash_ms, central_ms in zip(hashed, central):
+        assert hash_ms < central_ms
+
+    # The IAgent population is sized by load, not by machine count:
+    # it must not balloon with nodes.
+    iagents = [point.mean_iagents for point in series["hash"]]
+    assert max(iagents) <= min(iagents) + 3

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or one of the
+DESIGN.md extension ablations): it runs the experiment under
+``pytest-benchmark`` (so the wall-clock cost of regenerating the figure
+is itself tracked), prints the paper-style table, and asserts the
+*shape* claims -- who wins, by roughly what factor -- rather than
+absolute milliseconds, since our substrate is a simulator rather than
+the authors' Sun Blade LAN (DESIGN.md §2).
+
+Benchmarks accept ``--repro-seeds N`` to control replications (default
+1 for speed; EXPERIMENTS.md numbers were produced with 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seeds",
+        type=int,
+        default=1,
+        help="replications per experiment point (default 1)",
+    )
+
+
+@pytest.fixture
+def seeds(request):
+    count = request.config.getoption("--repro-seeds")
+    return tuple(range(1, count + 1))
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

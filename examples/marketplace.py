@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Marketplace: locate-and-talk coordination between mobile agents.
+
+The paper's motivation (§1): "mobile agents may be launched into the
+unstructured network and roam around to gather information", and
+communicating with them "subsumes the ability to locate" them. This
+example builds that exact pattern:
+
+* ten *shop nodes*, each hosting a stationary ``ShopAgent`` with its own
+  (randomised) price list;
+* a fleet of ``ShopperAgent`` mobile agents that roam the shops, asking
+  each shop for a quote on their item and remembering the best offer;
+* a stationary ``BuyerAgent`` that, mid-trip, uses the location
+  mechanism to find each of its shoppers and asks for the best offer so
+  far -- demonstrating real-time communication with a moving agent.
+
+Watch the ``stale -> refresh -> retry`` lines: when a shopper moved
+since the buyer's LHAgent cached its IAgent mapping, the query takes
+the paper's §4.3 recovery path and still completes.
+
+Run:  python examples/marketplace.py
+"""
+
+from repro import (
+    Agent,
+    AgentRuntime,
+    HashLocationMechanism,
+    MobileAgent,
+    Timeout,
+)
+from repro.platform.messages import AgentNotFound, RpcError
+
+ITEMS = ("lute", "quill", "astrolabe")
+SHOPS = 10
+SHOPPERS = 9
+
+
+class ShopAgent(Agent):
+    """A stationary shop quoting prices from its local list."""
+
+    service_time = 0.002
+
+    def __init__(self, agent_id, runtime):
+        super().__init__(agent_id, runtime, tracked=False)
+        rng = runtime.streams.get(f"shop-{agent_id.short()}")
+        self.prices = {item: round(rng.uniform(10, 100), 2) for item in ITEMS}
+
+    def handle(self, request):
+        if request.op == "quote":
+            return self.prices.get(request.body["item"])
+        raise ValueError(f"shop cannot {request.op!r}")
+
+
+class ShopperAgent(MobileAgent):
+    """Roams the shops, keeping the best quote for its item."""
+
+    def __init__(self, agent_id, runtime, item, shops):
+        super().__init__(agent_id, runtime, tracked=True)
+        self.item = item
+        self.shops = shops  # node -> ShopAgent id
+        self.best_price = None
+        self.best_shop = None
+        self.visited = 0
+        self._rng = runtime.streams.get(f"shopper-{agent_id.short()}")
+
+    def main(self):
+        nodes = list(self.shops)
+        self._rng.shuffle(nodes)
+        for node in nodes:
+            if node != self.node_name:
+                yield from self.dispatch(node)
+            price = yield self.rpc(self.node_name, self.shops[node], "quote",
+                                   {"item": self.item})
+            self.visited += 1
+            if price is not None and (
+                self.best_price is None or price < self.best_price
+            ):
+                self.best_price, self.best_shop = price, node
+            yield Timeout(0.3)  # haggling takes time
+
+    def handle(self, request):
+        if request.op == "best-offer":
+            return {
+                "item": self.item,
+                "price": self.best_price,
+                "shop": self.best_shop,
+                "visited": self.visited,
+            }
+        raise ValueError(f"shopper cannot {request.op!r}")
+
+
+class BuyerAgent(Agent):
+    """Periodically locates its shoppers and collects their progress."""
+
+    def __init__(self, agent_id, runtime, shoppers):
+        super().__init__(agent_id, runtime, tracked=False)
+        self.shoppers = shoppers
+        self.reports = []
+
+    def main(self):
+        yield Timeout(2.0)  # let the fleet get going
+        for round_number in range(3):
+            print(f"\n-- buyer check-in #{round_number + 1} "
+                  f"(t={self.sim.now:.1f}s) --")
+            for shopper in self.shoppers:
+                yield from self._check_in(shopper)
+            yield Timeout(1.5)
+
+    def _check_in(self, shopper):
+        mechanism = self.runtime.location
+        result = yield from mechanism.timed_locate(
+            self.node_name, shopper.agent_id
+        )
+        if not result.found:
+            print(f"  {shopper.agent_id.short()}: not found")
+            return
+        try:
+            offer = yield self.rpc(result.node, shopper.agent_id, "best-offer")
+        except (AgentNotFound, RpcError):
+            # It moved between being located and being contacted -- the
+            # window the paper's future-work citations (guaranteed
+            # delivery) address. A real client would simply retry.
+            print(
+                f"  {shopper.agent_id.short()}: moved away from "
+                f"{result.node} mid-contact (will catch it next round)"
+            )
+            return
+        stale = f", {result.retries} stale-retry" if result.retries else ""
+        price = f"{offer['price']:.2f}" if offer["price"] is not None else "?"
+        print(
+            f"  {shopper.agent_id.short()} at {result.node:<8} "
+            f"{offer['visited']:2d} shops visited, best {offer['item']}: "
+            f"{price} ({result.elapsed * 1000:.1f} ms{stale})"
+        )
+        self.reports.append(offer)
+
+
+def main():
+    runtime = AgentRuntime()
+    runtime.create_nodes(SHOPS, prefix="shop")
+    runtime.create_node("market-office")
+    runtime.install_location_mechanism(HashLocationMechanism())
+
+    shops = {}
+    for node in runtime.node_names():
+        if node.startswith("shop"):
+            agent = runtime.create_agent(ShopAgent, node)
+            shops[node] = agent.agent_id
+
+    shoppers = [
+        runtime.create_agent(
+            ShopperAgent,
+            "market-office",
+            item=ITEMS[index % len(ITEMS)],
+            shops=shops,
+        )
+        for index in range(SHOPPERS)
+    ]
+    runtime.create_agent(BuyerAgent, "market-office", shoppers=shoppers)
+
+    runtime.sim.run(until=12.0)
+
+    print("\n== final offers ==")
+    for shopper in shoppers:
+        price = (
+            f"{shopper.best_price:.2f} at {shopper.best_shop}"
+            if shopper.best_price is not None
+            else "none yet"
+        )
+        print(
+            f"  {shopper.item:<9} ({shopper.agent_id.short()}): "
+            f"{price} after {shopper.visited} shops"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Survey fleet: itinerary patterns, cloning and retraction.
+
+The classic master-worker pattern from the Aglets book (the paper's
+reference [7]): a master survey agent *clones* itself once per region,
+each clone walks its region with a :class:`SequentialItinerary`
+collecting inventory from stationary ``DepotAgent``s, and the operator
+finally *retracts* every surveyor back to headquarters and reads out
+the merged results -- locating each one through the paper's hash
+directory to do so.
+
+Run:  python examples/survey_fleet.py
+"""
+
+from repro import Agent, AgentRuntime, HashLocationMechanism, MobileAgent, Timeout
+from repro.platform.topologies import build_sites
+from repro.workloads.itineraries import SequentialItinerary
+
+
+class DepotAgent(Agent):
+    """A stationary depot reporting its stock level."""
+
+    service_time = 0.002
+
+    def __init__(self, agent_id, runtime):
+        super().__init__(agent_id, runtime, tracked=False)
+        rng = runtime.streams.get(f"depot-{agent_id.short()}")
+        self.stock = rng.randint(0, 500)
+
+    def handle(self, request):
+        if request.op == "stock-level":
+            return {"node": self.node_name, "stock": self.stock}
+        return super().handle(request)
+
+
+class SurveyAgent(MobileAgent):
+    """Walks a region's depots, accumulating the inventory."""
+
+    def __init__(self, agent_id, runtime, region=None, depots=None):
+        super().__init__(agent_id, runtime, tracked=True)
+        self.region = region or []
+        self.depots = depots or {}
+        self.inventory = {}
+
+    def clone_args(self):
+        return {"region": self.region, "depots": self.depots}
+
+    def main(self):
+        if not self.region:
+            return  # the master at HQ: clones do the walking
+        itinerary = SequentialItinerary(self.region, task=self._survey_stop)
+        yield from itinerary.run(self)
+
+    def _survey_stop(self, agent, node):
+        reply = yield agent.rpc(node, self.depots[node], "stock-level")
+        agent.inventory[node] = reply["stock"]
+
+    def handle(self, request):
+        if request.op == "read-inventory":
+            return dict(self.inventory)
+        return super().handle(request)
+
+
+def main() -> None:
+    runtime = AgentRuntime()
+    regions = build_sites(runtime, {"hq": 1, "north": 3, "south": 3, "west": 2})
+    runtime.install_location_mechanism(HashLocationMechanism())
+
+    depots = {}
+    for site, nodes in regions.items():
+        if site == "hq":
+            continue
+        for node in nodes:
+            depots[node] = runtime.create_agent(DepotAgent, node).agent_id
+
+    master = runtime.create_agent(SurveyAgent, "hq-0", depots=depots)
+
+    surveyors = {}
+
+    def launch_fleet():
+        yield Timeout(0.1)
+        for site, nodes in regions.items():
+            if site == "hq":
+                continue
+            master.region = nodes  # the clone inherits this itinerary
+            clone = yield from master.clone()
+            surveyors[site] = clone
+            print(f"cloned surveyor {clone.agent_id.short()} for {site} "
+                  f"({len(nodes)} depots)")
+        master.region = []
+
+    runtime.sim.run_process(launch_fleet())
+    runtime.sim.run(until=3.0)  # the fleet works
+
+    def collect():
+        print("\nretracting the fleet to hq-0 ...")
+        merged = {}
+        for site, surveyor in surveyors.items():
+            yield from runtime.retract("hq-0", surveyor.agent_id)
+            # Wait for the surveyor to land.
+            while surveyor.node is None or surveyor.node_name != "hq-0":
+                yield Timeout(0.05)
+            inventory = yield surveyor.rpc(
+                "hq-0", surveyor.agent_id, "read-inventory"
+            )
+            merged.update(inventory)
+            print(f"  {site}: {inventory}")
+        total = sum(merged.values())
+        print(f"\nsurvey complete: {len(merged)} depots, total stock {total}")
+
+    runtime.sim.run_process(collect())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro: a scalable hash-based mobile-agent location mechanism.
+
+A faithful, simulation-backed reproduction of
+
+    Georgia Kastidou, Evaggelia Pitoura, George Samaras.
+    "A Scalable Hash-Based Mobile Agent Location Mechanism."
+    ICDCS Workshops 2003.
+
+The package layers as follows (see DESIGN.md for the full inventory):
+
+* :mod:`repro.platform` -- a deterministic discrete-event mobile-agent
+  platform (the Aglets substitute): nodes, network, mailboxes, agents,
+  migration, fault injection.
+* :mod:`repro.core` -- the paper's contribution: the extendible hash
+  tree, the IAgent/LHAgent/HAgent roles, dynamic rehashing, and the
+  :class:`~repro.core.mechanism.HashLocationMechanism` facade; plus the
+  paper's §7 extensions (IAgent placement, primary/backup HAgent).
+* :mod:`repro.baselines` -- the centralized comparator of the paper's
+  evaluation and three related-work schemes (forwarding pointers,
+  HLR/VLR home registry, Chord-style consistent hashing).
+* :mod:`repro.workloads` / :mod:`repro.metrics` /
+  :mod:`repro.harness` -- populations, query streams, statistics and
+  the experiment runner that regenerates every figure.
+
+Quickstart::
+
+    from repro import (
+        AgentRuntime, HashLocationMechanism, spawn_population,
+        ConstantResidence,
+    )
+
+    runtime = AgentRuntime()
+    runtime.create_nodes(8)
+    runtime.install_location_mechanism(HashLocationMechanism())
+    agents = spawn_population(runtime, 20, ConstantResidence(0.5))
+    runtime.sim.run(until=5.0)
+
+    def find(agent_id):
+        node = yield from runtime.location.locate("node-0", agent_id)
+        return node
+
+    print(runtime.sim.run_process(find(agents[0].agent_id)))
+"""
+
+from repro.baselines import (
+    CentralizedMechanism,
+    ChordMechanism,
+    ForwardingPointersMechanism,
+    HomeRegistryMechanism,
+    LocationMechanism,
+)
+from repro.core import HashLocationMechanism, HashMechanismConfig, HashTree
+from repro.harness import run_experiment
+from repro.platform import (
+    Agent,
+    AgentId,
+    AgentRuntime,
+    MobileAgent,
+    Simulator,
+    Timeout,
+)
+from repro.workloads import (
+    ConstantResidence,
+    ExponentialResidence,
+    QueryWorkload,
+    Scenario,
+    TAgent,
+    exp1_scenario,
+    exp2_scenario,
+    spawn_population,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Agent",
+    "AgentId",
+    "AgentRuntime",
+    "CentralizedMechanism",
+    "ChordMechanism",
+    "ConstantResidence",
+    "ExponentialResidence",
+    "ForwardingPointersMechanism",
+    "HashLocationMechanism",
+    "HashMechanismConfig",
+    "HashTree",
+    "HomeRegistryMechanism",
+    "LocationMechanism",
+    "MobileAgent",
+    "QueryWorkload",
+    "Scenario",
+    "Simulator",
+    "TAgent",
+    "Timeout",
+    "exp1_scenario",
+    "exp2_scenario",
+    "run_experiment",
+    "spawn_population",
+]

@@ -1,0 +1,26 @@
+"""``python -m repro``: banner, version and pointers."""
+
+import sys
+
+import repro
+
+
+def main() -> int:
+    print(
+        f"repro {repro.__version__} -- reproduction of "
+        "'A Scalable Hash-Based Mobile Agent Location Mechanism' "
+        "(Kastidou, Pitoura & Samaras, ICDCSW'03)\n"
+        "\n"
+        "  experiments : python -m repro.harness.cli exp1|exp2|all [--quick]\n"
+        "  report      : python -m repro.harness.cli report --out report.md\n"
+        "  examples    : python examples/quickstart.py\n"
+        "  tests       : pytest tests/\n"
+        "  benchmarks  : pytest benchmarks/ --benchmark-only\n"
+        "\n"
+        "Docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/PROTOCOLS.md, docs/API.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Closed-form queueing predictions for the paper's experiments.
+
+The centralized comparator is, to first order, a *machine repairman*
+(finite-source) queue: ``N`` mobile agents cycle between "thinking"
+(their residence time ``Z`` at a node) and requesting service (a
+location update of mean service time ``S`` at the single central
+agent). Exact Mean Value Analysis (MVA) of that closed network yields
+the response time the paper's Experiment I measures growing with ``N``:
+
+* below saturation (``N`` small): response ≈ ``S`` -- flat;
+* past ``N* ≈ (Z + S) / S``: response grows **linearly**,
+  ``R(N) ≈ N·S − Z`` -- precisely the "increases linearly with the
+  number of TAgents" the paper reports.
+
+The hash mechanism's steady-state IAgent population follows from flow
+balance: rehashing splits until every IAgent's request rate sits below
+``T_max``, so with total offered rate ``λ`` the population settles near
+``ceil(λ / T_max)`` (a little above, because splits halve load rather
+than shaving it exactly).
+
+These formulas are validated against the simulator in
+``tests/analysis/test_queueing_model.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "MvaResult",
+    "mva_closed_queue",
+    "central_response_time",
+    "utilization",
+    "expected_iagents",
+    "saturation_population",
+]
+
+
+@dataclass(frozen=True)
+class MvaResult:
+    """Steady-state metrics of the closed queue at population ``n``."""
+
+    population: int
+    #: Mean response time at the server (queueing + service), seconds.
+    response_time: float
+    #: System throughput, requests/second.
+    throughput: float
+    #: Mean number of requests at the server (queued + in service).
+    queue_length: float
+
+
+def mva_closed_queue(
+    population: int, think_time: float, service_time: float
+) -> List[MvaResult]:
+    """Exact MVA for a single-server closed queue with ``population`` sources.
+
+    Returns results for every population 1..N (the recursion computes
+    them all anyway). Classic algorithm (Reiser & Lavenberg 1980):
+
+        R(n) = S * (1 + Q(n-1))
+        X(n) = n / (Z + R(n))
+        Q(n) = X(n) * R(n)
+    """
+    if population < 1:
+        raise ValueError("population must be at least 1")
+    if think_time < 0 or service_time <= 0:
+        raise ValueError("need think_time >= 0 and service_time > 0")
+    results: List[MvaResult] = []
+    queue = 0.0
+    for n in range(1, population + 1):
+        response = service_time * (1.0 + queue)
+        throughput = n / (think_time + response)
+        queue = throughput * response
+        results.append(
+            MvaResult(
+                population=n,
+                response_time=response,
+                throughput=throughput,
+                queue_length=queue,
+            )
+        )
+    return results
+
+
+def central_response_time(
+    population: int,
+    residence: float,
+    service_time: float,
+    query_rate: float = 0.0,
+) -> float:
+    """Predicted mean response time at the central location agent.
+
+    ``query_rate`` adds an open stream of location queries on top of the
+    closed update traffic. It is folded in with the standard hybrid
+    approximation: the open stream consumes a fraction
+    ``rho_q = query_rate * service_time`` of the server, which inflates
+    the closed customers' effective service time to
+    ``S / (1 - rho_q)``. Accurate while the query share is modest, as
+    in the paper's experiments.
+    """
+    effective_service = service_time
+    if query_rate > 0:
+        rho_query = query_rate * service_time
+        effective_service = service_time / max(1.0 - rho_query, 0.05)
+    return mva_closed_queue(population, residence, effective_service)[-1].response_time
+
+
+def utilization(population: int, residence: float, service_time: float) -> float:
+    """The central server's predicted busy fraction."""
+    result = mva_closed_queue(population, residence, service_time)[-1]
+    return min(result.throughput * service_time, 1.0)
+
+
+def saturation_population(residence: float, service_time: float) -> float:
+    """The knee ``N*``: where the central server saturates.
+
+    Below ``N*`` response is flat (~S); above it, ``R ≈ N*S − Z``.
+    """
+    if service_time <= 0:
+        raise ValueError("service_time must be positive")
+    return (residence + service_time) / service_time
+
+
+def expected_iagents(
+    total_rate: float, t_max: float, headroom: float = 2.0
+) -> range:
+    """The plausible steady-state IAgent count for an offered rate.
+
+    Splits stop once every IAgent is below ``T_max``; since a split
+    divides load roughly in half, the population lands between the
+    fluid bound ``ceil(λ / T_max)`` and about twice it. Returns that
+    inclusive range for assertions.
+    """
+    if t_max <= 0:
+        raise ValueError("t_max must be positive")
+    if total_rate <= 0:
+        return range(1, 2)
+    lower = max(1, math.ceil(total_rate / t_max / headroom))
+    upper = max(1, math.ceil(total_rate / t_max * headroom)) + 1
+    return range(lower, upper + 1)

@@ -1,0 +1,58 @@
+"""The paper's contribution: the hash-based agent location mechanism.
+
+Layering, bottom-up:
+
+* :mod:`repro.core.labels` / :mod:`repro.core.hash_tree` -- the pure
+  data structure: an extendible hash function over agent-id bit strings,
+  represented as a binary *hash tree* whose edges carry multi-bit labels
+  (first bit = valid bit, rest skipped). Splitting and merging leaves
+  rehashes only the agents of the involved IAgents (paper §3-§4).
+* :mod:`repro.core.load` -- sliding-window request-rate statistics, the
+  signal that drives rehashing against the ``T_max``/``T_min``
+  thresholds.
+* :mod:`repro.core.iagent` / :mod:`repro.core.lhagent` /
+  :mod:`repro.core.hagent` -- the three agent roles (paper §2.2) built
+  on the platform substrate.
+* :mod:`repro.core.rehashing` -- the split/merge policy engine.
+* :mod:`repro.core.mechanism` -- the facade the platform's tracked
+  agents talk to: register / report_move / locate.
+* :mod:`repro.core.placement`, :mod:`repro.core.replication` -- the two
+  extensions the paper lists as ongoing work (§7): IAgent placement
+  toward their agents, and a primary/backup HAgent.
+"""
+
+from repro.core.config import HashMechanismConfig
+from repro.core.errors import (
+    CoreError,
+    LastIAgentError,
+    NoSuchAgentError,
+    NotResponsibleError,
+    SplitFailedError,
+)
+from repro.core.labels import Label, HyperLabel, compatible
+from repro.core.hash_tree import HashTree, SplitCandidate, SplitOutcome, MergeOutcome
+from repro.core.load import LoadStatistics, RateWindow
+from repro.core.mechanism import HashLocationMechanism
+from repro.core.messaging import AgentMessenger, MessageReceipt, MessengerConfig
+
+__all__ = [
+    "AgentMessenger",
+    "compatible",
+    "CoreError",
+    "MessageReceipt",
+    "MessengerConfig",
+    "HashLocationMechanism",
+    "HashMechanismConfig",
+    "HashTree",
+    "HyperLabel",
+    "Label",
+    "LastIAgentError",
+    "LoadStatistics",
+    "MergeOutcome",
+    "NoSuchAgentError",
+    "NotResponsibleError",
+    "RateWindow",
+    "SplitCandidate",
+    "SplitFailedError",
+    "SplitOutcome",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy of the location mechanism."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CoreError",
+    "LastIAgentError",
+    "LocateFailedError",
+    "NoSuchAgentError",
+    "NotResponsibleError",
+    "SplitFailedError",
+    "StaleHashFunctionError",
+]
+
+
+class CoreError(RuntimeError):
+    """Base class for location-mechanism errors."""
+
+
+class NotResponsibleError(CoreError):
+    """An IAgent was asked about an agent it no longer serves.
+
+    This is the paper's trigger for lazy hash-function propagation
+    (§4.3): the caller refreshes its LHAgent's copy from the HAgent and
+    retries.
+    """
+
+
+class NoSuchAgentError(CoreError):
+    """The responsible IAgent has no record of the requested agent."""
+
+
+class StaleHashFunctionError(CoreError):
+    """A secondary copy turned out stale and could not be refreshed."""
+
+
+class SplitFailedError(CoreError):
+    """No split produced an acceptable load division."""
+
+
+class LastIAgentError(CoreError):
+    """Attempted to merge the only IAgent in the system."""
+
+
+class LocateFailedError(CoreError):
+    """A locate request exhausted its retries without an answer."""

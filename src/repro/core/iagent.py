@@ -1,0 +1,374 @@
+"""IAgents: the Information Agents that track mobile-agent locations.
+
+Each IAgent maintains, "for each mobile agent it serves, its id and its
+precise current location" (paper §2.2), plus the running load statistics
+that drive rehashing. An IAgent knows its *coverage* -- the prefix
+pattern derived from its leaf's hyper-label -- and refuses requests for
+agents outside it with a ``not-responsible`` reply, which is what
+triggers the lazy propagation of hash-function updates (§4.3).
+
+IAgents are themselves mobile agents; with the placement extension
+enabled (paper §7) they periodically migrate towards the node hosting
+the plurality of the agents they serve.
+
+Wire protocol (op -> body -> reply):
+
+=================  =============================================  =======
+``register``       ``{"agent": AgentId, "node": str}``            status
+``update``         ``{"agent": AgentId, "node": str}``            status
+``unregister``     ``{"agent": AgentId}``                         status
+``locate``         ``{"agent": AgentId}``                         status + node
+``get-loads``      --                                             per-agent loads
+``extract``        ``{"pattern": str}``                           evicted records
+``extract-all``    --                                             all records
+``adopt``          ``{"records", "loads", "pattern"}``            status
+``set-coverage``   ``{"pattern": str}``                           status
+=================  =============================================  =======
+
+Replies are dicts with a ``"status"`` key: ``"ok"``, ``"not-responsible"``
+or ``"no-record"``. Using statuses instead of exceptions keeps the
+NOT_RESPONSIBLE path a first-class protocol outcome, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.core.load import GroupedLoadStatistics, LoadStatistics
+from repro.platform.agents import MobileAgent
+from repro.platform.events import Timeout
+from repro.platform.messages import Request, RpcError
+from repro.platform.naming import AgentId
+
+__all__ = ["IAgent", "pattern_matches"]
+
+#: Status strings of the IAgent protocol.
+OK = "ok"
+NOT_RESPONSIBLE = "not-responsible"
+NO_RECORD = "no-record"
+
+
+def pattern_matches(pattern: Optional[str], bits: str) -> bool:
+    """Whether id ``bits`` fall inside a coverage ``pattern``.
+
+    ``pattern`` uses ``0``/``1`` for constrained positions and ``x`` for
+    wildcards (see :meth:`repro.core.labels.HyperLabel.pattern`). ``""``
+    covers everything; ``None`` covers nothing (a freshly created IAgent
+    that has not been handed its coverage yet).
+    """
+    if pattern is None:
+        return False
+    if len(pattern) > len(bits):
+        return False
+    return all(p in ("x", b) for p, b in zip(pattern, bits))
+
+
+class IAgent(MobileAgent):
+    """An Information Agent: the directory shard for one hash-tree leaf."""
+
+    size = 30_000  # carries its record table when migrating
+
+    def __init__(self, agent_id: AgentId, runtime, mechanism) -> None:
+        super().__init__(agent_id, runtime, tracked=False)
+        self.service_time = mechanism.config.iagent_service_time
+        self.mailbox.set_service_time(self.service_time)
+        self.mechanism = mechanism
+        #: Coverage pattern; None until the HAgent hands one over.
+        self.coverage: Optional[str] = None
+        #: agent id -> node name (the paper's "precise current location").
+        self.records: Dict[AgentId, str] = {}
+        #: agent id -> list of undelivered relay messages (the messaging
+        #: extension, :mod:`repro.core.messaging`): each entry is a dict
+        #: with ``payload``, ``ack`` routing info and a ``deadline``.
+        self.pending_messages: Dict[AgentId, list] = {}
+        config = mechanism.config
+        if config.stats_granularity == "grouped":
+            self.stats = GroupedLoadStatistics(
+                config.rate_window, group_depth=config.stats_group_depth
+            )
+        else:
+            self.stats = LoadStatistics(config.rate_window)
+        self._reporter_running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def main(self) -> Generator:
+        """Periodically report the window rate to the HAgent."""
+        self._reporter_running = True
+        config = self.mechanism.config
+        while self.alive:
+            yield Timeout(config.report_interval)
+            if not self.alive:
+                break
+            if self.node is None:
+                continue  # mid-migration (placement move): skip a beat
+            self._expire_pending_messages()
+            try:
+                yield self.rpc(
+                    self.mechanism.hagent_node,
+                    self.mechanism.hagent_id,
+                    "load-report",
+                    {
+                        "owner": self.agent_id,
+                        "rate": self.stats.rate(self.sim.now),
+                        "mature": self.stats.total.mature(
+                            self.sim.now, config.warmup_fraction
+                        ),
+                        "records": len(self.records),
+                        # Measured mean service time, feeding the
+                        # adaptive threshold heuristic at the HAgent.
+                        "service_estimate": (
+                            self.mailbox.busy_time
+                            / max(self.mailbox.jobs_processed, 1)
+                        ),
+                    },
+                    timeout=config.rpc_timeout,
+                )
+            except RpcError:
+                # The HAgent may be crashed (failover experiments) or
+                # mid-rehash; reporting is best-effort by design.
+                continue
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Any:
+        handler = getattr(self, "_op_" + request.op.replace("-", "_"), None)
+        if handler is None:
+            raise ValueError(f"IAgent does not understand op {request.op!r}")
+        return handler(request.body or {})
+
+    def _op_register(self, body: Dict) -> Dict:
+        agent_id, node = body["agent"], body["node"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        self.records[agent_id] = node
+        self.stats.record_update(agent_id, self.sim.now)
+        return {"status": OK}
+
+    def _op_update(self, body: Dict) -> Dict:
+        agent_id, node = body["agent"], body["node"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        self.records[agent_id] = node
+        self.stats.record_update(agent_id, self.sim.now)
+        if self.pending_messages.get(agent_id):
+            # The messaging extension: an update is the moment a fast
+            # mover is pinned down -- chase it with its relay mail.
+            self.sim.spawn(
+                self._forward_pending(agent_id, node),
+                name=f"relay-{agent_id.short()}",
+            )
+        return {"status": OK}
+
+    def _op_unregister(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        self.records.pop(agent_id, None)
+        self.stats.forget_agent(agent_id)
+        return {"status": OK}
+
+    def _op_locate(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        self.stats.record_query(agent_id, self.sim.now)
+        node = self.records.get(agent_id)
+        if node is None:
+            return {"status": NO_RECORD}
+        return {"status": OK, "node": node}
+
+    # -- messaging extension (paper §6 future work) ----------------------
+
+    def _op_deposit_message(self, body: Dict) -> Any:
+        """Hold a message for a served agent; forwarded on its next
+        update (or immediately if its location is already known)."""
+        target = body["target"]
+        if not pattern_matches(self.coverage, target.bits):
+            return {"status": NOT_RESPONSIBLE}
+        entry = {
+            "payload": body["payload"],
+            "ack": body.get("ack"),
+            "deadline": body["deadline"],
+            "attempts": 0,
+        }
+        self.pending_messages.setdefault(target, []).append(entry)
+        node = self.records.get(target)
+        if node is not None:
+            self.sim.spawn(
+                self._forward_pending(target, node),
+                name=f"relay-{target.short()}",
+            )
+        return {"status": OK}
+
+    def _forward_pending(self, target: AgentId, node: str) -> Generator:
+        """Try to push every pending message for ``target`` to ``node``."""
+        entries = self.pending_messages.get(target, [])
+        for entry in list(entries):
+            if entry not in entries:
+                continue  # a concurrent forwarding pass delivered it
+            if self.sim.now > entry["deadline"]:
+                entries.remove(entry)
+                continue
+            try:
+                yield self.rpc(
+                    node,
+                    target,
+                    "user-message",
+                    entry["payload"],
+                    timeout=self.mechanism.config.rpc_timeout,
+                )
+            except RpcError:
+                entry["attempts"] += 1
+                continue  # it moved again; the next update retries
+            if entry in entries:
+                entries.remove(entry)
+            yield from self._send_relay_ack(entry)
+        if not entries:
+            self.pending_messages.pop(target, None)
+
+    def _send_relay_ack(self, entry: Dict) -> Generator:
+        ack = entry.get("ack")
+        if ack is None:
+            return
+        try:
+            yield self.rpc(
+                ack["node"],
+                ack["agent"],
+                "relay-ack",
+                {"token": ack["token"], "attempts": entry["attempts"]},
+                timeout=self.mechanism.config.rpc_timeout,
+            )
+        except RpcError:
+            return  # the sender gave up; nothing to report to
+
+    def _expire_pending_messages(self) -> None:
+        now = self.sim.now
+        for target in list(self.pending_messages):
+            entries = [
+                entry
+                for entry in self.pending_messages[target]
+                if entry["deadline"] >= now
+            ]
+            if entries:
+                self.pending_messages[target] = entries
+            else:
+                del self.pending_messages[target]
+
+    # -- rehashing support ---------------------------------------------
+
+    def _op_get_loads(self, body: Dict) -> Dict:
+        """Accumulated loads keyed by bit strings (paper §4.1).
+
+        With per-agent statistics the keys are full id bit strings; with
+        grouped statistics they are ``stats_group_depth``-bit prefixes --
+        the split planner copes with either.
+        """
+        if getattr(self.stats, "grouped", False):
+            loads = self.stats.loads()
+        else:
+            loads = {
+                agent_id.bits: load
+                for agent_id, load in self.stats.per_agent.items()
+            }
+        return {
+            "status": OK,
+            "loads": loads,
+            "rate": self.stats.rate(self.sim.now),
+        }
+
+    def _load_of(self, agent_id: AgentId) -> int:
+        """This agent's (possibly estimated) accumulated load."""
+        if getattr(self.stats, "grouped", False):
+            return self.stats.estimated_agent_load(agent_id)
+        return self.stats.per_agent.get(agent_id, 0)
+
+    def _op_extract(self, body: Dict) -> Dict:
+        """Shrink coverage to ``pattern``; hand back everything outside it."""
+        pattern = body["pattern"]
+        moved_records: Dict[AgentId, str] = {}
+        moved_loads: Dict[AgentId, int] = {}
+        moved_pending: Dict[AgentId, list] = {}
+        for agent_id in list(self.records):
+            if not pattern_matches(pattern, agent_id.bits):
+                moved_records[agent_id] = self.records.pop(agent_id)
+                moved_loads[agent_id] = self._load_of(agent_id)
+                self.stats.forget_agent(agent_id)
+                if agent_id in self.pending_messages:
+                    moved_pending[agent_id] = self.pending_messages.pop(agent_id)
+        # Orphaned relay mail for agents that never registered here also
+        # moves if their ids fall outside the new coverage.
+        for agent_id in list(self.pending_messages):
+            if not pattern_matches(pattern, agent_id.bits):
+                moved_pending[agent_id] = self.pending_messages.pop(agent_id)
+        self.coverage = pattern
+        self.stats.total.reset(self.sim.now)
+        return {
+            "status": OK,
+            "records": moved_records,
+            "loads": moved_loads,
+            "pending": moved_pending,
+        }
+
+    def _op_extract_all(self, body: Dict) -> Dict:
+        """Give up everything (this IAgent is being merged away)."""
+        records, self.records = self.records, {}
+        pending, self.pending_messages = self.pending_messages, {}
+        loads = {agent_id: self._load_of(agent_id) for agent_id in records}
+        for agent_id in records:
+            self.stats.forget_agent(agent_id)
+        self.coverage = None
+        return {"status": OK, "records": records, "loads": loads,
+                "pending": pending}
+
+    def _op_adopt(self, body: Dict) -> Dict:
+        """Take over transferred records (and optionally new coverage)."""
+        if "pattern" in body:
+            self.coverage = body["pattern"]
+        for agent_id, node in body.get("records", {}).items():
+            self.records[agent_id] = node
+        for agent_id, load in body.get("loads", {}).items():
+            self.stats.adopt_agent(agent_id, load)
+        for agent_id, entries in body.get("pending", {}).items():
+            self.pending_messages.setdefault(agent_id, []).extend(entries)
+            node = self.records.get(agent_id)
+            if node is not None:
+                self.sim.spawn(
+                    self._forward_pending(agent_id, node),
+                    name=f"relay-{agent_id.short()}",
+                )
+        return {"status": OK}
+
+    def _op_set_coverage(self, body: Dict) -> Dict:
+        self.coverage = body["pattern"]
+        return {"status": OK}
+
+    def _op_ping(self, body: Dict) -> Dict:
+        return {"status": OK, "node": self.node_name, "records": len(self.records)}
+
+    # ------------------------------------------------------------------
+    # Placement extension (paper §7)
+    # ------------------------------------------------------------------
+
+    def plurality_node(self) -> Optional[str]:
+        """The node hosting the largest share of this IAgent's agents.
+
+        Returns ``None`` when the share does not reach the configured
+        majority or there are too few records for the plurality to be
+        signal rather than noise.
+        """
+        if len(self.records) < self.mechanism.config.placement_min_records:
+            return None
+        counts: Dict[str, int] = {}
+        for node in self.records.values():
+            counts[node] = counts.get(node, 0) + 1
+        best_node = max(counts, key=lambda name: (counts[name], name))
+        if counts[best_node] < self.mechanism.config.placement_majority * len(
+            self.records
+        ):
+            return None
+        return best_node

@@ -1,0 +1,133 @@
+"""LHAgents: the per-node Local Hash Agents (paper §2.2, §4.3).
+
+One LHAgent runs on every node and caches a *secondary copy* of the hash
+function -- the hash tree plus the current IAgent locations. Copies "may
+be temporarily out-of-date"; they are refreshed *on demand* only: when a
+requester is bounced by an IAgent with NOT_RESPONSIBLE, it asks its
+LHAgent to refresh, and the LHAgent pulls the primary copy from the
+HAgent (falling back to the backup HAgent when the failover extension is
+enabled and the primary does not answer).
+
+Wire protocol:
+
+===========  ==========================================  =================
+``whois``    ``{"agent": AgentId}``                      owner + node + version
+``refresh``  ``{"stale_version": int, "agent": AgentId}``  fresh whois
+``version``  --                                          current copy version
+===========  ==========================================  =================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.core.hash_tree import HashTree
+from repro.platform.agents import Agent
+from repro.platform.messages import Request, RpcError
+from repro.platform.naming import AgentId
+
+__all__ = ["LHAgent", "HashFunctionCopy"]
+
+
+class HashFunctionCopy:
+    """One versioned copy of the hash function + IAgent directory."""
+
+    __slots__ = ("version", "tree", "iagent_nodes")
+
+    def __init__(self, version: int, tree: HashTree, iagent_nodes: Dict) -> None:
+        self.version = version
+        self.tree = tree
+        self.iagent_nodes = dict(iagent_nodes)
+
+    @classmethod
+    def from_bundle(cls, bundle: Dict) -> "HashFunctionCopy":
+        """Decode the wire form produced by the HAgent."""
+        return cls(
+            version=bundle["version"],
+            tree=HashTree.from_spec(bundle["tree"]),
+            iagent_nodes=bundle["iagent_nodes"],
+        )
+
+    def resolve(self, agent_id: AgentId):
+        """Map an agent id to ``(iagent_id, node_name)`` via this copy."""
+        owner = self.tree.lookup(agent_id.bits)
+        return owner, self.iagent_nodes.get(owner)
+
+
+class LHAgent(Agent):
+    """The Local Hash Agent of one node."""
+
+    def __init__(self, agent_id: AgentId, runtime, mechanism) -> None:
+        super().__init__(agent_id, runtime, tracked=False)
+        self.service_time = mechanism.config.lhagent_service_time
+        self.mailbox.set_service_time(self.service_time)
+        self.mechanism = mechanism
+        self.copy: Optional[HashFunctionCopy] = None
+        #: Counters for the overhead accounting.
+        self.refreshes = 0
+        self.whois_served = 0
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Any:
+        if request.op == "whois":
+            return self._whois(request.body)
+        if request.op == "refresh":
+            return self._refresh(request.body)
+        if request.op == "version":
+            return {"version": self.copy.version if self.copy else -1}
+        raise ValueError(f"LHAgent does not understand op {request.op!r}")
+
+    def _whois(self, body: Dict) -> Generator:
+        """Resolve an agent id with the cached copy, fetching one if absent."""
+        if self.copy is None:
+            yield from self._fetch_primary_copy()
+        self.whois_served += 1
+        owner, node = self.copy.resolve(body["agent"])
+        return {"iagent": owner, "node": node, "version": self.copy.version}
+
+    def _refresh(self, body: Dict) -> Generator:
+        """Refresh the copy if it is no newer than the requester's.
+
+        The requester passes the version its stale mapping came from; if
+        another request already refreshed past it, the fetch is skipped
+        (the paper's on-demand propagation, with natural deduplication).
+        """
+        stale_version = body.get("stale_version", -1)
+        if self.copy is None or self.copy.version <= stale_version:
+            yield from self._fetch_primary_copy()
+        owner, node = self.copy.resolve(body["agent"])
+        return {"iagent": owner, "node": node, "version": self.copy.version}
+
+    def _fetch_primary_copy(self) -> Generator:
+        mechanism = self.mechanism
+        config = mechanism.config
+        try:
+            timeout = (
+                config.hagent_failover_timeout
+                if config.enable_backup_hagent
+                else config.rpc_timeout
+            )
+            bundle = yield self.rpc(
+                mechanism.hagent_node,
+                mechanism.hagent_id,
+                "get-hash-function",
+                timeout=timeout,
+                size=2048,
+            )
+        except RpcError:
+            if not config.enable_backup_hagent or mechanism.backup_id is None:
+                raise
+            bundle = yield self.rpc(
+                mechanism.backup_node,
+                mechanism.backup_id,
+                "get-hash-function",
+                timeout=config.rpc_timeout,
+                size=2048,
+            )
+        self.refreshes += 1
+        fresh = HashFunctionCopy.from_bundle(bundle)
+        # Never step backwards: a slow response must not clobber a newer
+        # copy installed by a concurrent refresh.
+        if self.copy is None or fresh.version >= self.copy.version:
+            self.copy = fresh

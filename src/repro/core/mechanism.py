@@ -1,0 +1,324 @@
+"""The hash-based location mechanism, assembled (paper §2).
+
+:class:`HashLocationMechanism` is the facade the platform and the
+applications use. ``install`` deploys the infrastructure of §2.2 -- the
+HAgent with the primary copy, one LHAgent per node, one initial IAgent
+(optionally the backup HAgent and the placement policy of §7) -- and the
+protocol methods implement §2.3:
+
+* *agent movement*: ``register`` / ``report_move`` resolve the agent's
+  IAgent through the local LHAgent and send the location update, and
+* *locating an agent*: ``locate`` resolves and queries the IAgent,
+
+both with the §4.3 recovery loop: a ``not-responsible`` bounce (or a
+vanished IAgent) makes the caller refresh its LHAgent's secondary copy
+from the HAgent and retry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.baselines.base import LocationMechanism
+from repro.core.config import HashMechanismConfig
+from repro.core.errors import CoreError, LocateFailedError
+from repro.core.hagent import HAgent
+from repro.core.hash_tree import HashTree
+from repro.core.iagent import IAgent, NO_RECORD, NOT_RESPONSIBLE, OK
+from repro.core.lhagent import LHAgent
+from repro.core.placement import PlacementPolicy
+from repro.core.replication import BackupHAgent
+from repro.platform.events import Timeout
+from repro.platform.messages import AgentNotFound, RpcError, RpcTimeout
+from repro.platform.naming import AgentId
+
+__all__ = ["HashLocationMechanism"]
+
+
+class HashLocationMechanism(LocationMechanism):
+    """The paper's two-tier, dynamically rehashed location mechanism."""
+
+    name = "hash"
+
+    def __init__(self, config: Optional[HashMechanismConfig] = None) -> None:
+        super().__init__()
+        self.config = config or HashMechanismConfig()
+        self.config.validate()
+        self.hagent: Optional[HAgent] = None
+        self.backup: Optional[BackupHAgent] = None
+        self.lhagents: Dict[str, LHAgent] = {}
+        self.iagents: Dict[AgentId, IAgent] = {}
+        self.placement: Optional[PlacementPolicy] = None
+        self._spawn_round_robin = 0
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def install(self, runtime) -> None:
+        self.runtime = runtime
+        nodes = runtime.node_names()
+        if not nodes:
+            raise CoreError("install the mechanism after creating nodes")
+
+        # The HAgent is "a central static agent" (§2.1); it lives on the
+        # first node. The optional backup goes to a different node.
+        self.hagent = runtime.create_agent(
+            HAgent, nodes[0], start=False, mechanism=self
+        )
+        if self.config.enable_backup_hagent:
+            backup_node = nodes[1 % len(nodes)]
+            self.backup = runtime.create_agent(
+                BackupHAgent, backup_node, start=False, mechanism=self
+            )
+
+        # One LHAgent per node (§2.2).
+        for node in nodes:
+            self.lhagents[node] = runtime.create_agent(
+                LHAgent, node, start=False, mechanism=self
+            )
+
+        # The system starts with a single IAgent covering the whole id
+        # space; rehashing grows the population on demand.
+        first_node = nodes[-1]
+        first = runtime.create_agent(IAgent, first_node, mechanism=self)
+        first.coverage = ""  # the empty pattern matches every id
+        self.iagents[first.agent_id] = first
+
+        tree = HashTree(first.agent_id, width=runtime.namer.width)
+        self.hagent.adopt_tree(tree, {first.agent_id: first_node})
+        self.on_primary_copy_changed(self.hagent.bundle())
+
+        if self.config.enable_placement:
+            self.placement = PlacementPolicy(self)
+            self.placement.start()
+
+    # -- directory of infrastructure agents -----------------------------
+
+    @property
+    def hagent_node(self) -> str:
+        return self.hagent.node_name
+
+    @property
+    def hagent_id(self) -> AgentId:
+        return self.hagent.agent_id
+
+    @property
+    def backup_node(self) -> Optional[str]:
+        return self.backup.node_name if self.backup else None
+
+    @property
+    def backup_id(self) -> Optional[AgentId]:
+        return self.backup.agent_id if self.backup else None
+
+    def iagent_node(self, owner: AgentId) -> str:
+        """Current node of a live IAgent (coordinator-side knowledge)."""
+        iagent = self.iagents.get(owner)
+        if iagent is None or iagent.node is None:
+            raise CoreError(f"IAgent {owner} is not live")
+        return iagent.node_name
+
+    # ------------------------------------------------------------------
+    # Hooks used by the HAgent during rehashing
+    # ------------------------------------------------------------------
+
+    def spawn_iagent(self) -> Generator:
+        """Create a fresh IAgent; returns ``(owner_id, node_name)``."""
+        node = self._pick_iagent_node()
+        yield Timeout(self.config.iagent_spawn_time)
+        iagent = self.runtime.create_agent(IAgent, node, mechanism=self)
+        self.iagents[iagent.agent_id] = iagent
+        return iagent.agent_id, node
+
+    def _pick_iagent_node(self) -> str:
+        nodes = self.runtime.node_names()
+        placement = self.config.iagent_placement
+        if placement == "round-robin":
+            self._spawn_round_robin += 1
+            return nodes[self._spawn_round_robin % len(nodes)]
+        if placement == "random":
+            return self.runtime.streams.get("iagent-placement").choice(nodes)
+        # "colocate": keep new IAgents near the coordinator's node.
+        return self.hagent_node
+
+    def retire_iagent(self, owner: AgentId) -> Generator:
+        """Kill a merged-away IAgent."""
+        iagent = self.iagents.pop(owner, None)
+        if iagent is not None and iagent.alive:
+            yield from iagent.die()
+
+    def on_primary_copy_changed(self, bundle: Dict) -> None:
+        """Push the new primary copy to the backup (if replicating)."""
+        if self.backup is None or not self.config.backup_sync:
+            return
+        self.runtime.sim.spawn(self._sync_backup(bundle), name="backup-sync")
+
+    def _sync_backup(self, bundle: Dict) -> Generator:
+        try:
+            yield self.runtime.rpc(
+                self.hagent_node,
+                self.backup_node,
+                self.backup_id,
+                "sync",
+                bundle,
+                timeout=self.config.rpc_timeout,
+                size=2048,
+            )
+        except RpcError:
+            # A down backup must not wedge the primary; the next change
+            # carries a complete copy anyway (state, not a log).
+            return
+
+    # ------------------------------------------------------------------
+    # The LocationMechanism contract (paper §2.3)
+    # ------------------------------------------------------------------
+
+    def register(self, agent) -> Generator:
+        self.counters.registers += 1
+        yield from self._update_op(
+            agent.node_name, agent.agent_id, "register", agent.node_name
+        )
+
+    def report_move(self, agent) -> Generator:
+        self.counters.updates += 1
+        yield from self._update_op(
+            agent.node_name, agent.agent_id, "update", agent.node_name
+        )
+
+    def deregister(self, agent) -> Generator:
+        # An agent disposed in transit has no node; any context can
+        # issue the farewell (the record must not leak either way).
+        node = self.origin_node(agent)
+        yield from self._update_op(node, agent.agent_id, "unregister", node)
+
+    def locate(self, requester_node: str, agent_id: AgentId) -> Generator:
+        self.counters.locates += 1
+        reply = yield from self.iagent_request(
+            requester_node,
+            agent_id,
+            "locate",
+            {"agent": agent_id},
+            tolerate_no_record=True,
+        )
+        if reply["status"] != OK:
+            self.counters.locate_failures += 1
+            raise LocateFailedError(
+                f"could not locate {agent_id}: {reply['status']}"
+            )
+        return reply["node"]
+
+    # ------------------------------------------------------------------
+    # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3)
+    # ------------------------------------------------------------------
+
+    def _update_op(
+        self, node: str, agent_id: AgentId, op: str, location: str
+    ) -> Generator:
+        reply = yield from self.iagent_request(
+            node, agent_id, op, {"agent": agent_id, "node": location}
+        )
+        if reply["status"] != OK:
+            raise CoreError(f"{op} for {agent_id} failed: {reply['status']}")
+
+    def iagent_request(
+        self,
+        requester_node: str,
+        agent_id: AgentId,
+        op: str,
+        body: Dict,
+        tolerate_no_record: bool = False,
+    ) -> Generator:
+        """Resolve the responsible IAgent and send ``op``, with recovery.
+
+        Recovery cases, each costing one retry from the budget:
+
+        * ``not-responsible`` -- the secondary copy was stale: refresh it
+          (§4.3) and re-resolve;
+        * the IAgent is gone from the resolved node (moved or merged) --
+          same refresh path;
+        * ``no-record`` during a locate -- the record is in flight
+          between IAgents mid-rehash: back off briefly and retry.
+        """
+        config = self.config
+        mapping = yield from self._whois(requester_node, agent_id)
+        last_status = "unresolved"
+        for _attempt in range(config.max_retries):
+            if mapping.get("node") is None:
+                self.counters.retries += 1
+                mapping = yield from self._refresh(
+                    requester_node, agent_id, mapping.get("version", -1)
+                )
+                last_status = "unresolved"
+                continue
+            try:
+                reply = yield self.runtime.rpc(
+                    requester_node,
+                    mapping["node"],
+                    mapping["iagent"],
+                    op,
+                    body,
+                    timeout=config.rpc_timeout,
+                )
+            except (AgentNotFound, RpcTimeout):
+                self.counters.retries += 1
+                mapping = yield from self._refresh(
+                    requester_node, agent_id, mapping.get("version", -1)
+                )
+                last_status = "unreachable"
+                continue
+            status = reply["status"]
+            if status == NOT_RESPONSIBLE:
+                self.counters.retries += 1
+                self.counters.bump("not_responsible")
+                mapping = yield from self._refresh(
+                    requester_node, agent_id, mapping.get("version", -1)
+                )
+                last_status = status
+                continue
+            if status == NO_RECORD and tolerate_no_record:
+                self.counters.retries += 1
+                last_status = status
+                yield Timeout(config.retry_backoff)
+                mapping = yield from self._whois(requester_node, agent_id)
+                continue
+            return reply
+        return {"status": last_status}
+
+    def _whois(self, node: str, agent_id: AgentId) -> Generator:
+        lhagent = self.lhagents[node]
+        reply = yield self.runtime.rpc(
+            node,
+            node,
+            lhagent.agent_id,
+            "whois",
+            {"agent": agent_id},
+            timeout=self.config.rpc_timeout,
+        )
+        return reply
+
+    def _refresh(self, node: str, agent_id: AgentId, stale_version: int) -> Generator:
+        self.counters.refreshes += 1
+        lhagent = self.lhagents[node]
+        reply = yield self.runtime.rpc(
+            node,
+            node,
+            lhagent.agent_id,
+            "refresh",
+            {"agent": agent_id, "stale_version": stale_version},
+            timeout=self.config.rpc_timeout,
+        )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Introspection for tests / metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def iagent_count(self) -> int:
+        return len(self.iagents)
+
+    def describe(self) -> str:
+        return (
+            f"hash(t_max={self.config.t_max}, t_min={self.config.t_min}, "
+            f"iagents={self.iagent_count})"
+        )

@@ -1,0 +1,268 @@
+"""Guaranteed message delivery to mobile agents (paper §6 future work).
+
+The paper closes its related-work section with: "One issue that was not
+considered in this paper is guaranteed agent discovery; that is,
+ensuring that the location of an agent is found even if an agent moves
+faster than the requests for its location. This issue is the topic of
+[Moreau 2001; Murphy & Picco] and is an important direction for future
+work." This module builds that direction *on top of* the hash-based
+directory, exploiting a property the directory already has: every
+tracked agent synchronously reports each move to exactly one IAgent.
+
+Delivery protocol of :class:`AgentMessenger`:
+
+1. **Direct phase** -- locate the target through the mechanism and send
+   the message to the resolved node. If the target moved in the window
+   between locate and contact (the race the paper describes), retry a
+   configurable number of times.
+2. **Relay phase** -- deposit the message at the target's *IAgent*
+   (found with the same resolve-and-retry loop as any directory
+   operation). The IAgent holds it and forwards it when the target's
+   next location update arrives -- at that moment the target is pinned:
+   it is waiting, resident, for the update acknowledgement, so the
+   forwarded message lands while it cannot move. Delivery is confirmed
+   back to the sender through a relay acknowledgement.
+
+Rehashing is transparent: pending relay mail migrates between IAgents
+together with the location records (see ``extract``/``adopt`` in
+:mod:`repro.core.iagent`), so a split or merge mid-delivery loses
+nothing.
+
+Semantics: at-most-once delivery within ``ttl`` seconds; the receipt
+says whether, how (direct or relay) and how fast the message arrived.
+A target that dies, or never moves again before the TTL, yields
+``delivered=False``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.core.errors import CoreError, LocateFailedError
+from repro.core.iagent import OK
+from repro.platform.agents import Agent
+from repro.platform.events import Future, Timeout
+from repro.platform.messages import AgentNotFound, Request, RpcError
+from repro.platform.naming import AgentId
+
+__all__ = ["AgentMessenger", "MessengerConfig", "MessageReceipt"]
+
+
+@dataclass(frozen=True)
+class MessengerConfig:
+    """Tunables of the delivery protocol."""
+
+    #: Direct locate-and-send attempts before falling back to the relay.
+    direct_attempts: int = 2
+
+    #: Seconds a message may chase its target before delivery fails.
+    ttl: float = 5.0
+
+    #: Pause between direct attempts (lets a mid-flight target land).
+    direct_retry_backoff: float = 0.02
+
+
+@dataclass
+class MessageReceipt:
+    """What happened to one message."""
+
+    token: int
+    target: AgentId
+    delivered: bool
+    #: ``"direct"``, ``"relay"`` or ``"expired"``.
+    via: str
+    elapsed: float
+    direct_attempts: int = 0
+    relay_forward_attempts: int = 0
+
+
+class _MessengerEndpoint(Agent):
+    """Per-node endpoint receiving relay acknowledgements."""
+
+    service_time = 0.0002
+
+    def __init__(self, agent_id: AgentId, runtime, messenger) -> None:
+        super().__init__(agent_id, runtime, tracked=False)
+        self.messenger = messenger
+
+    def handle(self, request: Request) -> Any:
+        if request.op == "relay-ack":
+            self.messenger._on_relay_ack(request.body)
+            return {"status": "ok"}
+        return super().handle(request)
+
+
+class AgentMessenger:
+    """Reliable send() on top of a :class:`HashLocationMechanism`."""
+
+    def __init__(self, mechanism, config: Optional[MessengerConfig] = None) -> None:
+        from repro.core.mechanism import HashLocationMechanism
+
+        if not isinstance(mechanism, HashLocationMechanism):
+            raise TypeError(
+                "AgentMessenger relays through IAgents and therefore "
+                "requires the hash location mechanism"
+            )
+        self.mechanism = mechanism
+        self.runtime = mechanism.runtime
+        self.config = config or MessengerConfig()
+        self._tokens = itertools.count(1)
+        self._waiting: Dict[int, Future] = {}
+        self.endpoints: Dict[str, _MessengerEndpoint] = {}
+        for node in self.runtime.node_names():
+            self.endpoints[node] = self.runtime.create_agent(
+                _MessengerEndpoint, node, start=False, messenger=self
+            )
+        # Accounting.
+        self.sent = 0
+        self.delivered_direct = 0
+        self.delivered_relay = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+
+    def send(
+        self, from_node: str, target: AgentId, payload: Any
+    ) -> Generator:
+        """Deliver ``payload`` to ``target``; returns a MessageReceipt."""
+        config = self.config
+        token = next(self._tokens)
+        start = self.runtime.sim.now
+        deadline = start + config.ttl
+        self.sent += 1
+
+        # Phase 1: direct locate-and-send.
+        attempts = 0
+        while attempts < config.direct_attempts:
+            attempts += 1
+            delivered = yield from self._try_direct(from_node, target, payload)
+            if delivered:
+                self.delivered_direct += 1
+                return MessageReceipt(
+                    token=token,
+                    target=target,
+                    delivered=True,
+                    via="direct",
+                    elapsed=self.runtime.sim.now - start,
+                    direct_attempts=attempts,
+                )
+            if self.runtime.sim.now >= deadline:
+                break
+            yield Timeout(config.direct_retry_backoff)
+
+        # Phase 2: deposit at the target's IAgent and await the ack.
+        ack_future = Future(name=f"relay-{token}")
+        self._waiting[token] = ack_future
+        try:
+            deposited = yield from self._deposit(
+                from_node, target, payload, token, deadline
+            )
+            if not deposited:
+                self.expired += 1
+                return MessageReceipt(
+                    token=token,
+                    target=target,
+                    delivered=False,
+                    via="expired",
+                    elapsed=self.runtime.sim.now - start,
+                    direct_attempts=attempts,
+                )
+            timer = self.runtime.sim.schedule(
+                max(deadline - self.runtime.sim.now, 0.0),
+                self._expire_wait,
+                token,
+            )
+            ack = yield ack_future
+            timer.cancel()
+        finally:
+            self._waiting.pop(token, None)
+
+        if ack is None:
+            self.expired += 1
+            return MessageReceipt(
+                token=token,
+                target=target,
+                delivered=False,
+                via="expired",
+                elapsed=self.runtime.sim.now - start,
+                direct_attempts=attempts,
+            )
+        self.delivered_relay += 1
+        return MessageReceipt(
+            token=token,
+            target=target,
+            delivered=True,
+            via="relay",
+            elapsed=self.runtime.sim.now - start,
+            direct_attempts=attempts,
+            relay_forward_attempts=ack.get("attempts", 0),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _try_direct(
+        self, from_node: str, target: AgentId, payload: Any
+    ) -> Generator:
+        try:
+            node = yield from self.mechanism.locate(from_node, target)
+        except (LocateFailedError, RpcError):
+            return False
+        try:
+            reply = yield self.runtime.rpc(
+                from_node,
+                node,
+                target,
+                "user-message",
+                payload,
+                timeout=self.mechanism.config.rpc_timeout,
+            )
+        except (AgentNotFound, RpcError):
+            return False  # it moved between locate and contact
+        return reply.get("status") == "ok"
+
+    def _deposit(
+        self,
+        from_node: str,
+        target: AgentId,
+        payload: Any,
+        token: int,
+        deadline: float,
+    ) -> Generator:
+        endpoint = self.endpoints[from_node]
+        body = {
+            "target": target,
+            "payload": payload,
+            "deadline": deadline,
+            "ack": {
+                "node": from_node,
+                "agent": endpoint.agent_id,
+                "token": token,
+            },
+        }
+        try:
+            reply = yield from self.mechanism.iagent_request(
+                from_node, target, "deposit-message", body
+            )
+        except (CoreError, RpcError):
+            return False
+        return reply.get("status") == OK
+
+    def _on_relay_ack(self, body: Dict) -> None:
+        future = self._waiting.get(body["token"])
+        if future is not None and not future.done:
+            future.set_result(body)
+
+    def _expire_wait(self, token: int) -> None:
+        future = self._waiting.get(token)
+        if future is not None and not future.done:
+            future.set_result(None)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"messenger(sent={self.sent}, direct={self.delivered_direct}, "
+            f"relay={self.delivered_relay}, expired={self.expired})"
+        )

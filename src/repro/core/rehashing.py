@@ -1,0 +1,120 @@
+"""The split-planning policy (paper §4.1).
+
+Pure decision logic, separated from the HAgent so it can be unit-tested
+without a simulation. Given the tree, the overloaded owner, per-agent
+loads and the configuration, :func:`plan_split` walks the candidate list
+in the paper's order -- complex splits first (left-most multi-bit label,
+then the first bit after the valid bit), then simple splits with growing
+``m`` -- and returns the first candidate whose load division is *even*.
+
+If no candidate is even, the paper's text keeps incrementing ``m``
+"until m is sufficiently large to produce an even split"; that loop need
+not terminate (one agent can carry all the load), so we bound it at
+``config.max_simple_m`` and fall back to the most balanced division seen
+that moves a non-zero load, or give up (``None``) when every division is
+degenerate. The deviation is recorded in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Optional, Tuple
+
+from repro.core.config import HashMechanismConfig
+from repro.core.hash_tree import HashTree, SplitCandidate
+from repro.core.load import is_even_split, split_loads
+
+__all__ = ["PlannedSplit", "plan_split", "candidate_affected_owners"]
+
+
+@dataclass(frozen=True)
+class PlannedSplit:
+    """A chosen split and its projected load division."""
+
+    candidate: SplitCandidate
+    load_zero_side: int
+    load_one_side: int
+    even: bool
+
+    @property
+    def total_load(self) -> int:
+        return self.load_zero_side + self.load_one_side
+
+
+def candidate_affected_owners(
+    tree: HashTree, candidate: SplitCandidate
+) -> List[Hashable]:
+    """The owners whose agents a candidate would re-route.
+
+    Local candidates affect only the overloaded owner; an ancestor-edge
+    complex split affects every owner under the broken edge's subtree.
+    Thin alias of :meth:`HashTree.affected_owners`, kept for policy-level
+    callers.
+    """
+    return tree.affected_owners(candidate)
+
+
+def plan_split(
+    tree: HashTree,
+    owner: Hashable,
+    loads_by_owner: Mapping[Hashable, Mapping[str, int]],
+    config: HashMechanismConfig,
+) -> Optional[PlannedSplit]:
+    """Choose the split for ``owner``, or ``None`` if none is worthwhile.
+
+    Parameters
+    ----------
+    loads_by_owner:
+        Per-owner mapping of agent-id bits to accumulated load. Must
+        contain at least ``owner``; candidates whose affected owners are
+        missing from the mapping are skipped (the caller controls how
+        much load information it gathers).
+    """
+    candidates = tree.split_candidates(
+        owner,
+        scope=config.complex_split_scope,
+        max_simple_m=config.max_simple_m,
+    )
+    if not config.enable_complex_split:
+        candidates = [cand for cand in candidates if cand.kind == "simple"]
+
+    best_fallback: Optional[PlannedSplit] = None
+    for candidate in candidates:
+        division = _evaluate(tree, candidate, loads_by_owner)
+        if division is None:
+            continue
+        zero_side, one_side = division
+        if is_even_split(zero_side, one_side, config.balance_tolerance):
+            return PlannedSplit(candidate, zero_side, one_side, even=True)
+        if min(zero_side, one_side) > 0:
+            planned = PlannedSplit(candidate, zero_side, one_side, even=False)
+            if best_fallback is None or _min_side(planned) > _min_side(best_fallback):
+                best_fallback = planned
+    return best_fallback
+
+
+def _evaluate(
+    tree: HashTree,
+    candidate: SplitCandidate,
+    loads_by_owner: Mapping[Hashable, Mapping[str, int]],
+) -> Optional[Tuple[int, int]]:
+    """Project the load division of ``candidate``, or None if unknown."""
+    affected = candidate_affected_owners(tree, candidate)
+    combined: List[Tuple[str, int]] = []
+    for affected_owner in affected:
+        loads = loads_by_owner.get(affected_owner)
+        if loads is None:
+            return None
+        combined.extend(loads.items())
+    if not combined:
+        return None
+    try:
+        return split_loads(combined, candidate.bit_position)
+    except ValueError:
+        # Grouped statistics: the candidate bit lies deeper than the
+        # group prefixes record, so the division cannot be evaluated.
+        return None
+
+
+def _min_side(planned: PlannedSplit) -> int:
+    return min(planned.load_zero_side, planned.load_one_side)

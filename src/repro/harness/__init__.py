@@ -1,0 +1,35 @@
+"""The experiment harness: build, run, replicate, tabulate.
+
+* :mod:`repro.harness.experiment` -- run one scenario under one
+  mechanism and collect metrics;
+* :mod:`repro.harness.sweeps` -- replications over seeds and parameter
+  sweeps over scenario grids;
+* :mod:`repro.harness.tables` -- render the rows/series the paper's
+  figures report;
+* :mod:`repro.harness.cli` -- ``python -m repro.harness.cli exp1 ...``.
+"""
+
+from repro.harness.experiment import (
+    MECHANISM_FACTORIES,
+    RunResult,
+    build_mechanism,
+    run_experiment,
+)
+from repro.harness.export import result_to_dict, sweep_to_dict, write_json
+from repro.harness.sweeps import SweepPoint, replicate, sweep
+from repro.harness.tables import format_table, series_table
+
+__all__ = [
+    "build_mechanism",
+    "format_table",
+    "MECHANISM_FACTORIES",
+    "replicate",
+    "result_to_dict",
+    "run_experiment",
+    "RunResult",
+    "series_table",
+    "sweep",
+    "sweep_to_dict",
+    "SweepPoint",
+    "write_json",
+]

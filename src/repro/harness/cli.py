@@ -1,0 +1,296 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.harness.cli exp1            # Figure 7
+    python -m repro.harness.cli exp2            # Figure 8
+    python -m repro.harness.cli baselines       # ABL-B
+    python -m repro.harness.cli thresholds      # ABL-T
+    python -m repro.harness.cli split-policy    # ABL-S
+    python -m repro.harness.cli placement       # ABL-P
+    python -m repro.harness.cli failover        # ABL-F
+    python -m repro.harness.cli overhead        # COST
+    python -m repro.harness.cli all
+
+Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
+workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence
+
+from repro.harness.experiment import run_experiment
+from repro.harness.sweeps import replicate, sweep
+from repro.harness.tables import ascii_chart, format_table, series_table
+from repro.workloads.scenarios import (
+    EXP1_AGENT_COUNTS,
+    EXP2_RESIDENCE_TIMES_MS,
+    exp1_scenario,
+    exp2_scenario,
+)
+
+__all__ = ["main"]
+
+
+def _seeds(count: int) -> Sequence[int]:
+    return tuple(range(1, count + 1))
+
+
+def _quick_overrides(quick: bool) -> Dict:
+    if not quick:
+        return {}
+    return {"total_queries": 60, "warmup": 2.0}
+
+
+def _maybe_export(series, args, name: str) -> None:
+    if not getattr(args, "json", None):
+        return
+    from repro.harness.export import sweep_to_dict, write_json
+
+    path = write_json(sweep_to_dict(series), args.json)
+    print(f"[{name}] series written to {path}")
+
+
+def cmd_exp1(args) -> None:
+    """Experiment I / Figure 7: location time vs population size."""
+    overrides = _quick_overrides(args.quick)
+    counts = EXP1_AGENT_COUNTS if not args.quick else EXP1_AGENT_COUNTS[:3]
+    series = sweep(
+        lambda n: exp1_scenario(int(n), **overrides),
+        counts,
+        mechanisms=["centralized", "hash"],
+        seeds=_seeds(args.seeds),
+    )
+    print("Experiment I (paper Figure 7): location time vs number of TAgents")
+    print(series_table(series, x_label="TAgents"))
+    if args.chart:
+        print(ascii_chart(series))
+    _maybe_export(series, args, "exp1")
+
+
+def cmd_exp2(args) -> None:
+    """Experiment II / Figure 8: location time vs mobility rate."""
+    overrides = _quick_overrides(args.quick)
+    residences = EXP2_RESIDENCE_TIMES_MS if not args.quick else EXP2_RESIDENCE_TIMES_MS[:3]
+    series = sweep(
+        lambda ms: exp2_scenario(ms, **overrides),
+        residences,
+        mechanisms=["centralized", "hash"],
+        seeds=_seeds(args.seeds),
+    )
+    print("Experiment II (paper Figure 8): location time vs residence per node")
+    print(series_table(series, x_label="residence (ms)"))
+    if args.chart:
+        print(ascii_chart(series))
+    _maybe_export(series, args, "exp2")
+
+
+def cmd_baselines(args) -> None:
+    """ABL-B: all five mechanisms over the Experiment I sweep."""
+    overrides = _quick_overrides(args.quick)
+    counts = (10, 30, 100) if not args.quick else (10, 30)
+    series = sweep(
+        lambda n: exp1_scenario(int(n), **overrides),
+        counts,
+        mechanisms=[
+            "centralized", "home-registry", "forwarding", "chord",
+            "flooding", "hash",
+        ],
+        seeds=_seeds(args.seeds),
+    )
+    print("ABL-B: every mechanism on the Experiment I workload")
+    print(series_table(series, x_label="TAgents"))
+
+
+def cmd_thresholds(args) -> None:
+    """ABL-T: sensitivity to T_max (paper defers this to future work)."""
+    overrides = _quick_overrides(args.quick)
+    rows = []
+    for t_max in (25.0, 50.0, 100.0, 200.0):
+        scenario = exp1_scenario(100, **overrides)
+        scenario = scenario.with_overrides(
+            config=scenario.config.with_overrides(t_max=t_max, t_min=t_max / 10.0)
+        )
+        point = replicate(scenario, "hash", seeds=_seeds(args.seeds), x=t_max)
+        rows.append(
+            [
+                f"{t_max:g}",
+                f"{point.mean_ms:8.1f} ±{point.ci95_ms:5.1f}",
+                f"{point.mean_iagents:.1f}",
+            ]
+        )
+    print("ABL-T: T_max sweep at N=100 (T_min = T_max/10)")
+    print(format_table(["T_max (msg/s)", "location time (ms)", "IAgents"], rows))
+
+
+def cmd_split_policy(args) -> None:
+    """ABL-S: simple-only vs +complex split, on a skewed id population."""
+    from repro.harness.ablations import split_policy_table
+
+    print("ABL-S: split-policy ablation on skewed agent ids")
+    print(split_policy_table(seeds=_seeds(args.seeds), quick=args.quick))
+
+
+def cmd_placement(args) -> None:
+    """ABL-P: IAgent placement policy on a locality-skewed workload."""
+    from repro.harness.ablations import placement_table
+
+    print("ABL-P: placement extension (paper §7) on a clustered workload")
+    print(placement_table(seeds=_seeds(args.seeds), quick=args.quick))
+
+
+def cmd_failover(args) -> None:
+    """ABL-F: HAgent crash with and without the backup extension."""
+    from repro.harness.ablations import failover_table
+
+    print("ABL-F: HAgent failover (paper §7 fault-tolerance extension)")
+    print(failover_table(seeds=_seeds(args.seeds), quick=args.quick))
+
+
+def cmd_heuristics(args) -> None:
+    """ABL-H: adaptive vs fixed thresholds across hardware speeds."""
+    rows = []
+    for service in (0.004, 0.008, 0.020):
+        row = [f"{service * 1000:g}"]
+        for mode in ("fixed", "adaptive"):
+            scenario = exp1_scenario(100, **_quick_overrides(args.quick))
+            scenario = scenario.with_overrides(
+                config=scenario.config.with_overrides(
+                    iagent_service_time=service, threshold_mode=mode
+                )
+            )
+            result = run_experiment(scenario, "hash")
+            row.append(
+                f"{result.mean_location_ms:8.1f} "
+                f"(IA={result.metrics.final_iagents:.0f})"
+            )
+        rows.append(row)
+    print("ABL-H: fixed vs adaptive thresholds across service times")
+    print(format_table(["service (ms)", "fixed", "adaptive"], rows))
+
+
+def cmd_granularity(args) -> None:
+    """ABL-G: per-agent vs prefix-grouped load statistics."""
+    from repro.workloads.mobility import ConstantResidence
+
+    rows = []
+    for label, overrides in (
+        ("per-agent", {"stats_granularity": "per-agent"}),
+        ("grouped d=8", {"stats_granularity": "grouped", "stats_group_depth": 8}),
+        ("grouped d=2", {"stats_granularity": "grouped", "stats_group_depth": 2}),
+    ):
+        scenario = exp1_scenario(100, **_quick_overrides(args.quick))
+        scenario = scenario.with_overrides(
+            residence=ConstantResidence(0.2),
+            config=scenario.config.with_overrides(**overrides),
+        )
+        result = run_experiment(scenario, "hash")
+        rows.append(
+            [
+                label,
+                f"{result.mean_location_ms:8.1f}",
+                f"{result.metrics.final_iagents:.0f}",
+            ]
+        )
+    print("ABL-G: statistics granularity (heavy EXP1 workload)")
+    print(format_table(["statistics", "mean (ms)", "IAgents"], rows))
+
+
+def cmd_overhead(args) -> None:
+    """COST: message overhead per mechanism on the paper's workloads."""
+    overrides = _quick_overrides(args.quick)
+    rows = []
+    for name in ("centralized", "home-registry", "forwarding", "chord", "hash"):
+        result = run_experiment(exp1_scenario(50, **overrides), name)
+        counters = result.metrics.counters
+        rows.append(
+            [
+                name,
+                f"{result.mean_location_ms:8.1f}",
+                str(result.metrics.messages_sent),
+                f"{result.metrics.messages_per_locate():.1f}",
+                str(counters.get("retries", 0)),
+                str(counters.get("refreshes", 0)),
+            ]
+        )
+    print("COST: message accounting at N=50 (Experiment I midpoint)")
+    print(
+        format_table(
+            ["mechanism", "mean (ms)", "messages", "msgs/locate", "retries", "refreshes"],
+            rows,
+        )
+    )
+
+
+def cmd_report(args) -> None:
+    """Measure everything and write a markdown evaluation report."""
+    from repro.harness.report import generate_report
+
+    report = generate_report(
+        seeds=_seeds(args.seeds),
+        quick=args.quick,
+        include_ablations=not args.quick,
+    )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+
+
+COMMANDS = {
+    "report": cmd_report,
+    "exp1": cmd_exp1,
+    "exp2": cmd_exp2,
+    "baselines": cmd_baselines,
+    "thresholds": cmd_thresholds,
+    "split-policy": cmd_split_policy,
+    "placement": cmd_placement,
+    "failover": cmd_failover,
+    "overhead": cmd_overhead,
+    "heuristics": cmd_heuristics,
+    "granularity": cmd_granularity,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and the extension ablations.",
+    )
+    parser.add_argument(
+        "command", choices=list(COMMANDS) + ["all"], help="which experiment to run"
+    )
+    parser.add_argument("--seeds", type=int, default=3, help="replications per point")
+    parser.add_argument("--quick", action="store_true", help="shrunken quick pass")
+    parser.add_argument("--chart", action="store_true", help="ASCII chart output")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the series as JSON (exp1/exp2 only)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output file for the report command",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "all":
+        for name, command in COMMANDS.items():
+            print(f"\n===== {name} =====")
+            command(args)
+    else:
+        COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

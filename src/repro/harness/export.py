@@ -1,0 +1,91 @@
+"""Result persistence: experiment outcomes as JSON documents.
+
+``result_to_dict`` flattens a :class:`~repro.harness.experiment.RunResult`
+(and ``sweep_to_dict`` a whole figure's series) into plain JSON-able
+dictionaries, so the CLI's ``--json`` mode and external analysis
+notebooks can consume the numbers without importing the package's
+classes. ``write_json`` / ``read_json`` are the trivial file helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.harness.experiment import RunResult
+from repro.harness.sweeps import SweepPoint
+
+__all__ = ["result_to_dict", "sweep_to_dict", "write_json", "read_json"]
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-able snapshot of one run's scenario and measurements."""
+    scenario = result.scenario
+    summary = result.location_summary_ms
+    document = {
+        "scenario": {
+            "name": scenario.name,
+            "num_nodes": scenario.num_nodes,
+            "num_agents": scenario.num_agents,
+            "residence_mean_s": scenario.residence.mean(),
+            "total_queries": scenario.total_queries,
+            "seed": scenario.seed,
+            "t_max": scenario.config.t_max,
+            "t_min": scenario.config.t_min,
+        },
+        "mechanism": result.mechanism,
+        "location_time_ms": {
+            "count": summary.count,
+            "mean": summary.mean,
+            "median": summary.median,
+            "p95": summary.p95,
+            "min": summary.minimum,
+            "max": summary.maximum,
+            "stddev": summary.stddev,
+            "ci95": summary.ci95,
+        },
+        "failed_locates": result.metrics.failed_locates,
+        "counters": dict(result.metrics.counters),
+        "messages_sent": result.metrics.messages_sent,
+        "bytes_sent": result.metrics.bytes_sent,
+        "sim_time_s": result.metrics.sim_time,
+        "sim_events": result.metrics.sim_events,
+    }
+    if result.metrics.final_iagents is not None:
+        document["iagents"] = {
+            "final": result.metrics.final_iagents,
+            "splits": result.metrics.splits,
+            "merges": result.metrics.merges,
+            "series": result.metrics.iagent_series.samples,
+        }
+    return document
+
+
+def sweep_to_dict(series: Dict[str, List[SweepPoint]]) -> Dict[str, Any]:
+    """A JSON-able form of a figure's series (mechanism -> points)."""
+    return {
+        mechanism: [
+            {
+                "x": point.x,
+                "mean_ms": point.mean_ms,
+                "ci95_ms": point.ci95_ms,
+                "per_seed_means_ms": list(point.per_seed_means),
+                "mean_iagents": point.mean_iagents,
+            }
+            for point in points
+        ]
+        for mechanism, points in series.items()
+    }
+
+
+def write_json(document: Any, path) -> Path:
+    """Write ``document`` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, default=str))
+    return path
+
+
+def read_json(path) -> Any:
+    """Load a document previously written with :func:`write_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,104 @@
+"""Replications and parameter sweeps.
+
+The paper: "Each experiment was run multiple times and we report the
+statistically normalized averages." ``replicate`` reruns one scenario
+under independent seeds and aggregates the per-run mean location times;
+``sweep`` walks a scenario grid (one scenario per x-axis point) doing
+the same, producing the series a figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.experiment import RunResult, run_experiment
+from repro.metrics.summary import confidence_interval, mean
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["SweepPoint", "replicate", "sweep", "DEFAULT_SEEDS"]
+
+#: Seeds used when the caller does not specify replications.
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated result of one x-axis point for one mechanism."""
+
+    x: float
+    mechanism: str
+    #: Per-seed mean location times (ms).
+    per_seed_means: List[float]
+    runs: List[RunResult]
+
+    @property
+    def mean_ms(self) -> float:
+        return mean(self.per_seed_means)
+
+    @property
+    def ci95_ms(self) -> float:
+        return confidence_interval(self.per_seed_means)
+
+    @property
+    def mean_iagents(self) -> Optional[float]:
+        finals = [
+            run.metrics.final_iagents
+            for run in self.runs
+            if run.metrics.final_iagents is not None
+        ]
+        return mean(finals) if finals else None
+
+
+def replicate(
+    scenario: Scenario,
+    mechanism: str,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    x: Optional[float] = None,
+    mechanism_factory: Optional[Callable] = None,
+) -> SweepPoint:
+    """Run ``scenario`` once per seed; aggregate the mean location time."""
+    runs = []
+    means = []
+    for seed in seeds:
+        result = run_experiment(
+            scenario.with_overrides(seed=seed),
+            mechanism=mechanism,
+            mechanism_factory=mechanism_factory,
+        )
+        runs.append(result)
+        means.append(result.mean_location_ms)
+    return SweepPoint(
+        x=x if x is not None else 0.0,
+        mechanism=mechanism,
+        per_seed_means=means,
+        runs=runs,
+    )
+
+
+def sweep(
+    scenario_for: Callable[[float], Scenario],
+    xs: Sequence[float],
+    mechanisms: Sequence[str],
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    mechanism_factories: Optional[Dict[str, Callable]] = None,
+) -> Dict[str, List[SweepPoint]]:
+    """Run every mechanism over every x-axis point.
+
+    Returns ``{mechanism: [SweepPoint, ...]}`` with points in ``xs``
+    order -- one series per figure line.
+    """
+    factories = mechanism_factories or {}
+    series: Dict[str, List[SweepPoint]] = {name: [] for name in mechanisms}
+    for x in xs:
+        scenario = scenario_for(x)
+        for name in mechanisms:
+            point = replicate(
+                scenario,
+                name,
+                seeds=seeds,
+                x=x,
+                mechanism_factory=factories.get(name),
+            )
+            series[name].append(point)
+    return series

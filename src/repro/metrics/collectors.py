@@ -1,0 +1,98 @@
+"""Collectors: gather what one simulation run produced.
+
+A :class:`MetricsCollector` is filled by the harness at the end of a run
+with the location-time samples, the mechanism's message counters and --
+for the hash mechanism -- the rehash log and the IAgent population over
+time. :class:`TimeSeries` is a minimal (time, value) recorder for
+quantities sampled during the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.summary import Summary, summarize
+
+__all__ = ["TimeSeries", "MetricsCollector"]
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.samples]
+
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+    def at_or_before(self, time: float) -> Optional[float]:
+        """The most recent value recorded at or before ``time``."""
+        best = None
+        for sample_time, value in self.samples:
+            if sample_time > time:
+                break
+            best = value
+        return best
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+@dataclass
+class MetricsCollector:
+    """Everything measured in one run, ready for summarisation."""
+
+    mechanism: str = ""
+    #: Successful locate durations in seconds.
+    location_times: List[float] = field(default_factory=list)
+    #: Synchronous move-report durations in seconds (update cost).
+    update_times: List[float] = field(default_factory=list)
+    #: Locates that exhausted their retries.
+    failed_locates: int = 0
+    #: Mechanism counters snapshot (registers/updates/locates/...).
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Rehash log copied from the HAgent (hash mechanism only).
+    rehash_events: List[dict] = field(default_factory=list)
+    #: IAgent population over time (hash mechanism only).
+    iagent_series: TimeSeries = field(default_factory=lambda: TimeSeries("iagents"))
+    #: Network totals.
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    #: Simulation totals.
+    sim_time: float = 0.0
+    sim_events: int = 0
+
+    def location_summary(self) -> Summary:
+        """Location-time summary in **milliseconds** (the paper's unit)."""
+        return summarize(self.location_times).scaled(1000.0)
+
+    def update_summary(self) -> Summary:
+        """Move-report (update) cost summary in milliseconds."""
+        return summarize(self.update_times).scaled(1000.0)
+
+    @property
+    def splits(self) -> int:
+        return sum(1 for event in self.rehash_events if event.get("event") == "split")
+
+    @property
+    def merges(self) -> int:
+        return sum(1 for event in self.rehash_events if event.get("event") == "merge")
+
+    @property
+    def final_iagents(self) -> Optional[float]:
+        return self.iagent_series.last()
+
+    def messages_per_locate(self) -> float:
+        """Network messages divided by completed locates (overhead)."""
+        locates = self.counters.get("locates", 0)
+        if locates == 0:
+            return 0.0
+        return self.messages_sent / locates

@@ -1,0 +1,76 @@
+"""Load-balance metrics: how evenly the directory spreads its work.
+
+The paper's stated goal is "to balance the total workload received at
+each node" -- these helpers quantify that. ``jain_index`` is the
+standard fairness measure (1 = perfectly even, 1/n = one server does
+everything); ``busy_fractions``/``peak_busy`` read the measured busy
+time of record-serving agents out of a finished run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["jain_index", "busy_fractions", "peak_busy", "load_imbalance"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly balanced; ``1/n`` means a single hot spot.
+    An all-zero population is vacuously fair (1.0).
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("jain_index of an empty sequence")
+    if any(value < 0 for value in values):
+        raise ValueError("jain_index requires non-negative values")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if total == 0 or squares == 0:
+        # All zero -- or subnormal values whose squares underflow to
+        # zero; either way there is no imbalance to report.
+        return 1.0
+    return min((total * total) / (len(values) * squares), 1.0)
+
+
+def load_imbalance(values: Sequence[float]) -> float:
+    """Peak-to-mean ratio (1.0 = perfectly balanced)."""
+    values = list(values)
+    if not values:
+        raise ValueError("load_imbalance of an empty sequence")
+    mean_value = sum(values) / len(values)
+    if mean_value == 0:
+        return 1.0
+    return max(values) / mean_value
+
+
+def _servers_of(location) -> List:
+    """The record-serving agents of any installed mechanism."""
+    if hasattr(location, "iagents"):  # hash mechanism
+        return list(location.iagents.values())
+    if hasattr(location, "ring"):  # chord
+        return list(location.ring.values())
+    if hasattr(location, "registries"):  # home registry
+        return list(location.registries)
+    if hasattr(location, "central"):  # centralized
+        return [location.central]
+    if hasattr(location, "name_service"):  # forwarding pointers
+        return [location.name_service] + list(location.forwarders.values())
+    raise TypeError(f"unknown mechanism type {type(location).__name__}")
+
+
+def busy_fractions(runtime) -> Dict[str, float]:
+    """Busy fraction of each record-serving agent in a finished run."""
+    sim_time = runtime.sim.now
+    if sim_time <= 0:
+        raise ValueError("the simulation has not run yet")
+    return {
+        str(server.agent_id): server.mailbox.busy_time / sim_time
+        for server in _servers_of(runtime.location)
+    }
+
+
+def peak_busy(runtime) -> float:
+    """The busiest directory server's busy fraction."""
+    return max(busy_fractions(runtime).values())

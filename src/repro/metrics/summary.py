@@ -1,0 +1,128 @@
+"""Summary statistics used by the harness's tables.
+
+Pure-stdlib implementations of the handful of statistics the experiment
+reports need -- mean, percentiles and Student-t confidence intervals
+(the paper reports "statistically normalized averages" over repeated
+runs, which we render as mean +/- 95% CI across seeds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["mean", "stddev", "percentile", "confidence_interval", "Summary", "summarize"]
+
+# Two-sided 95% Student-t critical values for small sample sizes; beyond
+# the table the normal approximation (1.96) is accurate enough.
+_T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not samples:
+        raise ValueError("mean of an empty sequence")
+    return sum(samples) / len(samples)
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for fewer than 2 samples."""
+    if len(samples) < 2:
+        return 0.0
+    centre = mean(samples)
+    return math.sqrt(sum((x - centre) ** 2 for x in samples) / (len(samples) - 1))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Clamp away one-ulp overshoot from the interpolation arithmetic.
+    return max(ordered[low], min(interpolated, ordered[high]))
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T_TABLE_95:
+        return _T_TABLE_95[df]
+    for table_df in sorted(_T_TABLE_95):
+        if df < table_df:
+            return _T_TABLE_95[table_df]
+    return 1.96
+
+
+def confidence_interval(samples: Sequence[float]) -> float:
+    """Half-width of the two-sided 95% CI of the mean."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    return _t_critical(n - 1) * stddev(samples) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """The usual descriptive statistics of one sample set."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    stddev: float
+    ci95: float
+
+    def scaled(self, factor: float) -> "Summary":
+        """The same summary in different units (e.g. seconds -> ms)."""
+        return Summary(
+            count=self.count,
+            mean=self.mean * factor,
+            median=self.median * factor,
+            p95=self.p95 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+            stddev=self.stddev * factor,
+            ci95=self.ci95 * factor,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
+            f"p95={self.p95:.3f} ci95=±{self.ci95:.3f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on an empty sequence."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        count=len(samples),
+        mean=mean(samples),
+        median=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        minimum=min(samples),
+        maximum=max(samples),
+        stddev=stddev(samples),
+        ci95=confidence_interval(samples),
+    )

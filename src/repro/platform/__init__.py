@@ -1,0 +1,64 @@
+"""Discrete-event mobile-agent platform (the Aglets substitute).
+
+The paper implemented its location mechanism on IBM Aglets 2.0, a Java
+mobile-agent platform, and measured it on a LAN of Sun Blade workstations.
+Neither is available here, so this package provides the closest synthetic
+equivalent: a deterministic discrete-event simulation of a mobile-agent
+platform with
+
+* a virtual-time event loop with lightweight generator-based processes
+  (:mod:`repro.platform.simulator`, :mod:`repro.platform.events`),
+* a network model with per-link latency, jitter and loss
+  (:mod:`repro.platform.network`),
+* nodes hosting agents, each agent served by a *serial* mailbox with a
+  configurable per-message service time (:mod:`repro.platform.mailbox`,
+  :mod:`repro.platform.node`) -- this serial service is what makes a
+  centralized location agent a measurable bottleneck, exactly the effect
+  the paper's evaluation exercises,
+* agent lifecycle and migration (:mod:`repro.platform.agents`,
+  :mod:`repro.platform.runtime`), and
+* fault injection for the fault-tolerance extension
+  (:mod:`repro.platform.failures`).
+
+All randomness flows through named, seeded streams
+(:mod:`repro.platform.random`), so every experiment is reproducible
+bit-for-bit from its seed.
+"""
+
+from repro.platform.events import Future, Process, Timeout, gather
+from repro.platform.simulator import Simulator, SimulationError
+from repro.platform.random import RandomStreams
+from repro.platform.network import LinkModel, Network
+from repro.platform.messages import Request, Response, RpcError, RpcTimeout, AgentNotFound
+from repro.platform.mailbox import Mailbox
+from repro.platform.node import Node
+from repro.platform.naming import AgentId, AgentNamer, SkewedNamer
+from repro.platform.agents import Agent, MobileAgent
+from repro.platform.runtime import AgentRuntime
+from repro.platform.failures import FailureInjector
+
+__all__ = [
+    "Agent",
+    "AgentId",
+    "AgentNamer",
+    "AgentNotFound",
+    "AgentRuntime",
+    "FailureInjector",
+    "Future",
+    "gather",
+    "LinkModel",
+    "Mailbox",
+    "MobileAgent",
+    "Network",
+    "Node",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcTimeout",
+    "Simulator",
+    "SimulationError",
+    "SkewedNamer",
+    "Timeout",
+]

@@ -1,0 +1,259 @@
+"""Agent base classes: lifecycle, messaging and migration.
+
+``Agent`` is anything addressable that handles requests through its
+serial mailbox. ``MobileAgent`` adds ``dispatch`` -- the Aglets verb for
+moving an agent to another context -- which models serialization and
+transfer cost and calls the lifecycle hooks.
+
+Agents whose location should be maintained by the system's location
+mechanism are created with ``tracked=True`` (the default for
+``MobileAgent``); the infrastructure agents of the mechanisms themselves
+are untracked, since they *are* the directory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from repro.platform.events import Future, Timeout
+from repro.platform.mailbox import Mailbox
+from repro.platform.messages import Request
+from repro.platform.naming import AgentId
+
+__all__ = ["Agent", "MobileAgent"]
+
+#: Default per-message service time in seconds. Roughly the dispatch cost
+#: of a message handler in a paper-era Java agent platform.
+DEFAULT_SERVICE_TIME = 0.004
+
+#: Default serialized size of a mobile agent in bytes (code + state).
+DEFAULT_AGENT_SIZE = 20_000
+
+
+class Agent:
+    """A stationary agent: an addressable message handler on a node.
+
+    Subclasses override :meth:`handle` (and optionally :meth:`main` for
+    autonomous behaviour). Construction happens through
+    :meth:`repro.platform.runtime.AgentRuntime.create_agent`, which
+    assigns the id, places the agent and starts its lifecycle process.
+    """
+
+    #: Seconds of mailbox service per incoming message. Subclasses tune
+    #: this; it is the knob that turns an agent into a realistic server.
+    service_time: Union[float, callable] = DEFAULT_SERVICE_TIME
+
+    #: Serialized size in bytes, used for migration transfer delay.
+    size: int = DEFAULT_AGENT_SIZE
+
+    def __init__(self, agent_id: AgentId, runtime, tracked: bool = False) -> None:
+        self.agent_id = agent_id
+        self.runtime = runtime
+        self.tracked = tracked
+        self.node = None  # set by Node.add_agent
+        self.alive = True
+        #: Application messages delivered via the ``user-message`` op
+        #: (used by :mod:`repro.core.messaging`); newest last.
+        self.inbox: list = []
+        self.mailbox = Mailbox(
+            runtime.sim, self.service_time, name=f"mb-{agent_id.short()}"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def main(self) -> Optional[Generator]:
+        """Autonomous behaviour, run as a process after registration.
+
+        Return a generator to get one; the default agent is reactive
+        only.
+        """
+        return None
+
+    def on_arrival(self) -> None:
+        """Called after each migration completes (MobileAgent only)."""
+
+    def handle(self, request: Request) -> Any:
+        """Process one request; may return a value or a generator.
+
+        The returned value travels back to the caller as the RPC result.
+        The base class accepts ``user-message`` deliveries into
+        :attr:`inbox` (so any agent can be a messaging endpoint);
+        overriding handlers can delegate unknown ops back here.
+        """
+        if request.op == "user-message":
+            self.inbox.append(request.body)
+            return {"status": "ok", "inbox": len(self.inbox)}
+        raise NotImplementedError(
+            f"{type(self).__name__} received {request.op!r} but defines no handler"
+        )
+
+    # ------------------------------------------------------------------
+    # Conveniences for subclasses
+    # ------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.runtime.sim
+
+    @property
+    def node_name(self) -> str:
+        if self.node is None:
+            raise RuntimeError(f"agent {self.agent_id} is not placed on a node")
+        return self.node.name
+
+    def rpc(
+        self,
+        dst_node: str,
+        dst_agent: AgentId,
+        op: str,
+        body: Any = None,
+        timeout: Optional[float] = None,
+        size: int = 256,
+    ) -> Future:
+        """Send a request from this agent's node; yield the result."""
+        return self.runtime.rpc(
+            self.node_name,
+            dst_node,
+            dst_agent,
+            op,
+            body,
+            timeout=timeout,
+            size=size,
+            sender_agent=self.agent_id,
+        )
+
+    def sleep(self, delay: float) -> Timeout:
+        """Suspend the calling process for ``delay`` seconds."""
+        return Timeout(delay)
+
+    def die(self) -> Generator:
+        """Terminate: deregister from the location mechanism and vanish."""
+        self.alive = False
+        self.mailbox.stop()
+        if self.tracked and self.runtime.location is not None:
+            yield from self.runtime.location.deregister(self)
+        if self.node is not None:
+            self.node.remove_agent(self)
+            self.node = None
+
+    def __repr__(self) -> str:
+        where = self.node.name if self.node is not None else "<nowhere>"
+        return f"{type(self).__name__}({self.agent_id.short()}@{where})"
+
+
+class MobileAgent(Agent):
+    """An agent that can ``dispatch`` itself to another node.
+
+    Together with :meth:`clone` and :meth:`retract` this covers the
+    Aglets mobility API (dispatch / clone / retract / dispose -- the
+    last is :meth:`Agent.die`).
+
+    Migration sequence (mirroring Aglets):
+
+    1. the agent leaves its current node (messages now miss it),
+    2. its serialized form crosses the network (size-dependent delay),
+    3. it re-activates on the destination and :meth:`on_arrival` runs,
+    4. if tracked, it reports the move to the location mechanism and
+       waits for the acknowledgement before resuming its itinerary.
+
+    Step 4 being synchronous keeps the system closed-loop: a saturated
+    location agent back-pressures the very agents that overload it,
+    which is what lets the centralized baseline exhibit the paper's
+    linear growth instead of an unbounded queue.
+    """
+
+    def __init__(self, agent_id: AgentId, runtime, tracked: bool = True) -> None:
+        super().__init__(agent_id, runtime, tracked=tracked)
+        self.moves_completed = 0
+        #: Set by a ``retract`` request; autonomous itineraries should
+        #: stop scheduling moves once retracted.
+        self.retracted = False
+
+    def handle(self, request: Request) -> Any:
+        if request.op == "retract":
+            destination = request.body["to"]
+            self.retracted = True
+            self.runtime.sim.spawn(
+                self._retract_move(destination),
+                name=f"retract-{self.agent_id.short()}",
+            )
+            return {"status": "ok", "moving_to": destination}
+        return super().handle(request)
+
+    def _retract_move(self, destination: str) -> Generator:
+        try:
+            yield from self.dispatch(destination)
+        except Exception:  # noqa: BLE001 - a failed recall must not
+            # crash the platform; the requester sees the stale location
+            # on its next locate and may retract again.
+            self.retracted = False
+
+    def dispatch(self, dest_node: str) -> Generator:
+        """Move to ``dest_node``; completes when the move is reported."""
+        if not self.alive or self.node is None:
+            return  # dead, or already in transit under another dispatch
+        origin = self.node_name
+        if dest_node == origin:
+            return
+        self.node.remove_agent(self)
+        self.node = None
+        delay = self.runtime.network.transfer_delay(origin, dest_node, self.size)
+        yield Timeout(delay)
+        if not self.alive:
+            return  # disposed in transit: the serialized form is discarded
+        destination = self.runtime.get_node(dest_node)
+        if destination.crashed:
+            # The transfer fails; re-materialize at the origin, as a real
+            # platform's dispatch would raise and leave the agent in place.
+            self.runtime.get_node(origin).add_agent(self)
+            return
+        destination.add_agent(self)
+        self.moves_completed += 1
+        self.runtime.trace(
+            "agent-moved",
+            agent=str(self.agent_id),
+            origin=origin,
+            destination=dest_node,
+        )
+        self.on_arrival()
+        if self.tracked and self.runtime.location is not None:
+            report_started = self.runtime.sim.now
+            yield from self.runtime.location.report_move(self)
+            # The synchronous update's cost -- the *other* latency the
+            # directory imposes besides query time (COST bench).
+            self.runtime.update_latencies.append(
+                self.runtime.sim.now - report_started
+            )
+
+    def clone_args(self) -> dict:
+        """Constructor kwargs a clone should be built with.
+
+        Subclasses with required constructor parameters override this;
+        the base mobile agent needs none.
+        """
+        return {}
+
+    def clone(self, node: Optional[str] = None) -> Generator:
+        """Create a copy of this agent (Aglets' ``clone`` verb).
+
+        The clone gets a fresh identity, starts on ``node`` (default:
+        here), runs its own lifecycle (registration + ``main``) and is
+        returned once its transfer delay has elapsed. State transfer is
+        the subclass's business via :meth:`clone_args`; whether the
+        clone is tracked follows the class's constructor default.
+        """
+        origin = self.node_name
+        destination = node or origin
+        # Cloning serializes the agent like a dispatch does.
+        delay = self.runtime.network.transfer_delay(
+            origin, destination, self.size
+        )
+        yield Timeout(delay)
+        replica = self.runtime.create_agent(
+            type(self),
+            destination,
+            **self.clone_args(),
+        )
+        return replica

@@ -1,0 +1,195 @@
+"""Simulation primitives: timeouts, futures and processes.
+
+A *process* is a plain Python generator driven by the simulator. Inside a
+process, ``yield`` suspends until the yielded object completes:
+
+* ``yield Timeout(0.5)`` -- resume 0.5 simulated seconds later;
+* ``yield some_future`` -- resume when the future resolves, evaluating to
+  its result (or re-raising its exception inside the generator);
+* ``yield some_process`` -- processes are futures over their generator's
+  return value, so joining a child process is the same as waiting on a
+  future.
+
+The style deliberately mirrors SimPy, which readers of simulation code in
+Python are likely to know, but the implementation is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Timeout", "Future", "Process", "gather", "ProcessFailed"]
+
+
+class Timeout:
+    """A relative delay in simulated seconds.
+
+    Yield an instance from a process to sleep. ``delay`` must be
+    non-negative; zero is allowed and resumes the process after all events
+    already scheduled for the current instant.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Future:
+    """A single-assignment result container processes can wait on.
+
+    A future is *pending* until either :meth:`set_result` or
+    :meth:`set_exception` is called, after which it is *done* and every
+    registered callback fires exactly once. Setting a result twice is a
+    programming error and raises ``RuntimeError``.
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        """Whether a result or exception has been set."""
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        """Whether the future completed with an exception."""
+        return self._done and self._exception is not None
+
+    def result(self) -> Any:
+        """Return the result, re-raising the stored exception if any."""
+        if not self._done:
+            raise RuntimeError(f"Future {self.name!r} is not done yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the stored exception, or ``None``."""
+        if not self._done:
+            raise RuntimeError(f"Future {self.name!r} is not done yet")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        """Resolve the future successfully with ``value``."""
+        self._complete(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with an exception."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"expected an exception instance, got {exc!r}")
+        self._complete(None, exc)
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` once the future resolves.
+
+        If the future is already done the callback fires immediately
+        (synchronously), preserving run-to-completion semantics.
+        """
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise RuntimeError(f"Future {self.name!r} resolved twice")
+        self._done = True
+        self._result = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "done"
+        return f"Future({self.name!r}, {state})"
+
+
+class ProcessFailed(RuntimeError):
+    """Raised by the simulator for an unhandled process exception."""
+
+
+class Process(Future):
+    """A running generator, also usable as a future over its return value.
+
+    Created via :meth:`repro.platform.simulator.Simulator.spawn`; not
+    intended to be instantiated directly by user code.
+    """
+
+    __slots__ = ("generator", "_sim", "_interrupted")
+
+    def __init__(self, generator: Generator, sim: Any, name: str = "") -> None:
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.generator = generator
+        self._sim = sim
+        self._interrupted = False
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Stop the process at its next suspension point.
+
+        The process's future fails with :class:`ProcessFailed` unless the
+        generator catches ``GeneratorExit`` internals -- interruption is
+        cooperative and used mainly by fault injection.
+        """
+        if self._done:
+            return
+        self._interrupted = True
+        self.generator.close()
+        self.set_exception(ProcessFailed(f"process {self.name!r}: {reason}"))
+
+    @property
+    def interrupted(self) -> bool:
+        return self._interrupted
+
+
+def gather(futures: Iterable[Future], name: str = "gather") -> Future:
+    """Combine futures into one resolving with the list of their results.
+
+    Results appear in input order. The first failure fails the combined
+    future immediately with that exception (remaining futures keep
+    running; their results are discarded). Gathering an empty iterable
+    resolves immediately with ``[]``.
+    """
+    futures = list(futures)
+    combined = Future(name=name)
+    results: List[Any] = [None] * len(futures)
+    remaining = len(futures)
+    if remaining == 0:
+        combined.set_result([])
+        return combined
+
+    def _on_done(index: int, fut: Future) -> None:
+        nonlocal remaining
+        if combined.done:
+            return
+        if fut.failed:
+            combined.set_exception(fut.exception())
+            return
+        results[index] = fut.result()
+        remaining -= 1
+        if remaining == 0:
+            combined.set_result(results)
+
+    for index, fut in enumerate(futures):
+        fut.add_done_callback(lambda f, i=index: _on_done(i, f))
+    return combined

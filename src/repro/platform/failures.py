@@ -1,0 +1,81 @@
+"""Fault injection for the fault-tolerance extension experiments.
+
+The paper (§7) identifies the HAgent's primary copy as "a vulnerability
+point" and names fault tolerance as ongoing work. The failover ablation
+(`benchmarks/bench_ablation_failover.py`) crashes the HAgent mid-run and
+measures recovery with the primary/backup extension enabled; this module
+provides the crash/recover primitives it (and the failure-injection
+tests) use.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.platform.events import Timeout
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Injects crashes, recoveries and partitions into a runtime."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Agent-level faults
+    # ------------------------------------------------------------------
+
+    def crash_agent(self, agent) -> None:
+        """Stop an agent's mailbox: requests to it silently hang.
+
+        Callers recover through RPC timeouts, like clients of a crashed
+        server.
+        """
+        agent.mailbox.stop()
+        self.log.append((self.runtime.sim.now, "crash-agent", str(agent.agent_id)))
+
+    def recover_agent(self, agent) -> None:
+        """Restart a crashed agent's mailbox."""
+        agent.mailbox.restart()
+        self.log.append((self.runtime.sim.now, "recover-agent", str(agent.agent_id)))
+
+    # ------------------------------------------------------------------
+    # Node-level faults
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node_name: str) -> None:
+        """Crash a node: it drops deliveries and refuses arriving agents."""
+        node = self.runtime.get_node(node_name)
+        node.crashed = True
+        self.runtime.network.partition(node_name)
+        self.log.append((self.runtime.sim.now, "crash-node", node_name))
+
+    def recover_node(self, node_name: str) -> None:
+        """Bring a crashed node back (its agents resume where they were)."""
+        node = self.runtime.get_node(node_name)
+        node.crashed = False
+        self.runtime.network.heal(node_name)
+        self.log.append((self.runtime.sim.now, "recover-node", node_name))
+
+    # ------------------------------------------------------------------
+    # Scheduled faults
+    # ------------------------------------------------------------------
+
+    def schedule_agent_crash(
+        self, agent, at: float, recover_after: float = None
+    ) -> None:
+        """Crash ``agent`` at simulated time ``at`` (optionally recover)."""
+
+        def script() -> Generator:
+            delay = at - self.runtime.sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            self.crash_agent(agent)
+            if recover_after is not None:
+                yield Timeout(recover_after)
+                self.recover_agent(agent)
+
+        self.runtime.sim.spawn(script(), name="fault-script")

@@ -1,0 +1,131 @@
+"""Serial mailboxes: the queueing model behind every agent.
+
+Real agent platforms (Aglets included) dispatch incoming messages to an
+agent one at a time. The mailbox reproduces that: jobs queue FIFO and a
+single service loop processes them, spending a sampled *service time* per
+job before (and while) running its handler. This serial service is the
+load model at the heart of the paper's evaluation -- a centralized
+location agent's mailbox saturates as update traffic grows, while split
+IAgents keep their queues short.
+
+The mailbox also keeps the running statistics (busy time, queue peaks,
+request timestamps) the rehashing policy and the metrics layer read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Tuple, Union
+
+from repro.platform.events import Future, Timeout
+
+__all__ = ["Mailbox"]
+
+ServiceTime = Union[float, Callable[[], float]]
+
+
+class Mailbox:
+    """A FIFO queue served by one worker process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that hosts the service loop.
+    service_time:
+        Seconds of processing per job: a constant or a nullary sampler.
+    name:
+        For diagnostics.
+    """
+
+    def __init__(self, sim, service_time: ServiceTime, name: str = "mailbox") -> None:
+        self._sim = sim
+        self._service_time = service_time
+        self.name = name
+        self._queue: Deque[Tuple[Callable[[], Any], Future]] = deque()
+        self._running = False
+        self._stopped = False
+        # Statistics.
+        self.jobs_processed = 0
+        self.busy_time = 0.0
+        self.peak_queue_length = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Halt service; queued and future jobs never complete.
+
+        Used by fault injection to crash an agent. Callers' RPC timeouts
+        are then their only way out, as with a real crashed server.
+        """
+        self._stopped = True
+        self._queue.clear()
+
+    def restart(self) -> None:
+        """Resume service after :meth:`stop` (agent recovery)."""
+        self._stopped = False
+
+    def set_service_time(self, service_time: ServiceTime) -> None:
+        """Re-tune the per-job service time (takes effect next job)."""
+        self._service_time = service_time
+
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Callable[[], Any], name: str = "job") -> Future:
+        """Enqueue ``job`` and return a future over its outcome.
+
+        ``job()`` may return a plain value or a generator, in which case
+        the generator runs as a sub-process of the service loop (serving
+        pauses until it finishes, preserving one-message-at-a-time
+        semantics).
+        """
+        future = Future(name=f"{self.name}:{name}")
+        if self._stopped:
+            return future  # never completes, like a message to a dead agent
+        self._queue.append((job, future))
+        if len(self._queue) > self.peak_queue_length:
+            self.peak_queue_length = len(self._queue)
+        if not self._running:
+            self._running = True
+            self._sim.spawn(self._serve(), name=f"{self.name}-serve")
+        return future
+
+    def _sample_service_time(self) -> float:
+        if callable(self._service_time):
+            return float(self._service_time())
+        return float(self._service_time)
+
+    def _serve(self) -> Generator:
+        while self._queue and not self._stopped:
+            job, future = self._queue.popleft()
+            service = self._sample_service_time()
+            if service > 0:
+                yield Timeout(service)
+            self.busy_time += service
+            if self._stopped:
+                break
+            try:
+                outcome = job()
+                if _is_generator(outcome):
+                    outcome = yield self._sim.spawn(
+                        outcome, name=f"{self.name}-handler"
+                    )
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                self.jobs_processed += 1
+                future.set_exception(exc)
+                continue
+            self.jobs_processed += 1
+            future.set_result(outcome)
+        self._running = False
+
+
+def _is_generator(value: Any) -> bool:
+    return hasattr(value, "send") and hasattr(value, "throw")

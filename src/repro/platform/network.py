@@ -1,0 +1,161 @@
+"""The network model: per-link latency, jitter, bandwidth and loss.
+
+The paper's testbed was a LAN of Sun Blade workstations, so the default
+link model is LAN-like: sub-millisecond one-way latency with mild jitter
+and no loss. Links can be overridden per node pair (to model a WAN
+segment) and a whole node can be partitioned off (fault injection).
+
+Delivery within a node still costs a small ``local_delay`` -- the
+loopback dispatch in a real agent platform is cheap but not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+__all__ = ["LinkModel", "Network"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Timing and reliability parameters of one directed link class.
+
+    Attributes
+    ----------
+    latency:
+        Base one-way propagation delay in seconds.
+    jitter:
+        Uniform jitter amplitude; each transmission adds
+        ``uniform(0, jitter)`` seconds.
+    bandwidth:
+        Bytes per second; the transmission adds ``size / bandwidth``.
+    loss:
+        Probability the message silently disappears. Protocols recover
+        through timeouts; the default experiments use 0.
+    """
+
+    latency: float = 0.0005
+    jitter: float = 0.0003
+    bandwidth: float = 12_500_000.0  # 100 Mbit/s, the paper-era LAN
+    loss: float = 0.0
+
+    def sample_delay(self, size: int, rng: Random) -> float:
+        """Sample the one-way delay for a message of ``size`` bytes."""
+        delay = self.latency + size / self.bandwidth
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter)
+        return delay
+
+    def sample_lost(self, rng: Random) -> bool:
+        """Sample whether this transmission is dropped."""
+        return self.loss > 0 and rng.random() < self.loss
+
+
+#: Default local (same-node) delivery delay in seconds.
+LOCAL_DELAY = 0.00005
+
+
+class Network:
+    """Connects nodes and delivers payloads with modelled delays.
+
+    The network knows nothing about agents; it transports opaque payloads
+    between *node names* and invokes a delivery callback registered by
+    each node. Loss manifests as the callback never firing -- recovery is
+    the business of the RPC layer's timeouts.
+    """
+
+    def __init__(
+        self,
+        sim,
+        rng: Random,
+        default_link: Optional[LinkModel] = None,
+        local_delay: float = LOCAL_DELAY,
+    ) -> None:
+        self._sim = sim
+        self._rng = rng
+        self.default_link = default_link or LinkModel()
+        self.local_delay = local_delay
+        self._links: Dict[FrozenSet[str], LinkModel] = {}
+        self._receivers: Dict[str, Callable] = {}
+        self._partitioned: Set[str] = set()
+        #: Counters for the overhead benchmarks.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def register_node(self, name: str, receiver: Callable) -> None:
+        """Attach a node; ``receiver(payload)`` is its delivery entry."""
+        if name in self._receivers:
+            raise ValueError(f"node {name!r} already registered")
+        self._receivers[name] = receiver
+
+    def set_link(self, a: str, b: str, model: LinkModel) -> None:
+        """Override the link model between nodes ``a`` and ``b``."""
+        self._links[frozenset((a, b))] = model
+
+    def link_between(self, a: str, b: str) -> LinkModel:
+        """The link model used between ``a`` and ``b``."""
+        return self._links.get(frozenset((a, b)), self.default_link)
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._receivers)
+
+    # ------------------------------------------------------------------
+    # Partitions (fault injection)
+    # ------------------------------------------------------------------
+
+    def partition(self, name: str) -> None:
+        """Cut node ``name`` off: all traffic to/from it is dropped."""
+        self._partitioned.add(name)
+
+    def heal(self, name: str) -> None:
+        """Reconnect a previously partitioned node."""
+        self._partitioned.discard(name)
+
+    def is_partitioned(self, name: str) -> bool:
+        return name in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload, size: int = 256) -> None:
+        """Deliver ``payload`` to node ``dst`` after the modelled delay.
+
+        Fire-and-forget: loss and partitions silently drop the payload.
+        """
+        if dst not in self._receivers:
+            raise KeyError(f"unknown destination node {dst!r}")
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if src in self._partitioned or dst in self._partitioned:
+            return
+        if src == dst:
+            delay = self.local_delay
+        else:
+            link = self.link_between(src, dst)
+            if link.sample_lost(self._rng):
+                return
+            delay = link.sample_delay(size, self._rng)
+        self._sim.schedule(delay, self._deliver, dst, payload)
+
+    def transfer_delay(self, src: str, dst: str, size: int) -> float:
+        """Sample the delay of moving ``size`` bytes (agent migration)."""
+        if src == dst:
+            return self.local_delay
+        return self.link_between(src, dst).sample_delay(size, self._rng)
+
+    def _deliver(self, dst: str, payload) -> None:
+        # Re-check the partition at delivery time: a message in flight
+        # when the partition struck is lost as well.
+        if dst in self._partitioned:
+            return
+        receiver = self._receivers.get(dst)
+        if receiver is not None:
+            receiver(payload)

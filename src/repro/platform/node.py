@@ -1,0 +1,74 @@
+"""Nodes: the execution contexts that host agents.
+
+A node is the simulation's stand-in for an Aglets server ("context"): it
+owns the set of agents currently executing on it and is the network
+endpoint that receives envelopes addressed to those agents. Per-message
+processing cost lives in each agent's mailbox, not the node, so a node
+with many idle agents is not itself a bottleneck -- matching the
+threaded-server behaviour of the real platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.platform.naming import AgentId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.agents import Agent
+
+__all__ = ["Node", "Envelope"]
+
+
+@dataclass
+class Envelope:
+    """What actually travels on the wire between nodes."""
+
+    kind: str  # "request" | "response"
+    target_agent: Optional[AgentId]
+    payload: Any
+    reply_node: Optional[str] = None
+
+
+class Node:
+    """A network node hosting agents.
+
+    Created through :meth:`repro.platform.runtime.AgentRuntime.create_node`,
+    which wires the node into the network.
+    """
+
+    def __init__(self, name: str, runtime) -> None:
+        self.name = name
+        self.runtime = runtime
+        self.agents: Dict[AgentId, "Agent"] = {}
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+
+    def add_agent(self, agent: "Agent") -> None:
+        if agent.agent_id in self.agents:
+            raise ValueError(f"agent {agent.agent_id} already on node {self.name}")
+        self.agents[agent.agent_id] = agent
+        agent.node = self
+
+    def remove_agent(self, agent: "Agent") -> None:
+        removed = self.agents.pop(agent.agent_id, None)
+        if removed is not agent:
+            raise ValueError(
+                f"agent {agent.agent_id} is not resident on node {self.name}"
+            )
+
+    def find_agent(self, agent_id: AgentId) -> Optional["Agent"]:
+        return self.agents.get(agent_id)
+
+    # ------------------------------------------------------------------
+
+    def receive(self, envelope: Envelope) -> None:
+        """Network delivery entry point; dispatches to the runtime."""
+        if self.crashed:
+            return
+        self.runtime.deliver(self, envelope)
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, agents={len(self.agents)})"

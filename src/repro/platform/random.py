@@ -1,0 +1,58 @@
+"""Named, seeded random streams.
+
+Every stochastic component of the platform (network jitter, mobility,
+query arrivals, id generation, ...) draws from its own named
+``random.Random`` stream derived deterministically from the experiment
+seed. Adding a new consumer therefore never perturbs the draws seen by
+existing components, which keeps experiment results comparable across
+code changes -- a standard discipline in simulation studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams"]
+
+# A fixed large odd constant used to mix the stream name into the seed.
+_MIX = 0x9E3779B97F4A7C15
+
+
+def _mix_name(seed: int, name: str) -> int:
+    """Derive a child seed from ``seed`` and ``name``, platform-stable."""
+    value = seed & 0xFFFFFFFFFFFFFFFF
+    for char in name:
+        value = (value ^ ord(char)) * _MIX & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 29
+    return value
+
+
+class RandomStreams:
+    """A factory of independent, reproducible ``random.Random`` streams.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> net = streams.get("network")
+    >>> net2 = streams.get("network")
+    >>> net is net2
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(_mix_name(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Return a child ``RandomStreams`` namespaced under ``name``."""
+        return RandomStreams(_mix_name(self.seed, "fork:" + name))
+
+    def __repr__(self) -> str:
+        return f"RandomStreams(seed={self.seed}, streams={sorted(self._streams)})"

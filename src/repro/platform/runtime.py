@@ -1,0 +1,284 @@
+"""The agent runtime: nodes, delivery, RPC and agent creation.
+
+One ``AgentRuntime`` is one simulated deployment: a simulator, a network,
+a set of nodes, the agents on them and (optionally) a location mechanism
+the tracked agents register with. The harness builds a runtime per
+experiment run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Type
+
+from repro.platform.events import Future
+from repro.platform.messages import (
+    AgentNotFound,
+    Request,
+    Response,
+    RpcError,
+    RpcTimeout,
+)
+from repro.platform.naming import AgentId, AgentNamer
+from repro.platform.network import Network
+from repro.platform.node import Envelope, Node
+from repro.platform.random import RandomStreams
+from repro.platform.simulator import Simulator
+
+__all__ = ["AgentRuntime"]
+
+#: Error code used on the wire when the target agent is absent.
+_ERR_AGENT_NOT_FOUND = "agent-not-found"
+
+#: Default RPC timeout. Generous relative to LAN latencies; protocols
+#: that expect failures pass something tighter.
+DEFAULT_RPC_TIMEOUT = 5.0
+
+
+class AgentRuntime:
+    """Builds and operates one simulated mobile-agent deployment."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        streams: Optional[RandomStreams] = None,
+        network: Optional[Network] = None,
+        namer: Optional[AgentNamer] = None,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.streams = streams or RandomStreams(seed=0)
+        self.network = network or Network(self.sim, self.streams.get("network"))
+        self.namer = namer or AgentNamer(seed=self.streams.seed)
+        self.nodes: Dict[str, Node] = {}
+        self.agents: Dict[AgentId, Any] = {}
+        #: The installed location mechanism (None until installed).
+        self.location = None
+        self._pending: Dict[int, Future] = {}
+        #: RPC accounting for the overhead benchmarks.
+        self.rpcs_sent = 0
+        self.rpc_timeouts = 0
+        #: Registration failures tolerated during agent startup (fault
+        #: injection); the agent recovers on its first move report.
+        self.lifecycle_errors: List[tuple] = []
+        #: Optional structured tracer (see repro.metrics.trace).
+        self.tracer = None
+        #: Seconds each tracked agent spent reporting a move (the
+        #: synchronous update's cost; collected by the harness).
+        self.update_latencies: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Topology and agents
+    # ------------------------------------------------------------------
+
+    def create_node(self, name: str) -> Node:
+        """Create and register a node named ``name``."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(name, self)
+        self.nodes[name] = node
+        self.network.register_node(name, node.receive)
+        return node
+
+    def create_nodes(self, count: int, prefix: str = "node") -> List[Node]:
+        """Create ``count`` nodes named ``{prefix}-0 .. {prefix}-{n}``."""
+        return [self.create_node(f"{prefix}-{i}") for i in range(count)]
+
+    def get_node(self, name: str) -> Node:
+        node = self.nodes.get(name)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        return node
+
+    def node_names(self) -> List[str]:
+        return list(self.nodes)
+
+    def create_agent(
+        self,
+        cls: Type,
+        node: str,
+        tracked: Optional[bool] = None,
+        agent_id: Optional[AgentId] = None,
+        start: bool = True,
+        **kwargs: Any,
+    ) -> Any:
+        """Instantiate ``cls`` on ``node`` and start its lifecycle.
+
+        The lifecycle process first registers the agent with the location
+        mechanism (if tracked), then runs the agent's ``main``. Pass
+        ``start=False`` to wire the agent up manually (used by tests).
+        """
+        if agent_id is None:
+            agent_id = self.namer.next_id()
+        if tracked is None:
+            agent = cls(agent_id, self, **kwargs)
+        else:
+            agent = cls(agent_id, self, tracked=tracked, **kwargs)
+        self.get_node(node).add_agent(agent)
+        self.agents[agent_id] = agent
+        if start:
+            self.sim.spawn(self._agent_lifecycle(agent), name=f"life-{agent_id.short()}")
+        return agent
+
+    def _agent_lifecycle(self, agent: Any) -> Generator:
+        if agent.tracked and self.location is not None:
+            try:
+                yield from self.location.register(agent)
+            except Exception as exc:  # noqa: BLE001 - must not kill the agent
+                # A directory outage at creation time must not kill the
+                # agent: the first move report re-creates its record.
+                self.lifecycle_errors.append(
+                    (self.sim.now, agent.agent_id, repr(exc))
+                )
+        body = agent.main()
+        if body is not None:
+            yield from body
+
+    def retract(self, requester_node: str, agent_id: AgentId) -> Generator:
+        """Pull a mobile agent to ``requester_node`` (Aglets' ``retract``).
+
+        Locates the agent through the installed mechanism, then sends it
+        a ``retract`` request; the platform-level handler dispatches the
+        agent here. Returns the agent's id on success; raises
+        :class:`AgentNotFound` if it escaped between locate and contact,
+        or whatever the locate raised.
+        """
+        if self.location is None:
+            raise RuntimeError("retract requires a location mechanism")
+        node = yield from self.location.locate(requester_node, agent_id)
+        yield self.rpc(
+            requester_node,
+            node,
+            agent_id,
+            "retract",
+            {"to": requester_node},
+            timeout=DEFAULT_RPC_TIMEOUT,
+        )
+        return agent_id
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        """Record a structured trace event (no-op without a tracer)."""
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, kind, **fields)
+
+    def install_location_mechanism(self, mechanism: Any) -> None:
+        """Install ``mechanism`` and let it deploy its infrastructure."""
+        if self.location is not None:
+            raise RuntimeError("a location mechanism is already installed")
+        self.location = mechanism
+        mechanism.install(self)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def rpc(
+        self,
+        src_node: str,
+        dst_node: str,
+        dst_agent: AgentId,
+        op: str,
+        body: Any = None,
+        timeout: Optional[float] = DEFAULT_RPC_TIMEOUT,
+        size: int = 256,
+        sender_agent: Optional[AgentId] = None,
+    ) -> Future:
+        """Request/response between agents; returns a yieldable future.
+
+        The future resolves with the remote handler's return value, or
+        fails with :class:`AgentNotFound`, :class:`RpcTimeout` or
+        :class:`RpcError` (remote handler exception).
+        """
+        request = Request(
+            op=op,
+            body=body,
+            sender_node=src_node,
+            sender_agent=sender_agent,
+            size=size,
+        )
+        future = Future(name=f"rpc-{op}-{request.message_id}")
+        self._pending[request.message_id] = future
+        self.rpcs_sent += 1
+        self.trace(
+            "rpc-sent", op=op, src=src_node, dst=dst_node,
+            message_id=request.message_id,
+        )
+
+        if timeout is not None:
+            timer = self.sim.schedule(
+                timeout, self._expire_rpc, request.message_id, op, dst_node
+            )
+            future.add_done_callback(lambda _f: timer.cancel())
+
+        envelope = Envelope(
+            kind="request",
+            target_agent=dst_agent,
+            payload=request,
+            reply_node=src_node,
+        )
+        self.network.send(src_node, dst_node, envelope, size=size)
+        return future
+
+    def _expire_rpc(self, message_id: int, op: str, dst_node: str) -> None:
+        future = self._pending.pop(message_id, None)
+        if future is not None and not future.done:
+            self.rpc_timeouts += 1
+            self.trace("rpc-timeout", op=op, dst=dst_node, message_id=message_id)
+            future.set_exception(
+                RpcTimeout(f"rpc {op!r} to node {dst_node!r} timed out")
+            )
+
+    def deliver(self, node: Node, envelope: Envelope) -> None:
+        """Dispatch a delivered envelope on ``node``."""
+        if envelope.kind == "response":
+            self._complete_rpc(envelope.payload)
+            return
+        request: Request = envelope.payload
+        agent = node.find_agent(envelope.target_agent)
+        if agent is None or not agent.alive:
+            # Cleanly absent (moved away or dead): the platform answers
+            # with an error, as a real server's messenger would.
+            self.trace(
+                "agent-not-found", op=request.op, node=node.name,
+                target=str(envelope.target_agent),
+            )
+            self._respond(
+                node.name,
+                envelope.reply_node,
+                Response(request.message_id, error=_ERR_AGENT_NOT_FOUND),
+            )
+            return
+        # A *crashed* agent (stopped mailbox) accepts the request and
+        # never answers -- callers recover through their RPC timeout.
+        job_future = agent.mailbox.submit(
+            lambda: agent.handle(request), name=request.op
+        )
+        job_future.add_done_callback(
+            lambda fut: self._on_handled(node.name, envelope.reply_node, request, fut)
+        )
+
+    def _on_handled(
+        self, node_name: str, reply_node: Optional[str], request: Request, fut: Future
+    ) -> None:
+        if fut.failed:
+            response = Response(request.message_id, error=repr(fut.exception()))
+        else:
+            response = Response(request.message_id, value=fut.result())
+        self._respond(node_name, reply_node, response)
+
+    def _respond(
+        self, from_node: str, reply_node: Optional[str], response: Response
+    ) -> None:
+        if reply_node is None:
+            return
+        envelope = Envelope(kind="response", target_agent=None, payload=response)
+        self.network.send(from_node, reply_node, envelope, size=response.size)
+
+    def _complete_rpc(self, response: Response) -> None:
+        future = self._pending.pop(response.message_id, None)
+        if future is None or future.done:
+            return  # late response after timeout: drop it
+        if response.ok:
+            future.set_result(response.value)
+        elif response.error == _ERR_AGENT_NOT_FOUND:
+            future.set_exception(AgentNotFound(response.error))
+        else:
+            future.set_exception(RpcError(response.error))

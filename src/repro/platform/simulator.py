@@ -1,0 +1,205 @@
+"""The discrete-event loop: virtual clock, scheduling and processes.
+
+The simulator keeps a priority queue of ``(time, sequence, callback)``
+entries. Entries scheduled for the same instant run in scheduling order,
+which together with seeded randomness makes whole experiments
+deterministic: the same seed always produces the same event trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.platform.events import Future, Process, Timeout
+
+__all__ = ["Simulator", "ScheduledCall", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself misbehaves (e.g. event overrun)."""
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback, usable to cancel it."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: Tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with generator processes.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            return "done"
+
+        result = sim.run_process(worker())
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve: :meth:`run` raises :class:`SimulationError` after
+        this many events, catching accidental infinite event loops.
+    """
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, ScheduledCall]] = []
+        self._events_processed = 0
+        self._max_events = max_events
+        #: Processes that failed with no waiter; run() raises for these.
+        self.failed_processes: List[Process] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        call = ScheduledCall(self._now + delay, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, (call.time, self._sequence, call))
+        return call
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a process for ``generator``; it begins at the current time.
+
+        The returned :class:`Process` is a future over the generator's
+        return value. A process whose exception nobody observes is
+        recorded in :attr:`failed_processes` and aborts :meth:`run` --
+        silent failures would otherwise corrupt measurements.
+        """
+        process = Process(generator, self, name=name)
+        self.schedule(0.0, self._step, process, None, None)
+        return process
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced exactly to it even
+        if the last event happens earlier, so back-to-back ``run`` calls
+        observe a monotone clock.
+        """
+        while self._queue:
+            time, _, call = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._max_events}; "
+                    "likely an unbounded event loop"
+                )
+            call.callback(*call.args)
+            if self.failed_processes:
+                failed = self.failed_processes[0]
+                raise SimulationError(
+                    f"process {failed.name!r} failed with no waiter"
+                ) from failed.exception()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn ``generator``, run until it finishes, return its result.
+
+        A failure re-raises here (via ``result()``), so the process
+        counts as observed and is not escalated by :meth:`run`.
+        """
+        process = self.spawn(generator, name=name)
+        process.add_done_callback(lambda _fut: None)
+        while not process.done:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} is waiting "
+                    "but no events remain"
+                )
+            self.run(until=self._queue[0][0])
+        return process.result()
+
+    # ------------------------------------------------------------------
+    # Process stepping
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        process: Process,
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        """Advance ``process`` by one yield, wiring up its next wakeup."""
+        if process.done:
+            return  # interrupted while suspended
+        try:
+            if exception is not None:
+                yielded = process.generator.throw(exception)
+            else:
+                yielded = process.generator.send(value)
+        except StopIteration as stop:
+            process.set_result(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture all
+            had_waiters = bool(process._callbacks)
+            process.set_exception(exc)
+            if not had_waiters and not _observed(process):
+                self.failed_processes.append(process)
+            return
+
+        if isinstance(yielded, Timeout):
+            self.schedule(yielded.delay, self._step, process, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_done_callback(
+                lambda fut: self._resume_from_future(process, fut)
+            )
+        else:
+            error = TypeError(
+                f"process {process.name!r} yielded {yielded!r}; "
+                "only Timeout, Future or Process may be yielded"
+            )
+            self.schedule(0.0, self._step, process, None, error)
+
+    def _resume_from_future(self, process: Process, fut: Future) -> None:
+        if fut.failed:
+            self.schedule(0.0, self._step, process, None, fut.exception())
+        else:
+            self.schedule(0.0, self._step, process, fut.result(), None)
+
+
+def _observed(process: Process) -> bool:
+    """Whether a failed process's exception was already delivered."""
+    # Interrupted processes are deliberate kills; never escalate them.
+    return process.interrupted

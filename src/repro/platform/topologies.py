@@ -1,0 +1,111 @@
+"""Topology builders: canned network shapes for experiments.
+
+The paper's testbed was a single LAN; the extension experiments need
+richer shapes (the placement ablation's two-site WAN, the monitoring
+example's campus+branch). These helpers configure a runtime's network
+in one call and return the node groups they created, so scenarios
+declare a *shape* instead of hand-wiring link models.
+
+All builders must be called after ``runtime.create_nodes`` (they only
+set link models; they never create nodes) except :func:`build_sites`,
+which does both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.platform.network import LinkModel
+
+__all__ = ["LAN_LINK", "WAN_LINK", "lan", "two_site", "star", "build_sites"]
+
+#: Paper-era switched LAN: sub-millisecond, mild jitter.
+LAN_LINK = LinkModel(latency=0.0005, jitter=0.0003)
+
+#: A metro/long-haul segment.
+WAN_LINK = LinkModel(latency=0.025, jitter=0.003)
+
+
+def lan(runtime, link: LinkModel = LAN_LINK) -> None:
+    """Uniform LAN between every node pair (the paper's testbed)."""
+    runtime.network.default_link = link
+
+
+def two_site(
+    runtime,
+    remote_nodes: Sequence[str],
+    wan: LinkModel = WAN_LINK,
+    local: LinkModel = LAN_LINK,
+) -> None:
+    """Split the existing nodes into two LAN sites joined by a WAN.
+
+    ``remote_nodes`` lists the members of the second site; every link
+    crossing the split gets the ``wan`` model.
+    """
+    remote = set(remote_nodes)
+    names = runtime.node_names()
+    unknown = remote - set(names)
+    if unknown:
+        raise ValueError(f"unknown nodes in remote site: {sorted(unknown)}")
+    runtime.network.default_link = local
+    for a in names:
+        for b in names:
+            if a < b and (a in remote) != (b in remote):
+                runtime.network.set_link(a, b, wan)
+
+
+def star(
+    runtime,
+    hub: str,
+    spoke_link: LinkModel = WAN_LINK,
+    hub_link: LinkModel = LAN_LINK,
+) -> None:
+    """A hub-and-spoke shape: spokes reach each other through distance.
+
+    Traffic between two spokes is modelled as one long link (we do not
+    simulate per-hop store-and-forward; the latency budget is what
+    matters to the protocols).
+    """
+    names = runtime.node_names()
+    if hub not in names:
+        raise ValueError(f"unknown hub node {hub!r}")
+    # Spoke <-> spoke pairs are "two spoke hops" long.
+    double = LinkModel(
+        latency=spoke_link.latency * 2,
+        jitter=spoke_link.jitter * 2,
+        bandwidth=spoke_link.bandwidth,
+        loss=spoke_link.loss,
+    )
+    runtime.network.default_link = double
+    for name in names:
+        if name != hub:
+            runtime.network.set_link(hub, name, spoke_link)
+
+
+def build_sites(
+    runtime,
+    sites: Dict[str, int],
+    wan: LinkModel = WAN_LINK,
+    local: LinkModel = LAN_LINK,
+) -> Dict[str, List[str]]:
+    """Create nodes for named sites and wire LAN-inside / WAN-between.
+
+    >>> groups = build_sites(runtime, {"hq": 4, "edge": 2})
+    >>> groups["edge"]
+    ['edge-0', 'edge-1']
+    """
+    if not sites:
+        raise ValueError("at least one site is required")
+    groups: Dict[str, List[str]] = {}
+    for site, count in sites.items():
+        groups[site] = [node.name for node in runtime.create_nodes(count, site)]
+    runtime.network.default_link = local
+    site_of = {
+        name: site for site, members in groups.items() for name in members
+    }
+    names = list(site_of)
+    for a in names:
+        for b in names:
+            if a < b and site_of[a] != site_of[b]:
+                runtime.network.set_link(a, b, wan)
+    return groups

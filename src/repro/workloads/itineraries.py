@@ -1,0 +1,137 @@
+"""Classic mobile-agent itinerary patterns (Lange & Oshima, 1998).
+
+The paper's reference [7] -- *Programming and Deploying Java Mobile
+Agents with Aglets* -- catalogues the travel patterns real mobile-agent
+applications use. This module implements the three canonical ones as
+drivers for :class:`~repro.platform.agents.MobileAgent` subclasses, so
+examples and tests can express "visit these shops in order, doing X at
+each" instead of hand-rolled loops:
+
+* :class:`SequentialItinerary` -- visit a fixed list of nodes in order,
+  performing a task at each; skip unreachable nodes and continue (the
+  Aglets book's "sequential itinerary with failure handling");
+* :class:`RoundTripItinerary` -- a sequential itinerary that finishes
+  back where it started (gather-and-return);
+* :class:`StarItinerary` -- return to the home node between every
+  remote visit (report-as-you-go).
+
+Each drives the agent from its ``main`` and invokes a per-stop task
+callback; the itinerary records which stops were completed or skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.platform.events import Timeout
+
+__all__ = ["SequentialItinerary", "RoundTripItinerary", "StarItinerary"]
+
+#: The per-stop task: ``task(agent, node)`` run after arriving; may be a
+#: plain function or a generator (awaited in simulated time).
+StopTask = Callable
+
+
+class SequentialItinerary:
+    """Visit ``stops`` in order, running ``task`` at each.
+
+    Unreachable stops (crashed node at dispatch time) are recorded in
+    :attr:`skipped` and the journey continues -- matching the failure
+    handling the Aglets patterns prescribe.
+    """
+
+    def __init__(
+        self,
+        stops: Sequence[str],
+        task: Optional[StopTask] = None,
+        pause: float = 0.0,
+    ) -> None:
+        if not stops:
+            raise ValueError("an itinerary needs at least one stop")
+        if pause < 0:
+            raise ValueError("pause must be >= 0")
+        self.stops: List[str] = list(stops)
+        self.task = task
+        self.pause = pause
+        self.completed: List[str] = []
+        self.skipped: List[str] = []
+
+    def run(self, agent) -> Generator:
+        """Drive ``agent`` along the itinerary (yield from agent.main)."""
+        for stop in self.stops:
+            if not agent.alive:
+                return
+            if stop != agent.node_name:
+                yield from agent.dispatch(stop)
+                if agent.node is None or agent.node_name != stop:
+                    self.skipped.append(stop)
+                    continue
+            yield from self._run_task(agent, stop)
+            self.completed.append(stop)
+            if self.pause > 0:
+                yield Timeout(self.pause)
+
+    def _run_task(self, agent, stop: str) -> Generator:
+        if self.task is None:
+            return
+        outcome = self.task(agent, stop)
+        if outcome is not None and hasattr(outcome, "send"):
+            yield from outcome
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completed) + len(self.skipped) == len(self.stops)
+
+
+class RoundTripItinerary(SequentialItinerary):
+    """A sequential itinerary that returns to the departure node."""
+
+    def run(self, agent) -> Generator:
+        home = agent.node_name
+        yield from super().run(agent)
+        if agent.alive and agent.node is not None and agent.node_name != home:
+            yield from agent.dispatch(home)
+
+
+class StarItinerary(SequentialItinerary):
+    """Return to the home node between remote stops (report-as-you-go).
+
+    The ``report`` callback (same convention as ``task``) runs at home
+    after each remote visit.
+    """
+
+    def __init__(
+        self,
+        stops: Sequence[str],
+        task: Optional[StopTask] = None,
+        report: Optional[StopTask] = None,
+        pause: float = 0.0,
+    ) -> None:
+        super().__init__(stops, task=task, pause=pause)
+        self.report = report
+        self.reports_made = 0
+
+    def run(self, agent) -> Generator:
+        home = agent.node_name
+        for stop in self.stops:
+            if not agent.alive:
+                return
+            if stop != home:
+                yield from agent.dispatch(stop)
+                if agent.node is None or agent.node_name != stop:
+                    self.skipped.append(stop)
+                    continue
+            yield from self._run_task(agent, stop)
+            self.completed.append(stop)
+            # Fly home and report.
+            if agent.node_name != home:
+                yield from agent.dispatch(home)
+                if agent.node is None or agent.node_name != home:
+                    return  # home is gone: the pattern cannot continue
+            if self.report is not None:
+                outcome = self.report(agent, stop)
+                if outcome is not None and hasattr(outcome, "send"):
+                    yield from outcome
+                self.reports_made += 1
+            if self.pause > 0:
+                yield Timeout(self.pause)

@@ -1,0 +1,133 @@
+"""Mobility models: how long agents stay and where they go next.
+
+The paper's experiments use a constant residence time ("Each TAgent
+stays at each node for 0.5 sec") and, implicitly, uniform node choice on
+a LAN. Both pieces are pluggable here; the exponential and locality
+variants support the robustness and placement experiments.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ResidenceModel",
+    "ConstantResidence",
+    "ExponentialResidence",
+    "UniformResidence",
+    "Itinerary",
+    "UniformItinerary",
+    "LocalityItinerary",
+]
+
+
+class ResidenceModel:
+    """Samples how long an agent stays on a node before moving."""
+
+    def sample(self, rng: Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """The model's mean residence time (for reporting and rates)."""
+        raise NotImplementedError
+
+
+class ConstantResidence(ResidenceModel):
+    """A fixed residence time -- the paper's setting."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"residence must be positive, got {seconds}")
+        self.seconds = seconds
+
+    def sample(self, rng: Random) -> float:
+        return self.seconds
+
+    def mean(self) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantResidence({self.seconds})"
+
+
+class ExponentialResidence(ResidenceModel):
+    """Memoryless residence with the given mean (Poisson movement)."""
+
+    def __init__(self, mean_seconds: float) -> None:
+        if mean_seconds <= 0:
+            raise ValueError(f"mean must be positive, got {mean_seconds}")
+        self.mean_seconds = mean_seconds
+
+    def sample(self, rng: Random) -> float:
+        return rng.expovariate(1.0 / self.mean_seconds)
+
+    def mean(self) -> float:
+        return self.mean_seconds
+
+    def __repr__(self) -> str:
+        return f"ExponentialResidence({self.mean_seconds})"
+
+
+class UniformResidence(ResidenceModel):
+    """Residence uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformResidence({self.low}, {self.high})"
+
+
+class Itinerary:
+    """Chooses the next node for a roaming agent."""
+
+    def next_node(self, current: str, nodes: Sequence[str], rng: Random) -> str:
+        raise NotImplementedError
+
+
+class UniformItinerary(Itinerary):
+    """Move to a uniformly random *other* node."""
+
+    def next_node(self, current: str, nodes: Sequence[str], rng: Random) -> str:
+        if len(nodes) < 2:
+            return current
+        choice = rng.choice(nodes)
+        while choice == current:
+            choice = rng.choice(nodes)
+        return choice
+
+
+class LocalityItinerary(Itinerary):
+    """Mostly roam inside a cluster of nodes; occasionally leave it.
+
+    With probability ``stickiness`` the next node is drawn from
+    ``cluster``; otherwise from all nodes. Used by the placement
+    ablation (ABL-P), where IAgents should migrate toward the cluster.
+    """
+
+    def __init__(self, cluster: Sequence[str], stickiness: float = 0.9) -> None:
+        if not cluster:
+            raise ValueError("cluster must not be empty")
+        if not 0.0 <= stickiness <= 1.0:
+            raise ValueError(f"stickiness must be in [0, 1], got {stickiness}")
+        self.cluster: List[str] = list(cluster)
+        self.stickiness = stickiness
+
+    def next_node(self, current: str, nodes: Sequence[str], rng: Random) -> str:
+        pool: Sequence[str] = (
+            self.cluster if rng.random() < self.stickiness else nodes
+        )
+        candidates = [node for node in pool if node != current]
+        if not candidates:
+            candidates = [node for node in nodes if node != current] or [current]
+        return rng.choice(candidates)

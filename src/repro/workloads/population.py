@@ -1,0 +1,153 @@
+"""TAgents -- the roaming target-agent population of the experiments.
+
+A TAgent is the paper's measured subject: a mobile agent that stays at a
+node for its residence time, dispatches itself to the next node of its
+itinerary, and (through the platform's tracked-agent hooks) reports each
+move to the installed location mechanism before its residence clock
+restarts -- the synchronous update of §2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.errors import CoreError
+from repro.platform.agents import MobileAgent
+from repro.platform.events import Timeout
+from repro.platform.messages import RpcError
+from repro.platform.naming import AgentId
+from repro.workloads.mobility import Itinerary, ResidenceModel, UniformItinerary
+
+__all__ = ["TAgent", "spawn_population", "PopulationChurn"]
+
+
+class TAgent(MobileAgent):
+    """A roaming agent driven by a residence model and an itinerary."""
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        runtime,
+        residence: ResidenceModel,
+        itinerary: Optional[Itinerary] = None,
+        max_moves: Optional[int] = None,
+        initial_delay: float = 0.0,
+    ) -> None:
+        super().__init__(agent_id, runtime, tracked=True)
+        self.residence = residence
+        self.itinerary = itinerary or UniformItinerary()
+        self.max_moves = max_moves
+        self.initial_delay = initial_delay
+        self._rng = runtime.streams.get(f"tagent-{agent_id.short()}")
+
+    def clone_args(self) -> dict:
+        return {
+            "residence": self.residence,
+            "itinerary": self.itinerary,
+            "max_moves": self.max_moves,
+        }
+
+    def main(self) -> Generator:
+        nodes = self.runtime.node_names()
+        if self.initial_delay > 0:
+            yield Timeout(self.initial_delay)
+        while self.alive and not self.retracted:
+            yield Timeout(self.residence.sample(self._rng))
+            if not self.alive or self.retracted:
+                break
+            if self.max_moves is not None and self.moves_completed >= self.max_moves:
+                break
+            destination = self.itinerary.next_node(self.node_name, nodes, self._rng)
+            try:
+                yield from self.dispatch(destination)
+            except (RpcError, CoreError):
+                # A failed move report (e.g. a crashed directory during
+                # fault injection) should not kill the itinerary; the
+                # next move retries against a refreshed mapping.
+                continue
+
+
+def spawn_population(
+    runtime,
+    count: int,
+    residence: ResidenceModel,
+    itinerary: Optional[Itinerary] = None,
+    nodes: Optional[Sequence[str]] = None,
+    stagger: float = 0.01,
+) -> List[TAgent]:
+    """Create ``count`` TAgents spread round-robin over ``nodes``.
+
+    ``stagger`` delays agent ``i``'s first move by ``i * stagger``
+    seconds so the itineraries do not march in lockstep -- matching how
+    a testbed run starts agents one by one.
+    """
+    names = list(nodes) if nodes is not None else runtime.node_names()
+    if not names:
+        raise ValueError("spawn_population needs at least one node")
+    agents = []
+    for index in range(count):
+        agent = runtime.create_agent(
+            TAgent,
+            names[index % len(names)],
+            residence=residence,
+            itinerary=itinerary,
+            initial_delay=index * stagger,
+        )
+        agents.append(agent)
+    return agents
+
+
+class PopulationChurn:
+    """Creates and retires TAgents over time (open-system dynamics).
+
+    The paper motivates rehashing with "highly-dynamic open systems in
+    which the number of agents varies considerably over time". This
+    driver grows the population at ``arrival_rate`` agents/second up to
+    ``peak``, then retires agents at ``departure_rate`` -- the adaptive-
+    load example and the rehash-dynamics tests build on it.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        residence: ResidenceModel,
+        arrival_rate: float,
+        departure_rate: float,
+        peak: int,
+        itinerary: Optional[Itinerary] = None,
+    ) -> None:
+        if arrival_rate <= 0 or departure_rate <= 0:
+            raise ValueError("arrival and departure rates must be positive")
+        self.runtime = runtime
+        self.residence = residence
+        self.itinerary = itinerary
+        self.arrival_rate = arrival_rate
+        self.departure_rate = departure_rate
+        self.peak = peak
+        self.population: List[TAgent] = []
+        #: Largest population observed (the growth phase's high-water mark).
+        self.peak_reached = 0
+        self.finished = False
+        self._rng = runtime.streams.get("churn")
+
+    def start(self) -> None:
+        self.runtime.sim.spawn(self._run(), name="population-churn")
+
+    def _run(self) -> Generator:
+        nodes = self.runtime.node_names()
+        # Growth phase.
+        while len(self.population) < self.peak:
+            yield Timeout(self._rng.expovariate(self.arrival_rate))
+            node = self._rng.choice(nodes)
+            agent = self.runtime.create_agent(
+                TAgent, node, residence=self.residence, itinerary=self.itinerary
+            )
+            self.population.append(agent)
+            self.peak_reached = max(self.peak_reached, len(self.population))
+        # Decline phase.
+        while self.population:
+            yield Timeout(self._rng.expovariate(self.departure_rate))
+            agent = self.population.pop()
+            if agent.alive and agent.node is not None:
+                yield from agent.die()
+        self.finished = True

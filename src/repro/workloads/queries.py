@@ -1,0 +1,146 @@
+"""Query clients: the measurement side of the paper's experiments.
+
+The paper's metric is "the average response time of a query for the
+location of a mobile agent (TAgent) selected randomly from all the
+mobile agents in the system", with 200 queries per run. A
+:class:`QueryWorkload` drives a small pool of stationary
+:class:`QueryClient` agents in closed loop: each client picks a random
+TAgent, runs a timed locate through the installed mechanism, records the
+result, sleeps a think time and repeats, until the shared quota is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.baselines.base import LocateResult
+from repro.core.errors import CoreError
+from repro.platform.agents import Agent
+from repro.platform.events import Timeout
+from repro.platform.messages import RpcError
+from repro.platform.naming import AgentId
+
+__all__ = ["QueryClient", "QueryWorkload"]
+
+
+class QueryClient(Agent):
+    """A stationary agent issuing location queries in closed loop."""
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        runtime,
+        workload: "QueryWorkload",
+        think_time: float,
+    ) -> None:
+        super().__init__(agent_id, runtime, tracked=False)
+        self.workload = workload
+        self.think_time = think_time
+        self._rng = runtime.streams.get(f"query-client-{agent_id.short()}")
+
+    def main(self) -> Generator:
+        workload = self.workload
+        if workload.warmup > 0:
+            yield Timeout(workload.warmup)
+        while workload.take_ticket():
+            target = workload.pick_target(self._rng)
+            if target is None:
+                yield Timeout(self.think_time)
+                continue
+            try:
+                result = yield from self.runtime.location.timed_locate(
+                    self.node_name, target
+                )
+            except (RpcError, CoreError) as exc:
+                workload.record_error(target, repr(exc))
+            else:
+                workload.record(result)
+            if self.think_time > 0:
+                yield Timeout(self._rng.expovariate(1.0 / self.think_time))
+
+
+class QueryWorkload:
+    """Shared state of a query run: quota, targets and results."""
+
+    def __init__(
+        self,
+        runtime,
+        targets: Sequence[AgentId],
+        total_queries: int,
+        clients: int = 4,
+        think_time: float = 0.05,
+        warmup: float = 0.0,
+        client_nodes: Optional[Sequence[str]] = None,
+        target_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if total_queries <= 0:
+            raise ValueError("total_queries must be positive")
+        if clients <= 0:
+            raise ValueError("clients must be positive")
+        self.runtime = runtime
+        self.targets: List[AgentId] = list(targets)
+        if target_weights is not None:
+            if len(target_weights) != len(self.targets):
+                raise ValueError(
+                    "target_weights must match targets "
+                    f"({len(target_weights)} vs {len(self.targets)})"
+                )
+            if any(weight < 0 for weight in target_weights):
+                raise ValueError("target_weights must be non-negative")
+        #: Optional popularity skew: queries pick targets with these
+        #: weights (uniform when None) -- hot-agent workloads.
+        self.target_weights = (
+            list(target_weights) if target_weights is not None else None
+        )
+        self.total_queries = total_queries
+        self.warmup = warmup
+        self.results: List[LocateResult] = []
+        self.errors: List[tuple] = []
+        self._tickets = total_queries
+        nodes = list(client_nodes) if client_nodes else runtime.node_names()
+        self.clients: List[QueryClient] = [
+            runtime.create_agent(
+                QueryClient,
+                nodes[index % len(nodes)],
+                workload=self,
+                think_time=think_time,
+            )
+            for index in range(clients)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def take_ticket(self) -> bool:
+        """Claim one query from the shared quota; False when exhausted."""
+        if self._tickets <= 0:
+            return False
+        self._tickets -= 1
+        return True
+
+    def pick_target(self, rng) -> Optional[AgentId]:
+        if not self.targets:
+            return None
+        if self.target_weights is None:
+            return rng.choice(self.targets)
+        return rng.choices(self.targets, weights=self.target_weights, k=1)[0]
+
+    def record(self, result: LocateResult) -> None:
+        self.results.append(result)
+
+    def record_error(self, target: AgentId, error: str) -> None:
+        self.errors.append((self.runtime.sim.now, target, error))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.results) + len(self.errors)
+
+    @property
+    def done(self) -> bool:
+        return self._tickets <= 0 and self.completed >= self.total_queries
+
+    def location_times(self) -> List[float]:
+        """Elapsed seconds of every successful locate."""
+        return [result.elapsed for result in self.results if result.found]

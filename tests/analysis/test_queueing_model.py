@@ -1,0 +1,117 @@
+"""Model-vs-simulation validation of the analytical predictions.
+
+The machine-repairman model and the discrete-event simulator were built
+independently (closed-form recursion vs message-level simulation); their
+agreement on the centralized scheme's behaviour validates both.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.queueing import (
+    central_response_time,
+    expected_iagents,
+    mva_closed_queue,
+    saturation_population,
+    utilization,
+)
+from repro.harness.experiment import run_experiment
+from repro.workloads.scenarios import exp1_scenario
+
+
+class TestMvaAlgorithm:
+    def test_single_customer_sees_bare_service(self):
+        result = mva_closed_queue(1, think_time=1.0, service_time=0.01)[-1]
+        assert result.response_time == pytest.approx(0.01)
+        assert result.throughput == pytest.approx(1 / 1.01)
+
+    def test_zero_think_time_saturates_immediately(self):
+        results = mva_closed_queue(10, think_time=0.0, service_time=0.01)
+        # With no thinking, R(n) = n * S exactly.
+        for result in results:
+            assert result.response_time == pytest.approx(
+                result.population * 0.01
+            )
+
+    def test_response_time_monotone_in_population(self):
+        results = mva_closed_queue(50, think_time=0.5, service_time=0.008)
+        times = [result.response_time for result in results]
+        assert times == sorted(times)
+
+    def test_asymptotic_linear_regime(self):
+        """Far past saturation, R(N) ~ N*S - Z."""
+        Z, S, N = 0.5, 0.008, 400
+        result = mva_closed_queue(N, Z, S)[-1]
+        assert result.response_time == pytest.approx(N * S - Z, rel=0.05)
+
+    def test_throughput_bounded_by_service_rate(self):
+        for result in mva_closed_queue(200, 0.5, 0.008):
+            assert result.throughput <= 1 / 0.008 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mva_closed_queue(0, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            mva_closed_queue(5, 1.0, 0.0)
+
+    def test_utilization_bounds(self):
+        low = utilization(2, residence=0.5, service_time=0.008)
+        high = utilization(200, residence=0.5, service_time=0.008)
+        assert 0 < low < 0.1
+        assert high == pytest.approx(1.0, abs=0.01)
+
+    def test_saturation_population(self):
+        knee = saturation_population(residence=0.5, service_time=0.008)
+        assert knee == pytest.approx(63.5)
+        with pytest.raises(ValueError):
+            saturation_population(0.5, 0.0)
+
+
+class TestModelAgainstSimulator:
+    """The headline validation: Experiment I, model vs measurement."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        points = {}
+        for n in (10, 30, 100):
+            result = run_experiment(exp1_scenario(n), "centralized")
+            points[n] = result.mean_location_ms
+        return points
+
+    def predicted_ms(self, n):
+        # ~30 queries/s of open measurement traffic ride on the updates.
+        return 1000.0 * central_response_time(
+            n, residence=0.5, service_time=0.008, query_rate=30.0
+        )
+
+    def test_model_matches_simulation_within_2x(self, measured):
+        for n, measured_ms in measured.items():
+            predicted = self.predicted_ms(n)
+            assert predicted / 2 < measured_ms < predicted * 2, (
+                f"N={n}: model {predicted:.1f}ms vs sim {measured_ms:.1f}ms"
+            )
+
+    def test_model_and_simulation_agree_on_the_knee(self, measured):
+        """Both flat before N*~64, both exploded after it."""
+        knee = saturation_population(0.5, 0.008)
+        assert 30 < knee < 100
+        assert measured[30] < 3 * measured[10]  # pre-knee: flat-ish
+        assert measured[100] > 5 * measured[30]  # post-knee: blow-up
+        assert self.predicted_ms(30) < 3 * self.predicted_ms(10)
+        assert self.predicted_ms(100) > 5 * self.predicted_ms(30)
+
+
+class TestExpectedIAgents:
+    def test_fluid_band_contains_simulated_population(self):
+        result = run_experiment(exp1_scenario(100), "hash")
+        # Offered: 100 agents / 0.5 s residence + ~30 q/s measurement.
+        band = expected_iagents(100 / 0.5 + 30.0, t_max=50.0)
+        assert int(result.metrics.final_iagents) in band
+
+    def test_zero_rate_means_one_iagent(self):
+        assert list(expected_iagents(0.0, 50.0)) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_iagents(10.0, 0.0)

@@ -1,0 +1,119 @@
+"""Tests for the forwarding-pointers (Voyager-style) baseline."""
+
+import pytest
+
+from repro.baselines.forwarding import ForwardingPointersMechanism, HERE
+from repro.core.config import HashMechanismConfig
+from repro.core.errors import LocateFailedError
+from repro.platform.agents import MobileAgent
+from repro.platform.naming import AgentId
+
+from tests.conftest import build_runtime, drain
+
+
+class Roamer(MobileAgent):
+    def main(self):
+        return None
+
+
+def install(runtime, **kwargs):
+    mechanism = ForwardingPointersMechanism(HashMechanismConfig(), **kwargs)
+    runtime.install_location_mechanism(mechanism)
+    return mechanism
+
+
+def locate(runtime, from_node, agent_id):
+    def query():
+        node = yield from runtime.location.locate(from_node, agent_id)
+        return node
+
+    return runtime.sim.run_process(query())
+
+
+class TestForwarding:
+    def test_infrastructure_deployed(self):
+        runtime = build_runtime()
+        mechanism = install(runtime)
+        assert len(mechanism.forwarders) == 4
+        assert mechanism.name_service is not None
+
+    def test_register_then_locate_zero_hops(self):
+        runtime = build_runtime()
+        mechanism = install(runtime)
+        agent = runtime.create_agent(Roamer, "node-2", tracked=True)
+        drain(runtime, 0.5)
+        assert locate(runtime, "node-0", agent.agent_id) == "node-2"
+        assert mechanism.hop_counts.get(0) == 1
+
+    def test_moves_leave_pointer_chain(self):
+        runtime = build_runtime(nodes=5)
+        mechanism = install(runtime, compress=False)
+        agent = runtime.create_agent(Roamer, "node-0", tracked=True)
+        drain(runtime, 0.5)
+        for destination in ("node-1", "node-2", "node-3"):
+            runtime.sim.run_process(agent.dispatch(destination))
+        assert locate(runtime, "node-4", agent.agent_id) == "node-3"
+        # The chain was chased across three forwarders.
+        assert mechanism.hop_counts.get(3) == 1
+        assert mechanism.counters.extra.get("forward_hops") == 3
+
+    def test_chain_pointers_stored_at_departed_nodes(self):
+        runtime = build_runtime()
+        install(runtime, compress=False)
+        agent = runtime.create_agent(Roamer, "node-0", tracked=True)
+        drain(runtime, 0.5)
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        mechanism = runtime.location
+        assert mechanism.forwarders["node-0"].pointers[agent.agent_id] == "node-1"
+        assert mechanism.forwarders["node-1"].pointers[agent.agent_id] == HERE
+
+    def test_compression_shortens_future_chains(self):
+        runtime = build_runtime(nodes=5)
+        mechanism = install(runtime, compress=True)
+        agent = runtime.create_agent(Roamer, "node-0", tracked=True)
+        drain(runtime, 0.5)
+        for destination in ("node-1", "node-2", "node-3"):
+            runtime.sim.run_process(agent.dispatch(destination))
+        locate(runtime, "node-4", agent.agent_id)  # compresses
+        locate(runtime, "node-4", agent.agent_id)
+        assert mechanism.hop_counts.get(0) == 1  # second locate: direct
+        assert mechanism.counters.extra.get("compressions") == 1
+
+    def test_mean_chain_length(self):
+        runtime = build_runtime(nodes=5)
+        mechanism = install(runtime, compress=False)
+        agent = runtime.create_agent(Roamer, "node-0", tracked=True)
+        drain(runtime, 0.5)
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        locate(runtime, "node-4", agent.agent_id)
+        assert mechanism.mean_chain_length() == pytest.approx(1.0)
+
+    def test_empty_mean_chain_length(self):
+        runtime = build_runtime()
+        mechanism = install(runtime)
+        assert mechanism.mean_chain_length() == 0.0
+
+    def test_unknown_agent_fails(self):
+        runtime = build_runtime()
+        install(runtime)
+        with pytest.raises(LocateFailedError):
+            locate(runtime, "node-0", AgentId(31337))
+
+    def test_deregister_cleans_name_service(self):
+        runtime = build_runtime()
+        mechanism = install(runtime)
+        agent = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+        runtime.sim.run_process(agent.die())
+        assert agent.agent_id not in mechanism.name_service.entries
+
+    def test_updates_do_not_touch_the_name_service(self):
+        """The decentralized-updates property."""
+        runtime = build_runtime()
+        mechanism = install(runtime, compress=False)
+        agent = runtime.create_agent(Roamer, "node-0", tracked=True)
+        drain(runtime, 0.5)
+        registered_node = mechanism.name_service.entries[agent.agent_id]
+        for destination in ("node-1", "node-2"):
+            runtime.sim.run_process(agent.dispatch(destination))
+        assert mechanism.name_service.entries[agent.agent_id] == registered_node

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the whole test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HashMechanismConfig
+from repro.core.mechanism import HashLocationMechanism
+from repro.platform.naming import AgentNamer
+from repro.platform.random import RandomStreams
+from repro.platform.runtime import AgentRuntime
+from repro.platform.simulator import Simulator
+
+
+def build_runtime(seed: int = 1, nodes: int = 4) -> AgentRuntime:
+    """A fresh runtime with ``nodes`` nodes and deterministic seeding."""
+    runtime = AgentRuntime(
+        sim=Simulator(),
+        streams=RandomStreams(seed=seed),
+        namer=AgentNamer(seed=seed),
+    )
+    runtime.create_nodes(nodes)
+    return runtime
+
+
+def install_hash_mechanism(
+    runtime: AgentRuntime, **config_overrides
+) -> HashLocationMechanism:
+    """Install a hash mechanism with test-friendly defaults."""
+    config = HashMechanismConfig().with_overrides(**config_overrides)
+    mechanism = HashLocationMechanism(config)
+    runtime.install_location_mechanism(mechanism)
+    return mechanism
+
+
+def run_until(runtime: AgentRuntime, predicate, step: float = 0.1, timeout: float = 60.0):
+    """Advance simulated time until ``predicate()`` or ``timeout``."""
+    deadline = runtime.sim.now + timeout
+    while not predicate() and runtime.sim.now < deadline:
+        runtime.sim.run(until=runtime.sim.now + step)
+    assert predicate(), f"condition not reached within {timeout} simulated seconds"
+
+
+def drain(runtime: AgentRuntime, seconds: float) -> None:
+    """Run the simulation for a fixed span of simulated time."""
+    runtime.sim.run(until=runtime.sim.now + seconds)
+
+
+@pytest.fixture
+def runtime() -> AgentRuntime:
+    return build_runtime()
+
+
+@pytest.fixture
+def hash_runtime():
+    """A runtime with the hash mechanism installed."""
+    rt = build_runtime()
+    mechanism = install_hash_mechanism(rt)
+    return rt, mechanism

@@ -1,0 +1,78 @@
+"""Tests for the adaptive threshold heuristic (§5 future work)."""
+
+import pytest
+
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+
+class TestThresholdsFor:
+    def test_fixed_mode_returns_configured_pair(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, t_max=70.0, t_min=7.0)
+        report = {"service_estimate": 0.010}
+        assert mechanism.hagent.thresholds_for(report) == (70.0, 7.0)
+
+    def test_adaptive_mode_derives_from_service_time(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime,
+            threshold_mode="adaptive",
+            target_utilization=0.4,
+            adaptive_t_min_fraction=0.1,
+        )
+        t_max, t_min = mechanism.hagent.thresholds_for(
+            {"service_estimate": 0.008}
+        )
+        assert t_max == pytest.approx(50.0)
+        assert t_min == pytest.approx(5.0)
+
+    def test_adaptive_scales_with_hardware_speed(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, threshold_mode="adaptive")
+        fast, _ = mechanism.hagent.thresholds_for({"service_estimate": 0.002})
+        slow, _ = mechanism.hagent.thresholds_for({"service_estimate": 0.020})
+        assert fast == 10 * slow
+
+    def test_adaptive_without_measurement_falls_back_to_fixed(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, threshold_mode="adaptive", t_max=42.0, t_min=4.2
+        )
+        assert mechanism.hagent.thresholds_for({}) == (42.0, 4.2)
+        assert mechanism.hagent.thresholds_for(
+            {"service_estimate": 0.0}
+        ) == (42.0, 4.2)
+
+    def test_config_validation(self):
+        from repro.core.config import HashMechanismConfig
+
+        with pytest.raises(ValueError):
+            HashMechanismConfig(threshold_mode="vibes").validate()
+        with pytest.raises(ValueError):
+            HashMechanismConfig(target_utilization=1.5).validate()
+        with pytest.raises(ValueError):
+            HashMechanismConfig(adaptive_t_min_fraction=0.0).validate()
+
+
+class TestAdaptiveIntegration:
+    def test_adaptive_splits_on_slow_hardware_where_fixed_cannot(self):
+        """With 25 ms service, a 50 msg/s threshold is unreachable (the
+        mailbox saturates at 40 msg/s); the adaptive heuristic derives
+        a reachable one and the directory still scales."""
+
+        def run(mode):
+            runtime = build_runtime(nodes=6)
+            mechanism = install_hash_mechanism(
+                runtime,
+                threshold_mode=mode,
+                iagent_service_time=0.025,
+            )
+            spawn_population(runtime, 40, ConstantResidence(0.3))
+            drain(runtime, 12.0)
+            return mechanism.iagent_count
+
+        assert run("fixed") == 1
+        assert run("adaptive") >= 3

@@ -1,0 +1,305 @@
+"""Tests for the HAgent / LHAgent pair: copies, versions, rehash triggers."""
+
+import pytest
+
+from repro.core.iagent import IAgent
+from repro.platform.messages import Request
+from repro.platform.naming import AgentId
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism, run_until
+
+
+def rpc(runtime, dst_node, dst_agent, op, body=None, src="node-0"):
+    def caller():
+        reply = yield runtime.rpc(src, dst_node, dst_agent, op, body)
+        return reply
+
+    return runtime.sim.run_process(caller())
+
+
+class TestHAgentPrimaryCopy:
+    def test_bundle_contains_tree_and_locations(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        bundle = mechanism.hagent.bundle()
+        assert bundle["version"] >= 1
+        assert bundle["tree"][0] == "tree"
+        assert len(bundle["iagent_nodes"]) == 1
+
+    def test_get_hash_function_rpc(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        reply = rpc(
+            runtime, mechanism.hagent_node, mechanism.hagent_id, "get-hash-function"
+        )
+        assert reply["version"] == mechanism.hagent.version
+
+    def test_ping(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        reply = rpc(runtime, mechanism.hagent_node, mechanism.hagent_id, "ping")
+        assert reply["status"] == "ok"
+
+    def test_unknown_op_rejected(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        with pytest.raises(ValueError):
+            mechanism.hagent.handle(Request(op="nonsense"))
+
+    def test_iagent_moved_bumps_version(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = mechanism.iagents
+        version = mechanism.hagent.version
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "iagent-moved",
+            {"owner": owner, "node": "node-2"},
+        )
+        assert mechanism.hagent.version == version + 1
+        assert mechanism.hagent.iagent_nodes[owner] == "node-2"
+
+    def test_iagent_moved_to_same_node_is_noop(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = mechanism.iagents
+        node = mechanism.hagent.iagent_nodes[owner]
+        version = mechanism.hagent.version
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "iagent-moved",
+            {"owner": owner, "node": node},
+        )
+        assert mechanism.hagent.version == version
+
+
+class TestLoadReports:
+    def overload_report(self, mechanism, owner, rate=1000.0):
+        return {
+            "owner": owner,
+            "rate": rate,
+            "mature": True,
+            "records": 10,
+        }
+
+    def seed_records(self, runtime, iagent, count=16):
+        """Give the IAgent a divisible record population."""
+        stride = (1 << 64) // count
+        for index in range(count):
+            agent_id = AgentId(index * stride)
+            iagent.handle(
+                Request(op="register", body={"agent": agent_id, "node": "node-1"})
+            )
+
+    def test_overload_report_triggers_split(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "load-report",
+            self.overload_report(mechanism, owner),
+        )
+        drain(runtime, 1.0)
+        assert mechanism.iagent_count == 2
+        assert mechanism.hagent.splits == 1
+        assert mechanism.hagent.tree.owner_count() == 2
+
+    def test_split_transfers_records(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = list(mechanism.iagents)
+        old_iagent = mechanism.iagents[owner]
+        self.seed_records(runtime, old_iagent)
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "load-report",
+            self.overload_report(mechanism, owner),
+        )
+        drain(runtime, 1.0)
+        new_owner = next(o for o in mechanism.iagents if o != owner)
+        new_iagent = mechanism.iagents[new_owner]
+        assert len(old_iagent.records) == 8
+        assert len(new_iagent.records) == 8
+        # Every record sits where the tree says it should.
+        for iagent in (old_iagent, new_iagent):
+            for agent_id in iagent.records:
+                assert mechanism.hagent.tree.lookup_id(agent_id) == iagent.agent_id
+
+    def test_immature_report_ignored(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        report = self.overload_report(mechanism, owner)
+        report["mature"] = False
+        rpc(runtime, mechanism.hagent_node, mechanism.hagent_id, "load-report", report)
+        drain(runtime, 1.0)
+        assert mechanism.iagent_count == 1
+
+    def test_cooldown_suppresses_immediate_resplit(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, cooldown=30.0)
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        for _ in range(3):
+            rpc(
+                runtime,
+                mechanism.hagent_node,
+                mechanism.hagent_id,
+                "load-report",
+                self.overload_report(mechanism, owner),
+            )
+        drain(runtime, 1.0)
+        assert mechanism.hagent.splits == 1
+
+    def test_underload_reports_merge_after_patience(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, merge_patience=2, cooldown=0.0)
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "load-report",
+            self.overload_report(mechanism, owner),
+        )
+        drain(runtime, 1.0)
+        assert mechanism.iagent_count == 2
+        victim = next(iter(mechanism.iagents))
+        quiet = {"owner": victim, "rate": 0.1, "mature": True, "records": 8}
+        rpc(runtime, mechanism.hagent_node, mechanism.hagent_id, "load-report", quiet)
+        assert mechanism.hagent.merges == 0  # patience not reached
+        rpc(runtime, mechanism.hagent_node, mechanism.hagent_id, "load-report", quiet)
+        drain(runtime, 1.0)
+        assert mechanism.hagent.merges == 1
+        assert mechanism.iagent_count == 1
+        # The survivor now holds all 16 records.
+        (survivor,) = mechanism.iagents.values()
+        assert len(survivor.records) == 16
+
+    def test_merge_disabled_by_config(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, enable_merge=False, merge_patience=1, cooldown=0.0
+        )
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "load-report",
+            self.overload_report(mechanism, owner),
+        )
+        drain(runtime, 1.0)
+        victim = next(iter(mechanism.iagents))
+        quiet = {"owner": victim, "rate": 0.1, "mature": True, "records": 8}
+        for _ in range(3):
+            rpc(
+                runtime, mechanism.hagent_node, mechanism.hagent_id,
+                "load-report", quiet,
+            )
+        drain(runtime, 1.0)
+        assert mechanism.hagent.merges == 0
+
+    def test_stale_owner_report_ignored(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        ghost = {"owner": AgentId(1), "rate": 999.0, "mature": True, "records": 5}
+        reply = rpc(
+            runtime, mechanism.hagent_node, mechanism.hagent_id, "load-report", ghost
+        )
+        assert reply["status"] == "stale"
+
+    def test_rehash_log_records_events(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        (owner,) = list(mechanism.iagents)
+        self.seed_records(runtime, mechanism.iagents[owner])
+        rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "load-report",
+            self.overload_report(mechanism, owner),
+        )
+        drain(runtime, 1.0)
+        (event,) = mechanism.hagent.rehash_log
+        assert event["event"] == "split"
+        assert event["moved"] == 8
+        assert event["iagents"] == 2
+
+
+class TestLHAgent:
+    def test_whois_fetches_copy_on_demand(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        lhagent = mechanism.lhagents["node-2"]
+        assert lhagent.copy is None
+        reply = rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(123)}, src="node-2",
+        )
+        assert lhagent.copy is not None
+        assert reply["iagent"] in mechanism.iagents
+        assert reply["node"] == mechanism.iagents[reply["iagent"]].node_name
+        assert lhagent.refreshes == 1
+
+    def test_whois_reuses_cached_copy(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        lhagent = mechanism.lhagents["node-2"]
+        for value in (1, 2, 3):
+            rpc(
+                runtime, "node-2", lhagent.agent_id, "whois",
+                {"agent": AgentId(value)}, src="node-2",
+            )
+        assert lhagent.refreshes == 1
+
+    def test_refresh_skips_fetch_if_already_newer(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        lhagent = mechanism.lhagents["node-2"]
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(1)}, src="node-2",
+        )
+        # Claim staleness against an OLD version: no fetch needed.
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "refresh",
+            {"agent": AgentId(1), "stale_version": 0}, src="node-2",
+        )
+        assert lhagent.refreshes == 1
+
+    def test_refresh_fetches_when_version_matches(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        lhagent = mechanism.lhagents["node-2"]
+        reply = rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(1)}, src="node-2",
+        )
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "refresh",
+            {"agent": AgentId(1), "stale_version": reply["version"]}, src="node-2",
+        )
+        assert lhagent.refreshes == 2
+
+    def test_version_op(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        lhagent = mechanism.lhagents["node-1"]
+        assert rpc(
+            runtime, "node-1", lhagent.agent_id, "version", src="node-1"
+        ) == {"version": -1}

@@ -1,0 +1,81 @@
+"""Property-based tests for labels and hyper-labels (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import HyperLabel, Label
+
+bits_strategy = st.text(alphabet="01", min_size=1, max_size=6)
+labels_strategy = st.lists(bits_strategy, min_size=0, max_size=6)
+skip_strategy = st.integers(min_value=0, max_value=5)
+
+
+def build(labels, skip):
+    return HyperLabel([Label(bits) for bits in labels], skip=skip)
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy, skip=skip_strategy)
+def test_parse_str_round_trip(labels, skip):
+    hyper = build(labels, skip)
+    assert HyperLabel.parse(str(hyper)) == hyper
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy, skip=skip_strategy)
+def test_width_is_sum_of_parts(labels, skip):
+    hyper = build(labels, skip)
+    assert hyper.width == skip + sum(len(bits) for bits in labels)
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy, skip=skip_strategy)
+def test_pattern_length_and_alphabet(labels, skip):
+    pattern = build(labels, skip).pattern()
+    assert len(pattern) == build(labels, skip).width
+    assert set(pattern) <= {"0", "1", "x"}
+    # Exactly one constrained position per label (its valid bit).
+    assert sum(ch != "x" for ch in pattern) == len(labels)
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy, skip=skip_strategy, data=st.data())
+def test_matches_agrees_with_pattern(labels, skip, data):
+    hyper = build(labels, skip)
+    width = max(hyper.width, 1)
+    bits = data.draw(
+        st.text(alphabet="01", min_size=width, max_size=width + 4)
+    )
+    pattern = hyper.pattern()
+    expected = all(
+        p == "x" or p == b for p, b in zip(pattern, bits)
+    )
+    assert hyper.matches(bits) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy, skip=skip_strategy)
+def test_filled_pattern_always_matches(labels, skip):
+    """A prefix built by filling the pattern's wildcards matches."""
+    hyper = build(labels, skip)
+    for filler in ("0", "1"):
+        bits = "".join(
+            ch if ch != "x" else filler for ch in hyper.pattern()
+        )
+        if bits:
+            assert hyper.matches(bits)
+        else:
+            assert hyper.matches("0")  # empty pattern matches anything
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels=labels_strategy.filter(lambda ls: len(ls) > 0), skip=skip_strategy)
+def test_flipping_any_valid_bit_breaks_the_match(labels, skip):
+    hyper = build(labels, skip)
+    base = "".join(ch if ch != "x" else "0" for ch in hyper.pattern())
+    for position, _bit in hyper.valid_positions():
+        flipped = (
+            base[: position - 1]
+            + ("1" if base[position - 1] == "0" else "0")
+            + base[position:]
+        )
+        assert not hyper.matches(flipped)

@@ -1,0 +1,108 @@
+"""Unit tests for load statistics and the evenness criterion."""
+
+import pytest
+
+from repro.core.load import (
+    LoadStatistics,
+    RateWindow,
+    is_even_split,
+    split_loads,
+)
+
+
+class TestRateWindow:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            RateWindow(0)
+
+    def test_rate_counts_recent_events(self):
+        window = RateWindow(2.0)
+        for t in (0.0, 0.5, 1.0, 1.5):
+            window.record(t)
+        assert window.rate(1.5) == pytest.approx(4 / 2.0)
+
+    def test_old_events_evicted(self):
+        window = RateWindow(1.0)
+        window.record(0.0)
+        window.record(0.9)
+        assert window.count(1.5) == 1  # the 0.0 event fell out
+        assert window.rate(5.0) == 0.0
+
+    def test_batch_record(self):
+        window = RateWindow(10.0)
+        window.record(1.0, count=5)
+        assert window.count(1.0) == 5
+
+    def test_maturity(self):
+        window = RateWindow(2.0)
+        assert not window.mature(0.0)
+        window.record(0.0)
+        assert not window.mature(1.0)
+        assert window.mature(2.0)
+        assert not window.mature(2.0, fraction=1.5)
+
+    def test_reset_restarts_maturity(self):
+        window = RateWindow(1.0)
+        window.record(0.0)
+        window.reset(5.0)
+        assert window.count(5.0) == 0
+        assert not window.mature(5.5)
+        assert window.mature(6.0)
+
+
+class TestLoadStatistics:
+    def test_queries_and_updates_counted(self):
+        stats = LoadStatistics(window=5.0)
+        stats.record_query("a", 0.0)
+        stats.record_update("a", 0.1)
+        stats.record_update("b", 0.2)
+        assert stats.queries == 1
+        assert stats.updates == 2
+        assert stats.loads() == {"a": 2, "b": 1}
+
+    def test_rate_aggregates_both_kinds(self):
+        stats = LoadStatistics(window=1.0)
+        stats.record_query("a", 0.0)
+        stats.record_update("b", 0.5)
+        assert stats.rate(0.5) == pytest.approx(2.0)
+
+    def test_forget_agent(self):
+        stats = LoadStatistics(window=1.0)
+        stats.record_query("a", 0.0)
+        stats.forget_agent("a")
+        assert stats.loads() == {}
+
+    def test_adopt_agent_seeds_load(self):
+        stats = LoadStatistics(window=1.0)
+        stats.adopt_agent("x", load=7)
+        stats.record_query("x", 0.0)
+        assert stats.loads() == {"x": 8}
+
+
+class TestSplitLoads:
+    def test_partition_by_bit(self):
+        loads = [("0000", 3), ("0100", 5), ("1000", 2)]
+        assert split_loads(loads, 1) == (8, 2)
+        assert split_loads(loads, 2) == (5, 5)
+
+    def test_bit_beyond_width_rejected(self):
+        with pytest.raises(ValueError):
+            split_loads([("01", 1)], 3)
+
+    def test_empty_loads(self):
+        assert split_loads([], 1) == (0, 0)
+
+
+class TestEvenness:
+    def test_perfect_balance_is_even(self):
+        assert is_even_split(50, 50, tolerance=0.25)
+
+    def test_boundary_of_tolerance(self):
+        assert is_even_split(25, 75, tolerance=0.25)
+        assert not is_even_split(24, 76, tolerance=0.25)
+
+    def test_zero_total_never_even(self):
+        assert not is_even_split(0, 0, tolerance=0.25)
+
+    def test_one_sided_never_even(self):
+        assert not is_even_split(100, 0, tolerance=0.1)

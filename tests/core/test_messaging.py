@@ -1,0 +1,186 @@
+"""Tests for guaranteed message delivery (the §6 future-work extension)."""
+
+import pytest
+
+from repro.core.messaging import AgentMessenger, MessengerConfig
+from repro.platform.agents import MobileAgent
+from repro.platform.failures import FailureInjector
+from repro.platform.messages import Request
+from repro.platform.naming import AgentId
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+
+class Roamer(MobileAgent):
+    def main(self):
+        return None
+
+
+def make_system(nodes=6, **config_overrides):
+    runtime = build_runtime(nodes=nodes)
+    mechanism = install_hash_mechanism(runtime, **config_overrides)
+    messenger = AgentMessenger(mechanism)
+    return runtime, mechanism, messenger
+
+
+def send(runtime, messenger, target, payload, from_node="node-0"):
+    def go():
+        receipt = yield from messenger.send(from_node, target, payload)
+        return receipt
+
+    return runtime.sim.run_process(go())
+
+
+class TestDirectDelivery:
+    def test_stationary_target_delivered_directly(self):
+        runtime, _, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-2", tracked=True)
+        drain(runtime, 0.5)
+        receipt = send(runtime, messenger, target.agent_id, {"n": 1})
+        assert receipt.delivered
+        assert receipt.via == "direct"
+        assert receipt.direct_attempts == 1
+        assert target.inbox == [{"n": 1}]
+
+    def test_elapsed_measured(self):
+        runtime, _, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-2", tracked=True)
+        drain(runtime, 0.5)
+        receipt = send(runtime, messenger, target.agent_id, "x")
+        assert 0 < receipt.elapsed < 0.2
+
+    def test_counters(self):
+        runtime, _, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-2", tracked=True)
+        drain(runtime, 0.5)
+        send(runtime, messenger, target.agent_id, "a")
+        send(runtime, messenger, target.agent_id, "b")
+        assert messenger.sent == 2
+        assert messenger.delivered_direct == 2
+        assert "direct=2" in messenger.describe()
+
+
+class TestRelayDelivery:
+    def test_fast_movers_all_delivered(self):
+        """The §6 scenario: targets moving near the protocol's RTT."""
+        runtime, _, messenger = make_system()
+        agents = spawn_population(runtime, 12, ConstantResidence(0.04))
+        drain(runtime, 1.0)
+        receipts = [
+            send(runtime, messenger, agent.agent_id, {"seq": index})
+            for index, agent in enumerate(agents)
+        ]
+        assert all(receipt.delivered for receipt in receipts)
+        assert all(len(agent.inbox) == 1 for agent in agents)
+
+    def test_relay_path_used_for_mid_flight_target(self):
+        """A target that is in transit at send time forces the relay."""
+        runtime, _, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+
+        def scenario():
+            # Launch a slow migration, then immediately try to message.
+            runtime.sim.spawn(target.dispatch("node-4"), name="move")
+            receipt = yield from messenger.send(
+                "node-0", target.agent_id, "catch me"
+            )
+            return receipt
+
+        receipt = runtime.sim.run_process(scenario())
+        assert receipt.delivered
+        assert target.inbox == ["catch me"]
+
+    def test_dead_target_expires(self):
+        runtime, _, messenger = make_system()
+        messenger.config = MessengerConfig(ttl=0.5, direct_attempts=1)
+        target = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+        node = runtime.get_node("node-1")
+        node.remove_agent(target)  # vanishes without deregistering
+        receipt = send(runtime, messenger, target.agent_id, "void")
+        assert not receipt.delivered
+        assert receipt.via == "expired"
+        assert messenger.expired == 1
+
+    def test_unknown_target_expires(self):
+        runtime, _, messenger = make_system()
+        messenger.config = MessengerConfig(ttl=0.5, direct_attempts=1)
+        receipt = send(runtime, messenger, AgentId(987654), "nobody home")
+        assert not receipt.delivered
+
+    def test_deposited_message_forwarded_on_next_update(self):
+        """Deposit first, then the target moves: the IAgent forwards."""
+        runtime, mechanism, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+        (iagent,) = mechanism.iagents.values()
+        iagent.records.pop(target.agent_id, None)  # force wait-for-update
+        # Plant a pending message directly (no known record race).
+        iagent.handle(
+            Request(
+                op="deposit-message",
+                body={
+                    "target": target.agent_id,
+                    "payload": "planted",
+                    "deadline": runtime.sim.now + 10.0,
+                    "ack": None,
+                },
+            )
+        )
+        drain(runtime, 0.2)
+        assert target.inbox == []
+        runtime.sim.run_process(target.dispatch("node-3"))
+        drain(runtime, 0.5)
+        assert target.inbox == ["planted"]
+
+    def test_expired_pending_messages_cleaned_up(self):
+        runtime, mechanism, messenger = make_system()
+        target = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+        (iagent,) = mechanism.iagents.values()
+        iagent.pending_messages[target.agent_id] = [
+            {"payload": "old", "ack": None,
+             "deadline": runtime.sim.now - 1.0, "attempts": 0}
+        ]
+        iagent.records.pop(target.agent_id, None)
+        drain(runtime, 1.5)  # reporter loop runs the expiry
+        assert target.agent_id not in iagent.pending_messages
+
+
+class TestRelayUnderRehashing:
+    def test_pending_mail_survives_a_split(self):
+        """Relay mail migrates with the records during rehashing."""
+        runtime, mechanism, messenger = make_system()
+        messenger.config = MessengerConfig(ttl=20.0, direct_attempts=1)
+        agents = spawn_population(runtime, 16, ConstantResidence(0.15))
+        drain(runtime, 1.0)
+
+        # Deposit messages for every agent straight at the (single)
+        # IAgent with no known record, so they must wait for updates...
+        (owner,) = list(mechanism.iagents)
+        iagent = mechanism.iagents[owner]
+        for agent in agents:
+            iagent.pending_messages.setdefault(agent.agent_id, []).append(
+                {"payload": "survivor", "ack": None,
+                 "deadline": runtime.sim.now + 20.0, "attempts": 0}
+            )
+        # ...then let load force splits; the pending entries must follow
+        # their agents to the new IAgents and still deliver.
+        drain(runtime, 8.0)
+        assert mechanism.iagent_count >= 2
+        delivered = sum(1 for agent in agents if "survivor" in agent.inbox)
+        assert delivered == len(agents)
+
+
+class TestValidation:
+    def test_requires_hash_mechanism(self):
+        from repro.baselines.centralized import CentralizedMechanism
+
+        runtime = build_runtime()
+        central = CentralizedMechanism()
+        runtime.install_location_mechanism(central)
+        with pytest.raises(TypeError):
+            AgentMessenger(central)

@@ -1,0 +1,99 @@
+"""Tests for the IAgent-placement extension (paper §7)."""
+
+import pytest
+
+from repro.platform.agents import MobileAgent
+from repro.platform.messages import Request
+from repro.platform.naming import AgentId
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+
+class Roamer(MobileAgent):
+    def main(self):
+        return None
+
+
+def seed_records_on(iagent, node, count=10, start=0):
+    for value in range(start, start + count):
+        iagent.handle(
+            Request(op="register", body={"agent": AgentId(value), "node": node})
+        )
+
+
+class TestPlacementPolicy:
+    def test_policy_starts_only_when_enabled(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        assert mechanism.placement is None
+
+        runtime_on = build_runtime()
+        mechanism_on = install_hash_mechanism(runtime_on, enable_placement=True)
+        assert mechanism_on.placement is not None
+
+    def test_iagent_migrates_to_plurality_node(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, enable_placement=True, placement_interval=0.5
+        )
+        (iagent,) = mechanism.iagents.values()
+        origin = iagent.node_name
+        target = next(n for n in runtime.node_names() if n != origin)
+        seed_records_on(iagent, target)
+        drain(runtime, 2.0)
+        assert iagent.node_name == target
+        assert mechanism.placement.moves == 1
+
+    def test_hagent_directory_follows_the_move(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, enable_placement=True, placement_interval=0.5
+        )
+        (owner,) = list(mechanism.iagents)
+        iagent = mechanism.iagents[owner]
+        target = next(n for n in runtime.node_names() if n != iagent.node_name)
+        seed_records_on(iagent, target)
+        version = mechanism.hagent.version
+        drain(runtime, 2.0)
+        assert mechanism.hagent.iagent_nodes[owner] == target
+        assert mechanism.hagent.version > version
+
+    def test_no_move_without_majority(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, enable_placement=True, placement_interval=0.5,
+            placement_majority=0.8,
+        )
+        (iagent,) = mechanism.iagents.values()
+        origin = iagent.node_name
+        nodes = [n for n in runtime.node_names() if n != origin]
+        seed_records_on(iagent, nodes[0], count=5)
+        seed_records_on(iagent, nodes[1], count=5, start=100)
+        drain(runtime, 2.0)
+        assert iagent.node_name == origin
+        assert mechanism.placement.moves == 0
+
+    def test_stale_copy_recovers_after_iagent_move(self):
+        """Locates issued against the IAgent's old node refresh and retry."""
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, enable_placement=True, placement_interval=0.5
+        )
+        tracked = runtime.create_agent(Roamer, "node-1", tracked=True)
+        drain(runtime, 0.5)
+
+        def query():
+            node = yield from runtime.location.locate("node-0", tracked.agent_id)
+            return node
+
+        assert runtime.sim.run_process(query()) == "node-1"
+        (iagent,) = mechanism.iagents.values()
+        target = next(
+            n for n in runtime.node_names() if n != iagent.node_name
+        )
+        seed_records_on(iagent, target)
+        drain(runtime, 2.0)
+        assert iagent.node_name == target
+        # The LHAgent on node-0 still points at the old node; the locate
+        # must bounce, refresh and succeed.
+        assert runtime.sim.run_process(query()) == "node-1"

@@ -1,0 +1,117 @@
+"""Tests for the experiment runner and sweeps (small workloads)."""
+
+import pytest
+
+from repro.harness.experiment import (
+    MECHANISM_FACTORIES,
+    build_mechanism,
+    run_experiment,
+)
+from repro.harness.sweeps import replicate, sweep
+from repro.workloads.scenarios import Scenario, exp1_scenario
+
+
+def quick_scenario(**overrides):
+    base = dict(
+        num_agents=6,
+        total_queries=12,
+        warmup=1.0,
+        query_clients=2,
+        seed=1,
+    )
+    base.update(overrides)
+    return exp1_scenario(base.pop("num_agents"), **base)
+
+
+class TestBuildMechanism:
+    def test_all_registry_names_construct(self):
+        scenario = quick_scenario()
+        for name in MECHANISM_FACTORIES:
+            mechanism = build_mechanism(name, scenario.config)
+            assert mechanism.name in (name, "home-registry")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_mechanism("carrier-pigeon", quick_scenario().config)
+
+
+class TestRunExperiment:
+    def test_completes_query_quota(self):
+        result = run_experiment(quick_scenario(), "hash")
+        assert len(result.metrics.location_times) == 12
+        assert result.metrics.failed_locates == 0
+
+    def test_deterministic_given_seed(self):
+        one = run_experiment(quick_scenario(), "hash")
+        two = run_experiment(quick_scenario(), "hash")
+        assert one.metrics.location_times == two.metrics.location_times
+        assert one.metrics.sim_events == two.metrics.sim_events
+
+    def test_different_seeds_differ(self):
+        one = run_experiment(quick_scenario(seed=1), "hash")
+        two = run_experiment(quick_scenario(seed=2), "hash")
+        assert one.metrics.location_times != two.metrics.location_times
+
+    def test_counters_collected(self):
+        result = run_experiment(quick_scenario(), "hash")
+        assert result.metrics.counters["locates"] == 12
+        assert result.metrics.counters["registers"] == 6
+        assert result.metrics.messages_sent > 0
+        assert result.metrics.sim_time > 0
+
+    def test_iagent_series_sampled_for_hash(self):
+        result = run_experiment(quick_scenario(), "hash")
+        assert len(result.metrics.iagent_series) > 0
+
+    def test_no_iagent_series_for_baselines(self):
+        result = run_experiment(quick_scenario(), "centralized")
+        assert len(result.metrics.iagent_series) == 0
+
+    def test_keep_runtime_exposes_internals(self):
+        result = run_experiment(quick_scenario(), "hash", keep_runtime=True)
+        assert result.runtime is not None
+        assert result.runtime.location.hagent is not None
+
+    def test_runtime_dropped_by_default(self):
+        result = run_experiment(quick_scenario(), "hash")
+        assert result.runtime is None
+
+    def test_before_run_hook_invoked(self):
+        seen = []
+        run_experiment(quick_scenario(), "hash", before_run=seen.append)
+        assert len(seen) == 1
+
+    def test_describe_mentions_mechanism(self):
+        result = run_experiment(quick_scenario(), "centralized")
+        assert "centralized" in result.describe()
+
+    def test_all_mechanisms_run_clean(self):
+        for name in MECHANISM_FACTORIES:
+            result = run_experiment(quick_scenario(), name)
+            assert result.metrics.failed_locates == 0, name
+            assert len(result.metrics.location_times) == 12, name
+
+
+class TestSweeps:
+    def test_replicate_aggregates_seeds(self):
+        point = replicate(quick_scenario(), "hash", seeds=(1, 2), x=6)
+        assert point.x == 6
+        assert len(point.per_seed_means) == 2
+        assert point.mean_ms > 0
+        assert point.ci95_ms >= 0
+
+    def test_sweep_produces_series_per_mechanism(self):
+        series = sweep(
+            lambda n: quick_scenario(num_agents=int(n)),
+            xs=(4, 8),
+            mechanisms=("hash", "centralized"),
+            seeds=(1,),
+        )
+        assert set(series) == {"hash", "centralized"}
+        assert [p.x for p in series["hash"]] == [4, 8]
+
+    def test_mean_iagents_present_for_hash(self):
+        point = replicate(quick_scenario(), "hash", seeds=(1,))
+        assert point.mean_iagents is not None
+        point_central = replicate(quick_scenario(), "centralized", seeds=(1,))
+        assert point_central.mean_iagents is None

@@ -1,0 +1,69 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+from repro.harness.export import (
+    read_json,
+    result_to_dict,
+    sweep_to_dict,
+    write_json,
+)
+from repro.harness.experiment import run_experiment
+from repro.harness.sweeps import SweepPoint
+from repro.workloads.scenarios import exp1_scenario
+
+
+def quick_result(mechanism="hash"):
+    scenario = exp1_scenario(6, total_queries=10, warmup=1.0, query_clients=2)
+    return run_experiment(scenario, mechanism)
+
+
+class TestResultToDict:
+    def test_document_is_json_serializable(self):
+        document = result_to_dict(quick_result())
+        json.dumps(document)  # must not raise
+
+    def test_scenario_fields_present(self):
+        document = result_to_dict(quick_result())
+        assert document["scenario"]["num_agents"] == 6
+        assert document["scenario"]["t_max"] == 50.0
+        assert document["mechanism"] == "hash"
+
+    def test_summary_fields_present(self):
+        document = result_to_dict(quick_result())
+        summary = document["location_time_ms"]
+        assert summary["count"] == 10
+        assert 0 < summary["mean"] < 1000
+        assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_iagent_block_only_for_hash(self):
+        assert "iagents" in result_to_dict(quick_result("hash"))
+        assert "iagents" not in result_to_dict(quick_result("centralized"))
+
+    def test_counters_copied(self):
+        document = result_to_dict(quick_result())
+        assert document["counters"]["locates"] == 10
+
+
+class TestSweepToDict:
+    def test_series_structure(self):
+        series = {
+            "hash": [
+                SweepPoint(x=10, mechanism="hash",
+                           per_seed_means=[12.0, 14.0], runs=[])
+            ]
+        }
+        document = sweep_to_dict(series)
+        point = document["hash"][0]
+        assert point["x"] == 10
+        assert point["mean_ms"] == 13.0
+        assert point["per_seed_means_ms"] == [12.0, 14.0]
+        json.dumps(document)
+
+
+class TestFileRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        document = result_to_dict(quick_result())
+        path = write_json(document, tmp_path / "run.json")
+        assert path.exists()
+        assert read_json(path) == json.loads(json.dumps(document, default=str))

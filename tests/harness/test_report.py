@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator."""
+
+from repro.harness import cli
+from repro.harness.report import generate_report, shape_checks
+from repro.harness.sweeps import SweepPoint
+
+
+def make_series(central, hashed, xs=(10, 100)):
+    return {
+        "centralized": [
+            SweepPoint(x=x, mechanism="centralized", per_seed_means=[v], runs=[])
+            for x, v in zip(xs, central)
+        ],
+        "hash": [
+            SweepPoint(x=x, mechanism="hash", per_seed_means=[v], runs=[])
+            for x, v in zip(xs, hashed)
+        ],
+    }
+
+
+class TestShapeChecks:
+    def test_exp1_passing_shape(self):
+        series = make_series(central=[15.0, 300.0], hashed=[12.0, 15.0])
+        lines = shape_checks(series, "exp1")
+        assert all(line.startswith("- PASS") for line in lines)
+
+    def test_exp1_failing_shape_detected(self):
+        series = make_series(central=[15.0, 16.0], hashed=[12.0, 40.0])
+        lines = shape_checks(series, "exp1")
+        assert any(line.startswith("- FAIL") for line in lines)
+
+    def test_exp2_passing_shape(self):
+        series = make_series(
+            central=[100.0, 15.0], hashed=[14.0, 13.0], xs=(100, 2000)
+        )
+        lines = shape_checks(series, "exp2")
+        assert all(line.startswith("- PASS") for line in lines)
+
+
+class TestGenerateReport:
+    def test_quick_report_structure(self):
+        report = generate_report(seeds=(1,), quick=True)
+        assert report.startswith("# Measured evaluation report")
+        assert "Figure 7" in report
+        assert "Figure 8" in report
+        assert "| TAgents |" in report
+        assert "Shape claims:" in report
+        assert "Quick mode truncates" in report
+
+    def test_report_is_markdown_table_shaped(self):
+        report = generate_report(seeds=(1,), quick=True)
+        table_lines = [
+            line for line in report.splitlines() if line.startswith("|")
+        ]
+        widths = {line.count("|") for line in table_lines}
+        assert len(widths) == 1  # consistent column count throughout
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert cli.main(
+            ["report", "--quick", "--seeds", "1", "--out", str(target)]
+        ) == 0
+        assert "report written" in capsys.readouterr().out
+        assert target.read_text().startswith("# Measured evaluation report")
+
+    def test_report_to_stdout(self, capsys):
+        cli.main(["report", "--quick", "--seeds", "1"])
+        assert "# Measured evaluation report" in capsys.readouterr().out

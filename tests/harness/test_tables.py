@@ -1,0 +1,82 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.harness.sweeps import SweepPoint
+from repro.harness.tables import ascii_chart, format_table, series_table
+
+
+def point(x, mechanism, means):
+    return SweepPoint(x=x, mechanism=mechanism, per_seed_means=means, runs=[])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["h"], [["very-long-cell"]])
+        assert "very-long-cell" in table
+
+
+class TestSeriesTable:
+    def make_series(self):
+        return {
+            "centralized": [point(10, "centralized", [15.0, 16.0])],
+            "hash": [point(10, "hash", [12.0, 13.0])],
+        }
+
+    def test_one_row_per_x(self):
+        table = series_table(self.make_series(), x_label="TAgents")
+        lines = table.splitlines()
+        assert lines[0].startswith("TAgents")
+        assert len(lines) == 3
+
+    def test_mechanism_columns_present(self):
+        table = series_table(self.make_series(), x_label="x")
+        assert "centralized (ms)" in table
+        assert "hash (ms)" in table
+
+    def test_iagent_column_optional(self):
+        with_hash = series_table(self.make_series(), x_label="x")
+        assert "IAgents" in with_hash
+        without = series_table(
+            {"centralized": [point(1, "centralized", [5.0])]}, x_label="x"
+        )
+        assert "IAgents" not in without
+
+    def test_empty_series(self):
+        assert series_table({}, x_label="x") == "(no data)"
+
+    def test_float_x_formatting(self):
+        table = series_table(
+            {"centralized": [point(0.5, "centralized", [5.0])]}, x_label="x"
+        )
+        assert "0.5" in table
+
+
+class TestAsciiChart:
+    def test_contains_legend(self):
+        chart = ascii_chart(self.series())
+        assert "A=centralized" in chart
+        assert "B=hash" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def series(self):
+        return {
+            "centralized": [
+                point(10, "centralized", [10.0]),
+                point(20, "centralized", [40.0]),
+            ],
+            "hash": [point(10, "hash", [12.0]), point(20, "hash", [12.0])],
+        }

@@ -1,0 +1,150 @@
+"""Executable version of docs/TUTORIAL.md: the static sharded mechanism.
+
+Keeps the tutorial honest -- the code here is the tutorial's code, and
+the assertions are its claimed outcomes.
+"""
+
+import pytest
+
+from repro.baselines.base import LocationMechanism
+from repro.core.errors import LocateFailedError
+from repro.harness.experiment import run_experiment
+from repro.platform.agents import Agent
+from repro.workloads.scenarios import exp1_scenario
+
+
+class ShardAgent(Agent):
+    """The tutorial's directory shard."""
+
+    def __init__(self, agent_id, runtime, service_time):
+        super().__init__(agent_id, runtime, tracked=False)
+        self.mailbox.set_service_time(service_time)
+        self.records = {}
+
+    def handle(self, request):
+        body = request.body or {}
+        if request.op in ("register", "update"):
+            self.records[body["agent"]] = body["node"]
+            return {"status": "ok"}
+        if request.op == "unregister":
+            self.records.pop(body["agent"], None)
+            return {"status": "ok"}
+        if request.op == "locate":
+            node = self.records.get(body["agent"])
+            if node:
+                return {"status": "ok", "node": node}
+            return {"status": "no-record"}
+        raise ValueError(request.op)
+
+
+class StaticShardedMechanism(LocationMechanism):
+    """The tutorial's mechanism: fixed shards, id-modulo placement."""
+
+    name = "static-sharded"
+
+    def __init__(self, config, shards=4):
+        super().__init__()
+        self.config = config
+        self.num_shards = shards
+        self.shards = []
+
+    def install(self, runtime):
+        self.runtime = runtime
+        nodes = runtime.node_names()
+        self.num_shards = min(self.num_shards, len(nodes))
+        for index in range(self.num_shards):
+            self.shards.append(
+                runtime.create_agent(
+                    ShardAgent,
+                    nodes[index],
+                    start=False,
+                    service_time=self.config.iagent_service_time,
+                )
+            )
+
+    def shard_of(self, agent_id):
+        return self.shards[agent_id.value % self.num_shards]
+
+    def _send(self, from_node, op, agent_id, node):
+        shard = self.shard_of(agent_id)
+        reply = yield self.runtime.rpc(
+            from_node,
+            shard.node_name,
+            shard.agent_id,
+            op,
+            {"agent": agent_id, "node": node},
+            timeout=self.config.rpc_timeout,
+        )
+        return reply
+
+    def register(self, agent):
+        self.counters.registers += 1
+        yield from self._send(
+            agent.node_name, "register", agent.agent_id, agent.node_name
+        )
+
+    def report_move(self, agent):
+        self.counters.updates += 1
+        yield from self._send(
+            agent.node_name, "update", agent.agent_id, agent.node_name
+        )
+
+    def deregister(self, agent):
+        node = self.origin_node(agent)
+        yield from self._send(node, "unregister", agent.agent_id, node)
+
+    def locate(self, requester_node, agent_id):
+        self.counters.locates += 1
+        reply = yield from self._send(requester_node, "locate", agent_id, None)
+        if reply["status"] != "ok":
+            self.counters.locate_failures += 1
+            raise LocateFailedError(f"shard has no record of {agent_id}")
+        return reply["node"]
+
+
+def run_static(scenario, shards=4):
+    return run_experiment(
+        scenario,
+        "ignored",
+        mechanism_factory=lambda config: StaticShardedMechanism(
+            config, shards=shards
+        ),
+    )
+
+
+class TestTutorialMechanism:
+    def test_basic_operation(self):
+        scenario = exp1_scenario(8, total_queries=15, warmup=1.0,
+                                 query_clients=2)
+        result = run_static(scenario)
+        assert len(result.metrics.location_times) == 15
+        assert result.metrics.failed_locates == 0
+
+    def test_light_load_parity_with_hash(self):
+        """Two shards are a perfectly good guess at N=10..30."""
+        scenario = exp1_scenario(30)
+        static = run_static(scenario, shards=2)
+        hashed = run_experiment(scenario, "hash")
+        assert static.mean_location_ms < 2.0 * hashed.mean_location_ms
+
+    def test_heavy_load_crossover(self):
+        """The tutorial's claimed outcome: the same two shards saturate
+        at N=100 while the adaptive mechanism re-sizes itself."""
+        scenario = exp1_scenario(100)
+        static = run_static(scenario, shards=2)
+        hashed = run_experiment(scenario, "hash")
+        assert static.mean_location_ms > 2.0 * hashed.mean_location_ms
+
+    def test_records_partition_by_modulo(self):
+        scenario = exp1_scenario(12, total_queries=10, warmup=1.0,
+                                 query_clients=2)
+        result = run_experiment(
+            scenario,
+            "ignored",
+            mechanism_factory=lambda c: StaticShardedMechanism(c, shards=3),
+            keep_runtime=True,
+        )
+        mechanism = result.runtime.location
+        for index, shard in enumerate(mechanism.shards):
+            for agent_id in shard.records:
+                assert agent_id.value % 3 == index

@@ -1,0 +1,83 @@
+"""End-to-end runs: every mechanism, realistic workloads, clean finishes."""
+
+import pytest
+
+from repro.harness.experiment import MECHANISM_FACTORIES, run_experiment
+from repro.workloads.scenarios import exp1_scenario, exp2_scenario
+
+QUICK = dict(total_queries=40, warmup=1.5, query_clients=3)
+
+
+class TestAllMechanismsEndToEnd:
+    @pytest.mark.parametrize("mechanism", sorted(MECHANISM_FACTORIES))
+    def test_moderate_load_run_is_clean(self, mechanism):
+        result = run_experiment(exp1_scenario(15, **QUICK), mechanism)
+        assert len(result.metrics.location_times) == 40
+        assert result.metrics.failed_locates == 0
+        assert result.metrics.counters["locate_failures"] == 0
+        summary = result.location_summary_ms
+        assert 0 < summary.mean < 500
+
+    @pytest.mark.parametrize("mechanism", ["hash", "centralized"])
+    def test_high_mobility_run_is_clean(self, mechanism):
+        result = run_experiment(exp2_scenario(150, **QUICK), mechanism)
+        assert len(result.metrics.location_times) == 40
+        assert result.metrics.failed_locates == 0
+
+
+class TestPaperShapes:
+    """The headline claims of Figures 7 and 8 at reduced scale."""
+
+    def test_exp1_centralized_grows_hash_stays_flat(self):
+        small_hash = run_experiment(exp1_scenario(10), "hash")
+        large_hash = run_experiment(exp1_scenario(100), "hash")
+        small_central = run_experiment(exp1_scenario(10), "centralized")
+        large_central = run_experiment(exp1_scenario(100), "centralized")
+
+        central_growth = (
+            large_central.mean_location_ms / small_central.mean_location_ms
+        )
+        hash_growth = large_hash.mean_location_ms / small_hash.mean_location_ms
+        # Centralized degrades many-fold; the hash mechanism stays near
+        # constant ("almost constant time ... independently of the
+        # system workload").
+        assert central_growth > 5.0
+        assert hash_growth < 2.5
+        assert large_hash.mean_location_ms < large_central.mean_location_ms / 3
+
+    def test_exp2_mobility_hurts_centralized_not_hash(self):
+        slow_hash = run_experiment(exp2_scenario(2000), "hash")
+        fast_hash = run_experiment(exp2_scenario(100), "hash")
+        slow_central = run_experiment(exp2_scenario(2000), "centralized")
+        fast_central = run_experiment(exp2_scenario(100), "centralized")
+
+        assert (
+            fast_central.mean_location_ms
+            > 3.0 * slow_central.mean_location_ms
+        )
+        assert fast_hash.mean_location_ms < 2.5 * slow_hash.mean_location_ms
+        assert fast_hash.mean_location_ms < fast_central.mean_location_ms / 2
+
+    def test_iagent_population_scales_with_load(self):
+        light = run_experiment(exp1_scenario(10), "hash")
+        heavy = run_experiment(exp1_scenario(100), "hash")
+        assert heavy.metrics.final_iagents > light.metrics.final_iagents
+
+    def test_hash_mechanism_obeys_tmax_in_steady_state(self):
+        """After warmup, every live IAgent's request rate sits at or
+        below T_max (allowing the one report interval of slack the
+        trigger needs)."""
+        result = run_experiment(exp1_scenario(50), "hash", keep_runtime=True)
+        mechanism = result.runtime.location
+        now = result.runtime.sim.now
+        for iagent in mechanism.iagents.values():
+            assert iagent.stats.rate(now) < mechanism.config.t_max * 1.5
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        one = run_experiment(exp1_scenario(20, **QUICK), "hash")
+        two = run_experiment(exp1_scenario(20, **QUICK), "hash")
+        assert one.metrics.location_times == two.metrics.location_times
+        assert one.metrics.rehash_events == two.metrics.rehash_events
+        assert one.metrics.messages_sent == two.metrics.messages_sent

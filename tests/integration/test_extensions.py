@@ -1,0 +1,41 @@
+"""Integration tests of the paper-§7 extensions via the ablation setups."""
+
+import pytest
+
+from repro.harness.ablations import (
+    placement_results,
+    split_policy_results,
+)
+
+
+class TestSplitPolicyAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return split_policy_results(seeds=(1,), quick=True)
+
+    def test_three_policies_reported(self, rows):
+        assert [row["policy"] for row in rows] == [
+            "simple-only",
+            "complex(leaf)",
+            "complex(path)",
+        ]
+
+    def test_all_policies_survive_the_oscillation(self, rows):
+        for row in rows:
+            assert row["splits"] >= 1
+            assert row["mean_ms"] == row["mean_ms"]  # not NaN
+
+    def test_path_scope_is_the_only_one_with_complex_splits(self, rows):
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["simple-only"]["complex_splits"] == 0
+        # Leaf scope structurally cannot find candidates (DESIGN.md §4).
+        assert by_policy["complex(leaf)"]["complex_splits"] == 0
+
+
+class TestPlacementAblation:
+    def test_placement_reduces_location_time_on_clustered_workload(self):
+        rows = placement_results(seeds=(1,), quick=True)
+        by_variant = {row["variant"]: row for row in rows}
+        off = by_variant["placement off"]["mean_ms"]
+        on = by_variant["placement on"]["mean_ms"]
+        assert on < off

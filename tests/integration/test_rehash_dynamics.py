@@ -1,0 +1,118 @@
+"""Integration tests of rehashing under live load (splits AND merges)."""
+
+import pytest
+
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism, run_until
+
+
+class TestSplitDynamics:
+    def test_load_growth_triggers_splits(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        spawn_population(runtime, 40, ConstantResidence(0.25))
+        run_until(runtime, lambda: mechanism.iagent_count >= 3, timeout=30.0)
+        assert mechanism.hagent.splits >= 2
+
+    def test_tree_and_iagent_registry_stay_consistent(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 10.0)
+        tree = mechanism.hagent.tree
+        tree.check_invariants()
+        assert set(tree.owners()) == set(mechanism.iagents)
+        assert set(tree.owners()) == set(mechanism.hagent.iagent_nodes)
+
+    def test_coverages_match_tree_after_rehashing(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 10.0)
+        tree = mechanism.hagent.tree
+        for owner, iagent in mechanism.iagents.items():
+            assert iagent.coverage == tree.hyper_label(owner).pattern()
+
+    def test_records_live_at_their_responsible_iagent(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        agents = spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 10.0)
+        tree = mechanism.hagent.tree
+        total_records = 0
+        for owner, iagent in mechanism.iagents.items():
+            for agent_id in iagent.records:
+                assert tree.lookup_id(agent_id) == owner
+            total_records += len(iagent.records)
+        assert total_records == 40
+
+    def test_per_iagent_load_drops_after_split(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 12.0)  # let splitting converge
+        now = runtime.sim.now
+        rates = [ia.stats.rate(now) for ia in mechanism.iagents.values()]
+        assert max(rates) < 45.0  # everyone sits near or below T_max
+
+
+class TestMergeDynamics:
+    def test_population_shrink_triggers_merges(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(
+            runtime, t_max=30.0, t_min=8.0, merge_patience=2
+        )
+        agents = spawn_population(runtime, 40, ConstantResidence(0.25))
+        run_until(runtime, lambda: mechanism.iagent_count >= 3, timeout=30.0)
+        peak = mechanism.iagent_count
+
+        def retire():
+            for agent in agents[4:]:
+                if agent.alive:
+                    yield from agent.die()
+
+        runtime.sim.spawn(retire(), name="retire")
+        run_until(
+            runtime, lambda: mechanism.iagent_count < peak, timeout=60.0
+        )
+        assert mechanism.hagent.merges >= 1
+
+    def test_system_consistent_after_merge_wave(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(
+            runtime, t_max=30.0, t_min=8.0, merge_patience=2
+        )
+        agents = spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 8.0)
+
+        def retire():
+            for agent in agents[4:]:
+                if agent.alive:
+                    yield from agent.die()
+
+        runtime.sim.spawn(retire(), name="retire")
+        drain(runtime, 15.0)
+        tree = mechanism.hagent.tree
+        tree.check_invariants()
+        assert set(tree.owners()) == set(mechanism.iagents)
+        # The survivors remain locatable.
+        for agent in agents[:4]:
+
+            def query(agent=agent):
+                node = yield from runtime.location.locate(
+                    "node-0", agent.agent_id
+                )
+                return node
+
+            assert runtime.sim.run_process(query()) == agent.node_name
+
+    def test_merges_never_drop_below_one_iagent(self):
+        runtime = build_runtime(nodes=4)
+        mechanism = install_hash_mechanism(
+            runtime, t_min=8.0, merge_patience=1, cooldown=0.1
+        )
+        spawn_population(runtime, 2, ConstantResidence(2.0))
+        drain(runtime, 20.0)  # plenty of idle reports
+        assert mechanism.iagent_count >= 1

@@ -1,0 +1,83 @@
+"""A heavier soak: large population, long horizon, everything enabled.
+
+One run with the extensions on (placement, backup, grouped stats would
+change the semantics -- this uses defaults plus placement and backup),
+churn in the population and messaging traffic on the side. The goal is
+not a number but the absence of pathologies at scale: no unobserved
+process failures, consistent directory, bounded per-IAgent load.
+"""
+
+from repro.core.messaging import AgentMessenger
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, install_hash_mechanism
+
+
+def test_soak_run_with_extensions():
+    runtime = build_runtime(seed=11, nodes=12)
+    mechanism = install_hash_mechanism(
+        runtime,
+        enable_placement=True,
+        placement_interval=2.0,
+        enable_backup_hagent=True,
+    )
+    messenger = AgentMessenger(mechanism)
+    agents = spawn_population(runtime, 120, ConstantResidence(0.3))
+    runtime.sim.run(until=10.0)
+
+    # A second wave joins, part of the first wave leaves.
+    second_wave = spawn_population(runtime, 40, ConstantResidence(0.2))
+
+    def retire():
+        for agent in agents[60:]:
+            if agent.alive:
+                yield from agent.die()
+
+    runtime.sim.spawn(retire(), name="retire")
+
+    # Messaging traffic runs alongside.
+    receipts = []
+
+    def chatter():
+        targets = agents[:10] + second_wave[:10]
+        for round_number in range(3):
+            for target in targets:
+                if not target.alive:
+                    continue
+                receipt = yield from messenger.send(
+                    "node-0", target.agent_id, ("hello", round_number)
+                )
+                receipts.append(receipt)
+
+    runtime.sim.spawn(chatter(), name="chatter")
+    runtime.sim.run(until=25.0)
+
+    # No silent corruption anywhere.
+    tree = mechanism.hagent.tree
+    tree.check_invariants()
+    assert set(tree.owners()) == set(mechanism.iagents)
+
+    # The population was heavy enough to exercise growth and shrink.
+    assert mechanism.hagent.splits >= 3
+
+    # Records exactly cover the living tracked population.
+    live = [a for a in agents + second_wave if a.alive]
+    total_records = sum(
+        len(iagent.records) for iagent in mechanism.iagents.values()
+    )
+    assert total_records == len(live)
+
+    # Bounded per-IAgent load in steady state.
+    now = runtime.sim.now
+    for iagent in mechanism.iagents.values():
+        assert iagent.stats.rate(now) < mechanism.config.t_max * 1.5
+
+    # Messaging delivered to every live target it addressed.
+    assert receipts, "the chatter process must have run"
+    undelivered = [r for r in receipts if not r.delivered]
+    assert len(undelivered) <= len(receipts) * 0.1  # dead targets only
+
+    # The run produced a meaningful amount of activity.
+    assert runtime.sim.events_processed > 100_000
+    assert not runtime.sim.failed_processes

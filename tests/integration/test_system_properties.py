@@ -1,0 +1,118 @@
+"""Property-based tests of the whole system (hypothesis over workloads).
+
+Each example draws a complete workload configuration -- population,
+mobility, thresholds, node count -- runs a short simulation and checks
+the global invariants the design promises regardless of parameters:
+
+* the primary tree stays structurally valid and in sync with the live
+  IAgent registry;
+* every record lives at exactly the IAgent the tree assigns;
+* every live agent remains locatable from every node;
+* runs are reproducible from their seed.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, install_hash_mechanism
+
+workload_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=1, max_value=10_000),
+        "nodes": st.integers(min_value=2, max_value=8),
+        "agents": st.integers(min_value=1, max_value=25),
+        "residence": st.sampled_from([0.1, 0.2, 0.5]),
+        "t_max": st.sampled_from([15.0, 30.0, 50.0]),
+        "merge_patience": st.integers(min_value=1, max_value=3),
+        "horizon": st.sampled_from([3.0, 6.0]),
+    }
+)
+
+
+def run_workload(params):
+    runtime = build_runtime(seed=params["seed"], nodes=params["nodes"])
+    mechanism = install_hash_mechanism(
+        runtime,
+        t_max=params["t_max"],
+        t_min=params["t_max"] / 10.0,
+        merge_patience=params["merge_patience"],
+    )
+    agents = spawn_population(
+        runtime, params["agents"], ConstantResidence(params["residence"])
+    )
+    runtime.sim.run(until=params["horizon"])
+    return runtime, mechanism, agents
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(params=workload_strategy)
+def test_directory_invariants_hold_for_any_workload(params):
+    runtime, mechanism, agents = run_workload(params)
+
+    tree = mechanism.hagent.tree
+    tree.check_invariants()
+
+    # Registry and tree agree on who exists and where.
+    assert set(tree.owners()) == set(mechanism.iagents)
+    assert set(tree.owners()) == set(mechanism.hagent.iagent_nodes)
+    for owner, iagent in mechanism.iagents.items():
+        assert iagent.coverage == tree.hyper_label(owner).pattern()
+        for agent_id in iagent.records:
+            assert tree.lookup_id(agent_id) == owner
+
+    # Exactly the live population is recorded, once each.
+    total_records = sum(
+        len(iagent.records) for iagent in mechanism.iagents.values()
+    )
+    live = [agent for agent in agents if agent.alive]
+    assert total_records == len(live)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(params=workload_strategy)
+def test_every_live_agent_locatable_from_every_node(params):
+    runtime, mechanism, agents = run_workload(params)
+
+    def query(node, agent):
+        found = yield from mechanism.locate(node, agent.agent_id)
+        return found
+
+    for agent in agents:
+        if agent.node is None:
+            continue  # mid-flight at the horizon
+        for node in runtime.node_names()[:3]:
+            located = runtime.sim.run_process(query(node, agent))
+            # The located node is where the agent last *reported* being;
+            # it may have moved since we stopped the clock, but the
+            # directory must answer with a node that exists.
+            assert located in runtime.nodes
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(params=workload_strategy)
+def test_runs_are_reproducible(params):
+    def signature():
+        runtime, mechanism, agents = run_workload(params)
+        return (
+            runtime.sim.events_processed,
+            runtime.network.messages_sent,
+            mechanism.hagent.splits,
+            mechanism.hagent.merges,
+            tuple(sorted(str(a.node_name) for a in agents if a.node)),
+        )
+
+    assert signature() == signature()

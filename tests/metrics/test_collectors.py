@@ -1,0 +1,65 @@
+"""Tests for the metrics collectors."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_values(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.values() == [1.0, 2.0]
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries("x")
+        assert series.last() is None
+        series.record(0.0, 5.0)
+        assert series.last() == 5.0
+
+    def test_at_or_before(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        series.record(3.0, 30.0)
+        assert series.at_or_before(0.5) is None
+        assert series.at_or_before(1.0) == 10.0
+        assert series.at_or_before(2.9) == 10.0
+        assert series.at_or_before(100.0) == 30.0
+
+
+class TestMetricsCollector:
+    def test_location_summary_in_milliseconds(self):
+        collector = MetricsCollector(mechanism="hash")
+        collector.location_times = [0.010, 0.020, 0.030]
+        summary = collector.location_summary()
+        assert summary.mean == pytest.approx(20.0)
+
+    def test_split_merge_counts_from_rehash_log(self):
+        collector = MetricsCollector()
+        collector.rehash_events = [
+            {"event": "split"},
+            {"event": "split"},
+            {"event": "merge"},
+        ]
+        assert collector.splits == 2
+        assert collector.merges == 1
+
+    def test_final_iagents_tracks_series(self):
+        collector = MetricsCollector()
+        assert collector.final_iagents is None
+        collector.iagent_series.record(0.0, 1)
+        collector.iagent_series.record(5.0, 4)
+        assert collector.final_iagents == 4
+
+    def test_messages_per_locate(self):
+        collector = MetricsCollector()
+        collector.messages_sent = 500
+        collector.counters = {"locates": 100}
+        assert collector.messages_per_locate() == 5.0
+
+    def test_messages_per_locate_zero_locates(self):
+        collector = MetricsCollector()
+        collector.messages_sent = 500
+        assert collector.messages_per_locate() == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the load-balance metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.fairness import (
+    busy_fractions,
+    jain_index,
+    load_imbalance,
+    peak_busy,
+)
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+
+class TestJainIndex:
+    def test_perfect_balance(self):
+        assert jain_index([5.0, 5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hot_spot(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_bounds(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+class TestLoadImbalance:
+    def test_balanced_is_one(self):
+        assert load_imbalance([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_hot_spot_scales(self):
+        assert load_imbalance([8.0, 0.0, 0.0, 0.0]) == pytest.approx(4.0)
+
+    def test_zero_mean_is_one(self):
+        assert load_imbalance([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance([])
+
+
+class TestBusyFractions:
+    def test_reads_hash_mechanism(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        spawn_population(runtime, 8, ConstantResidence(0.3))
+        drain(runtime, 3.0)
+        fractions = busy_fractions(runtime)
+        assert len(fractions) >= 1
+        assert all(0 <= value < 1 for value in fractions.values())
+        assert peak_busy(runtime) == max(fractions.values())
+
+    def test_reads_centralized(self):
+        from repro.baselines.centralized import CentralizedMechanism
+
+        runtime = build_runtime()
+        runtime.install_location_mechanism(CentralizedMechanism())
+        spawn_population(runtime, 5, ConstantResidence(0.3))
+        drain(runtime, 2.0)
+        fractions = busy_fractions(runtime)
+        assert len(fractions) == 1
+
+    def test_requires_elapsed_time(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        with pytest.raises(ValueError):
+            busy_fractions(runtime)

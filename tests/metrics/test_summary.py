@@ -1,0 +1,140 @@
+"""Tests for the summary statistics (including hypothesis properties)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.summary import (
+    Summary,
+    confidence_interval,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_known_value(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=0.01
+        )
+
+    def test_single_sample_zero(self):
+        assert stddev([5.0]) == 0.0
+
+    def test_constant_samples_zero(self):
+        assert stddev([3.0, 3.0, 3.0]) == 0.0
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=st.lists(floats, min_size=1, max_size=50))
+    def test_percentile_bounded_by_extremes(self, samples):
+        for q in (0, 25, 50, 75, 95, 100):
+            value = percentile(samples, q)
+            assert min(samples) <= value <= max(samples)
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=st.lists(floats, min_size=2, max_size=50))
+    def test_percentile_monotone_in_q(self, samples):
+        values = [percentile(samples, q) for q in (0, 25, 50, 75, 100)]
+        assert values == sorted(values)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_is_zero(self):
+        assert confidence_interval([5.0]) == 0.0
+
+    def test_constant_samples_zero_width(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_small_sample(self):
+        # n=3, mean 2, sd 1 -> CI = 4.303 * 1 / sqrt(3)
+        ci = confidence_interval([1.0, 2.0, 3.0])
+        assert ci == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+    def test_large_samples_use_normal_approximation(self):
+        samples = [float(i % 10) for i in range(500)]
+        ci = confidence_interval(samples)
+        expected = 1.96 * stddev(samples) / math.sqrt(500)
+        assert ci == pytest.approx(expected, rel=0.02)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples=st.lists(floats, min_size=2, max_size=30))
+    def test_ci_non_negative(self, samples):
+        assert confidence_interval(samples) >= 0.0
+
+
+class TestSummarize:
+    def test_fields_consistent(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == 3.0
+        assert summary.mean == 22.0
+        assert summary.p95 > summary.median
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_scaled_converts_units(self):
+        summary = summarize([0.001, 0.002, 0.003]).scaled(1000.0)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == pytest.approx(1.0)
+        assert summary.count == 3  # counts are not scaled
+
+    def test_str_mentions_mean(self):
+        assert "mean=" in str(summarize([1.0]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples=st.lists(floats, min_size=1, max_size=40))
+    def test_invariants(self, samples):
+        def within(value, low, high):
+            # Allow a few ulps of summation error around the bounds.
+            return (
+                low <= value <= high
+                or math.isclose(value, low, rel_tol=1e-9, abs_tol=1e-300)
+                or math.isclose(value, high, rel_tol=1e-9, abs_tol=1e-300)
+            )
+
+        summary = summarize(samples)
+        assert within(summary.median, summary.minimum, summary.maximum)
+        assert within(summary.mean, summary.minimum, summary.maximum)
+        assert summary.stddev >= 0

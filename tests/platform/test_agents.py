@@ -1,0 +1,153 @@
+"""Unit tests for agent base classes: migration, death, hooks."""
+
+import pytest
+
+from repro.platform.agents import Agent, MobileAgent
+from repro.platform.events import Timeout
+
+from tests.conftest import build_runtime
+
+
+class Wanderer(MobileAgent):
+    def __init__(self, agent_id, runtime, tracked=False):
+        super().__init__(agent_id, runtime, tracked=tracked)
+        self.arrivals = []
+
+    def on_arrival(self):
+        self.arrivals.append(self.node_name)
+
+    def main(self):
+        return None
+
+
+class RecordingMechanism:
+    """A stub location mechanism that records the hook calls."""
+
+    def __init__(self):
+        self.calls = []
+
+    def install(self, runtime):
+        self.runtime = runtime
+
+    def register(self, agent):
+        self.calls.append(("register", agent.agent_id, agent.node_name))
+        return
+        yield  # pragma: no cover
+
+    def report_move(self, agent):
+        self.calls.append(("move", agent.agent_id, agent.node_name))
+        return
+        yield  # pragma: no cover
+
+    def deregister(self, agent):
+        self.calls.append(("deregister", agent.agent_id))
+        return
+        yield  # pragma: no cover
+
+
+class TestDispatch:
+    def test_dispatch_moves_agent(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.dispatch("node-2"))
+        assert agent.node_name == "node-2"
+        assert runtime.get_node("node-0").find_agent(agent.agent_id) is None
+        assert runtime.get_node("node-2").find_agent(agent.agent_id) is agent
+
+    def test_dispatch_takes_transfer_time(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        assert runtime.sim.now > 0
+
+    def test_dispatch_to_same_node_is_noop(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.dispatch("node-0"))
+        assert agent.moves_completed == 0
+        assert runtime.sim.now == 0
+
+    def test_on_arrival_hook_fires(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.dispatch("node-3"))
+        assert agent.arrivals == ["node-3"]
+
+    def test_moves_counted(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+
+        def itinerary():
+            yield from agent.dispatch("node-1")
+            yield from agent.dispatch("node-2")
+
+        runtime.sim.run_process(itinerary())
+        assert agent.moves_completed == 2
+
+    def test_dispatch_to_crashed_node_bounces_back(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.get_node("node-1").crashed = True
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        assert agent.node_name == "node-0"
+        assert agent.moves_completed == 0
+
+    def test_tracked_dispatch_reports_move(self):
+        runtime = build_runtime()
+        mechanism = RecordingMechanism()
+        runtime.install_location_mechanism(mechanism)
+        agent = runtime.create_agent(Wanderer, "node-0", tracked=True, start=False)
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        assert ("move", agent.agent_id, "node-1") in mechanism.calls
+
+    def test_untracked_dispatch_does_not_report(self):
+        runtime = build_runtime()
+        mechanism = RecordingMechanism()
+        runtime.install_location_mechanism(mechanism)
+        agent = runtime.create_agent(Wanderer, "node-0", tracked=False, start=False)
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        assert mechanism.calls == []
+
+
+class TestDeath:
+    def test_die_removes_agent(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.die())
+        assert not agent.alive
+        assert agent.node is None
+        assert runtime.get_node("node-0").find_agent(agent.agent_id) is None
+
+    def test_die_deregisters_tracked_agent(self):
+        runtime = build_runtime()
+        mechanism = RecordingMechanism()
+        runtime.install_location_mechanism(mechanism)
+        agent = runtime.create_agent(Wanderer, "node-0", tracked=True, start=False)
+        runtime.sim.run_process(agent.die())
+        assert ("deregister", agent.agent_id) in mechanism.calls
+
+    def test_dead_agent_ignores_dispatch(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        runtime.sim.run_process(agent.die())
+        runtime.sim.run_process(agent.dispatch("node-1"))
+        assert agent.node is None
+
+
+class TestAgentBasics:
+    def test_handle_is_abstract_by_default(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        with pytest.raises(NotImplementedError):
+            agent.handle(type("Req", (), {"op": "x"})())
+
+    def test_node_name_requires_placement(self):
+        runtime = build_runtime()
+        agent = Wanderer(runtime.namer.next_id(), runtime)
+        with pytest.raises(RuntimeError):
+            agent.node_name
+
+    def test_repr_contains_location(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Wanderer, "node-0")
+        assert "node-0" in repr(agent)

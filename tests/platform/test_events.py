@@ -1,0 +1,182 @@
+"""Unit tests for the simulation primitives (Timeout, Future, gather)."""
+
+import pytest
+
+from repro.platform.events import Future, Process, ProcessFailed, Timeout, gather
+from repro.platform.simulator import Simulator
+
+
+class TestTimeout:
+    def test_stores_delay(self):
+        assert Timeout(1.5).delay == 1.5
+
+    def test_zero_delay_allowed(self):
+        assert Timeout(0).delay == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-0.1)
+
+    def test_repr_mentions_delay(self):
+        assert "0.25" in repr(Timeout(0.25))
+
+
+class TestFuture:
+    def test_starts_pending(self):
+        future = Future("f")
+        assert not future.done
+        assert not future.failed
+
+    def test_result_before_done_raises(self):
+        with pytest.raises(RuntimeError):
+            Future().result()
+
+    def test_set_result(self):
+        future = Future()
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+        assert future.exception() is None
+
+    def test_set_result_none_by_default(self):
+        future = Future()
+        future.set_result()
+        assert future.result() is None
+
+    def test_set_exception(self):
+        future = Future()
+        error = ValueError("boom")
+        future.set_exception(error)
+        assert future.failed
+        assert future.exception() is error
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_set_exception_requires_exception(self):
+        with pytest.raises(TypeError):
+            Future().set_exception("not an exception")
+
+    def test_double_resolution_rejected(self):
+        future = Future("twice")
+        future.set_result(1)
+        with pytest.raises(RuntimeError):
+            future.set_result(2)
+        with pytest.raises(RuntimeError):
+            future.set_exception(ValueError())
+
+    def test_callback_fires_on_completion(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == []
+        future.set_result("x")
+        assert seen == [future]
+
+    def test_callback_fires_immediately_when_already_done(self):
+        future = Future()
+        future.set_result(1)
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_callbacks_fire_once_each(self):
+        future = Future()
+        counter = {"n": 0}
+        future.add_done_callback(lambda _f: counter.__setitem__("n", counter["n"] + 1))
+        future.add_done_callback(lambda _f: counter.__setitem__("n", counter["n"] + 1))
+        future.set_result(None)
+        assert counter["n"] == 2
+
+    def test_repr_shows_state(self):
+        future = Future("named")
+        assert "pending" in repr(future)
+        future.set_result(1)
+        assert "done" in repr(future)
+        failed = Future()
+        failed.set_exception(RuntimeError())
+        assert "failed" in repr(failed)
+
+
+class TestProcess:
+    def test_requires_generator(self):
+        with pytest.raises(TypeError):
+            Process(lambda: None, sim=None)
+
+    def test_process_is_future_over_return_value(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            return "answer"
+
+        result = sim.run_process(worker())
+        assert result == "answer"
+
+    def test_interrupt_marks_failed(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        process = sim.spawn(sleeper())
+        sim.run(until=1.0)
+        process.interrupt("test kill")
+        assert process.done
+        assert process.interrupted
+        with pytest.raises(ProcessFailed):
+            process.result()
+
+    def test_interrupt_after_done_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            return 7
+            yield  # pragma: no cover
+
+        process = sim.spawn(quick())
+        sim.run()
+        process.interrupt()
+        assert process.result() == 7
+        assert not process.interrupted
+
+
+class TestGather:
+    def test_empty_gather_resolves_immediately(self):
+        combined = gather([])
+        assert combined.done
+        assert combined.result() == []
+
+    def test_results_in_input_order(self):
+        first, second = Future(), Future()
+        combined = gather([first, second])
+        second.set_result("b")
+        assert not combined.done
+        first.set_result("a")
+        assert combined.result() == ["a", "b"]
+
+    def test_first_failure_propagates(self):
+        first, second = Future(), Future()
+        combined = gather([first, second])
+        first.set_exception(KeyError("nope"))
+        assert combined.failed
+        with pytest.raises(KeyError):
+            combined.result()
+
+    def test_late_results_after_failure_are_ignored(self):
+        first, second = Future(), Future()
+        combined = gather([first, second])
+        first.set_exception(KeyError())
+        second.set_result("late")  # must not blow up or re-resolve
+        assert combined.failed
+
+    def test_gather_of_processes(self):
+        sim = Simulator()
+
+        def worker(value, delay):
+            yield Timeout(delay)
+            return value
+
+        processes = [sim.spawn(worker(i, 0.1 * (3 - i))) for i in range(3)]
+        combined = gather(processes)
+        sim.run()
+        assert combined.result() == [0, 1, 2]

@@ -1,0 +1,87 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.platform.agents import Agent
+from repro.platform.failures import FailureInjector
+from repro.platform.messages import RpcTimeout
+
+from tests.conftest import build_runtime
+
+
+class Echo(Agent):
+    service_time = 0.001
+
+    def handle(self, request):
+        return "pong"
+
+
+def call(runtime, agent, timeout=0.3):
+    def caller():
+        try:
+            reply = yield runtime.rpc(
+                "node-0", agent.node_name, agent.agent_id, "ping", timeout=timeout
+            )
+            return reply
+        except RpcTimeout:
+            return "timeout"
+
+    return runtime.sim.run_process(caller())
+
+
+class TestAgentFaults:
+    def test_crashed_agent_stops_answering(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        assert call(runtime, agent) == "pong"
+        injector.crash_agent(agent)
+        assert call(runtime, agent) == "timeout"
+
+    def test_recovered_agent_answers_again(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.crash_agent(agent)
+        injector.recover_agent(agent)
+        assert call(runtime, agent) == "pong"
+
+    def test_fault_log_records_events(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.crash_agent(agent)
+        injector.recover_agent(agent)
+        kinds = [entry[1] for entry in injector.log]
+        assert kinds == ["crash-agent", "recover-agent"]
+
+    def test_scheduled_crash_and_recovery(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.schedule_agent_crash(agent, at=1.0, recover_after=1.0)
+        runtime.sim.run(until=0.5)
+        assert not agent.mailbox.stopped
+        runtime.sim.run(until=1.5)
+        assert agent.mailbox.stopped
+        runtime.sim.run(until=2.5)
+        assert not agent.mailbox.stopped
+
+
+class TestNodeFaults:
+    def test_crashed_node_unreachable(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.crash_node("node-1")
+        assert call(runtime, agent) == "timeout"
+        assert runtime.get_node("node-1").crashed
+
+    def test_recovered_node_reachable(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.crash_node("node-1")
+        injector.recover_node("node-1")
+        assert call(runtime, agent) == "pong"
+        assert not runtime.network.is_partitioned("node-1")

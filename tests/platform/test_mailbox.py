@@ -1,0 +1,166 @@
+"""Unit tests for the serial mailbox (the queueing model)."""
+
+import pytest
+
+from repro.platform.events import Timeout
+from repro.platform.mailbox import Mailbox
+from repro.platform.simulator import Simulator
+
+
+class TestMailboxBasics:
+    def test_job_result_delivered_via_future(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.01)
+        future = box.submit(lambda: 41 + 1)
+        sim.run()
+        assert future.result() == 42
+
+    def test_service_time_charged_per_job(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.25)
+        box.submit(lambda: None)
+        done = box.submit(lambda: sim.now)
+        sim.run()
+        assert done.result() == pytest.approx(0.5)
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.01)
+        order = []
+        for index in range(5):
+            box.submit(lambda i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_queueing_delay_accumulates(self):
+        """Ten jobs at 10ms each: the last finishes at ~100ms."""
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.01)
+        futures = [box.submit(lambda: sim.now) for _ in range(10)]
+        sim.run()
+        assert futures[-1].result() == pytest.approx(0.1)
+
+    def test_callable_service_time_sampled_per_job(self):
+        sim = Simulator()
+        samples = iter([0.1, 0.3])
+        box = Mailbox(sim, service_time=lambda: next(samples))
+        last = box.submit(lambda: sim.now)
+        last2 = box.submit(lambda: sim.now)
+        sim.run()
+        assert last.result() == pytest.approx(0.1)
+        assert last2.result() == pytest.approx(0.4)
+
+    def test_set_service_time(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=1.0)
+        box.set_service_time(0.001)
+        done = box.submit(lambda: sim.now)
+        sim.run()
+        assert done.result() == pytest.approx(0.001)
+
+    def test_generator_job_runs_as_subprocess(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+
+        def handler():
+            yield Timeout(0.5)
+            return "slow answer"
+
+        future = box.submit(lambda: handler())
+        sim.run()
+        assert future.result() == "slow answer"
+
+    def test_generator_job_blocks_later_jobs(self):
+        """Service is one-message-at-a-time even across handler waits."""
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+
+        def slow():
+            yield Timeout(1.0)
+
+        box.submit(lambda: slow())
+        second = box.submit(lambda: sim.now)
+        sim.run()
+        assert second.result() >= 1.0
+
+    def test_job_exception_fails_future_not_mailbox(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+
+        def bad():
+            raise KeyError("broken job")
+
+        failed = box.submit(bad)
+        after = box.submit(lambda: "still alive")
+        sim.run()
+        assert failed.failed
+        assert after.result() == "still alive"
+
+    def test_generator_job_exception_fails_future(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+
+        def bad():
+            yield Timeout(0.1)
+            raise ValueError("late failure")
+
+        failed = box.submit(lambda: bad())
+        sim.run()
+        assert failed.failed
+        with pytest.raises(ValueError):
+            failed.result()
+
+
+class TestMailboxStop:
+    def test_stopped_mailbox_never_completes_jobs(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+        box.stop()
+        future = box.submit(lambda: "ghost")
+        sim.run()
+        assert not future.done
+        assert box.stopped
+
+    def test_stop_discards_queued_jobs(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=1.0)
+        queued = box.submit(lambda: "queued")
+        box.stop()
+        sim.run()
+        assert not queued.done
+
+    def test_restart_resumes_service(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+        box.stop()
+        box.restart()
+        future = box.submit(lambda: "back")
+        sim.run()
+        assert future.result() == "back"
+
+
+class TestMailboxStats:
+    def test_jobs_processed_counted(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.0)
+        for _ in range(7):
+            box.submit(lambda: None)
+        sim.run()
+        assert box.jobs_processed == 7
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.2)
+        for _ in range(3):
+            box.submit(lambda: None)
+        sim.run()
+        assert box.busy_time == pytest.approx(0.6)
+
+    def test_peak_queue_length(self):
+        sim = Simulator()
+        box = Mailbox(sim, service_time=0.1)
+        for _ in range(5):
+            box.submit(lambda: None)
+        assert box.peak_queue_length == 5
+        sim.run()
+        assert box.queue_length == 0

@@ -1,0 +1,91 @@
+"""Unit tests for message envelopes and the node container."""
+
+import pytest
+
+from repro.platform.agents import Agent
+from repro.platform.messages import (
+    AgentNotFound,
+    NodeUnavailable,
+    Request,
+    Response,
+    RpcError,
+    RpcTimeout,
+)
+from repro.platform.node import Envelope
+
+from tests.conftest import build_runtime
+
+
+class TestRequest:
+    def test_message_ids_are_unique_and_increasing(self):
+        first, second = Request(op="a"), Request(op="b")
+        assert first.message_id < second.message_id
+
+    def test_defaults(self):
+        request = Request(op="ping")
+        assert request.body is None
+        assert request.size == 256
+
+    def test_repr_mentions_op_and_sender(self):
+        request = Request(op="locate", sender_node="node-3")
+        assert "locate" in repr(request)
+        assert "node-3" in repr(request)
+
+
+class TestResponse:
+    def test_ok_when_no_error(self):
+        assert Response(message_id=1, value=42).ok
+        assert not Response(message_id=1, error="boom").ok
+
+
+class TestErrorHierarchy:
+    def test_all_are_rpc_errors(self):
+        for exc_type in (RpcTimeout, AgentNotFound, NodeUnavailable):
+            assert issubclass(exc_type, RpcError)
+
+    def test_rpc_error_is_runtime_error(self):
+        assert issubclass(RpcError, RuntimeError)
+
+
+class Echo(Agent):
+    def handle(self, request):
+        return "pong"
+
+
+class TestNodeContainer:
+    def test_find_agent(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-0", tracked=False)
+        node = runtime.get_node("node-0")
+        assert node.find_agent(agent.agent_id) is agent
+        assert node.find_agent(runtime.namer.next_id()) is None
+
+    def test_remove_agent_detaches(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-0", tracked=False)
+        node = runtime.get_node("node-0")
+        node.remove_agent(agent)
+        assert node.find_agent(agent.agent_id) is None
+
+    def test_remove_foreign_agent_rejected(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-0", tracked=False)
+        with pytest.raises(ValueError):
+            runtime.get_node("node-1").remove_agent(agent)
+
+    def test_crashed_node_drops_envelopes_silently(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-0", tracked=False)
+        node = runtime.get_node("node-0")
+        node.crashed = True
+        node.receive(
+            Envelope(kind="request", target_agent=agent.agent_id,
+                     payload=Request(op="ping"), reply_node="node-1")
+        )
+        runtime.sim.run()
+        assert agent.mailbox.jobs_processed == 0
+
+    def test_repr_counts_agents(self):
+        runtime = build_runtime()
+        runtime.create_agent(Echo, "node-0", tracked=False)
+        assert "agents=1" in repr(runtime.get_node("node-0"))

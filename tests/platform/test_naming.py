@@ -1,0 +1,108 @@
+"""Unit tests for agent ids and id generators."""
+
+import pytest
+
+from repro.platform.naming import (
+    AgentId,
+    AgentNamer,
+    SkewedNamer,
+    splitmix64,
+)
+
+
+class TestAgentId:
+    def test_bits_are_zero_padded_msb_first(self):
+        assert AgentId(5, width=8).bits == "00000101"
+
+    def test_bits_full_width(self):
+        assert len(AgentId(0).bits) == 64
+
+    def test_bit_accessor_is_one_based(self):
+        agent_id = AgentId(0b1010, width=4)
+        assert agent_id.bit(1) == "1"
+        assert agent_id.bit(2) == "0"
+        assert agent_id.bit(4) == "0"
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            AgentId(0, width=4).bit(5)
+        with pytest.raises(IndexError):
+            AgentId(0, width=4).bit(0)
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AgentId(16, width=4)
+        with pytest.raises(ValueError):
+            AgentId(-1, width=4)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AgentId(0, width=0)
+
+    def test_ids_are_hashable_and_ordered(self):
+        a, b = AgentId(1), AgentId(2)
+        assert a < b
+        assert len({a, b, AgentId(1)}) == 2
+
+    def test_short_form(self):
+        assert len(AgentId(0xABCDEF).short()) == 8
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        assert splitmix64(1) == splitmix64(1)
+
+    def test_spreads_sequential_inputs(self):
+        outputs = {splitmix64(i) for i in range(100)}
+        assert len(outputs) == 100
+        # High bits should vary: count distinct top bytes.
+        top_bytes = {value >> 56 for value in outputs}
+        assert len(top_bytes) > 30
+
+
+class TestAgentNamer:
+    def test_generates_unique_ids(self):
+        namer = AgentNamer(seed=1)
+        ids = {namer.next_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_same_seed_same_sequence(self):
+        one = [AgentNamer(seed=3).next_id() for _ in range(5)]
+        two = [AgentNamer(seed=3).next_id() for _ in range(5)]
+        assert one == two
+
+    def test_first_bits_roughly_uniform(self):
+        namer = AgentNamer(seed=2)
+        ones = sum(namer.next_id().bits[0] == "1" for _ in range(2000))
+        assert 850 < ones < 1150
+
+    def test_respects_width(self):
+        namer = AgentNamer(seed=1, width=16)
+        assert all(namer.next_id().width == 16 for _ in range(10))
+
+
+class TestSkewedNamer:
+    def test_skewed_fraction_shares_prefix(self):
+        namer = SkewedNamer(seed=1, prefix="0110", skew=0.8)
+        hits = sum(namer.next_id().bits.startswith("0110") for _ in range(2000))
+        # 80% forced + ~1/16 of the rest by chance.
+        assert 1550 < hits < 1800
+
+    def test_skew_zero_is_plain(self):
+        namer = SkewedNamer(seed=1, prefix="1111", skew=0.0)
+        hits = sum(namer.next_id().bits.startswith("1111") for _ in range(1000))
+        assert hits < 150
+
+    def test_skew_one_forces_all(self):
+        namer = SkewedNamer(seed=1, prefix="101", skew=1.0)
+        assert all(namer.next_id().bits.startswith("101") for _ in range(100))
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedNamer(prefix="01a")
+        with pytest.raises(ValueError):
+            SkewedNamer(prefix="")
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedNamer(skew=1.5)

@@ -1,0 +1,148 @@
+"""Unit tests for the network model."""
+
+import random
+
+import pytest
+
+from repro.platform.network import LinkModel, Network
+from repro.platform.simulator import Simulator
+
+
+def make_network(**kwargs):
+    sim = Simulator()
+    network = Network(sim, random.Random(1), **kwargs)
+    return sim, network
+
+
+class TestLinkModel:
+    def test_delay_includes_latency_and_size(self):
+        link = LinkModel(latency=0.001, jitter=0.0, bandwidth=1000.0)
+        assert link.sample_delay(500, random.Random(1)) == pytest.approx(0.501)
+
+    def test_jitter_bounded(self):
+        link = LinkModel(latency=0.001, jitter=0.002, bandwidth=1e9)
+        rng = random.Random(42)
+        for _ in range(100):
+            delay = link.sample_delay(0, rng)
+            assert 0.001 <= delay <= 0.003 + 1e-12
+
+    def test_no_loss_by_default(self):
+        link = LinkModel()
+        rng = random.Random(1)
+        assert not any(link.sample_lost(rng) for _ in range(100))
+
+    def test_loss_probability_roughly_respected(self):
+        link = LinkModel(loss=0.5)
+        rng = random.Random(7)
+        losses = sum(link.sample_lost(rng) for _ in range(1000))
+        assert 400 < losses < 600
+
+
+class TestNetwork:
+    def test_register_and_send(self):
+        sim, network = make_network()
+        received = []
+        network.register_node("a", received.append)
+        network.register_node("b", received.append)
+        network.send("a", "b", {"msg": 1})
+        sim.run()
+        assert received == [{"msg": 1}]
+        assert sim.now > 0
+
+    def test_duplicate_node_rejected(self):
+        _, network = make_network()
+        network.register_node("a", lambda payload: None)
+        with pytest.raises(ValueError):
+            network.register_node("a", lambda payload: None)
+
+    def test_unknown_destination_rejected(self):
+        _, network = make_network()
+        network.register_node("a", lambda payload: None)
+        with pytest.raises(KeyError):
+            network.send("a", "ghost", {})
+
+    def test_local_delivery_uses_local_delay(self):
+        sim, network = make_network(local_delay=0.007)
+        times = []
+        network.register_node("a", lambda payload: times.append(sim.now))
+        network.send("a", "a", "ping")
+        sim.run()
+        assert times == [pytest.approx(0.007)]
+
+    def test_link_override_applies(self):
+        sim, network = make_network()
+        slow = LinkModel(latency=1.0, jitter=0.0, bandwidth=1e12)
+        times = []
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", lambda payload: times.append(sim.now))
+        network.set_link("a", "b", slow)
+        network.send("a", "b", "x")
+        sim.run()
+        assert times[0] >= 1.0
+        assert network.link_between("b", "a") is slow  # symmetric key
+
+    def test_counters_accumulate(self):
+        sim, network = make_network()
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", lambda payload: None)
+        network.send("a", "b", "x", size=100)
+        network.send("a", "b", "y", size=150)
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 250
+
+    def test_partition_drops_traffic_both_ways(self):
+        sim, network = make_network()
+        received = []
+        network.register_node("a", received.append)
+        network.register_node("b", received.append)
+        network.partition("b")
+        network.send("a", "b", "to-b")
+        network.send("b", "a", "from-b")
+        sim.run()
+        assert received == []
+        assert network.is_partitioned("b")
+
+    def test_heal_restores_traffic(self):
+        sim, network = make_network()
+        received = []
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", received.append)
+        network.partition("b")
+        network.heal("b")
+        network.send("a", "b", "hello")
+        sim.run()
+        assert received == ["hello"]
+
+    def test_message_in_flight_when_partition_strikes_is_lost(self):
+        sim, network = make_network()
+        received = []
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", received.append)
+        network.send("a", "b", "doomed")
+        network.partition("b")  # before delivery fires
+        sim.run()
+        assert received == []
+
+    def test_lossy_link_drops_some_messages(self):
+        sim, network = make_network(default_link=LinkModel(loss=0.5))
+        received = []
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", received.append)
+        for index in range(200):
+            network.send("a", "b", index)
+        sim.run()
+        assert 0 < len(received) < 200
+
+    def test_transfer_delay_scales_with_size(self):
+        _, network = make_network()
+        network.register_node("a", lambda payload: None)
+        network.register_node("b", lambda payload: None)
+        small = network.transfer_delay("a", "b", 1_000)
+        large = network.transfer_delay("a", "b", 10_000_000)
+        assert large > small
+
+    def test_node_names(self):
+        _, network = make_network()
+        network.register_node("n1", lambda payload: None)
+        network.register_node("n2", lambda payload: None)
+        assert network.node_names == ("n1", "n2")

@@ -1,0 +1,244 @@
+"""Unit tests for the runtime: nodes, delivery, RPC, lifecycle."""
+
+import pytest
+
+from repro.platform.agents import Agent
+from repro.platform.messages import AgentNotFound, RpcError, RpcTimeout
+from repro.platform.naming import AgentId
+
+from tests.conftest import build_runtime
+
+
+class Echo(Agent):
+    """Returns its op and body; raises on the 'explode' op."""
+
+    service_time = 0.001
+
+    def handle(self, request):
+        if request.op == "explode":
+            raise RuntimeError("deliberate")
+        if request.op == "slow":
+            yield self.sleep(request.body["delay"])
+            return "finally"
+        return (request.op, request.body)
+
+    def main(self):
+        return None
+
+
+class TestNodes:
+    def test_create_and_get_node(self):
+        runtime = build_runtime(nodes=2)
+        assert runtime.get_node("node-0").name == "node-0"
+        assert runtime.node_names() == ["node-0", "node-1"]
+
+    def test_duplicate_node_rejected(self):
+        runtime = build_runtime(nodes=1)
+        with pytest.raises(ValueError):
+            runtime.create_node("node-0")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            build_runtime().get_node("nope")
+
+    def test_create_nodes_prefix(self):
+        runtime = build_runtime(nodes=0) if False else None
+        rt = build_runtime(nodes=1)
+        extra = rt.create_nodes(2, prefix="extra")
+        assert [node.name for node in extra] == ["extra-0", "extra-1"]
+
+
+class TestAgentCreation:
+    def test_agent_placed_on_node(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        assert agent.node_name == "node-1"
+        assert runtime.get_node("node-1").find_agent(agent.agent_id) is agent
+        assert runtime.agents[agent.agent_id] is agent
+
+    def test_explicit_agent_id_honoured(self):
+        runtime = build_runtime()
+        wanted = AgentId(12345)
+        agent = runtime.create_agent(Echo, "node-0", tracked=False, agent_id=wanted)
+        assert agent.agent_id == wanted
+
+    def test_duplicate_agent_on_node_rejected(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-0", tracked=False)
+        with pytest.raises(ValueError):
+            runtime.get_node("node-0").add_agent(agent)
+
+
+class TestRpc:
+    def test_roundtrip(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+
+        def caller():
+            reply = yield runtime.rpc(
+                "node-0", "node-1", echo.agent_id, "ping", {"k": 1}
+            )
+            return reply
+
+        assert runtime.sim.run_process(caller()) == ("ping", {"k": 1})
+
+    def test_rpc_to_missing_agent_raises_agent_not_found(self):
+        runtime = build_runtime()
+
+        def caller():
+            try:
+                yield runtime.rpc("node-0", "node-1", AgentId(1), "ping")
+            except AgentNotFound:
+                return "missing"
+
+        assert runtime.sim.run_process(caller()) == "missing"
+
+    def test_remote_handler_exception_becomes_rpc_error(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+
+        def caller():
+            try:
+                yield runtime.rpc("node-0", "node-1", echo.agent_id, "explode")
+            except RpcError as exc:
+                return str(exc)
+
+        assert "deliberate" in runtime.sim.run_process(caller())
+
+    def test_generator_handler_supported(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+
+        def caller():
+            reply = yield runtime.rpc(
+                "node-0", "node-1", echo.agent_id, "slow", {"delay": 0.3}
+            )
+            return (reply, runtime.sim.now)
+
+        reply, elapsed = runtime.sim.run_process(caller())
+        assert reply == "finally"
+        assert elapsed >= 0.3
+
+    def test_timeout_fires_when_agent_hangs(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+        echo.mailbox.stop()  # crashed: never replies
+
+        def caller():
+            try:
+                yield runtime.rpc(
+                    "node-0", "node-1", echo.agent_id, "ping", timeout=0.5
+                )
+            except RpcTimeout:
+                return runtime.sim.now
+
+        assert runtime.sim.run_process(caller()) == pytest.approx(0.5)
+        assert runtime.rpc_timeouts == 1
+
+    def test_late_response_after_timeout_is_dropped(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+
+        def caller():
+            try:
+                yield runtime.rpc(
+                    "node-0", "node-1", echo.agent_id, "slow",
+                    {"delay": 1.0}, timeout=0.2,
+                )
+            except RpcTimeout:
+                pass
+            # Let the late response arrive; nothing should blow up.
+            yield echo.sleep(2.0)
+            return "survived"
+
+        assert runtime.sim.run_process(caller()) == "survived"
+
+    def test_rpc_counter(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+
+        def caller():
+            yield runtime.rpc("node-0", "node-1", echo.agent_id, "a")
+            yield runtime.rpc("node-0", "node-1", echo.agent_id, "b")
+
+        runtime.sim.run_process(caller())
+        assert runtime.rpcs_sent == 2
+
+    def test_crashed_node_swallows_requests(self):
+        runtime = build_runtime()
+        echo = runtime.create_agent(Echo, "node-1", tracked=False)
+        runtime.get_node("node-1").crashed = True
+
+        def caller():
+            try:
+                yield runtime.rpc(
+                    "node-0", "node-1", echo.agent_id, "ping", timeout=0.3
+                )
+            except RpcTimeout:
+                return "timed out"
+
+        assert runtime.sim.run_process(caller()) == "timed out"
+
+
+class TestLifecycle:
+    def test_main_runs_automatically(self):
+        runtime = build_runtime()
+        log = []
+
+        class Starter(Agent):
+            def main(self):
+                log.append("started")
+                return None
+                yield  # pragma: no cover
+
+        runtime.create_agent(Starter, "node-0", tracked=False)
+        runtime.sim.run()
+        assert log == ["started"]
+
+    def test_start_false_skips_lifecycle(self):
+        runtime = build_runtime()
+        log = []
+
+        class Starter(Agent):
+            def main(self):
+                log.append("started")
+                return None
+
+        runtime.create_agent(Starter, "node-0", tracked=False, start=False)
+        runtime.sim.run()
+        assert log == []
+
+    def test_registration_failure_is_tolerated_and_recorded(self):
+        runtime = build_runtime()
+
+        class FussyMechanism:
+            def install(self, rt):
+                self.runtime = rt
+
+            def register(self, agent):
+                raise RuntimeError("directory down")
+                yield  # pragma: no cover
+
+        runtime.install_location_mechanism(FussyMechanism())
+
+        class Tracked(Agent):
+            def __init__(self, agent_id, rt):
+                super().__init__(agent_id, rt, tracked=True)
+
+            def main(self):
+                return None
+
+        runtime.create_agent(Tracked, "node-0")
+        runtime.sim.run()
+        assert len(runtime.lifecycle_errors) == 1
+
+    def test_double_mechanism_install_rejected(self):
+        runtime = build_runtime()
+
+        class Stub:
+            def install(self, rt):
+                pass
+
+        runtime.install_location_mechanism(Stub())
+        with pytest.raises(RuntimeError):
+            runtime.install_location_mechanism(Stub())

@@ -1,0 +1,227 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.platform.events import Future, Timeout
+from repro.platform.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, seen.append, "late")
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(2.0, seen.append, "middle")
+        sim.run()
+        assert seen == ["early", "middle", "late"]
+
+    def test_same_time_runs_in_scheduling_order(self):
+        sim = Simulator()
+        seen = []
+        for index in range(5):
+            sim.schedule(1.0, seen.append, index)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancelled_call_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        call = sim.schedule(1.0, seen.append, "x")
+        call.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        call = sim.schedule(1.0, lambda: None)
+        call.cancel()
+        call.cancel()
+
+    def test_run_until_stops_early_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "later")
+        sim.run(until=2.0)
+        assert seen == []
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == ["later"]
+
+    def test_run_until_exact_boundary_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, seen.append, "at-boundary")
+        sim.run(until=2.0)
+        assert seen == ["at-boundary"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            yield Timeout(0.5)
+            return sim.now
+
+        assert sim.run_process(worker()) == 1.5
+
+    def test_yielding_future_resumes_with_result(self):
+        sim = Simulator()
+        future = Future()
+
+        def producer():
+            yield Timeout(1.0)
+            future.set_result("payload")
+
+        def consumer():
+            value = yield future
+            return value
+
+        sim.spawn(producer())
+        assert sim.run_process(consumer()) == "payload"
+
+    def test_yielding_failed_future_raises_inside_process(self):
+        sim = Simulator()
+        future = Future()
+
+        def producer():
+            yield Timeout(0.5)
+            future.set_exception(ValueError("bad"))
+
+        def consumer():
+            try:
+                yield future
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        sim.spawn(producer())
+        assert sim.run_process(consumer()) == "caught"
+
+    def test_joining_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(2.0)
+            return 99
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value
+
+        assert sim.run_process(parent()) == 99
+
+    def test_yielding_garbage_raises_type_error(self):
+        sim = Simulator()
+
+        def worker():
+            yield "not a yieldable"
+
+        def supervisor():
+            try:
+                yield sim.spawn(worker())
+            except TypeError:
+                return "typed"
+            return "untyped"
+
+        assert sim.run_process(supervisor()) == "typed"
+
+    def test_unobserved_process_failure_aborts_run(self):
+        sim = Simulator()
+
+        def bomber():
+            yield Timeout(0.1)
+            raise RuntimeError("unhandled")
+
+        sim.spawn(bomber())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_observed_process_failure_does_not_abort(self):
+        sim = Simulator()
+
+        def bomber():
+            yield Timeout(0.1)
+            raise RuntimeError("handled upstream")
+
+        def watcher():
+            try:
+                yield sim.spawn(bomber())
+            except RuntimeError:
+                return "ok"
+
+        assert sim.run_process(watcher()) == "ok"
+
+    def test_immediate_return_process(self):
+        sim = Simulator()
+
+        def instant():
+            return "now"
+            yield  # pragma: no cover
+
+        assert sim.run_process(instant()) == "now"
+
+    def test_run_process_detects_deadlock(self):
+        sim = Simulator()
+
+        def stuck():
+            yield Future()  # nobody will ever resolve this
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_process(stuck())
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(period)
+                log.append((sim.now, name))
+
+        sim.spawn(ticker("a", 1.0))
+        sim.spawn(ticker("b", 1.5))
+        sim.run()
+        # At t=3.0 'b' resumes first: its timeout was scheduled (at 1.5)
+        # before 'a' scheduled its own (at 2.0) -- FIFO within an instant.
+        assert log == [
+            (1.0, "a"),
+            (1.5, "b"),
+            (2.0, "a"),
+            (3.0, "b"),
+            (3.0, "a"),
+            (4.5, "b"),
+        ]

@@ -1,0 +1,79 @@
+"""Tests for the topology builders."""
+
+import pytest
+
+from repro.platform.network import LinkModel
+from repro.platform.topologies import (
+    LAN_LINK,
+    WAN_LINK,
+    build_sites,
+    lan,
+    star,
+    two_site,
+)
+
+from tests.conftest import build_runtime
+
+
+class TestLan:
+    def test_sets_default_link(self):
+        runtime = build_runtime()
+        custom = LinkModel(latency=0.002)
+        lan(runtime, custom)
+        assert runtime.network.default_link is custom
+
+
+class TestTwoSite:
+    def test_cross_site_links_are_wan(self):
+        runtime = build_runtime(nodes=6)
+        two_site(runtime, remote_nodes=["node-4", "node-5"])
+        network = runtime.network
+        assert network.link_between("node-0", "node-4") is WAN_LINK
+        assert network.link_between("node-5", "node-1") is WAN_LINK
+        assert network.link_between("node-0", "node-1") is LAN_LINK
+        assert network.link_between("node-4", "node-5") is LAN_LINK
+
+    def test_unknown_remote_node_rejected(self):
+        runtime = build_runtime(nodes=2)
+        with pytest.raises(ValueError):
+            two_site(runtime, remote_nodes=["phantom"])
+
+
+class TestStar:
+    def test_hub_links_short_spoke_pairs_long(self):
+        runtime = build_runtime(nodes=4)
+        star(runtime, hub="node-0")
+        network = runtime.network
+        hub_spoke = network.link_between("node-0", "node-2")
+        spoke_spoke = network.link_between("node-1", "node-2")
+        assert hub_spoke.latency == WAN_LINK.latency
+        assert spoke_spoke.latency == pytest.approx(2 * WAN_LINK.latency)
+
+    def test_unknown_hub_rejected(self):
+        runtime = build_runtime(nodes=2)
+        with pytest.raises(ValueError):
+            star(runtime, hub="nowhere")
+
+
+class TestBuildSites:
+    def test_creates_nodes_and_links(self):
+        runtime = build_runtime(nodes=0) if False else None
+        rt = build_runtime(nodes=1)  # pre-existing node is untouched
+        groups = build_sites(rt, {"hq": 2, "edge": 3})
+        assert groups == {
+            "hq": ["hq-0", "hq-1"],
+            "edge": ["edge-0", "edge-1", "edge-2"],
+        }
+        assert rt.network.link_between("hq-0", "edge-0") is WAN_LINK
+        assert rt.network.link_between("edge-0", "edge-2") is LAN_LINK
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            build_sites(build_runtime(), {})
+
+    def test_traffic_crosses_sites_slower(self):
+        rt = build_runtime(nodes=1)
+        build_sites(rt, {"hq": 1, "edge": 1})
+        fast = rt.network.transfer_delay("hq-0", "hq-0", 100)
+        slow = rt.network.transfer_delay("hq-0", "edge-0", 100)
+        assert slow > 10 * fast

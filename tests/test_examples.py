@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are load-bearing documentation; this keeps them from rotting.
+Each is executed in-process with its stdout captured and a couple of
+sanity greps on the output.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert names == {
+            "quickstart.py",
+            "marketplace.py",
+            "network_monitoring.py",
+            "adaptive_load.py",
+            "compare_mechanisms.py",
+            "task_dispatch.py",
+            "survey_fleet.py",
+        }
+
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "agents roaming" in output
+        assert "Final hash tree" in output
+        assert output.count("->") >= 20  # one line per located agent
+
+    def test_marketplace(self, capsys):
+        output = run_example("marketplace.py", capsys)
+        assert "buyer check-in" in output
+        assert "final offers" in output
+        assert "best" in output
+
+    def test_network_monitoring(self, capsys):
+        output = run_example("network_monitoring.py", capsys)
+        assert "console sweep" in output
+        assert "directory state" in output
+
+    def test_adaptive_load(self, capsys):
+        output = run_example("adaptive_load.py", capsys)
+        assert "IAgents" in output
+        assert "splits" in output
+        assert "merges" in output
+
+    def test_compare_mechanisms(self, capsys):
+        output = run_example("compare_mechanisms.py", capsys)
+        for name in ("centralized", "chord", "forwarding", "hash",
+                     "home-registry"):
+            assert name in output
+
+    def test_task_dispatch(self, capsys):
+        output = run_example("task_dispatch.py", capsys)
+        assert "naive dispatch" in output
+        assert "messenger dispatch: 10/10" in output
+
+    def test_survey_fleet(self, capsys):
+        output = run_example("survey_fleet.py", capsys)
+        assert "cloned surveyor" in output
+        assert "survey complete: 8 depots" in output
+
+
+class TestPackageEntryPoint:
+    def test_dunder_main(self, capsys):
+        from repro.__main__ import main
+
+        assert main() == 0
+        output = capsys.readouterr().out
+        assert "repro 1.0.0" in output
+        assert "exp1" in output

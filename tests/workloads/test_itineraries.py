@@ -1,0 +1,149 @@
+"""Tests for the Lange & Oshima itinerary patterns."""
+
+import pytest
+
+from repro.platform.agents import MobileAgent
+from repro.workloads.itineraries import (
+    RoundTripItinerary,
+    SequentialItinerary,
+    StarItinerary,
+)
+
+from tests.conftest import build_runtime, install_hash_mechanism
+
+
+class Traveller(MobileAgent):
+    """A mobile agent driven by an externally supplied itinerary."""
+
+    def __init__(self, agent_id, runtime, itinerary):
+        super().__init__(agent_id, runtime, tracked=True)
+        self.itinerary = itinerary
+        self.visits = []
+
+    def main(self):
+        yield from self.itinerary.run(self)
+
+
+def note_visit(agent, node):
+    agent.visits.append(node)
+
+
+def launch(runtime, itinerary, start="node-0"):
+    agent = runtime.create_agent(Traveller, start, itinerary=itinerary)
+    runtime.sim.run(until=30.0)
+    return agent
+
+
+class TestSequentialItinerary:
+    def test_visits_stops_in_order(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        itinerary = SequentialItinerary(
+            ["node-1", "node-2", "node-3"], task=note_visit
+        )
+        agent = launch(runtime, itinerary)
+        assert agent.visits == ["node-1", "node-2", "node-3"]
+        assert itinerary.completed == ["node-1", "node-2", "node-3"]
+        assert itinerary.finished
+        assert agent.node_name == "node-3"
+
+    def test_task_is_optional(self):
+        runtime = build_runtime(nodes=3)
+        install_hash_mechanism(runtime)
+        itinerary = SequentialItinerary(["node-1", "node-2"])
+        launch(runtime, itinerary)
+        assert itinerary.finished
+
+    def test_generator_task_awaited(self):
+        runtime = build_runtime(nodes=3)
+        install_hash_mechanism(runtime)
+        times = []
+
+        def slow_task(agent, node):
+            yield agent.sleep(0.5)
+            times.append(agent.sim.now)
+
+        itinerary = SequentialItinerary(["node-1", "node-2"], task=slow_task)
+        launch(runtime, itinerary)
+        assert len(times) == 2
+        assert times[1] - times[0] >= 0.5
+
+    def test_crashed_stop_skipped_and_journey_continues(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        runtime.get_node("node-2").crashed = True
+        itinerary = SequentialItinerary(
+            ["node-1", "node-2", "node-3"], task=note_visit
+        )
+        agent = launch(runtime, itinerary)
+        assert itinerary.skipped == ["node-2"]
+        assert itinerary.completed == ["node-1", "node-3"]
+        assert agent.visits == ["node-1", "node-3"]
+        assert itinerary.finished
+
+    def test_stop_on_current_node_needs_no_dispatch(self):
+        runtime = build_runtime(nodes=3)
+        install_hash_mechanism(runtime)
+        itinerary = SequentialItinerary(["node-0", "node-1"], task=note_visit)
+        agent = launch(runtime, itinerary)
+        assert agent.visits == ["node-0", "node-1"]
+        assert agent.moves_completed == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialItinerary([])
+        with pytest.raises(ValueError):
+            SequentialItinerary(["node-0"], pause=-1.0)
+
+
+class TestRoundTripItinerary:
+    def test_returns_home(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        itinerary = RoundTripItinerary(["node-1", "node-2"], task=note_visit)
+        agent = launch(runtime, itinerary)
+        assert agent.visits == ["node-1", "node-2"]
+        assert agent.node_name == "node-0"
+
+    def test_no_extra_hop_if_last_stop_is_home(self):
+        runtime = build_runtime(nodes=3)
+        install_hash_mechanism(runtime)
+        itinerary = RoundTripItinerary(["node-1", "node-0"])
+        agent = launch(runtime, itinerary)
+        assert agent.node_name == "node-0"
+        assert agent.moves_completed == 2
+
+
+class TestStarItinerary:
+    def test_reports_home_between_stops(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        trail = []
+
+        def task(agent, node):
+            trail.append(("visit", node, agent.node_name))
+
+        def report(agent, node):
+            trail.append(("report", node, agent.node_name))
+
+        itinerary = StarItinerary(
+            ["node-1", "node-2"], task=task, report=report
+        )
+        agent = launch(runtime, itinerary)
+        assert trail == [
+            ("visit", "node-1", "node-1"),
+            ("report", "node-1", "node-0"),
+            ("visit", "node-2", "node-2"),
+            ("report", "node-2", "node-0"),
+        ]
+        assert itinerary.reports_made == 2
+        assert agent.node_name == "node-0"
+
+    def test_skips_crashed_spoke(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        runtime.get_node("node-1").crashed = True
+        itinerary = StarItinerary(["node-1", "node-2"], task=note_visit)
+        agent = launch(runtime, itinerary)
+        assert itinerary.skipped == ["node-1"]
+        assert itinerary.completed == ["node-2"]

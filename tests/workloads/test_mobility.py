@@ -1,0 +1,106 @@
+"""Tests for residence models and itineraries."""
+
+import random
+
+import pytest
+
+from repro.workloads.mobility import (
+    ConstantResidence,
+    ExponentialResidence,
+    LocalityItinerary,
+    UniformItinerary,
+    UniformResidence,
+)
+
+NODES = [f"node-{i}" for i in range(6)]
+
+
+class TestResidenceModels:
+    def test_constant_residence(self):
+        model = ConstantResidence(0.5)
+        rng = random.Random(1)
+        assert model.sample(rng) == 0.5
+        assert model.mean() == 0.5
+
+    def test_constant_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantResidence(0.0)
+
+    def test_exponential_mean_converges(self):
+        model = ExponentialResidence(0.4)
+        rng = random.Random(7)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.4, rel=0.1)
+        assert model.mean() == 0.4
+
+    def test_exponential_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ExponentialResidence(-1.0)
+
+    def test_uniform_bounds(self):
+        model = UniformResidence(0.2, 0.6)
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0.2 <= model.sample(rng) <= 0.6
+        assert model.mean() == pytest.approx(0.4)
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformResidence(0.5, 0.2)
+        with pytest.raises(ValueError):
+            UniformResidence(0.0, 0.2)
+
+    def test_reprs(self):
+        assert "0.5" in repr(ConstantResidence(0.5))
+        assert "0.4" in repr(ExponentialResidence(0.4))
+        assert "0.2" in repr(UniformResidence(0.2, 0.6))
+
+
+class TestUniformItinerary:
+    def test_never_stays_in_place(self):
+        itinerary = UniformItinerary()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert itinerary.next_node("node-0", NODES, rng) != "node-0"
+
+    def test_single_node_degenerate_case(self):
+        itinerary = UniformItinerary()
+        assert itinerary.next_node("only", ["only"], random.Random(1)) == "only"
+
+    def test_covers_all_other_nodes(self):
+        itinerary = UniformItinerary()
+        rng = random.Random(2)
+        visited = {itinerary.next_node("node-0", NODES, rng) for _ in range(300)}
+        assert visited == set(NODES) - {"node-0"}
+
+
+class TestLocalityItinerary:
+    def test_sticks_to_cluster(self):
+        itinerary = LocalityItinerary(["node-0", "node-1"], stickiness=1.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert itinerary.next_node("node-5", NODES, rng) in ("node-0", "node-1")
+
+    def test_zero_stickiness_roams_everywhere(self):
+        itinerary = LocalityItinerary(["node-0"], stickiness=0.0)
+        rng = random.Random(2)
+        visited = {itinerary.next_node("node-0", NODES, rng) for _ in range(300)}
+        assert len(visited) > 2
+
+    def test_leaves_current_node_even_inside_cluster(self):
+        itinerary = LocalityItinerary(["node-0", "node-1"], stickiness=1.0)
+        rng = random.Random(3)
+        for _ in range(50):
+            assert itinerary.next_node("node-0", NODES, rng) == "node-1"
+
+    def test_single_node_cluster_falls_back_to_all(self):
+        itinerary = LocalityItinerary(["node-0"], stickiness=1.0)
+        rng = random.Random(4)
+        choice = itinerary.next_node("node-0", NODES, rng)
+        assert choice != "node-0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalityItinerary([])
+        with pytest.raises(ValueError):
+            LocalityItinerary(["node-0"], stickiness=1.5)

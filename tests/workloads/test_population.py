@@ -1,0 +1,128 @@
+"""Tests for the TAgent population drivers."""
+
+import pytest
+
+from repro.workloads.mobility import ConstantResidence, ExponentialResidence
+from repro.workloads.population import PopulationChurn, TAgent, spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism, run_until
+
+
+class TestTAgent:
+    def test_tagent_moves_after_residence(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        (agent,) = spawn_population(runtime, 1, ConstantResidence(0.5))
+        drain(runtime, 0.4)
+        assert agent.moves_completed == 0
+        drain(runtime, 0.4)
+        assert agent.moves_completed == 1
+
+    def test_tagent_keeps_moving(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        (agent,) = spawn_population(runtime, 1, ConstantResidence(0.2))
+        drain(runtime, 3.0)
+        assert agent.moves_completed >= 10
+
+    def test_max_moves_bounds_itinerary(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agent = runtime.create_agent(
+            TAgent, "node-0", residence=ConstantResidence(0.1), max_moves=3
+        )
+        drain(runtime, 3.0)
+        assert agent.moves_completed == 3
+
+    def test_initial_delay_postpones_first_move(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agent = runtime.create_agent(
+            TAgent,
+            "node-0",
+            residence=ConstantResidence(0.2),
+            initial_delay=1.0,
+        )
+        drain(runtime, 1.0)
+        assert agent.moves_completed == 0
+        drain(runtime, 0.5)
+        assert agent.moves_completed >= 1
+
+    def test_dead_tagent_stops_moving(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        (agent,) = spawn_population(runtime, 1, ConstantResidence(0.2))
+        drain(runtime, 1.0)
+        moves = agent.moves_completed
+        runtime.sim.run_process(agent.die())
+        drain(runtime, 2.0)
+        assert agent.moves_completed == moves
+
+
+class TestSpawnPopulation:
+    def test_round_robin_placement(self):
+        runtime = build_runtime(nodes=3)
+        install_hash_mechanism(runtime)
+        agents = spawn_population(
+            runtime, 6, ConstantResidence(10.0), stagger=0.0
+        )
+        assert [agent.node_name for agent in agents] == [
+            "node-0", "node-1", "node-2", "node-0", "node-1", "node-2",
+        ]
+
+    def test_explicit_node_subset(self):
+        runtime = build_runtime(nodes=4)
+        install_hash_mechanism(runtime)
+        agents = spawn_population(
+            runtime, 4, ConstantResidence(10.0), nodes=["node-2", "node-3"]
+        )
+        assert {agent.node_name for agent in agents} == {"node-2", "node-3"}
+
+    def test_stagger_spaces_initial_delays(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(
+            runtime, 3, ConstantResidence(1.0), stagger=0.1
+        )
+        assert [agent.initial_delay for agent in agents] == [0.0, 0.1, 0.2]
+
+    def test_requires_nodes(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        with pytest.raises(ValueError):
+            spawn_population(runtime, 2, ConstantResidence(1.0), nodes=[])
+
+    def test_all_agents_registered_with_mechanism(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        spawn_population(runtime, 5, ConstantResidence(10.0))
+        drain(runtime, 0.5)
+        assert mechanism.counters.registers == 5
+
+
+class TestPopulationChurn:
+    def test_population_grows_then_shrinks(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        churn = PopulationChurn(
+            runtime,
+            residence=ConstantResidence(0.5),
+            arrival_rate=20.0,
+            departure_rate=20.0,
+            peak=10,
+        )
+        churn.start()
+        run_until(runtime, lambda: churn.finished, timeout=60.0)
+        assert churn.peak_reached == 10
+        assert len(churn.population) == 0
+
+    def test_rates_validated(self):
+        runtime = build_runtime()
+        with pytest.raises(ValueError):
+            PopulationChurn(
+                runtime,
+                residence=ConstantResidence(0.5),
+                arrival_rate=0.0,
+                departure_rate=1.0,
+                peak=5,
+            )

@@ -1,0 +1,129 @@
+"""Tests for the query workload driver."""
+
+import pytest
+
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+from repro.workloads.queries import QueryWorkload
+
+from tests.conftest import build_runtime, install_hash_mechanism, run_until
+
+
+def build_measured_system(total_queries=20, clients=2, **workload_kwargs):
+    runtime = build_runtime()
+    mechanism = install_hash_mechanism(runtime)
+    agents = spawn_population(runtime, 5, ConstantResidence(0.5))
+    workload = QueryWorkload(
+        runtime,
+        targets=[agent.agent_id for agent in agents],
+        total_queries=total_queries,
+        clients=clients,
+        think_time=0.02,
+        **workload_kwargs,
+    )
+    return runtime, mechanism, workload
+
+
+class TestQueryWorkload:
+    def test_quota_fully_consumed(self):
+        runtime, _, workload = build_measured_system(total_queries=20)
+        run_until(runtime, lambda: workload.done, timeout=60.0)
+        assert workload.completed == 20
+        assert len(workload.results) == 20
+        assert workload.errors == []
+
+    def test_location_times_positive(self):
+        runtime, _, workload = build_measured_system(total_queries=10)
+        run_until(runtime, lambda: workload.done, timeout=60.0)
+        times = workload.location_times()
+        assert len(times) == 10
+        assert all(t > 0 for t in times)
+
+    def test_warmup_delays_first_query(self):
+        runtime, _, workload = build_measured_system(
+            total_queries=5, warmup=2.0
+        )
+        runtime.sim.run(until=1.5)
+        assert workload.completed == 0
+        run_until(runtime, lambda: workload.done, timeout=60.0)
+        assert workload.completed == 5
+
+    def test_clients_distributed_over_nodes(self):
+        runtime, _, workload = build_measured_system(clients=4)
+        nodes = {client.node_name for client in workload.clients}
+        assert len(nodes) == 4
+
+    def test_client_nodes_override(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(runtime, 2, ConstantResidence(0.5))
+        workload = QueryWorkload(
+            runtime,
+            targets=[agent.agent_id for agent in agents],
+            total_queries=4,
+            clients=2,
+            client_nodes=["node-3"],
+        )
+        assert all(c.node_name == "node-3" for c in workload.clients)
+
+    def test_validation(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        with pytest.raises(ValueError):
+            QueryWorkload(runtime, targets=[], total_queries=0)
+        with pytest.raises(ValueError):
+            QueryWorkload(runtime, targets=[], total_queries=5, clients=0)
+
+    def test_empty_target_list_never_completes_queries(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        workload = QueryWorkload(runtime, targets=[], total_queries=3, clients=1)
+        runtime.sim.run(until=2.0)
+        assert workload.results == []
+
+    def test_tickets_shared_between_clients(self):
+        runtime, _, workload = build_measured_system(total_queries=9, clients=3)
+        run_until(runtime, lambda: workload.done, timeout=60.0)
+        assert workload.completed == 9
+
+
+class TestTargetWeights:
+    def test_weighted_picks_respect_skew(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(runtime, 3, ConstantResidence(0.5))
+        workload = QueryWorkload(
+            runtime,
+            targets=[agent.agent_id for agent in agents],
+            total_queries=5,
+            clients=1,
+            target_weights=[100.0, 1.0, 1.0],
+        )
+        rng = runtime.streams.get("weights-test")
+        picks = [workload.pick_target(rng) for _ in range(300)]
+        hot_share = picks.count(agents[0].agent_id) / len(picks)
+        assert hot_share > 0.9
+
+    def test_weight_length_validated(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(runtime, 2, ConstantResidence(0.5))
+        with pytest.raises(ValueError):
+            QueryWorkload(
+                runtime,
+                targets=[agent.agent_id for agent in agents],
+                total_queries=5,
+                target_weights=[1.0],
+            )
+
+    def test_negative_weight_rejected(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(runtime, 2, ConstantResidence(0.5))
+        with pytest.raises(ValueError):
+            QueryWorkload(
+                runtime,
+                targets=[agent.agent_id for agent in agents],
+                total_queries=5,
+                target_weights=[1.0, -2.0],
+            )

@@ -1,0 +1,61 @@
+"""Tests for the packaged paper scenarios."""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    EXP1_AGENT_COUNTS,
+    EXP2_AGENT_COUNT,
+    EXP2_RESIDENCE_TIMES_MS,
+    PAPER_QUERY_TOTAL,
+    PAPER_T_MAX,
+    PAPER_T_MIN,
+    Scenario,
+    exp1_scenario,
+    exp2_scenario,
+)
+
+
+class TestPaperConstants:
+    def test_threshold_ordering(self):
+        assert PAPER_T_MAX > PAPER_T_MIN
+
+    def test_exp1_counts_monotone(self):
+        assert list(EXP1_AGENT_COUNTS) == sorted(EXP1_AGENT_COUNTS)
+
+    def test_exp2_residences_monotone(self):
+        assert list(EXP2_RESIDENCE_TIMES_MS) == sorted(EXP2_RESIDENCE_TIMES_MS)
+
+    def test_query_total(self):
+        assert PAPER_QUERY_TOTAL == 200
+
+
+class TestScenarioFactories:
+    def test_exp1_scenario_carries_population(self):
+        scenario = exp1_scenario(50)
+        assert scenario.num_agents == 50
+        assert scenario.residence.mean() == 0.5
+        assert scenario.total_queries == PAPER_QUERY_TOTAL
+        assert scenario.config.t_max == PAPER_T_MAX
+
+    def test_exp2_scenario_carries_residence(self):
+        scenario = exp2_scenario(200)
+        assert scenario.num_agents == EXP2_AGENT_COUNT
+        assert scenario.residence.mean() == pytest.approx(0.2)
+
+    def test_overrides_apply(self):
+        scenario = exp1_scenario(10, total_queries=7, warmup=0.1)
+        assert scenario.total_queries == 7
+        assert scenario.warmup == 0.1
+
+    def test_with_overrides_returns_copy(self):
+        base = Scenario(name="base")
+        derived = base.with_overrides(num_agents=99)
+        assert derived.num_agents == 99
+        assert base.num_agents != 99
+
+    def test_seed_propagates(self):
+        assert exp1_scenario(10, seed=42).seed == 42
+
+    def test_scenario_names_distinct(self):
+        names = {exp1_scenario(n).name for n in EXP1_AGENT_COUNTS}
+        assert len(names) == len(EXP1_AGENT_COUNTS)
