@@ -8,7 +8,10 @@ in the suite.
 
 import random
 
+import pytest
+
 from repro.core.hash_tree import HashTree
+from repro.core.lhagent import HashFunctionCopy
 from repro.platform.events import Timeout
 from repro.platform.simulator import Simulator
 
@@ -56,6 +59,116 @@ def test_tree_clone(benchmark):
     tree = build_tree(leaves=128)
     clone = benchmark(tree.clone)
     assert len(clone) == len(tree)
+
+
+def build_refresh_fixture(leaves, delta_ops=8):
+    """A stale bundle, the journal ops separating it from the fresh
+    primary copy, and the fresh bundle -- the two ways an LHAgent can
+    refresh (full snapshot vs delta replay) over the same gap."""
+    tree = build_tree(leaves=leaves)
+    nodes = {owner: f"node-{owner % 16}" for owner in tree.owners()}
+    base_version = 10
+    stale = {
+        "version": base_version,
+        "tree": tree.to_spec(),
+        "iagent_nodes": dict(nodes),
+    }
+    rng = random.Random(99)
+    ops = []
+    next_owner = leaves
+    version = base_version
+    for _ in range(delta_ops):
+        while True:
+            owner = rng.choice(tree.owners())
+            candidates = tree.split_candidates(owner)
+            if candidates:
+                break
+        cand = candidates[0]
+        tree.apply_split(cand, next_owner)
+        version += 1
+        node = f"node-{next_owner % 16}"
+        nodes[next_owner] = node
+        ops.append(
+            {
+                "op": "split",
+                "version": version,
+                "kind": cand.kind,
+                "owner": owner,
+                "bit": cand.bit_position,
+                "new_owner": next_owner,
+                "new_node": node,
+            }
+        )
+        next_owner += 1
+    fresh = {
+        "version": version,
+        "tree": tree.to_spec(),
+        "iagent_nodes": dict(nodes),
+    }
+    return stale, ops, fresh
+
+
+@pytest.mark.parametrize("leaves", [64, 256, 1024])
+def test_copy_refresh_full(benchmark, leaves):
+    """Full-snapshot refresh: rebuild the whole copy from the bundle."""
+    _, _, fresh = build_refresh_fixture(leaves)
+    copy = benchmark(HashFunctionCopy.from_bundle, fresh)
+    assert copy.version == fresh["version"]
+
+
+@pytest.mark.parametrize("leaves", [64, 256, 1024])
+def test_copy_refresh_delta(benchmark, leaves):
+    """Delta refresh: replay the journaled ops onto the stale copy."""
+    stale, ops, fresh = build_refresh_fixture(leaves)
+
+    def make_stale_copy():
+        return (HashFunctionCopy.from_bundle(stale),), {}
+
+    def refresh(copy):
+        copy.apply_ops(ops)
+        return copy
+
+    copy = benchmark.pedantic(refresh, setup=make_stale_copy, rounds=50)
+    assert copy.version == fresh["version"]
+    assert copy.tree.to_spec() == fresh["tree"]
+    assert copy.iagent_nodes == fresh["iagent_nodes"]
+
+
+def test_simulator_schedule_throughput(benchmark):
+    """Raw cost of schedule + run over pre-scheduled callbacks."""
+
+    def run_scheduled():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        schedule = sim.schedule
+        for i in range(10_000):
+            schedule(i * 1e-4, tick)
+        sim.run()
+        return count[0]
+
+    fired = benchmark(run_scheduled)
+    assert fired == 10_000
+
+
+def test_simulator_timeout_throughput(benchmark):
+    """Raw Timeout wakeup throughput of a single long-lived process."""
+
+    def run_timeouts():
+        sim = Simulator()
+
+        def sleeper():
+            for _ in range(10_000):
+                yield Timeout(1e-4)
+        sim.spawn(sleeper())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_timeouts)
+    assert events >= 10_000
 
 
 def test_simulator_process_switching(benchmark):

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Record the perf trajectory of the hot paths to ``BENCH_core.json``.
+
+Runs the two benchmark suites every PR is gated against --
+``bench_core_microbench.py`` (raw data-structure and kernel cost) and
+``bench_exp1_agent_scaling.py`` (end-to-end figure regeneration) -- and
+writes the median timing of every benchmark to ``BENCH_core.json`` at
+the repo root. Commit the refreshed snapshot whenever a PR moves the
+numbers; diffs of that file *are* the perf history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The gated suites, in run order.
+BENCH_FILES = (
+    "benchmarks/bench_core_microbench.py",
+    "benchmarks/bench_exp1_agent_scaling.py",
+)
+
+
+def run_suite(bench_file: str, scratch: Path) -> dict:
+    """Run one benchmark file; return ``{test_name: median_seconds}``."""
+    report = scratch / (Path(bench_file).stem + ".json")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            bench_file,
+            "-q",
+            "--benchmark-json",
+            str(report),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        check=True,
+    )
+    data = json.loads(report.read_text())
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in data["benchmarks"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="where to write the snapshot (default: BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    medians: dict = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        for bench_file in BENCH_FILES:
+            medians.update(run_suite(bench_file, Path(scratch)))
+
+    snapshot = {
+        "units": "seconds (median over benchmark rounds)",
+        "suites": list(BENCH_FILES),
+        "benchmarks": {name: medians[name] for name in sorted(medians)},
+    }
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {len(medians)} medians to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

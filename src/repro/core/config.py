@@ -144,6 +144,15 @@ class HashMechanismConfig:
     #: chase its agents around (anti-flapping damper).
     placement_min_records: int = 4
 
+    #: Secondary copies refresh by replaying the HAgent's journal of
+    #: rehash operations instead of re-fetching the whole tree (delta
+    #: sync, DESIGN.md); ``False`` restores full-snapshot refreshes.
+    delta_sync: bool = True
+
+    #: How many rehash operations the HAgent's journal retains. A copy
+    #: staler than the journal's horizon falls back to a full snapshot.
+    sync_journal_capacity: int = 64
+
     #: EXTENSION (paper §7): run a backup HAgent and fail over to it.
     enable_backup_hagent: bool = False
 
@@ -198,3 +207,5 @@ class HashMechanismConfig:
             raise ValueError("rate_window and report_interval must be positive")
         if self.max_retries < 1:
             raise ValueError("max_retries must be at least 1")
+        if self.sync_journal_capacity < 1:
+            raise ValueError("sync_journal_capacity must be at least 1")

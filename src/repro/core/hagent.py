@@ -21,11 +21,26 @@ the LHAgents catch up lazily (paper §4.3). With the replication
 extension enabled, every change is also pushed synchronously to a backup
 HAgent (primary-copy replication, addressing the vulnerability the paper
 flags in §7).
+
+Delta sync
+----------
+Alongside the primary copy the HAgent keeps a bounded *journal* of the
+rehash operations it has applied, one entry per version bump: ``split``
+(kind + owner + promoted bit + new owner/node), ``merge`` (owner) and
+``move`` (owner + node). A refreshing LHAgent sends ``get-hash-delta``
+with the version its copy has; if the journal still covers every version
+since then, the reply carries just those operations -- O(ops) on the
+wire and to apply, instead of O(tree) -- and the LHAgent replays them
+onto its existing copy. When the copy predates the journal's horizon
+(bounded by ``config.sync_journal_capacity``) the reply degrades to the
+full snapshot, so correctness never depends on journal retention. Wire
+format details are in docs/PROTOCOLS.md.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional
 
 from repro.core.hash_tree import HashTree
 from repro.core.rehashing import plan_split
@@ -58,6 +73,11 @@ class HAgent(Agent):
         self._merge_streak: Dict[AgentId, int] = {}
         #: Chronological log of splits/merges, read by the metrics layer.
         self.rehash_log: List[RehashEvent] = []
+        #: Bounded journal of rehash operations, one per version bump,
+        #: served to LHAgents as deltas (see module docstring).
+        self.journal: Deque[Dict] = deque(
+            maxlen=mechanism.config.sync_journal_capacity
+        )
         self.splits = 0
         self.merges = 0
 
@@ -78,13 +98,25 @@ class HAgent(Agent):
             "iagent_nodes": dict(self.iagent_nodes),
         }
 
+    def snapshot_wire_size(self) -> int:
+        """Modelled bytes of a full primary-copy snapshot.
+
+        Scales with the tree: roughly two encoded nodes plus one
+        directory entry per leaf (see docs/PROTOCOLS.md).
+        """
+        return 64 + 96 * len(self.tree)
+
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
 
     def handle(self, request: Request) -> Any:
         if request.op == "get-hash-function":
-            return self.bundle()
+            reply = self.bundle()
+            reply["_wire_size"] = self.snapshot_wire_size()
+            return reply
+        if request.op == "get-hash-delta":
+            return self._on_get_delta(request.body)
         if request.op == "load-report":
             return self._on_load_report(request.body)
         if request.op == "iagent-moved":
@@ -93,11 +125,37 @@ class HAgent(Agent):
             return {"status": "ok", "version": self.version}
         raise ValueError(f"HAgent does not understand op {request.op!r}")
 
+    def _on_get_delta(self, body: Dict) -> Dict:
+        """Serve the journal suffix since the requester's version.
+
+        Falls back to the full snapshot when the journal no longer
+        covers the gap (the copy is older than the retention horizon, or
+        a non-journaled bump such as the initial ``adopt_tree`` sits
+        inside it).
+        """
+        since = body.get("since", -1)
+        version = self.version
+        if since >= version:
+            return {"version": version, "mode": "delta", "ops": [],
+                    "_wire_size": 64}
+        ops = [entry for entry in self.journal if entry["version"] > since]
+        if len(ops) == version - since and ops and ops[0]["version"] == since + 1:
+            return {
+                "version": version,
+                "mode": "delta",
+                "ops": ops,
+                "_wire_size": 64 + 48 * len(ops),
+            }
+        reply = self.bundle()
+        reply["mode"] = "full"
+        reply["_wire_size"] = self.snapshot_wire_size()
+        return reply
+
     def _on_iagent_moved(self, body: Dict) -> Dict:
         owner, node = body["owner"], body["node"]
         if owner in self.iagent_nodes and self.iagent_nodes[owner] != node:
             self.iagent_nodes[owner] = node
-            self._publish()
+            self._publish({"op": "move", "owner": owner, "node": node})
         return {"status": "ok"}
 
     def _on_load_report(self, body: Dict) -> Generator:
@@ -205,7 +263,16 @@ class HAgent(Agent):
             even=planned.even,
             moved=len(moved_records),
         )
-        self._publish()
+        self._publish(
+            {
+                "op": "split",
+                "kind": planned.candidate.kind,
+                "owner": owner,
+                "bit": planned.candidate.bit_position,
+                "new_owner": new_owner,
+                "new_node": new_node,
+            }
+        )
 
     def _fetch_loads(self, owner: AgentId) -> Generator:
         reply = yield from self._rpc_iagent(owner, "get-loads")
@@ -270,7 +337,7 @@ class HAgent(Agent):
             absorbers=list(outcome.absorbers),
             moved=len(records),
         )
-        self._publish()
+        self._publish({"op": "merge", "owner": owner})
 
     # ------------------------------------------------------------------
     # Helpers
@@ -289,9 +356,17 @@ class HAgent(Agent):
             self.sim.now + self.mechanism.config.cooldown
         )
 
-    def _publish(self) -> None:
-        """Bump the version and push to the backup, if any."""
+    def _publish(self, op: Optional[Dict] = None) -> None:
+        """Bump the version, journal ``op`` and push to the backup, if any.
+
+        ``op`` is the delta-sync journal entry describing the change; it
+        is stamped with the version it produced. A ``None`` op leaves a
+        gap the delta protocol degrades around (full snapshot).
+        """
         self.version += 1
+        if op is not None:
+            op["version"] = self.version
+            self.journal.append(op)
         self.mechanism.on_primary_copy_changed(self.bundle())
 
     def _log(self, event: str, **fields) -> None:

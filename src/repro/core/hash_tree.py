@@ -35,6 +35,20 @@ sets changed, so the mechanism can transfer exactly those location
 records -- the paper's locality guarantee ("the splitting and merging
 process should affect the mapping of only the mobile agents and the
 IAgents that are involved").
+
+Compiled lookups
+----------------
+``lookup`` is the hottest read in the whole reproduction (every whois,
+every coverage check). Instead of chasing node pointers and re-measuring
+labels on every call, the tree lazily compiles itself into flat parallel
+arrays -- per node the id-bit position its branch decision reads plus the
+indices of its two children -- and memoizes resolved id strings in a
+version-checked dict, so repeated resolutions are O(1) dict hits and cold
+lookups touch four list cells per level. Every mutation
+(``apply_split``/``apply_merge``) bumps :attr:`version` and invalidates
+the compiled form, the memo and the per-owner hyper-label caches; the
+property suite in ``tests/core/test_tree_compiled.py`` proves the cached
+and the naive §3 traversal agree across arbitrary rehash interleavings.
 """
 
 from __future__ import annotations
@@ -54,6 +68,13 @@ __all__ = [
 ]
 
 OwnerKey = Hashable
+
+#: Sentinel distinguishing "not memoized" from falsy owner keys (0, "").
+_MISS = object()
+
+#: Memo entries beyond which the lookup memo is reset wholesale. Far
+#: above any realistic working set; purely a memory backstop.
+_MEMO_CAPACITY = 1 << 17
 
 
 class TreeInvariantError(CoreError):
@@ -175,6 +196,21 @@ class HashTree:
         self.version = 0
         self._root = _TreeNode(label="", owner=initial_owner)
         self._leaves: Dict[OwnerKey, _TreeNode] = {initial_owner: self._root}
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        #: Compiled dispatch arrays (see _compile); None when stale.
+        self._compiled: Optional[Tuple[List[int], List[int], List[int], List]] = None
+        #: id bits -> owner, valid for the current version only.
+        self._lookup_memo: Dict[str, OwnerKey] = {}
+        #: owner -> HyperLabel of its leaf, valid for the current version.
+        self._hyper_cache: Dict[OwnerKey, HyperLabel] = {}
+
+    def _invalidate(self) -> None:
+        """Drop every derived structure; called by each mutation."""
+        self._compiled = None
+        self._lookup_memo.clear()
+        self._hyper_cache.clear()
 
     # ------------------------------------------------------------------
     # Read operations
@@ -183,19 +219,67 @@ class HashTree:
     def lookup(self, bits: str) -> OwnerKey:
         """Return the owner responsible for an id's binary representation.
 
-        Implements the traversal of paper §3: follow valid bits, skip
-        the extra bits of multi-bit labels.
+        Implements the traversal of paper §3 -- follow valid bits, skip
+        the extra bits of multi-bit labels -- over the compiled dispatch
+        arrays, memoizing each resolved id until the next rehash.
         """
+        memo = self._lookup_memo
+        owner = memo.get(bits, _MISS)
+        if owner is not _MISS:
+            return owner
         if len(bits) < self.width:
             raise ValueError(
                 f"id bits shorter ({len(bits)}) than tree width ({self.width})"
             )
-        node = self._root
-        position = len(node.label)  # the root's label is pure skip
-        while not node.is_leaf:
-            node = node.child_for(bits[position])
-            position += len(node.label)
-        return node.owner
+        compiled = self._compiled
+        if compiled is None:
+            compiled = self._compile()
+        positions, zeros, ones, owners = compiled
+        index = 0
+        while True:
+            position = positions[index]
+            if position < 0:
+                owner = owners[index]
+                break
+            index = ones[index] if bits[position] == "1" else zeros[index]
+        if len(memo) >= _MEMO_CAPACITY:
+            memo.clear()
+        memo[bits] = owner
+        return owner
+
+    def _compile(self) -> Tuple[List[int], List[int], List[int], List]:
+        """Flatten the tree into parallel dispatch arrays.
+
+        Entry ``i`` describes one node: ``positions[i]`` is the 0-based
+        id-bit index its branch decision reads (total bits consumed up to
+        and including its own label), or ``-1`` for a leaf, in which case
+        ``owners[i]`` holds the owner; ``zeros[i]``/``ones[i]`` are the
+        child entries. Rebuilt lazily after each mutation.
+        """
+        positions: List[int] = []
+        zeros: List[int] = []
+        ones: List[int] = []
+        owners: List = []
+
+        def encode(node: _TreeNode, consumed: int) -> int:
+            index = len(positions)
+            positions.append(-1)
+            zeros.append(0)
+            ones.append(0)
+            owners.append(None)
+            consumed += len(node.label)
+            if node.left is None:  # a leaf
+                owners[index] = node.owner
+            else:
+                positions[index] = consumed
+                zeros[index] = encode(node.left, consumed)
+                ones[index] = encode(node.right, consumed)
+            return index
+
+        encode(self._root, 0)
+        compiled = (positions, zeros, ones, owners)
+        self._compiled = compiled
+        return compiled
 
     def lookup_id(self, agent_id: Any) -> OwnerKey:
         """Convenience: look up anything exposing a ``bits`` attribute."""
@@ -212,7 +296,14 @@ class HashTree:
         return owner in self._leaves
 
     def hyper_label(self, owner: OwnerKey) -> HyperLabel:
-        """The hyper-label of ``owner``'s leaf (paper §3)."""
+        """The hyper-label of ``owner``'s leaf (paper §3).
+
+        Cached per owner until the next rehash, so ``covers`` and the
+        load accounting stop rebuilding Label chains on every call.
+        """
+        cached = self._hyper_cache.get(owner)
+        if cached is not None:
+            return cached
         leaf = self._leaf(owner)
         labels: List[Label] = []
         node = leaf
@@ -220,7 +311,9 @@ class HashTree:
             labels.append(Label(node.label))
             node = node.parent
         labels.reverse()
-        return HyperLabel(labels, skip=len(self._root.label))
+        hyper = HyperLabel(labels, skip=len(self._root.label))
+        self._hyper_cache[owner] = hyper
+        return hyper
 
     def consumed_width(self, owner: OwnerKey) -> int:
         """Total id bits consumed reaching ``owner``'s leaf."""
@@ -322,12 +415,79 @@ class HashTree:
         else:
             affected = self._apply_complex_split(candidate, new_owner)
         self.version += 1
+        self._invalidate()
         return SplitOutcome(
             candidate=candidate,
             old_owner=candidate.owner,
             new_owner=new_owner,
             affected_owners=affected,
             version=self.version,
+        )
+
+    def candidate_at(
+        self, owner: OwnerKey, kind: str, bit_position: int
+    ) -> SplitCandidate:
+        """Reconstruct the candidate of a recorded split on *this* tree.
+
+        ``(kind, bit_position)`` identifies a split of ``owner``
+        uniquely: complex candidates promote skipped bits at positions
+        inside the leaf's consumed prefix, simple candidates sit beyond
+        it. Used by secondary copies to replay a journaled split (the
+        delta-sync protocol, DESIGN.md) -- the replica reconstructs the
+        candidate against its own nodes since candidate coordinates
+        never travel on the wire.
+        """
+        leaf = self._leaf(owner)
+        if kind == "simple":
+            m = bit_position - self.consumed_width(owner)
+            if m < 1:
+                raise SplitFailedError(
+                    f"simple split bit {bit_position} already consumed"
+                )
+            return SplitCandidate(
+                kind="simple",
+                owner=owner,
+                bit_position=bit_position,
+                local=True,
+                _node=leaf,
+                _index=m,
+            )
+        if kind != "complex":
+            raise ValueError(f"unknown split kind {kind!r}")
+        offset = 0
+        for node in self._path_to(leaf):
+            label_length = len(node.label)
+            if offset < bit_position <= offset + label_length:
+                index = bit_position - offset - 1
+                first_promotable = 0 if node.is_root else 1
+                if index < first_promotable:
+                    raise SplitFailedError(
+                        f"bit {bit_position} is a valid bit, not a skipped one"
+                    )
+                return SplitCandidate(
+                    kind="complex",
+                    owner=owner,
+                    bit_position=bit_position,
+                    local=node is leaf,
+                    _node=node,
+                    _index=index,
+                )
+            offset += label_length
+        raise SplitFailedError(
+            f"no skipped bit at position {bit_position} on the path to {owner!r}"
+        )
+
+    def replay_split(
+        self, kind: str, owner: OwnerKey, bit_position: int, new_owner: OwnerKey
+    ) -> SplitOutcome:
+        """Re-execute a split recorded as ``(kind, owner, bit_position)``.
+
+        On a replica at the same version as the primary was when the
+        split ran, this reproduces the primary's mutation bit-for-bit
+        (same structure, same version counter).
+        """
+        return self.apply_split(
+            self.candidate_at(owner, kind, bit_position), new_owner
         )
 
     def _apply_simple_split(
@@ -455,6 +615,7 @@ class HashTree:
             parent.right.parent = parent
             parent.owner = None
         self.version += 1
+        self._invalidate()
         return MergeOutcome(
             merged_owner=owner, kind=kind, absorbers=absorbers, version=self.version
         )
@@ -483,6 +644,7 @@ class HashTree:
         tree.width = width
         tree.version = version
         tree._leaves = {}
+        tree._init_caches()
 
         def decode(node_spec: Tuple, parent: Optional[_TreeNode]) -> _TreeNode:
             if node_spec[0] == "leaf":

@@ -21,7 +21,7 @@ property-tested exhaustively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Label", "HyperLabel", "compatible"]
 
@@ -74,7 +74,7 @@ class HyperLabel:
     shown as a leading ``~k.`` marker, e.g. ``~2.1.01``.
     """
 
-    __slots__ = ("skip", "labels")
+    __slots__ = ("skip", "labels", "_width", "_positions")
 
     def __init__(self, labels: Sequence[Label], skip: int = 0) -> None:
         if skip < 0:
@@ -83,6 +83,10 @@ class HyperLabel:
         self.labels: Tuple[Label, ...] = tuple(
             lab if isinstance(lab, Label) else Label(lab) for lab in labels
         )
+        # Lazily computed; a HyperLabel is immutable after construction
+        # so both caches stay valid for its lifetime.
+        self._width: int = -1
+        self._positions: "Optional[List[Tuple[int, str]]]" = None
 
     @classmethod
     def parse(cls, text: str) -> "HyperLabel":
@@ -98,20 +102,25 @@ class HyperLabel:
     @property
     def width(self) -> int:
         """Total id bits consumed reaching the leaf (skip included)."""
-        return self.skip + sum(label.width for label in self.labels)
+        if self._width < 0:
+            self._width = self.skip + sum(label.width for label in self.labels)
+        return self._width
 
     def valid_positions(self) -> List[Tuple[int, str]]:
         """``(position, bit)`` pairs of valid bits, positions 1-based.
 
         Position ``k`` refers to the ``k``-th bit of an id's binary
         representation, exactly as in the paper's compatibility rule.
+        Computed once; the hyper-label is immutable.
         """
-        positions = []
-        offset = self.skip
-        for label in self.labels:
-            positions.append((offset + 1, label.valid_bit))
-            offset += label.width
-        return positions
+        if self._positions is None:
+            positions = []
+            offset = self.skip
+            for label in self.labels:
+                positions.append((offset + 1, label.bits[0]))
+                offset += len(label.bits)
+            self._positions = positions
+        return self._positions
 
     def pattern(self) -> str:
         """The prefix pattern this hyper-label matches, ``x`` = wildcard.
@@ -134,7 +143,10 @@ class HyperLabel:
             raise ValueError(
                 f"id has {len(bits)} bits but the hyper-label consumes {self.width}"
             )
-        return all(bits[pos - 1] == bit for pos, bit in self.valid_positions())
+        for pos, bit in self.valid_positions():
+            if bits[pos - 1] != bit:
+                return False
+        return True
 
     def __iter__(self) -> Iterator[Label]:
         return iter(self.labels)

@@ -4,9 +4,12 @@ One LHAgent runs on every node and caches a *secondary copy* of the hash
 function -- the hash tree plus the current IAgent locations. Copies "may
 be temporarily out-of-date"; they are refreshed *on demand* only: when a
 requester is bounced by an IAgent with NOT_RESPONSIBLE, it asks its
-LHAgent to refresh, and the LHAgent pulls the primary copy from the
-HAgent (falling back to the backup HAgent when the failover extension is
-enabled and the primary does not answer).
+LHAgent to refresh. With delta sync enabled (the default) the LHAgent
+asks the HAgent for just the journaled rehash operations since its copy's
+version and replays them onto the copy in place -- O(ops) instead of
+O(tree) per refresh -- falling back to the full snapshot when the journal
+has been truncated past its version (or on failover to the backup HAgent,
+which serves snapshots only).
 
 Wire protocol:
 
@@ -19,8 +22,9 @@ Wire protocol:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, List, Optional
 
+from repro.core.errors import CoreError
 from repro.core.hash_tree import HashTree
 from repro.platform.agents import Agent
 from repro.platform.messages import Request, RpcError
@@ -48,6 +52,35 @@ class HashFunctionCopy:
             iagent_nodes=bundle["iagent_nodes"],
         )
 
+    def apply_ops(self, ops: List[Dict]) -> None:
+        """Replay journaled rehash operations onto this copy in place.
+
+        Each entry carries the version it produced at the primary;
+        entries at or below this copy's version are skipped (duplicate
+        delivery), so replay is idempotent. After replay the copy is
+        bit-identical to the primary at the last entry's version.
+        """
+        tree = self.tree
+        nodes = self.iagent_nodes
+        for op in ops:
+            version = op["version"]
+            if version <= self.version:
+                continue
+            kind = op["op"]
+            if kind == "split":
+                tree.replay_split(
+                    op["kind"], op["owner"], op["bit"], op["new_owner"]
+                )
+                nodes[op["new_owner"]] = op["new_node"]
+            elif kind == "merge":
+                tree.apply_merge(op["owner"])
+                nodes.pop(op["owner"], None)
+            elif kind == "move":
+                nodes[op["owner"]] = op["node"]
+            else:
+                raise CoreError(f"unknown journal op {kind!r}")
+            self.version = version
+
     def resolve(self, agent_id: AgentId):
         """Map an agent id to ``(iagent_id, node_name)`` via this copy."""
         owner = self.tree.lookup(agent_id.bits)
@@ -66,6 +99,8 @@ class LHAgent(Agent):
         #: Counters for the overhead accounting.
         self.refreshes = 0
         self.whois_served = 0
+        self.delta_refreshes = 0
+        self.full_refreshes = 0
 
     # ------------------------------------------------------------------
 
@@ -102,31 +137,62 @@ class LHAgent(Agent):
     def _fetch_primary_copy(self) -> Generator:
         mechanism = self.mechanism
         config = mechanism.config
+        timeout = (
+            config.hagent_failover_timeout
+            if config.enable_backup_hagent
+            else config.rpc_timeout
+        )
+        use_delta = config.delta_sync and self.copy is not None
         try:
-            timeout = (
-                config.hagent_failover_timeout
-                if config.enable_backup_hagent
-                else config.rpc_timeout
-            )
-            bundle = yield self.rpc(
-                mechanism.hagent_node,
-                mechanism.hagent_id,
-                "get-hash-function",
-                timeout=timeout,
-                size=2048,
-            )
+            if use_delta:
+                reply = yield self.rpc(
+                    mechanism.hagent_node,
+                    mechanism.hagent_id,
+                    "get-hash-delta",
+                    {"since": self.copy.version},
+                    timeout=timeout,
+                    size=64,
+                )
+            else:
+                reply = yield self.rpc(
+                    mechanism.hagent_node,
+                    mechanism.hagent_id,
+                    "get-hash-function",
+                    timeout=timeout,
+                    size=2048,
+                )
         except RpcError:
             if not config.enable_backup_hagent or mechanism.backup_id is None:
                 raise
-            bundle = yield self.rpc(
+            # The backup serves full snapshots only.
+            reply = yield self.rpc(
                 mechanism.backup_node,
                 mechanism.backup_id,
                 "get-hash-function",
                 timeout=config.rpc_timeout,
                 size=2048,
             )
+            use_delta = False
         self.refreshes += 1
-        fresh = HashFunctionCopy.from_bundle(bundle)
+        if use_delta and reply.get("mode") == "delta":
+            try:
+                self.copy.apply_ops(reply["ops"])
+            except CoreError:
+                # A journal the copy cannot replay (should not happen --
+                # the HAgent checks contiguity) degrades to a snapshot
+                # rather than wedging the node.
+                reply = yield self.rpc(
+                    mechanism.hagent_node,
+                    mechanism.hagent_id,
+                    "get-hash-function",
+                    timeout=timeout,
+                    size=2048,
+                )
+            else:
+                self.delta_refreshes += 1
+                return
+        self.full_refreshes += 1
+        fresh = HashFunctionCopy.from_bundle(reply)
         # Never step backwards: a slow response must not clobber a newer
         # copy installed by a concurrent refresh.
         if self.copy is None or fresh.version >= self.copy.version:

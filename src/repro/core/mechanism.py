@@ -162,7 +162,7 @@ class HashLocationMechanism(LocationMechanism):
                 "sync",
                 bundle,
                 timeout=self.config.rpc_timeout,
-                size=2048,
+                size=self.hagent.snapshot_wire_size(),
             )
         except RpcError:
             # A down backup must not wedge the primary; the next change

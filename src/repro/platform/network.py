@@ -78,6 +78,10 @@ class Network:
         self.default_link = default_link or LinkModel()
         self.local_delay = local_delay
         self._links: Dict[FrozenSet[str], LinkModel] = {}
+        #: Directed (src, dst) -> resolved LinkModel; avoids building a
+        #: frozenset per transmission on the hot path. Cleared whenever
+        #: a link override changes.
+        self._link_cache: Dict[Tuple[str, str], LinkModel] = {}
         self._receivers: Dict[str, Callable] = {}
         self._partitioned: Set[str] = set()
         #: Counters for the overhead benchmarks.
@@ -97,6 +101,7 @@ class Network:
     def set_link(self, a: str, b: str, model: LinkModel) -> None:
         """Override the link model between nodes ``a`` and ``b``."""
         self._links[frozenset((a, b))] = model
+        self._link_cache.clear()
 
     def link_between(self, a: str, b: str) -> LinkModel:
         """The link model used between ``a`` and ``b``."""
@@ -134,15 +139,27 @@ class Network:
             raise KeyError(f"unknown destination node {dst!r}")
         self.messages_sent += 1
         self.bytes_sent += size
-        if src in self._partitioned or dst in self._partitioned:
+        partitioned = self._partitioned
+        if partitioned and (src in partitioned or dst in partitioned):
             return
         if src == dst:
             delay = self.local_delay
         else:
-            link = self.link_between(src, dst)
-            if link.sample_lost(self._rng):
-                return
-            delay = link.sample_delay(size, self._rng)
+            key = (src, dst)
+            link = self._link_cache.get(key)
+            if link is None:
+                link = self._links.get(frozenset(key), self.default_link)
+                self._link_cache[key] = link
+            if link.jitter == 0.0 and link.loss == 0.0:
+                # Zero-jitter/zero-loss fast path. Neither sample_lost
+                # nor sample_delay would touch the RNG for such a link,
+                # so skipping them keeps seeded draw sequences -- and
+                # therefore whole experiments -- bit-identical.
+                delay = link.latency + size / link.bandwidth
+            else:
+                if link.sample_lost(self._rng):
+                    return
+                delay = link.sample_delay(size, self._rng)
         self._sim.schedule(delay, self._deliver, dst, payload)
 
     def transfer_delay(self, src: str, dst: str, size: int) -> float:

@@ -197,10 +197,11 @@ class AgentRuntime:
         future = Future(name=f"rpc-{op}-{request.message_id}")
         self._pending[request.message_id] = future
         self.rpcs_sent += 1
-        self.trace(
-            "rpc-sent", op=op, src=src_node, dst=dst_node,
-            message_id=request.message_id,
-        )
+        if self.tracer is not None:
+            self.trace(
+                "rpc-sent", op=op, src=src_node, dst=dst_node,
+                message_id=request.message_id,
+            )
 
         if timeout is not None:
             timer = self.sim.schedule(
@@ -261,7 +262,14 @@ class AgentRuntime:
         if fut.failed:
             response = Response(request.message_id, error=repr(fut.exception()))
         else:
-            response = Response(request.message_id, value=fut.result())
+            value = fut.result()
+            size = 256
+            if type(value) is dict and "_wire_size" in value:
+                # Handlers whose reply size matters to the delay model
+                # (e.g. hash-function snapshots vs. deltas) report it
+                # via this key; it never reaches the caller.
+                size = value.pop("_wire_size")
+            response = Response(request.message_id, value=value, size=size)
         self._respond(node_name, reply_node, response)
 
     def _respond(

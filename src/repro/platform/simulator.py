@@ -1,9 +1,24 @@
 """The discrete-event loop: virtual clock, scheduling and processes.
 
-The simulator keeps a priority queue of ``(time, sequence, callback)``
-entries. Entries scheduled for the same instant run in scheduling order,
+The simulator keeps a priority queue of ``(time, sequence, entry)``
+tuples. Entries scheduled for the same instant run in scheduling order,
 which together with seeded randomness makes whole experiments
 deterministic: the same seed always produces the same event trace.
+
+Three entry kinds share the queue:
+
+* :class:`ScheduledCall` -- the general, cancellable callback handle
+  returned by :meth:`Simulator.schedule` (RPC timers, network delivery);
+* a bare :class:`~repro.platform.events.Process` -- the non-cancellable
+  fast path for ``Timeout`` wakeups and ``spawn``, which resumes the
+  process with ``None`` and needs no handle or argument tuple;
+* :class:`_Resume` -- a process resumption carrying a value or an
+  exception (future completions, yield-type errors).
+
+The fast-path entries exist purely to keep allocations off the kernel's
+hottest path; their ordering semantics are identical to scheduling a
+``ScheduledCall`` at the same instant, so seeded event traces are
+unchanged.
 """
 
 from __future__ import annotations
@@ -36,6 +51,22 @@ class ScheduledCall:
         self.cancelled = True
 
 
+class _Resume:
+    """Queue entry resuming a process with a value or an exception."""
+
+    __slots__ = ("process", "value", "exception")
+
+    def __init__(
+        self,
+        process: Process,
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        self.process = process
+        self.value = value
+        self.exception = exception
+
+
 class Simulator:
     """A deterministic discrete-event simulator with generator processes.
 
@@ -59,7 +90,7 @@ class Simulator:
     def __init__(self, max_events: int = 50_000_000) -> None:
         self._now = 0.0
         self._sequence = 0
-        self._queue: List[Tuple[float, int, ScheduledCall]] = []
+        self._queue: List[Tuple[float, int, Any]] = []
         self._events_processed = 0
         self._max_events = max_events
         #: Processes that failed with no waiter; run() raises for these.
@@ -97,7 +128,8 @@ class Simulator:
         silent failures would otherwise corrupt measurements.
         """
         process = Process(generator, self, name=name)
-        self.schedule(0.0, self._step, process, None, None)
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now, self._sequence, process))
         return process
 
     # ------------------------------------------------------------------
@@ -111,26 +143,50 @@ class Simulator:
         if the last event happens earlier, so back-to-back ``run`` calls
         observe a monotone clock.
         """
-        while self._queue:
-            time, _, call = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        step = self._step
+        max_events = self._max_events
+        failed = self.failed_processes
+        while queue:
+            time = queue[0][0]
             if until is not None and time > until:
                 break
-            heapq.heappop(self._queue)
-            if call.cancelled:
-                continue
-            self._now = time
-            self._events_processed += 1
-            if self._events_processed > self._max_events:
+            entry = pop(queue)[2]
+            cls = entry.__class__
+            if cls is ScheduledCall:
+                if entry.cancelled:
+                    continue
+                self._now = time
+                events = self._events_processed = self._events_processed + 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely an unbounded event loop"
+                    )
+                entry.callback(*entry.args)
+            elif cls is _Resume:
+                self._now = time
+                events = self._events_processed = self._events_processed + 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely an unbounded event loop"
+                    )
+                step(entry.process, entry.value, entry.exception)
+            else:  # a Process: Timeout wakeup or initial spawn
+                self._now = time
+                events = self._events_processed = self._events_processed + 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely an unbounded event loop"
+                    )
+                step(entry, None, None)
+            if failed:
                 raise SimulationError(
-                    f"exceeded max_events={self._max_events}; "
-                    "likely an unbounded event loop"
-                )
-            call.callback(*call.args)
-            if self.failed_processes:
-                failed = self.failed_processes[0]
-                raise SimulationError(
-                    f"process {failed.name!r} failed with no waiter"
-                ) from failed.exception()
+                    f"process {failed[0].name!r} failed with no waiter"
+                ) from failed[0].exception()
         if until is not None and until > self._now:
             self._now = until
 
@@ -179,24 +235,62 @@ class Simulator:
                 self.failed_processes.append(process)
             return
 
-        if isinstance(yielded, Timeout):
-            self.schedule(yielded.delay, self._step, process, None, None)
+        if yielded.__class__ is Timeout:
+            # Fast path: a bare Process entry wakes the process with
+            # None; no ScheduledCall handle is needed because Timeout
+            # wakeups are never cancelled (interrupting a process marks
+            # it done and _step ignores the stale wakeup).
+            self._sequence += 1
+            heapq.heappush(
+                self._queue,
+                (self._now + yielded.delay, self._sequence, process),
+            )
         elif isinstance(yielded, Future):
             yielded.add_done_callback(
-                lambda fut: self._resume_from_future(process, fut)
+                _FutureWaiter(self, process)
+            )
+        elif isinstance(yielded, Timeout):  # a Timeout subclass
+            self._sequence += 1
+            heapq.heappush(
+                self._queue,
+                (self._now + yielded.delay, self._sequence, process),
             )
         else:
             error = TypeError(
                 f"process {process.name!r} yielded {yielded!r}; "
                 "only Timeout, Future or Process may be yielded"
             )
-            self.schedule(0.0, self._step, process, None, error)
+            self._sequence += 1
+            heapq.heappush(
+                self._queue,
+                (self._now, self._sequence, _Resume(process, None, error)),
+            )
 
     def _resume_from_future(self, process: Process, fut: Future) -> None:
-        if fut.failed:
-            self.schedule(0.0, self._step, process, None, fut.exception())
-        else:
-            self.schedule(0.0, self._step, process, fut.result(), None)
+        # Reads the future's slots directly: fut is done by contract
+        # (this only runs as a done-callback) and result() would re-raise.
+        self._sequence += 1
+        heapq.heappush(
+            self._queue,
+            (
+                self._now,
+                self._sequence,
+                _Resume(process, fut._result, fut._exception),
+            ),
+        )
+
+
+class _FutureWaiter:
+    """A done-callback resuming a process; cheaper than a closure."""
+
+    __slots__ = ("sim", "process")
+
+    def __init__(self, sim: Simulator, process: Process) -> None:
+        self.sim = sim
+        self.process = process
+
+    def __call__(self, fut: Future) -> None:
+        self.sim._resume_from_future(self.process, fut)
 
 
 def _observed(process: Process) -> bool:

@@ -1,0 +1,226 @@
+"""Delta-synced secondary copies (hagent/lhagent journal protocol).
+
+The HAgent journals every rehash operation; a refreshing LHAgent fetches
+only the ops since its copy's version and replays them in place
+(docs/PROTOCOLS.md). These tests pin the protocol's one correctness
+obligation -- a delta refresh is *bit-identical* to a full-snapshot
+refresh -- plus the truncation fallback and the modelled wire sizes.
+"""
+
+import random
+
+from repro.core.hash_tree import HashTree
+from repro.core.lhagent import HashFunctionCopy
+from repro.platform.naming import AgentId
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+
+def rpc(runtime, dst_node, dst_agent, op, body=None, src="node-0"):
+    def caller():
+        reply = yield runtime.rpc(src, dst_node, dst_agent, op, body)
+        return reply
+
+    return runtime.sim.run_process(caller())
+
+
+def grown_primary(leaves=24, width=32, delta_ops=6, seed=3):
+    """A primary tree, a stale bundle, the journal gap, and the fresh
+    bundle -- pure data, no simulator."""
+    tree = HashTree(0, width=width)
+    rng = random.Random(seed)
+    next_owner = 1
+    while len(tree) < leaves:
+        owner = rng.choice(tree.owners())
+        candidates = tree.split_candidates(owner)
+        if not candidates:
+            continue
+        tree.apply_split(candidates[0], next_owner)
+        next_owner += 1
+    nodes = {owner: f"node-{owner % 4}" for owner in tree.owners()}
+    stale = {"version": 7, "tree": tree.to_spec(), "iagent_nodes": dict(nodes)}
+
+    version = 7
+    ops = []
+    for step in range(delta_ops):
+        if step % 3 == 2 and len(tree) > 1:  # mix merges into the gap
+            owner = rng.choice(tree.owners())
+            tree.apply_merge(owner)
+            nodes.pop(owner, None)
+            version += 1
+            ops.append({"op": "merge", "version": version, "owner": owner})
+            continue
+        owner = rng.choice(tree.owners())
+        candidates = tree.split_candidates(owner, scope="path")
+        cand = rng.choice(candidates)
+        tree.apply_split(cand, next_owner)
+        node = f"node-{next_owner % 4}"
+        nodes[next_owner] = node
+        version += 1
+        ops.append(
+            {
+                "op": "split",
+                "version": version,
+                "kind": cand.kind,
+                "owner": owner,
+                "bit": cand.bit_position,
+                "new_owner": next_owner,
+                "new_node": node,
+            }
+        )
+        next_owner += 1
+    fresh = {"version": version, "tree": tree.to_spec(), "iagent_nodes": dict(nodes)}
+    return stale, ops, fresh
+
+
+class TestDeltaReplayEquivalence:
+    def test_delta_refresh_bit_identical_to_full_snapshot(self):
+        stale, ops, fresh = grown_primary()
+
+        via_delta = HashFunctionCopy.from_bundle(stale)
+        via_delta.apply_ops(ops)
+        via_full = HashFunctionCopy.from_bundle(fresh)
+
+        assert via_delta.version == via_full.version
+        assert via_delta.iagent_nodes == via_full.iagent_nodes
+        assert via_delta.tree.to_spec() == via_full.tree.to_spec()
+        width = via_full.tree.width
+        for value in range(0, 1 << width, (1 << width) // 512):
+            bits = format(value, f"0{width}b")
+            assert via_delta.tree.lookup(bits) == via_full.tree.lookup(bits)
+
+    def test_apply_ops_is_idempotent(self):
+        stale, ops, fresh = grown_primary()
+        copy = HashFunctionCopy.from_bundle(stale)
+        copy.apply_ops(ops)
+        copy.apply_ops(ops)  # duplicate delivery: versions filter it out
+        assert copy.version == fresh["version"]
+        assert copy.tree.to_spec() == fresh["tree"]
+
+
+class TestDeltaWireProtocol:
+    """The journal protocol through the simulated runtime."""
+
+    def seed_and_split(self, runtime, mechanism, rounds=2):
+        """Force ``rounds`` journaled splits via overload reports."""
+        from repro.platform.messages import Request
+
+        stride = (1 << 58) + 12345  # spreads probes over the id space
+        for round_no in range(rounds):
+            owner = next(iter(mechanism.iagents))
+            iagent = mechanism.iagents[owner]
+            tree = mechanism.hagent.tree
+            added = 0
+            for index in range(4096):
+                if added >= 16:
+                    break
+                value = (round_no * 7919 + index * stride) % (1 << 64)
+                agent_id = AgentId(value)
+                if not tree.covers(owner, agent_id.bits):
+                    continue
+                if agent_id in iagent.records:
+                    continue
+                iagent.handle(
+                    Request(
+                        op="register",
+                        body={"agent": agent_id, "node": "node-1"},
+                    )
+                )
+                added += 1
+            rpc(
+                runtime,
+                mechanism.hagent_node,
+                mechanism.hagent_id,
+                "load-report",
+                {"owner": owner, "rate": 1000.0, "mature": True, "records": 16},
+            )
+            drain(runtime, 5.0)
+
+    def test_lhagent_refreshes_via_delta(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, cooldown=0.0)
+        lhagent = mechanism.lhagents["node-2"]
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(1)}, src="node-2",
+        )
+        assert lhagent.full_refreshes == 1  # first fetch has no base copy
+        stale_version = lhagent.copy.version
+
+        self.seed_and_split(runtime, mechanism)
+        assert mechanism.hagent.version > stale_version
+
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "refresh",
+            {"agent": AgentId(1), "stale_version": stale_version}, src="node-2",
+        )
+        assert lhagent.delta_refreshes == 1
+        # The replayed copy equals the primary exactly.
+        assert lhagent.copy.version == mechanism.hagent.version
+        assert lhagent.copy.tree.to_spec() == mechanism.hagent.tree.to_spec()
+        assert lhagent.copy.iagent_nodes == mechanism.hagent.iagent_nodes
+
+    def test_truncated_journal_falls_back_to_full_snapshot(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(
+            runtime, cooldown=0.0, sync_journal_capacity=1
+        )
+        lhagent = mechanism.lhagents["node-2"]
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(1)}, src="node-2",
+        )
+        stale_version = lhagent.copy.version
+        self.seed_and_split(runtime, mechanism, rounds=3)
+        assert mechanism.hagent.version - stale_version > 1  # gap > journal
+
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "refresh",
+            {"agent": AgentId(1), "stale_version": stale_version}, src="node-2",
+        )
+        assert lhagent.delta_refreshes == 0
+        assert lhagent.full_refreshes == 2
+        assert lhagent.copy.version == mechanism.hagent.version
+        assert lhagent.copy.tree.to_spec() == mechanism.hagent.tree.to_spec()
+
+    def test_delta_disabled_uses_full_snapshots(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime, cooldown=0.0, delta_sync=False)
+        lhagent = mechanism.lhagents["node-2"]
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "whois",
+            {"agent": AgentId(1)}, src="node-2",
+        )
+        stale_version = lhagent.copy.version
+        self.seed_and_split(runtime, mechanism)
+        rpc(
+            runtime, "node-2", lhagent.agent_id, "refresh",
+            {"agent": AgentId(1), "stale_version": stale_version}, src="node-2",
+        )
+        assert lhagent.delta_refreshes == 0
+        assert lhagent.full_refreshes == 2
+        assert lhagent.copy.version == mechanism.hagent.version
+
+    def test_up_to_date_delta_reply_is_empty(self):
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        reply = rpc(
+            runtime,
+            mechanism.hagent_node,
+            mechanism.hagent_id,
+            "get-hash-delta",
+            {"since": mechanism.hagent.version},
+        )
+        assert reply["mode"] == "delta"
+        assert reply["ops"] == []
+
+    def test_snapshot_wire_size_scales_with_tree(self):
+        runtime = build_runtime()
+        # enable_merge=False: idle IAgents must not merge back during the
+        # drain, or the tree (and the modelled size) shrinks again.
+        mechanism = install_hash_mechanism(
+            runtime, cooldown=0.0, enable_merge=False
+        )
+        small = mechanism.hagent.snapshot_wire_size()
+        self.seed_and_split(runtime, mechanism)
+        assert mechanism.hagent.snapshot_wire_size() > small

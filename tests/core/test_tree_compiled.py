@@ -1,0 +1,126 @@
+"""Correctness of the compiled/memoized lookup path (hypothesis).
+
+``HashTree.lookup`` serves hits from a version-checked memo over lazily
+compiled dispatch arrays (hash_tree.py, "Compiled lookups"). These tests
+prove the fast path is *unobservable*: against arbitrary interleavings of
+splits and merges, probing between every mutation (so memo and compiled
+arrays are hot when the next mutation lands), the cached answers always
+equal the naive paper-§3 traversal done directly over the node pointers.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hash_tree import HashTree
+
+WIDTH = 16
+
+ids_strategy = st.integers(min_value=0, max_value=(1 << WIDTH) - 1).map(
+    lambda value: format(value, f"0{WIDTH}b")
+)
+
+op_strategy = st.tuples(
+    st.sampled_from(["split-simple", "split-complex", "merge"]),
+    st.integers(min_value=0, max_value=10_000),  # owner selector
+    st.integers(min_value=1, max_value=4),  # candidate selector
+)
+
+PROBES = [format(value, f"0{WIDTH}b") for value in range(0, 1 << WIDTH, 521)]
+
+
+def naive_lookup(tree, bits):
+    """The paper's §3 traversal, straight over the node pointers.
+
+    Follows valid bits and skips the extra bits of multi-bit labels by
+    position arithmetic -- no caches, no compiled arrays.
+    """
+    node = tree._root
+    consumed = len(node.label)
+    while not node.is_leaf:
+        node = node.right if bits[consumed] == "1" else node.left
+        consumed += len(node.label)
+    return node.owner
+
+
+def apply_one(tree, op, counter):
+    """Apply one fuzz op; invalid ops are skipped (same as the fuzzer
+    in test_tree_properties)."""
+    kind, owner_selector, selector = op
+    owners = sorted(tree.owners())
+    owner = owners[owner_selector % len(owners)]
+    if kind == "merge":
+        if len(tree) > 1:
+            tree.apply_merge(owner)
+        return
+    scope = "path" if kind == "split-complex" else "leaf"
+    wanted = "complex" if kind == "split-complex" else "simple"
+    candidates = [
+        c for c in tree.split_candidates(owner, scope=scope) if c.kind == wanted
+    ]
+    if candidates:
+        tree.apply_split(candidates[selector % len(candidates)], next(counter))
+
+
+@settings(max_examples=80, deadline=None)
+@given(script=st.lists(op_strategy, min_size=0, max_size=20))
+def test_compiled_lookup_matches_naive_traversal(script):
+    """Probe between every mutation so stale caches would be caught."""
+    tree = HashTree(0, width=WIDTH)
+    counter = itertools.count(1)
+    for op in script:
+        # Warm the memo and the compiled arrays *before* mutating...
+        for bits in PROBES:
+            assert tree.lookup(bits) == naive_lookup(tree, bits)
+        apply_one(tree, op, counter)
+        # ...and verify right after: the mutation must invalidate both.
+        for bits in PROBES:
+            assert tree.lookup(bits) == naive_lookup(tree, bits)
+    # Memo hits (second call on a now-warm memo) agree too.
+    for bits in PROBES:
+        assert tree.lookup(bits) == tree.lookup(bits) == naive_lookup(tree, bits)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    script=st.lists(op_strategy, min_size=0, max_size=20),
+    ids=st.lists(ids_strategy, min_size=1, max_size=20),
+)
+def test_hyper_label_cache_matches_cold_rebuild(script, ids):
+    """Cached hyper-labels/consumed widths equal a cache-cold clone's."""
+    tree = HashTree(0, width=WIDTH)
+    counter = itertools.count(1)
+    for op in script:
+        for owner in tree.owners():  # warm the per-owner caches
+            tree.hyper_label(owner)
+        apply_one(tree, op, counter)
+        cold = HashTree.from_spec(tree.to_spec())  # fresh caches
+        for owner in tree.owners():
+            assert tree.hyper_label(owner) == cold.hyper_label(owner)
+            assert tree.consumed_width(owner) == cold.consumed_width(owner)
+        for bits in ids:
+            owner = tree.lookup(bits)
+            assert tree.covers(owner, bits)
+
+
+def test_version_bumps_and_memo_invalidation():
+    tree = HashTree(0, width=WIDTH)
+    assert tree.version == 0
+    probe = "0" * WIDTH
+    assert tree.lookup(probe) == 0
+    assert probe in tree._lookup_memo
+
+    candidate = tree.split_candidates(0)[0]
+    tree.apply_split(candidate, 1)
+    assert tree.version == 1
+    assert not tree._lookup_memo  # memo dropped by the mutation
+    assert tree._compiled is None
+
+    tree.lookup(probe)
+    tree.hyper_label(0)
+    assert tree._compiled is not None
+    tree.apply_merge(1)
+    assert tree.version == 2
+    assert tree._compiled is None
+    assert not tree._hyper_cache
+    assert tree.lookup(probe) == 0
