@@ -23,17 +23,18 @@ MECHANISMS = [
 ]
 
 
-def run_ablb(seeds):
+def run_ablb(seeds, executor=None):
     return sweep(
         lambda n: exp1_scenario(int(n)),
         POPULATIONS,
         mechanisms=MECHANISMS,
         seeds=seeds,
+        executor=executor,
     )
 
 
-def test_all_baselines_on_exp1(benchmark, seeds):
-    series = once(benchmark, lambda: run_ablb(seeds))
+def test_all_baselines_on_exp1(benchmark, seeds, executor):
+    series = once(benchmark, lambda: run_ablb(seeds, executor))
 
     print("\nABL-B: all six mechanisms on the Experiment I workload")
     print(series_table(series, x_label="TAgents"))

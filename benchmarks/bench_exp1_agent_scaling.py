@@ -16,17 +16,18 @@ from repro.harness.tables import series_table
 from repro.workloads.scenarios import EXP1_AGENT_COUNTS, exp1_scenario
 
 
-def run_figure7(seeds):
+def run_figure7(seeds, executor=None):
     return sweep(
         lambda n: exp1_scenario(int(n)),
         EXP1_AGENT_COUNTS,
         mechanisms=["centralized", "hash"],
         seeds=seeds,
+        executor=executor,
     )
 
 
-def test_figure7_agent_scaling(benchmark, seeds):
-    series = once(benchmark, lambda: run_figure7(seeds))
+def test_figure7_agent_scaling(benchmark, seeds, executor):
+    series = once(benchmark, lambda: run_figure7(seeds, executor))
 
     print("\nEXP1 / Figure 7: location time vs number of TAgents")
     print(series_table(series, x_label="TAgents"))

@@ -16,17 +16,18 @@ from repro.harness.tables import series_table
 from repro.workloads.scenarios import EXP2_RESIDENCE_TIMES_MS, exp2_scenario
 
 
-def run_figure8(seeds):
+def run_figure8(seeds, executor=None):
     return sweep(
         lambda ms: exp2_scenario(ms),
         EXP2_RESIDENCE_TIMES_MS,
         mechanisms=["centralized", "hash"],
         seeds=seeds,
+        executor=executor,
     )
 
 
-def test_figure8_mobility(benchmark, seeds):
-    series = once(benchmark, lambda: run_figure8(seeds))
+def test_figure8_mobility(benchmark, seeds, executor):
+    series = once(benchmark, lambda: run_figure8(seeds, executor))
 
     print("\nEXP2 / Figure 8: location time vs residence time per node")
     print(series_table(series, x_label="residence (ms)"))

@@ -23,7 +23,7 @@ from repro.workloads.scenarios import exp1_scenario
 NODE_COUNTS = (4, 8, 16, 32)
 
 
-def run_nodes(seeds):
+def run_nodes(seeds, executor=None):
     return sweep(
         lambda n: exp1_scenario(60).with_overrides(
             name=f"nodes-{int(n)}", num_nodes=int(n)
@@ -31,11 +31,12 @@ def run_nodes(seeds):
         NODE_COUNTS,
         mechanisms=["centralized", "hash"],
         seeds=seeds,
+        executor=executor,
     )
 
 
-def test_node_scaling(benchmark, seeds):
-    series = once(benchmark, lambda: run_nodes(seeds))
+def test_node_scaling(benchmark, seeds, executor):
+    series = once(benchmark, lambda: run_nodes(seeds, executor))
 
     print("\nNODES: location time vs deployment size (60 TAgents)")
     print(series_table(series, x_label="nodes"))

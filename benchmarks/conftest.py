@@ -9,7 +9,10 @@ absolute milliseconds, since our substrate is a simulator rather than
 the authors' Sun Blade LAN (DESIGN.md §2).
 
 Benchmarks accept ``--repro-seeds N`` to control replications (default
-1 for speed; EXPERIMENTS.md numbers were produced with 3).
+1 for speed; EXPERIMENTS.md numbers were produced with 3) and
+``--repro-jobs N`` to fan sweep cells over N worker processes (default
+1: serial, so the benchmark clock measures single-process cost; raise
+it to regenerate figures faster when timings are not being compared).
 """
 
 from __future__ import annotations
@@ -24,12 +27,30 @@ def pytest_addoption(parser):
         default=1,
         help="replications per experiment point (default 1)",
     )
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (default 1 = serial)",
+    )
 
 
 @pytest.fixture
 def seeds(request):
     count = request.config.getoption("--repro-seeds")
     return tuple(range(1, count + 1))
+
+
+@pytest.fixture
+def executor(request):
+    """A fresh uncached Executor honouring ``--repro-jobs``.
+
+    Uncached on purpose: a benchmark that silently served cells from
+    the run cache would record a meaningless wall clock.
+    """
+    from repro.harness.executor import Executor
+
+    return Executor(jobs=request.config.getoption("--repro-jobs"))
 
 
 def once(benchmark, func):

@@ -8,9 +8,16 @@ writes the median timing of every benchmark to ``BENCH_core.json`` at
 the repo root. Commit the refreshed snapshot whenever a PR moves the
 numbers; diffs of that file *are* the perf history.
 
+On top of the pytest-benchmark suites, the runner times one figure
+sweep three ways through the harness executor -- serial (``-j 1``),
+parallel (``-j 4``) and warm content-addressed cache -- and records the
+wall clocks (plus the derived speedups and the machine's CPU count, so
+a single-core box's numbers are interpretable) in the same snapshot.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --sweep-only
     PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/b.json
 """
 
@@ -22,9 +29,16 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Workers used by the parallel arm of the sweep benchmark.
+SWEEP_BENCH_JOBS = 4
+
+#: Repetitions per sweep arm; the median is recorded.
+SWEEP_BENCH_ROUNDS = 3
 
 #: The gated suites, in run order.
 BENCH_FILES = (
@@ -62,6 +76,71 @@ def run_suite(bench_file: str, scratch: Path) -> dict:
     }
 
 
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _sweep_once(executor_factory) -> float:
+    """Wall clock of one mid-size figure sweep through ``executor``."""
+    from repro.harness.sweeps import sweep
+    from repro.workloads.scenarios import exp1_scenario
+
+    started = time.perf_counter()
+    sweep(
+        lambda n: exp1_scenario(int(n)),
+        xs=(10, 30, 100),
+        mechanisms=("centralized", "hash"),
+        seeds=(1, 2),
+        executor=executor_factory(),
+    )
+    return time.perf_counter() - started
+
+
+def run_sweep_bench() -> dict:
+    """Time the executor's three paths on one figure grid.
+
+    Returns ``{benchmark_name: seconds}`` plus derived speedups. The
+    cache arm cold-fills a temporary cache once, then measures hits
+    only -- the recorded number is a pure warm-cache regeneration.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.harness.cache import RunCache
+    from repro.harness.executor import Executor
+
+    print("[sweep] serial (-j 1) ...")
+    serial = _median(
+        [_sweep_once(lambda: Executor(jobs=1)) for _ in range(SWEEP_BENCH_ROUNDS)]
+    )
+    print(f"[sweep] serial median {serial:.3f}s")
+
+    print(f"[sweep] parallel (-j {SWEEP_BENCH_JOBS}) ...")
+    parallel = _median(
+        [
+            _sweep_once(lambda: Executor(jobs=SWEEP_BENCH_JOBS))
+            for _ in range(SWEEP_BENCH_ROUNDS)
+        ]
+    )
+    print(f"[sweep] parallel median {parallel:.3f}s")
+
+    print("[sweep] warm cache ...")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        factory = lambda: Executor(jobs=1, cache=RunCache(root=cache_dir))
+        _sweep_once(factory)  # cold fill
+        warm = _median(
+            [_sweep_once(factory) for _ in range(SWEEP_BENCH_ROUNDS)]
+        )
+    print(f"[sweep] warm-cache median {warm:.3f}s")
+
+    return {
+        "sweep_exp1_serial_j1": serial,
+        f"sweep_exp1_parallel_j{SWEEP_BENCH_JOBS}": parallel,
+        "sweep_exp1_warm_cache": warm,
+        "sweep_parallel_speedup_x": serial / parallel if parallel else 0.0,
+        "sweep_cache_speedup_x": serial / warm if warm else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -70,16 +149,24 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_core.json",
         help="where to write the snapshot (default: BENCH_core.json)",
     )
+    parser.add_argument(
+        "--sweep-only",
+        action="store_true",
+        help="skip the pytest-benchmark suites; only run the sweep bench",
+    )
     args = parser.parse_args(argv)
 
     medians: dict = {}
-    with tempfile.TemporaryDirectory() as scratch:
-        for bench_file in BENCH_FILES:
-            medians.update(run_suite(bench_file, Path(scratch)))
+    if not args.sweep_only:
+        with tempfile.TemporaryDirectory() as scratch:
+            for bench_file in BENCH_FILES:
+                medians.update(run_suite(bench_file, Path(scratch)))
+    medians.update(run_sweep_bench())
 
     snapshot = {
         "units": "seconds (median over benchmark rounds)",
         "suites": list(BENCH_FILES),
+        "cpu_count": os.cpu_count(),
         "benchmarks": {name: medians[name] for name in sorted(medians)},
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -6,21 +6,34 @@ agents), run it under every registered mechanism with the same seed --
 the platform's named random streams guarantee the workloads are
 identical draw for draw -- and print a comparison table.
 
+The mechanisms are independent runs, so they go through the harness's
+parallel executor -- pass ``--jobs N`` to race them over N worker
+processes (results are bit-identical either way).
+
 For the paper's full figures use the CLI instead:
 
     python -m repro.harness.cli exp1
     python -m repro.harness.cli exp2
 
-Run:  python examples/compare_mechanisms.py
+Run:  python examples/compare_mechanisms.py [--jobs N]
 """
 
-from repro.harness.experiment import MECHANISM_FACTORIES, run_experiment
+import argparse
+
+from repro.harness.executor import Executor, RunSpec
+from repro.harness.experiment import MECHANISM_FACTORIES
 from repro.harness.tables import format_table
 from repro.workloads.mobility import ConstantResidence
 from repro.workloads.scenarios import Scenario
 
 
-def main() -> None:
+def main(argv=()) -> None:
+    parser = argparse.ArgumentParser(description="mechanism shoot-out")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    args = parser.parse_args(list(argv))
+
     scenario = Scenario(
         name="shootout",
         num_agents=30,
@@ -29,9 +42,16 @@ def main() -> None:
         seed=7,
     )
 
+    names = sorted(MECHANISM_FACTORIES)
+    results = Executor(jobs=args.jobs).run(
+        [
+            RunSpec(scenario=scenario, mechanism=name, seed=scenario.seed)
+            for name in names
+        ]
+    )
+
     rows = []
-    for name in sorted(MECHANISM_FACTORIES):
-        result = run_experiment(scenario, name)
+    for name, result in zip(names, results):
         summary = result.location_summary_ms
         counters = result.metrics.counters
         rows.append(
@@ -71,4 +91,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

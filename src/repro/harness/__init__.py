@@ -2,6 +2,10 @@
 
 * :mod:`repro.harness.experiment` -- run one scenario under one
   mechanism and collect metrics;
+* :mod:`repro.harness.executor` -- flatten grids into cells, fan them
+  over a worker pool, reassemble in input order;
+* :mod:`repro.harness.cache` -- content-addressed store of finished
+  run metrics (scenario + mechanism + seed + code fingerprint);
 * :mod:`repro.harness.sweeps` -- replications over seeds and parameter
   sweeps over scenario grids;
 * :mod:`repro.harness.tables` -- render the rows/series the paper's
@@ -9,6 +13,13 @@
 * :mod:`repro.harness.cli` -- ``python -m repro.harness.cli exp1 ...``.
 """
 
+from repro.harness.cache import RunCache, code_fingerprint
+from repro.harness.executor import (
+    ExecutionStats,
+    Executor,
+    RunSpec,
+    flatten_sweep,
+)
 from repro.harness.experiment import (
     MECHANISM_FACTORIES,
     RunResult,
@@ -21,12 +32,18 @@ from repro.harness.tables import format_table, series_table
 
 __all__ = [
     "build_mechanism",
+    "code_fingerprint",
+    "ExecutionStats",
+    "Executor",
+    "flatten_sweep",
     "format_table",
     "MECHANISM_FACTORIES",
     "replicate",
     "result_to_dict",
+    "RunCache",
     "run_experiment",
     "RunResult",
+    "RunSpec",
     "series_table",
     "sweep",
     "sweep_to_dict",

@@ -8,9 +8,10 @@ CLI and the benchmark suite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.harness.experiment import run_experiment
+from repro.harness.executor import Executor, RunSpec
+from repro.harness.sweeps import replicate
 from repro.harness.tables import format_table
 from repro.metrics.summary import confidence_interval, mean
 from repro.platform.failures import FailureInjector
@@ -212,26 +213,36 @@ def _placement_scenario(seed: int, enable: bool, quick: bool) -> Scenario:
 
 
 def placement_results(
-    seeds: Sequence[int] = (1, 2, 3), quick: bool = False
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    executor: Optional[Executor] = None,
 ) -> List[Dict]:
     rows = []
     for label, enable in (("placement off", False), ("placement on", True)):
-        means, updates_ms = [], []
-        for seed in seeds:
-            result = run_experiment(_placement_scenario(seed, enable, quick), "hash")
-            means.append(result.mean_location_ms)
+        # The scenario only varies by seed; replicate (and therefore
+        # the executor's pool/cache) handles the per-seed fan-out.
+        point = replicate(
+            _placement_scenario(seeds[0], enable, quick),
+            "hash",
+            seeds=seeds,
+            executor=executor,
+        )
         rows.append(
             {
                 "variant": label,
-                "mean_ms": mean(means),
-                "ci95_ms": confidence_interval(means),
+                "mean_ms": point.mean_ms,
+                "ci95_ms": point.ci95_ms,
             }
         )
     return rows
 
 
-def placement_table(seeds: Sequence[int] = (1, 2, 3), quick: bool = False) -> str:
-    rows = placement_results(seeds=seeds, quick=quick)
+def placement_table(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    executor: Optional[Executor] = None,
+) -> str:
+    rows = placement_results(seeds=seeds, quick=quick, executor=executor)
     return format_table(
         ["variant", "location time (ms)"],
         [
@@ -260,7 +271,9 @@ def _failover_scenario(seed: int, backup: bool, quick: bool) -> Scenario:
 
 
 def failover_results(
-    seeds: Sequence[int] = (1, 2, 3), quick: bool = False
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    executor: Optional[Executor] = None,
 ) -> List[Dict]:
     """Crash the HAgent mid-measurement, with and without the backup.
 
@@ -270,10 +283,14 @@ def failover_results(
     subsequent query needs a primary-copy read before it can resolve its
     IAgent. Without the backup those reads time out and locates fail;
     with it they are served by the standby.
+
+    The injection hooks are per-run closures, so these cells take the
+    executor's serial/uncached fallback path by design.
     """
+    engine = executor if executor is not None else Executor(jobs=1)
     rows = []
     for label, backup in (("no backup", False), ("primary/backup", True)):
-        means, failures = [], []
+        specs = []
         for seed in seeds:
             scenario = _failover_scenario(seed, backup, quick)
             crash_at = scenario.warmup + 0.5
@@ -285,9 +302,17 @@ def failover_results(
                 )
                 runtime.sim.schedule(crash_at, _drop_secondary_copies, runtime)
 
-            result = run_experiment(scenario, "hash", before_run=inject)
-            means.append(result.mean_location_ms)
-            failures.append(result.metrics.failed_locates)
+            specs.append(
+                RunSpec(
+                    scenario=scenario,
+                    mechanism="hash",
+                    seed=seed,
+                    before_run=inject,
+                )
+            )
+        runs = engine.run(specs)
+        means = [run.mean_location_ms for run in runs]
+        failures = [run.metrics.failed_locates for run in runs]
         rows.append(
             {
                 "variant": label,
@@ -305,8 +330,12 @@ def _drop_secondary_copies(runtime) -> None:
         lhagent.copy = None
 
 
-def failover_table(seeds: Sequence[int] = (1, 2, 3), quick: bool = False) -> str:
-    rows = failover_results(seeds=seeds, quick=quick)
+def failover_table(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    executor: Optional[Executor] = None,
+) -> str:
+    rows = failover_results(seeds=seeds, quick=quick, executor=executor)
     return format_table(
         ["variant", "location time (ms)", "failed locates"],
         [

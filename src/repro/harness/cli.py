@@ -14,6 +14,10 @@ Usage::
 
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
+Execution: ``--jobs N`` fans the grid over N worker processes (default:
+one per CPU; ``-j 1`` is the serial path), ``--no-cache`` disables the
+content-addressed run cache, ``--cache-dir PATH`` relocates it (default
+``.repro-cache/``), ``--progress`` prints one line per finished cell.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import argparse
 import sys
 from typing import Dict, List, Sequence
 
+from repro.harness.executor import CellOutcome, Executor
 from repro.harness.experiment import run_experiment
 from repro.harness.sweeps import replicate, sweep
 from repro.harness.tables import ascii_chart, format_table, series_table
@@ -45,12 +50,35 @@ def _quick_overrides(quick: bool) -> Dict:
     return {"total_queries": 60, "warmup": 2.0}
 
 
-def _maybe_export(series, args, name: str) -> None:
+def _progress_line(outcome: CellOutcome, done: int, total: int) -> None:
+    how = "cache" if outcome.cached else ("pool" if outcome.parallel else "run")
+    timing = "" if outcome.cached else f" {outcome.elapsed_s:.2f}s"
+    print(f"  [{done}/{total}] {outcome.spec.label()} ({how}{timing})")
+
+
+def _executor(args) -> Executor:
+    """The engine every grid-shaped command routes its cells through."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        from repro.harness.cache import RunCache
+
+        cache = RunCache(root=getattr(args, "cache_dir", ".repro-cache"))
+    progress = _progress_line if getattr(args, "progress", False) else None
+    return Executor(
+        jobs=getattr(args, "jobs", None), cache=cache, progress=progress
+    )
+
+
+def _maybe_export(series, args, name: str, executor: Executor = None) -> None:
     if not getattr(args, "json", None):
         return
     from repro.harness.export import sweep_to_dict, write_json
 
-    path = write_json(sweep_to_dict(series), args.json)
+    settings = executor.stats.as_dict() if executor is not None else None
+    document = sweep_to_dict(
+        series, seeds=_seeds(args.seeds), settings=settings
+    )
+    path = write_json(document, args.json)
     print(f"[{name}] series written to {path}")
 
 
@@ -58,34 +86,38 @@ def cmd_exp1(args) -> None:
     """Experiment I / Figure 7: location time vs population size."""
     overrides = _quick_overrides(args.quick)
     counts = EXP1_AGENT_COUNTS if not args.quick else EXP1_AGENT_COUNTS[:3]
+    executor = _executor(args)
     series = sweep(
         lambda n: exp1_scenario(int(n), **overrides),
         counts,
         mechanisms=["centralized", "hash"],
         seeds=_seeds(args.seeds),
+        executor=executor,
     )
     print("Experiment I (paper Figure 7): location time vs number of TAgents")
     print(series_table(series, x_label="TAgents"))
     if args.chart:
         print(ascii_chart(series))
-    _maybe_export(series, args, "exp1")
+    _maybe_export(series, args, "exp1", executor)
 
 
 def cmd_exp2(args) -> None:
     """Experiment II / Figure 8: location time vs mobility rate."""
     overrides = _quick_overrides(args.quick)
     residences = EXP2_RESIDENCE_TIMES_MS if not args.quick else EXP2_RESIDENCE_TIMES_MS[:3]
+    executor = _executor(args)
     series = sweep(
         lambda ms: exp2_scenario(ms, **overrides),
         residences,
         mechanisms=["centralized", "hash"],
         seeds=_seeds(args.seeds),
+        executor=executor,
     )
     print("Experiment II (paper Figure 8): location time vs residence per node")
     print(series_table(series, x_label="residence (ms)"))
     if args.chart:
         print(ascii_chart(series))
-    _maybe_export(series, args, "exp2")
+    _maybe_export(series, args, "exp2", executor)
 
 
 def cmd_baselines(args) -> None:
@@ -100,6 +132,7 @@ def cmd_baselines(args) -> None:
             "flooding", "hash",
         ],
         seeds=_seeds(args.seeds),
+        executor=_executor(args),
     )
     print("ABL-B: every mechanism on the Experiment I workload")
     print(series_table(series, x_label="TAgents"))
@@ -108,13 +141,17 @@ def cmd_baselines(args) -> None:
 def cmd_thresholds(args) -> None:
     """ABL-T: sensitivity to T_max (paper defers this to future work)."""
     overrides = _quick_overrides(args.quick)
+    executor = _executor(args)
     rows = []
     for t_max in (25.0, 50.0, 100.0, 200.0):
         scenario = exp1_scenario(100, **overrides)
         scenario = scenario.with_overrides(
             config=scenario.config.with_overrides(t_max=t_max, t_min=t_max / 10.0)
         )
-        point = replicate(scenario, "hash", seeds=_seeds(args.seeds), x=t_max)
+        point = replicate(
+            scenario, "hash", seeds=_seeds(args.seeds), x=t_max,
+            executor=executor,
+        )
         rows.append(
             [
                 f"{t_max:g}",
@@ -139,7 +176,11 @@ def cmd_placement(args) -> None:
     from repro.harness.ablations import placement_table
 
     print("ABL-P: placement extension (paper §7) on a clustered workload")
-    print(placement_table(seeds=_seeds(args.seeds), quick=args.quick))
+    print(
+        placement_table(
+            seeds=_seeds(args.seeds), quick=args.quick, executor=_executor(args)
+        )
+    )
 
 
 def cmd_failover(args) -> None:
@@ -147,7 +188,11 @@ def cmd_failover(args) -> None:
     from repro.harness.ablations import failover_table
 
     print("ABL-F: HAgent failover (paper §7 fault-tolerance extension)")
-    print(failover_table(seeds=_seeds(args.seeds), quick=args.quick))
+    print(
+        failover_table(
+            seeds=_seeds(args.seeds), quick=args.quick, executor=_executor(args)
+        )
+    )
 
 
 def cmd_heuristics(args) -> None:
@@ -233,6 +278,7 @@ def cmd_report(args) -> None:
         seeds=_seeds(args.seeds),
         quick=args.quick,
         include_ablations=not args.quick,
+        executor=_executor(args),
     )
     if args.out:
         from pathlib import Path
@@ -269,6 +315,31 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seeds", type=int, default=3, help="replications per point")
     parser.add_argument("--quick", action="store_true", help="shrunken quick pass")
     parser.add_argument("--chart", action="store_true", help="ASCII chart output")
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep cells (default: one per CPU; "
+        "1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed run cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=".repro-cache",
+        help="run-cache directory (default: .repro-cache/)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished sweep cell",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",

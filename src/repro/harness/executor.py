@@ -1,0 +1,341 @@
+"""Parallel execution engine for the experiment harness.
+
+Every figure in the paper is a grid of *independent* simulations --
+(x-axis point x mechanism x seed). :class:`Executor` flattens such a
+grid into :class:`RunSpec` cells, fans the cells out over a
+``multiprocessing`` worker pool, and reassembles the results in
+deterministic input order regardless of completion order. Because each
+run is fixed-seed deterministic, parallel execution is *bit-identical*
+to serial execution -- the test suite asserts it.
+
+Layered on top is the content-addressed run cache
+(:mod:`repro.harness.cache`): cells whose inputs hash to a previously
+stored digest are answered from disk without simulating anything, so
+regenerating an unchanged figure is near-instant.
+
+Fallback ladder, most to least parallel:
+
+* ``jobs > 1`` and the platform can ``fork``: pool workers, one cell
+  each, results streamed back as they finish;
+* cells that cannot be pickled (scenarios holding lambdas/closures,
+  fault-injection hooks): run serially in the parent, same order
+  guarantees;
+* ``jobs == 1`` or no ``fork`` support: everything serial in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.cache import RunCache
+from repro.harness.experiment import RunResult, run_experiment
+from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "CellOutcome",
+    "Executor",
+    "ExecutionStats",
+    "RunSpec",
+    "default_jobs",
+    "flatten_sweep",
+]
+
+
+def default_jobs() -> int:
+    """The worker count used when the caller does not choose one."""
+    return max(1, multiprocessing.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent cell of an experiment grid."""
+
+    scenario: Scenario
+    mechanism: str
+    seed: int
+    #: The x-axis coordinate this cell contributes to (``None`` for
+    #: bare replications).
+    x: Optional[float] = None
+    #: Optional registry override; cells carrying one are uncacheable
+    #: unless it is a module-level function.
+    mechanism_factory: Optional[Callable] = None
+    #: Optional pre-run hook (fault injection); runs in the worker.
+    before_run: Optional[Callable] = None
+
+    def resolved_scenario(self) -> Scenario:
+        """The scenario with this cell's seed applied."""
+        if self.scenario.seed == self.seed:
+            return self.scenario
+        return self.scenario.with_overrides(seed=self.seed)
+
+    def label(self) -> str:
+        x_part = f" x={self.x:g}" if self.x is not None else ""
+        return f"{self.scenario.name} [{self.mechanism}] seed={self.seed}{x_part}"
+
+
+@dataclass
+class CellOutcome:
+    """Bookkeeping for one executed (or cache-served) cell."""
+
+    spec: RunSpec
+    result: RunResult
+    cached: bool = False
+    parallel: bool = False
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class ExecutionStats:
+    """What one :meth:`Executor.run` call did, for reports and exports."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    parallel_cells: int = 0
+    serial_cells: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "parallel_cells": self.parallel_cells,
+            "serial_cells": self.serial_cells,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+        }
+
+
+def flatten_sweep(
+    scenario_for: Callable[[float], Scenario],
+    xs: Sequence[float],
+    mechanisms: Sequence[str],
+    seeds: Sequence[int],
+    mechanism_factories: Optional[Dict[str, Callable]] = None,
+) -> List[RunSpec]:
+    """Expand a figure grid into its independent cells, input order."""
+    factories = mechanism_factories or {}
+    specs: List[RunSpec] = []
+    for x in xs:
+        scenario = scenario_for(x)
+        for mechanism in mechanisms:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        scenario=scenario,
+                        mechanism=mechanism,
+                        seed=seed,
+                        x=x,
+                        mechanism_factory=factories.get(mechanism),
+                    )
+                )
+    return specs
+
+
+def _execute_cell(indexed_spec):
+    """Pool worker: run one cell, return ``(index, metrics)``.
+
+    Only the collector crosses the process boundary -- the parent
+    already holds the scenario, and the collector is always picklable.
+    """
+    index, spec = indexed_spec
+    result = run_experiment(
+        spec.resolved_scenario(),
+        mechanism=spec.mechanism,
+        mechanism_factory=spec.mechanism_factory,
+        before_run=spec.before_run,
+    )
+    return index, result.metrics
+
+
+def _can_fork() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _is_picklable(spec: RunSpec) -> bool:
+    try:
+        pickle.dumps(spec)
+    except Exception:
+        return False
+    return True
+
+
+class Executor:
+    """Runs grids of :class:`RunSpec` cells, parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU, ``1`` forces the
+        serial in-process path (also used where ``fork`` is missing).
+    cache:
+        A :class:`~repro.harness.cache.RunCache`, or ``None`` to run
+        every cell fresh.
+    progress:
+        Optional ``callable(CellOutcome, done, total)`` invoked in the
+        parent as cells complete (completion order).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+        progress: Optional[Callable[[CellOutcome, int, int], None]] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+        self.stats = ExecutionStats(jobs=self.jobs)
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every cell; results come back in input order."""
+        started = time.perf_counter()
+        self.stats = ExecutionStats(jobs=self.jobs)
+        self.stats.cells = len(specs)
+        total = len(specs)
+        done = 0
+        results: List[Optional[RunResult]] = [None] * total
+
+        # 1. Serve whatever the cache already knows.
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * total
+        for index, spec in enumerate(specs):
+            outcome = self._try_cache(index, spec, keys)
+            if outcome is None:
+                pending.append(index)
+                continue
+            results[index] = outcome.result
+            done += 1
+            self._report(outcome, done, total)
+
+        # 2. Fan the remaining cells out (or fall back to serial).
+        parallel_indices: List[int] = []
+        serial_indices: List[int] = []
+        if self.jobs > 1 and _can_fork() and len(pending) > 1:
+            for index in pending:
+                (parallel_indices
+                 if _is_picklable(specs[index])
+                 else serial_indices).append(index)
+        else:
+            serial_indices = pending
+
+        if parallel_indices:
+            done = self._run_parallel(
+                specs, parallel_indices, keys, results, done, total
+            )
+        for index in serial_indices:
+            outcome = self._run_serial(index, specs[index], keys[index])
+            results[index] = outcome.result
+            done += 1
+            self._report(outcome, done, total)
+
+        self.stats.wall_s = time.perf_counter() - started
+        return [result for result in results if result is not None]
+
+    # -- internals -----------------------------------------------------
+
+    def _try_cache(
+        self, index: int, spec: RunSpec, keys: List[Optional[str]]
+    ) -> Optional[CellOutcome]:
+        if self.cache is None:
+            return None
+        # Fault-injection hooks mutate the run beyond the scenario's
+        # content; such cells must never be cached.
+        if spec.before_run is not None:
+            return None
+        key = self.cache.key_for(
+            spec.resolved_scenario(), self._mechanism_id(spec), spec.seed
+        )
+        keys[index] = key
+        if key is None:
+            return None
+        metrics = self.cache.get(key)
+        if metrics is None:
+            self.stats.cache_misses += 1
+            return None
+        self.stats.cache_hits += 1
+        result = RunResult(
+            scenario=spec.resolved_scenario(),
+            mechanism=metrics.mechanism,
+            metrics=metrics,
+        )
+        return CellOutcome(spec=spec, result=result, cached=True)
+
+    def _mechanism_id(self, spec: RunSpec) -> str:
+        """The mechanism's cache identity, factory-qualified if any."""
+        if spec.mechanism_factory is None:
+            return spec.mechanism
+        factory = spec.mechanism_factory
+        module = getattr(factory, "__module__", "")
+        name = getattr(factory, "__qualname__", "")
+        return f"{spec.mechanism}@{module}:{name}"
+
+    def _store(self, spec: RunSpec, key: Optional[str], result: RunResult) -> None:
+        if self.cache is not None and key is not None and spec.before_run is None:
+            self.cache.put(key, result.metrics)
+
+    def _run_serial(
+        self, index: int, spec: RunSpec, key: Optional[str]
+    ) -> CellOutcome:
+        started = time.perf_counter()
+        result = run_experiment(
+            spec.resolved_scenario(),
+            mechanism=spec.mechanism,
+            mechanism_factory=spec.mechanism_factory,
+            before_run=spec.before_run,
+        )
+        self.stats.serial_cells += 1
+        self._store(spec, key, result)
+        return CellOutcome(
+            spec=spec,
+            result=result,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _run_parallel(
+        self,
+        specs: Sequence[RunSpec],
+        indices: List[int],
+        keys: List[Optional[str]],
+        results: List[Optional[RunResult]],
+        done: int,
+        total: int,
+    ) -> int:
+        context = multiprocessing.get_context("fork")
+        workers = min(self.jobs, len(indices))
+        payload = [(index, specs[index]) for index in indices]
+        started = time.perf_counter()
+        with context.Pool(processes=workers) as pool:
+            for index, metrics in pool.imap_unordered(
+                _execute_cell, payload, chunksize=1
+            ):
+                spec = specs[index]
+                result = RunResult(
+                    scenario=spec.resolved_scenario(),
+                    mechanism=metrics.mechanism,
+                    metrics=metrics,
+                )
+                results[index] = result
+                self.stats.parallel_cells += 1
+                self._store(spec, keys[index], result)
+                done += 1
+                outcome = CellOutcome(
+                    spec=spec,
+                    result=result,
+                    parallel=True,
+                    elapsed_s=time.perf_counter() - started,
+                )
+                self._report(outcome, done, total)
+        return done
+
+    def _report(self, outcome: CellOutcome, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(outcome, done, total)

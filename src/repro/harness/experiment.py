@@ -10,6 +10,7 @@ simulated time until the query quota completes, and returns a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Optional
 
@@ -71,6 +72,17 @@ class RunResult:
 
     @property
     def mean_location_ms(self) -> float:
+        # A saturated or faulted run can finish with zero completed
+        # locates; report nan instead of raising from deep inside a
+        # figure build.
+        if not self.metrics.location_times:
+            warnings.warn(
+                f"run {self.scenario.name} [{self.mechanism}] recorded no "
+                "location samples; reporting nan",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return float("nan")
         return self.location_summary_ms.mean
 
     def describe(self) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness.experiment import RunResult
 from repro.harness.sweeps import SweepPoint
@@ -62,9 +62,20 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     return document
 
 
-def sweep_to_dict(series: Dict[str, List[SweepPoint]]) -> Dict[str, Any]:
-    """A JSON-able form of a figure's series (mechanism -> points)."""
-    return {
+def sweep_to_dict(
+    series: Dict[str, List[SweepPoint]],
+    seeds: Optional[Sequence[int]] = None,
+    settings: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A JSON-able form of a figure's series (mechanism -> points).
+
+    ``seeds`` (the replication seed list) and ``settings`` (harness
+    execution facts -- jobs, cache hit/miss counts, wall time; usually
+    ``ExecutionStats.as_dict()``) are recorded under a ``"_meta"`` key
+    so an exported figure is self-describing; both survive a
+    :func:`write_json`/:func:`read_json` round-trip untouched.
+    """
+    document: Dict[str, Any] = {
         mechanism: [
             {
                 "x": point.x,
@@ -77,6 +88,14 @@ def sweep_to_dict(series: Dict[str, List[SweepPoint]]) -> Dict[str, Any]:
         ]
         for mechanism, points in series.items()
     }
+    if seeds is not None or settings is not None:
+        meta: Dict[str, Any] = {}
+        if seeds is not None:
+            meta["seeds"] = [int(seed) for seed in seeds]
+        if settings is not None:
+            meta["settings"] = dict(settings)
+        document["_meta"] = meta
+    return document
 
 
 def write_json(document: Any, path) -> Path:

@@ -11,8 +11,9 @@ evaluation with one command and diff it against the committed document:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.harness.executor import Executor
 from repro.harness.sweeps import SweepPoint, sweep
 from repro.workloads.scenarios import (
     EXP1_AGENT_COUNTS,
@@ -74,6 +75,7 @@ def generate_report(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     include_ablations: bool = False,
+    executor: Optional[Executor] = None,
 ) -> str:
     """Measure and render the evaluation report (markdown)."""
     overrides = {"total_queries": 60, "warmup": 2.0} if quick else {}
@@ -85,12 +87,14 @@ def generate_report(
         counts,
         mechanisms=["centralized", "hash"],
         seeds=seeds,
+        executor=executor,
     )
     exp2 = sweep(
         lambda ms: exp2_scenario(ms, **overrides),
         residences,
         mechanisms=["centralized", "hash"],
         seeds=seeds,
+        executor=executor,
     )
 
     sections = [
@@ -136,13 +140,13 @@ def generate_report(
             "## ABL-P: IAgent placement",
             "",
             "```",
-            placement_table(seeds=seeds, quick=quick),
+            placement_table(seeds=seeds, quick=quick, executor=executor),
             "```",
             "",
             "## ABL-F: HAgent failover",
             "",
             "```",
-            failover_table(seeds=seeds, quick=quick),
+            failover_table(seeds=seeds, quick=quick, executor=executor),
             "```",
             "",
         ]

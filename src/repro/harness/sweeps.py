@@ -5,15 +5,25 @@ statistically normalized averages." ``replicate`` reruns one scenario
 under independent seeds and aggregates the per-run mean location times;
 ``sweep`` walks a scenario grid (one scenario per x-axis point) doing
 the same, producing the series a figure plots.
+
+Both functions route their cells through the
+:class:`~repro.harness.executor.Executor` -- pass one configured with
+``jobs > 1`` and/or a :class:`~repro.harness.cache.RunCache` to fan the
+grid out over worker processes and skip cells whose inputs have not
+changed. Without an explicit executor they run serially and uncached,
+exactly like the original in-process loop.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.harness.experiment import RunResult, run_experiment
+from repro.harness.executor import Executor, RunSpec, flatten_sweep
+from repro.harness.experiment import RunResult
 from repro.metrics.summary import confidence_interval, mean
+
 from repro.workloads.scenarios import Scenario
 
 __all__ = ["SweepPoint", "replicate", "sweep", "DEFAULT_SEEDS"]
@@ -34,10 +44,20 @@ class SweepPoint:
 
     @property
     def mean_ms(self) -> float:
+        if not self.per_seed_means:
+            warnings.warn(
+                f"SweepPoint({self.mechanism}, x={self.x}) has no per-seed "
+                "means; reporting nan",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return float("nan")
         return mean(self.per_seed_means)
 
     @property
     def ci95_ms(self) -> float:
+        if not self.per_seed_means:
+            return float("nan")
         return confidence_interval(self.per_seed_means)
 
     @property
@@ -50,30 +70,39 @@ class SweepPoint:
         return mean(finals) if finals else None
 
 
+def _point_from_runs(
+    x: Optional[float], mechanism: str, runs: List[RunResult]
+) -> SweepPoint:
+    return SweepPoint(
+        x=x if x is not None else 0.0,
+        mechanism=mechanism,
+        per_seed_means=[run.mean_location_ms for run in runs],
+        runs=runs,
+    )
+
+
 def replicate(
     scenario: Scenario,
     mechanism: str,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     x: Optional[float] = None,
     mechanism_factory: Optional[Callable] = None,
+    executor: Optional[Executor] = None,
 ) -> SweepPoint:
     """Run ``scenario`` once per seed; aggregate the mean location time."""
-    runs = []
-    means = []
-    for seed in seeds:
-        result = run_experiment(
-            scenario.with_overrides(seed=seed),
+    engine = executor if executor is not None else Executor(jobs=1)
+    specs = [
+        RunSpec(
+            scenario=scenario,
             mechanism=mechanism,
+            seed=seed,
+            x=x,
             mechanism_factory=mechanism_factory,
         )
-        runs.append(result)
-        means.append(result.mean_location_ms)
-    return SweepPoint(
-        x=x if x is not None else 0.0,
-        mechanism=mechanism,
-        per_seed_means=means,
-        runs=runs,
-    )
+        for seed in seeds
+    ]
+    runs = engine.run(specs)
+    return _point_from_runs(x, mechanism, runs)
 
 
 def sweep(
@@ -82,23 +111,29 @@ def sweep(
     mechanisms: Sequence[str],
     seeds: Sequence[int] = DEFAULT_SEEDS,
     mechanism_factories: Optional[Dict[str, Callable]] = None,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Run every mechanism over every x-axis point.
 
     Returns ``{mechanism: [SweepPoint, ...]}`` with points in ``xs``
-    order -- one series per figure line.
+    order -- one series per figure line. The whole grid is flattened
+    into one cell list before execution, so a parallel executor
+    overlaps cells across x-points and mechanisms, not just seeds.
     """
-    factories = mechanism_factories or {}
+    engine = executor if executor is not None else Executor(jobs=1)
+    specs = flatten_sweep(
+        scenario_for, xs, mechanisms, seeds, mechanism_factories
+    )
+    runs = engine.run(specs)
+
+    # Reassemble in deterministic input order: specs and runs are
+    # index-aligned, grouped (x, mechanism, seed) innermost-seed.
     series: Dict[str, List[SweepPoint]] = {name: [] for name in mechanisms}
+    cursor = 0
+    per_point = len(seeds)
     for x in xs:
-        scenario = scenario_for(x)
         for name in mechanisms:
-            point = replicate(
-                scenario,
-                name,
-                seeds=seeds,
-                x=x,
-                mechanism_factory=factories.get(name),
-            )
-            series[name].append(point)
+            point_runs = runs[cursor:cursor + per_point]
+            cursor += per_point
+            series[name].append(_point_from_runs(x, name, point_runs))
     return series

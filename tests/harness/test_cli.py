@@ -51,8 +51,12 @@ class TestQuickRuns:
         import json
 
         document = json.loads(target.read_text())
-        assert set(document) == {"centralized", "hash"}
+        assert set(document) == {"centralized", "hash", "_meta"}
         assert all("mean_ms" in point for point in document["hash"])
+        assert document["_meta"]["seeds"] == [1]
+        settings = document["_meta"]["settings"]
+        assert settings["cells"] == settings["cache_hits"] + settings["cache_misses"]
+        assert settings["jobs"] >= 1
 
     def test_overhead_quick(self, capsys):
         assert cli.main(["overhead", "--quick", "--seeds", "1"]) == 0

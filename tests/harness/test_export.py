@@ -61,6 +61,41 @@ class TestSweepToDict:
         json.dumps(document)
 
 
+class TestSweepMeta:
+    def series(self):
+        return {
+            "hash": [
+                SweepPoint(x=10, mechanism="hash",
+                           per_seed_means=[12.0, 14.0], runs=[])
+            ]
+        }
+
+    def test_no_meta_by_default(self):
+        assert "_meta" not in sweep_to_dict(self.series())
+
+    def test_seeds_and_settings_recorded(self):
+        document = sweep_to_dict(
+            self.series(),
+            seeds=(1, 2),
+            settings={"jobs": 4, "cache_hits": 3, "cache_misses": 1},
+        )
+        assert document["_meta"]["seeds"] == [1, 2]
+        assert document["_meta"]["settings"]["cache_hits"] == 3
+        # The series itself is untouched by the metadata block.
+        assert document["hash"][0]["mean_ms"] == 13.0
+
+    def test_meta_round_trips_through_files(self, tmp_path):
+        document = sweep_to_dict(
+            self.series(),
+            seeds=[5],
+            settings={"jobs": 2, "cache_hits": 0, "cache_misses": 2},
+        )
+        path = write_json(document, tmp_path / "series.json")
+        loaded = read_json(path)
+        assert loaded["_meta"] == document["_meta"]
+        assert loaded["hash"] == json.loads(json.dumps(document["hash"]))
+
+
 class TestFileRoundTrip:
     def test_write_then_read(self, tmp_path):
         document = result_to_dict(quick_result())

@@ -81,5 +81,7 @@ class TestPackageEntryPoint:
 
         assert main() == 0
         output = capsys.readouterr().out
-        assert "repro 1.0.0" in output
+        from repro import __version__
+
+        assert f"repro {__version__}" in output
         assert "exp1" in output
