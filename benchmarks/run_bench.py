@@ -18,7 +18,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --sweep-only
+    PYTHONPATH=src python benchmarks/run_bench.py --quick     # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/b.json
+
+``--quick`` is the CI arm: one round per sweep arm, a smaller grid and
+fast pytest-benchmark settings. Its numbers are *not* comparable to a
+full run and should never be committed over a full snapshot.
 """
 
 from __future__ import annotations
@@ -47,7 +52,7 @@ BENCH_FILES = (
 )
 
 
-def run_suite(bench_file: str, scratch: Path) -> dict:
+def run_suite(bench_file: str, scratch: Path, quick: bool = False) -> dict:
     """Run one benchmark file; return ``{test_name: median_seconds}``."""
     report = scratch / (Path(bench_file).stem + ".json")
     env = dict(os.environ)
@@ -55,16 +60,23 @@ def run_suite(bench_file: str, scratch: Path) -> dict:
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        bench_file,
+        "-q",
+        "--benchmark-json",
+        str(report),
+    ]
+    if quick:
+        command += [
+            "--benchmark-min-rounds=1",
+            "--benchmark-warmup=off",
+            "--benchmark-disable-gc",
+        ]
     subprocess.run(
-        [
-            sys.executable,
-            "-m",
-            "pytest",
-            bench_file,
-            "-q",
-            "--benchmark-json",
-            str(report),
-        ],
+        command,
         cwd=REPO_ROOT,
         env=env,
         check=True,
@@ -81,7 +93,7 @@ def _median(samples):
     return ordered[len(ordered) // 2]
 
 
-def _sweep_once(executor_factory) -> float:
+def _sweep_once(executor_factory, quick: bool = False) -> float:
     """Wall clock of one mid-size figure sweep through ``executor``."""
     from repro.harness.sweeps import sweep
     from repro.workloads.scenarios import exp1_scenario
@@ -89,15 +101,15 @@ def _sweep_once(executor_factory) -> float:
     started = time.perf_counter()
     sweep(
         lambda n: exp1_scenario(int(n)),
-        xs=(10, 30, 100),
+        xs=(10, 30) if quick else (10, 30, 100),
         mechanisms=("centralized", "hash"),
-        seeds=(1, 2),
+        seeds=(1,) if quick else (1, 2),
         executor=executor_factory(),
     )
     return time.perf_counter() - started
 
 
-def run_sweep_bench() -> dict:
+def run_sweep_bench(quick: bool = False) -> dict:
     """Time the executor's three paths on one figure grid.
 
     Returns ``{benchmark_name: seconds}`` plus derived speedups. The
@@ -108,17 +120,19 @@ def run_sweep_bench() -> dict:
     from repro.harness.cache import RunCache
     from repro.harness.executor import Executor
 
+    rounds = 1 if quick else SWEEP_BENCH_ROUNDS
+
     print("[sweep] serial (-j 1) ...")
     serial = _median(
-        [_sweep_once(lambda: Executor(jobs=1)) for _ in range(SWEEP_BENCH_ROUNDS)]
+        [_sweep_once(lambda: Executor(jobs=1), quick) for _ in range(rounds)]
     )
     print(f"[sweep] serial median {serial:.3f}s")
 
     print(f"[sweep] parallel (-j {SWEEP_BENCH_JOBS}) ...")
     parallel = _median(
         [
-            _sweep_once(lambda: Executor(jobs=SWEEP_BENCH_JOBS))
-            for _ in range(SWEEP_BENCH_ROUNDS)
+            _sweep_once(lambda: Executor(jobs=SWEEP_BENCH_JOBS), quick)
+            for _ in range(rounds)
         ]
     )
     print(f"[sweep] parallel median {parallel:.3f}s")
@@ -126,9 +140,9 @@ def run_sweep_bench() -> dict:
     print("[sweep] warm cache ...")
     with tempfile.TemporaryDirectory() as cache_dir:
         factory = lambda: Executor(jobs=1, cache=RunCache(root=cache_dir))
-        _sweep_once(factory)  # cold fill
+        _sweep_once(factory, quick)  # cold fill
         warm = _median(
-            [_sweep_once(factory) for _ in range(SWEEP_BENCH_ROUNDS)]
+            [_sweep_once(factory, quick) for _ in range(rounds)]
         )
     print(f"[sweep] warm-cache median {warm:.3f}s")
 
@@ -154,19 +168,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the pytest-benchmark suites; only run the sweep bench",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one round per arm, smaller grid, fast pytest-"
+        "benchmark settings (numbers not comparable to a full run)",
+    )
     args = parser.parse_args(argv)
 
     medians: dict = {}
     if not args.sweep_only:
         with tempfile.TemporaryDirectory() as scratch:
             for bench_file in BENCH_FILES:
-                medians.update(run_suite(bench_file, Path(scratch)))
-    medians.update(run_sweep_bench())
+                medians.update(run_suite(bench_file, Path(scratch), args.quick))
+    medians.update(run_sweep_bench(args.quick))
 
     snapshot = {
         "units": "seconds (median over benchmark rounds)",
         "suites": list(BENCH_FILES),
         "cpu_count": os.cpu_count(),
+        "quick": args.quick,
         "benchmarks": {name: medians[name] for name in sorted(medians)},
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -40,7 +40,7 @@ format details are in docs/PROTOCOLS.md.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional
 
 from repro.core.hash_tree import HashTree
 from repro.core.rehashing import plan_split
@@ -48,7 +48,40 @@ from repro.platform.agents import Agent
 from repro.platform.messages import Request, RpcError
 from repro.platform.naming import AgentId
 
-__all__ = ["HAgent", "RehashEvent"]
+__all__ = ["HAgent", "RehashEvent", "delta_reply"]
+
+
+def delta_reply(
+    journal: Iterable[Dict],
+    version: int,
+    since: int,
+    bundle: Callable[[], Dict],
+    snapshot_size: Callable[[], int],
+) -> Dict:
+    """Build the reply to a ``get-hash-delta`` request (paper §4.3).
+
+    Shared by the simulator :class:`HAgent` and the live
+    :class:`repro.service.server.HAgentServer`: serve the journal suffix
+    newer than ``since`` when it covers the whole gap contiguously,
+    otherwise degrade to the full snapshot produced by ``bundle`` --
+    correctness never depends on journal retention. ``snapshot_size``
+    supplies the modelled ``_wire_size`` of a full copy (the service
+    layer pays real bytes but keeps the field for uniform accounting).
+    """
+    if since >= version:
+        return {"version": version, "mode": "delta", "ops": [], "_wire_size": 64}
+    ops = [entry for entry in journal if entry["version"] > since]
+    if len(ops) == version - since and ops and ops[0]["version"] == since + 1:
+        return {
+            "version": version,
+            "mode": "delta",
+            "ops": ops,
+            "_wire_size": 64 + 48 * len(ops),
+        }
+    reply = bundle()
+    reply["mode"] = "full"
+    reply["_wire_size"] = snapshot_size()
+    return reply
 
 
 class RehashEvent(dict):
@@ -133,23 +166,13 @@ class HAgent(Agent):
         a non-journaled bump such as the initial ``adopt_tree`` sits
         inside it).
         """
-        since = body.get("since", -1)
-        version = self.version
-        if since >= version:
-            return {"version": version, "mode": "delta", "ops": [],
-                    "_wire_size": 64}
-        ops = [entry for entry in self.journal if entry["version"] > since]
-        if len(ops) == version - since and ops and ops[0]["version"] == since + 1:
-            return {
-                "version": version,
-                "mode": "delta",
-                "ops": ops,
-                "_wire_size": 64 + 48 * len(ops),
-            }
-        reply = self.bundle()
-        reply["mode"] = "full"
-        reply["_wire_size"] = self.snapshot_wire_size()
-        return reply
+        return delta_reply(
+            self.journal,
+            self.version,
+            body.get("since", -1),
+            self.bundle,
+            self.snapshot_wire_size,
+        )
 
     def _on_iagent_moved(self, body: Dict) -> Dict:
         owner, node = body["owner"], body["node"]

@@ -12,6 +12,18 @@ Usage::
     python -m repro.harness.cli overhead        # COST
     python -m repro.harness.cli all
 
+Besides the simulation experiments, two commands drive the *live*
+service layer (:mod:`repro.service`) over real localhost sockets::
+
+    python -m repro.harness.cli serve --nodes 5
+    python -m repro.harness.cli cluster --nodes 5 --ops 200 --crash-iagent
+
+``serve`` boots an N-node cluster and parks until interrupted;
+``cluster`` runs a verified register/locate/migrate workload against it
+(optionally crashing an IAgent mid-run) and exits 0 only if every
+locate succeeded and matched ground truth. These are excluded from
+``all``, which remains simulation-only.
+
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
 Execution: ``--jobs N`` fans the grid over N worker processes (default:
@@ -289,6 +301,56 @@ def cmd_report(args) -> None:
         print(report)
 
 
+def _cluster_config(args):
+    from repro.service.cluster import ClusterConfig
+
+    return ClusterConfig(
+        nodes=args.nodes,
+        agents=args.agents,
+        ops=args.ops,
+        seed=args.seeds,
+        crash_iagent=getattr(args, "crash_iagent", False),
+    )
+
+
+def cmd_serve(args) -> int:
+    """Boot a live localhost cluster and park until interrupted."""
+    import asyncio
+
+    from repro.service.cluster import serve_cluster
+
+    try:
+        asyncio.run(serve_cluster(_cluster_config(args)))
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    """Run the verified live-cluster workload; exit 0 only on PASS."""
+    import asyncio
+
+    from repro.service.cluster import run_cluster
+
+    report = asyncio.run(run_cluster(_cluster_config(args)))
+    print(report.render())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    return 0 if report.passed else 1
+
+
+#: Live-service commands: separate from COMMANDS so ``all`` (which
+#: regenerates the paper's simulation results) never boots sockets.
+SERVICE_COMMANDS = {
+    "serve": cmd_serve,
+    "cluster": cmd_cluster,
+}
+
+
 COMMANDS = {
     "report": cmd_report,
     "exp1": cmd_exp1,
@@ -310,7 +372,9 @@ def main(argv: List[str] = None) -> int:
         description="Regenerate the paper's figures and the extension ablations.",
     )
     parser.add_argument(
-        "command", choices=list(COMMANDS) + ["all"], help="which experiment to run"
+        "command",
+        choices=list(COMMANDS) + list(SERVICE_COMMANDS) + ["all"],
+        help="which experiment to run",
     )
     parser.add_argument("--seeds", type=int, default=3, help="replications per point")
     parser.add_argument("--quick", action="store_true", help="shrunken quick pass")
@@ -352,12 +416,29 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="output file for the report command",
     )
+    service = parser.add_argument_group("live service (serve / cluster)")
+    service.add_argument(
+        "--nodes", type=int, default=5, help="nodes in the live cluster"
+    )
+    service.add_argument(
+        "--agents", type=int, default=20, help="initial mobile-agent population"
+    )
+    service.add_argument(
+        "--ops", type=int, default=200, help="workload operations to drive"
+    )
+    service.add_argument(
+        "--crash-iagent",
+        action="store_true",
+        help="kill the record-heaviest IAgent half way through the run",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "all":
         for name, command in COMMANDS.items():
             print(f"\n===== {name} =====")
             command(args)
+    elif args.command in SERVICE_COMMANDS:
+        return SERVICE_COMMANDS[args.command](args)
     else:
         COMMANDS[args.command](args)
     return 0

@@ -8,15 +8,34 @@ runtimes pay a single ``None`` check per event.
 
 Attach with :func:`attach_tracer`; query with :meth:`Tracer.select`
 or dump with :meth:`Tracer.to_jsonl`.
+
+The same tracer also serves the live service layer
+(:mod:`repro.service`), where events carry *wall-clock* seconds instead
+of virtual time: construct with ``Tracer(clock=wall_clock())`` and
+record through :meth:`Tracer.record_now`, which stamps events from the
+injected clock. One event schema, two time bases.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "Tracer", "attach_tracer"]
+__all__ = ["TraceEvent", "Tracer", "attach_tracer", "wall_clock"]
+
+
+def wall_clock() -> Callable[[], float]:
+    """A zero-based monotonic clock for tracing live (non-simulated) runs.
+
+    Returns a callable whose first reading is ``0.0``; differences are
+    real elapsed seconds. Each call to :func:`wall_clock` starts an
+    independent epoch, so traces of separate service runs all begin at
+    zero like simulator traces do.
+    """
+    epoch = time.monotonic()
+    return lambda: time.monotonic() - epoch
 
 
 @dataclass(frozen=True)
@@ -44,15 +63,23 @@ class Tracer:
         left tracing on).
     kinds:
         Optional allow-list; events of other kinds are not recorded.
+    clock:
+        Optional time source for :meth:`record_now` (the live service
+        layer passes :func:`wall_clock`); :meth:`record` with explicit
+        timestamps works regardless.
     """
 
     def __init__(
-        self, capacity: int = 100_000, kinds: Optional[List[str]] = None
+        self,
+        capacity: int = 100_000,
+        kinds: Optional[List[str]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.kinds = set(kinds) if kinds is not None else None
+        self.clock = clock
         self.events: List[TraceEvent] = []
         self.dropped = 0
 
@@ -64,6 +91,12 @@ class Tracer:
             self.events.pop(0)
             self.dropped += 1
         self.events.append(TraceEvent(time=time, kind=kind, fields=fields))
+
+    def record_now(self, kind: str, **fields: Any) -> None:
+        """Append one event stamped from the injected ``clock``."""
+        if self.clock is None:
+            raise ValueError("record_now requires a Tracer constructed with clock=")
+        self.record(self.clock(), kind, **fields)
 
     # ------------------------------------------------------------------
 

@@ -10,7 +10,7 @@ tests) use.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from repro.platform.events import Timeout
 
@@ -35,12 +35,32 @@ class FailureInjector:
         server.
         """
         agent.mailbox.stop()
-        self.log.append((self.runtime.sim.now, "crash-agent", str(agent.agent_id)))
+        self.log.append(
+            (
+                self.runtime.sim.now,
+                "crash-agent",
+                str(agent.agent_id),
+                self._node_of(agent),
+            )
+        )
 
     def recover_agent(self, agent) -> None:
         """Restart a crashed agent's mailbox."""
         agent.mailbox.restart()
-        self.log.append((self.runtime.sim.now, "recover-agent", str(agent.agent_id)))
+        self.log.append(
+            (
+                self.runtime.sim.now,
+                "recover-agent",
+                str(agent.agent_id),
+                self._node_of(agent),
+            )
+        )
+
+    @staticmethod
+    def _node_of(agent) -> Optional[str]:
+        """Where the agent was when the fault hit (post-mortems need
+        the node, not just the id -- a crash is a *placement* event)."""
+        return agent.node.name if agent.node is not None else None
 
     # ------------------------------------------------------------------
     # Node-level faults
@@ -59,6 +79,22 @@ class FailureInjector:
         node.crashed = False
         self.runtime.network.heal(node_name)
         self.log.append((self.runtime.sim.now, "recover-node", node_name))
+
+    def partition_node(self, node_name: str) -> None:
+        """Cut a node off the network without crashing it.
+
+        Unlike :meth:`crash_node` the node's agents keep running and it
+        still accepts arrivals scheduled locally; only network
+        deliveries to and from it are dropped -- the classic asymmetry
+        between a dead process and an unreachable one.
+        """
+        self.runtime.network.partition(node_name)
+        self.log.append((self.runtime.sim.now, "partition-node", node_name))
+
+    def heal_node(self, node_name: str) -> None:
+        """Reconnect a partitioned node."""
+        self.runtime.network.heal(node_name)
+        self.log.append((self.runtime.sim.now, "heal-node", node_name))
 
     # ------------------------------------------------------------------
     # Scheduled faults

@@ -1,0 +1,58 @@
+"""The deployable service layer: the mechanism on real sockets.
+
+The simulator (:mod:`repro.platform`) remains the source of truth for
+the paper's experiments; this package runs the *same* protocol -- the
+HAgent / IAgent / LHAgent roles of §2.2, the resolve / ask / refresh
+retry loop of §2.3 + §4.3 and the delta-synced secondary copies -- as
+asyncio TCP servers on a real network. The hash function itself is not
+reimplemented: the servers operate on :class:`repro.core.hash_tree.HashTree`,
+plan splits with :func:`repro.core.rehashing.plan_split` and refresh
+secondary copies through :class:`repro.core.lhagent.HashFunctionCopy`,
+so protocol fixes land once and serve both worlds.
+
+Modules
+-------
+* :mod:`repro.service.wire` -- length-prefixed JSON frames; tagged
+  encoding for :class:`repro.platform.naming.AgentId` and the
+  :class:`repro.platform.messages.Request`/``Response`` envelopes.
+* :mod:`repro.service.server` -- the HAgent server and per-node servers
+  hosting the LHAgent, resident IAgents and the node-host endpoint.
+* :mod:`repro.service.client` -- the locate/register/migrate client with
+  per-RPC timeouts, capped exponential backoff with jitter and the
+  paper's stale-secondary-copy recovery loop.
+* :mod:`repro.service.cluster` -- boot an N-node localhost cluster and
+  drive a scripted workload (the CI live-cluster smoke).
+
+Everything is standard library only (``asyncio`` + ``json``); no
+``[service]`` extra is required.
+"""
+
+from repro.service.client import ClientConfig, ClientCounters, ServiceClient
+from repro.service.cluster import ClusterConfig, ClusterReport, run_cluster
+from repro.service.server import HAgentServer, NodeServer, ServiceConfig
+from repro.service.wire import (
+    FrameDecoder,
+    WireError,
+    decode_frame,
+    encode_frame,
+    from_jsonable,
+    to_jsonable,
+)
+
+__all__ = [
+    "ClientConfig",
+    "ClientCounters",
+    "ClusterConfig",
+    "ClusterReport",
+    "FrameDecoder",
+    "HAgentServer",
+    "NodeServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "from_jsonable",
+    "run_cluster",
+    "to_jsonable",
+]

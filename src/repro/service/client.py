@@ -1,0 +1,398 @@
+"""The service client: locate / register / migrate over real sockets.
+
+Two layers:
+
+* :class:`RpcChannel` -- the transport. One pooled TCP connection per
+  destination address, one request in flight per connection, per-RPC
+  timeouts. Transport failures (refused, reset, timed out, garbage
+  frames) surface as :class:`ServiceRpcError` and drop the pooled
+  connection, so the next call reconnects from scratch.
+* :class:`ServiceClient` -- the protocol. Mirrors
+  :meth:`repro.core.mechanism.HashLocationMechanism.iagent_request`, the
+  paper's §2.3 + §4.3 loop, over the wire: resolve the responsible
+  IAgent through the local LHAgent (``whois``), send the operation, and
+  recover -- a ``not-responsible`` bounce refreshes the node's secondary
+  copy of the hash function and re-resolves; a vanished IAgent (crash,
+  migration, takeover) takes the same refresh path; ``no-record`` during
+  a locate backs off and retries while a record transfer or a
+  post-takeover re-registration is in flight. Retry rounds sleep a
+  capped exponential backoff with jitter.
+
+Counters mirror the simulator's mechanism counters so the live smoke
+run reports the same vocabulary (retries, refreshes, bounces).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.metrics.trace import Tracer
+from repro.platform.messages import Request, Response
+from repro.platform.naming import AgentId
+from repro.service import wire
+
+__all__ = [
+    "AGENT_NOT_FOUND",
+    "ClientConfig",
+    "ClientCounters",
+    "RemoteOpError",
+    "RpcChannel",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceLocateError",
+    "ServiceRpcError",
+    "ServiceTimeout",
+]
+
+Address = Tuple[str, int]
+
+#: Error code a node server replies with when the addressed agent does
+#: not live there (crashed, retired or moved) -- the live analogue of
+#: :class:`repro.platform.messages.AgentNotFound`.
+AGENT_NOT_FOUND = "agent-not-found"
+
+
+class ServiceError(Exception):
+    """Base class of service-layer failures."""
+
+
+class ServiceRpcError(ServiceError):
+    """The transport failed: connect, send or receive did not complete."""
+
+
+class ServiceTimeout(ServiceRpcError):
+    """The reply did not arrive within the per-RPC timeout."""
+
+
+class RemoteOpError(ServiceError):
+    """The server replied with an error envelope.
+
+    ``code`` is the machine-readable first token of the error string
+    (``"agent-not-found"``, ``"unknown-op"``, ...).
+    """
+
+    def __init__(self, error: str) -> None:
+        super().__init__(error)
+        self.code = error.split(":", 1)[0].strip()
+
+
+class ServiceLocateError(ServiceError):
+    """A locate exhausted its retry budget without an answer."""
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Tunables of the client's timeout/backoff/retry behaviour."""
+
+    #: Per-RPC deadline (connect + send + receive), seconds.
+    rpc_timeout: float = 2.0
+
+    #: Retry rounds per protocol operation before giving up.
+    max_retries: int = 40
+
+    #: Overall per-operation deadline (seconds); bounds the retry loop
+    #: even when rounds remain.
+    op_deadline: float = 20.0
+
+    #: First backoff sleep (seconds); doubles each round.
+    backoff_base: float = 0.05
+
+    #: Backoff ceiling (seconds).
+    backoff_cap: float = 0.5
+
+    #: Jitter fraction: each sleep is drawn uniformly from
+    #: ``[delay * (1 - jitter), delay]``.
+    backoff_jitter: float = 0.5
+
+
+@dataclass
+class ClientCounters:
+    """Protocol accounting, one instance per client."""
+
+    ops: int = 0
+    locates: int = 0
+    registers: int = 0
+    updates: int = 0
+    unregisters: int = 0
+    locate_failures: int = 0
+    #: Total recovery rounds across all operations.
+    retries: int = 0
+    #: Secondary-copy refreshes requested from the LHAgent.
+    refreshes: int = 0
+    #: ``not-responsible`` bounces (the stale-copy signal, §4.3).
+    not_responsible: int = 0
+    #: Locate rounds spent waiting out ``no-record``.
+    no_record_retries: int = 0
+    #: Rounds retried due to transport failures (timeouts, resets,
+    #: vanished agents).
+    transport_retries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+    def merge(self, other: "ClientCounters") -> None:
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
+
+class RpcChannel:
+    """A pool of framed request/response connections, keyed by address."""
+
+    def __init__(
+        self,
+        rpc_timeout: float = 2.0,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.rpc_timeout = rpc_timeout
+        self.max_frame = max_frame
+        self.tracer = tracer
+        self._conns: Dict[Address, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self._locks: Dict[Address, asyncio.Lock] = {}
+
+    async def call(
+        self,
+        addr: Address,
+        to: Any,
+        op: str,
+        body: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """One RPC: returns the reply value or raises a service error."""
+        timeout = self.rpc_timeout if timeout is None else timeout
+        lock = self._locks.setdefault(addr, asyncio.Lock())
+        async with lock:
+            try:
+                reply = await asyncio.wait_for(
+                    self._exchange(addr, to, op, body), timeout
+                )
+            except asyncio.TimeoutError:
+                await self._drop(addr)
+                self._trace(op, addr, "timeout")
+                raise ServiceTimeout(f"{op} to {addr} timed out after {timeout}s")
+            except ServiceRpcError:
+                await self._drop(addr)
+                self._trace(op, addr, "transport-error")
+                raise
+            except (ConnectionError, OSError, EOFError, wire.WireError) as error:
+                await self._drop(addr)
+                self._trace(op, addr, "transport-error")
+                raise ServiceRpcError(f"{op} to {addr} failed: {error}") from error
+        if reply.error is not None:
+            self._trace(op, addr, reply.error)
+            raise RemoteOpError(reply.error)
+        self._trace(op, addr, "ok")
+        return reply.value
+
+    async def _exchange(self, addr: Address, to: Any, op: str, body: Any) -> Response:
+        reader, writer = await self._connect(addr)
+        request = Request(op=op, body=body)
+        await wire.write_frame(
+            writer, {"to": to, "req": request}, max_frame=self.max_frame
+        )
+        while True:
+            frame = await wire.read_frame(reader, max_frame=self.max_frame)
+            if frame is None:
+                raise ServiceRpcError(f"{addr} closed the connection mid-call")
+            if isinstance(frame, Response) and frame.message_id == request.message_id:
+                return frame
+            # Any other frame is a peer bug (a timed-out call's late
+            # reply cannot arrive here -- its connection was dropped);
+            # skip it rather than wedging the stream.
+
+    async def _connect(
+        self, addr: Address
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        conn = self._conns.get(addr)
+        if conn is not None and not conn[1].is_closing():
+            return conn
+        reader, writer = await asyncio.open_connection(addr[0], addr[1])
+        self._conns[addr] = (reader, writer)
+        return reader, writer
+
+    async def _drop(self, addr: Address) -> None:
+        conn = self._conns.pop(addr, None)
+        if conn is None:
+            return
+        conn[1].close()
+        try:
+            await conn[1].wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        for addr in list(self._conns):
+            await self._drop(addr)
+
+    def _trace(self, op: str, addr: Address, outcome: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record_now(
+                "rpc-client", op=op, addr=f"{addr[0]}:{addr[1]}", outcome=outcome
+            )
+
+
+class ServiceClient:
+    """A node-local protocol client (one per requesting node)."""
+
+    def __init__(
+        self,
+        node: str,
+        lhagent_addr: Address,
+        config: Optional[ClientConfig] = None,
+        channel: Optional[RpcChannel] = None,
+        rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.lhagent_addr = lhagent_addr
+        self.config = config or ClientConfig()
+        self.channel = channel or RpcChannel(
+            rpc_timeout=self.config.rpc_timeout, tracer=tracer
+        )
+        self.rng = rng or random.Random()
+        self.counters = ClientCounters()
+
+    # ------------------------------------------------------------------
+    # Protocol operations
+    # ------------------------------------------------------------------
+
+    async def register(self, agent_id: AgentId, node: str, seq: int = 0) -> None:
+        self.counters.registers += 1
+        await self._update_op("register", agent_id, node, seq)
+
+    async def update(self, agent_id: AgentId, node: str, seq: int) -> None:
+        self.counters.updates += 1
+        await self._update_op("update", agent_id, node, seq)
+
+    async def unregister(self, agent_id: AgentId, seq: int) -> None:
+        self.counters.unregisters += 1
+        reply = await self._iagent_request(
+            agent_id, "unregister", {"agent": agent_id, "seq": seq}
+        )
+        if reply.get("status") != "ok":
+            raise ServiceError(f"unregister {agent_id} failed: {reply.get('status')}")
+
+    async def locate(self, agent_id: AgentId) -> str:
+        """Resolve an agent to its current node name."""
+        self.counters.locates += 1
+        reply = await self._iagent_request(
+            agent_id, "locate", {"agent": agent_id}, tolerate_no_record=True
+        )
+        if reply.get("status") != "ok":
+            self.counters.locate_failures += 1
+            raise ServiceLocateError(
+                f"could not locate {agent_id}: {reply.get('status')}"
+            )
+        return reply["node"]
+
+    async def close(self) -> None:
+        await self.channel.close()
+
+    # ------------------------------------------------------------------
+    # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3), live
+    # ------------------------------------------------------------------
+
+    async def _update_op(
+        self, op: str, agent_id: AgentId, node: str, seq: int
+    ) -> None:
+        reply = await self._iagent_request(
+            agent_id, op, {"agent": agent_id, "node": node, "seq": seq}
+        )
+        if reply.get("status") != "ok":
+            raise ServiceError(f"{op} for {agent_id} failed: {reply.get('status')}")
+
+    async def _iagent_request(
+        self,
+        agent_id: AgentId,
+        op: str,
+        body: Dict,
+        tolerate_no_record: bool = False,
+    ) -> Dict:
+        config = self.config
+        self.counters.ops += 1
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + config.op_deadline
+        mapping = await self._whois(agent_id)
+        last_status = "unresolved"
+        for attempt in range(config.max_retries):
+            if attempt and loop.time() >= deadline:
+                break
+            if mapping.get("addr") is None:
+                self.counters.retries += 1
+                await self._sleep(attempt)
+                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                last_status = "unresolved"
+                continue
+            try:
+                reply = await self.channel.call(
+                    tuple(mapping["addr"]),
+                    mapping["iagent"],
+                    op,
+                    body,
+                    timeout=config.rpc_timeout,
+                )
+            except (ServiceRpcError, RemoteOpError) as error:
+                if isinstance(error, RemoteOpError) and error.code != AGENT_NOT_FOUND:
+                    raise
+                # The resolved IAgent is unreachable or gone from that
+                # node (crash, migration, takeover): refresh the copy.
+                self.counters.retries += 1
+                self.counters.transport_retries += 1
+                await self._sleep(attempt)
+                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                last_status = "unreachable"
+                continue
+            status = reply.get("status")
+            if status == "not-responsible":
+                self.counters.retries += 1
+                self.counters.not_responsible += 1
+                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                last_status = status
+                continue
+            if status == "no-record" and tolerate_no_record:
+                self.counters.retries += 1
+                self.counters.no_record_retries += 1
+                last_status = status
+                await self._sleep(attempt)
+                mapping = await self._whois(agent_id)
+                continue
+            return reply
+        return {"status": last_status}
+
+    async def _whois(self, agent_id: AgentId) -> Dict:
+        return await self.channel.call(
+            self.lhagent_addr,
+            "lhagent",
+            "whois",
+            {"agent": agent_id},
+            timeout=self.config.rpc_timeout,
+        )
+
+    async def _refresh(self, agent_id: AgentId, stale_version: int) -> Dict:
+        self.counters.refreshes += 1
+        try:
+            return await self.channel.call(
+                self.lhagent_addr,
+                "lhagent",
+                "refresh",
+                {"agent": agent_id, "stale_version": stale_version},
+                timeout=self.config.rpc_timeout,
+            )
+        except ServiceRpcError:
+            # The LHAgent itself is briefly unreachable (e.g. its fetch
+            # from the HAgent is slow): report an unresolved mapping and
+            # let the retry loop back off and try again.
+            return {"iagent": None, "addr": None, "version": stale_version}
+
+    async def _sleep(self, attempt: int) -> None:
+        """Capped exponential backoff with jitter; round 0 is free."""
+        if attempt == 0:
+            return
+        config = self.config
+        delay = min(config.backoff_cap, config.backoff_base * (2 ** (attempt - 1)))
+        span = delay * config.backoff_jitter
+        await asyncio.sleep(delay - span + self.rng.random() * span)

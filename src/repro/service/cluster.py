@@ -1,0 +1,343 @@
+"""Boot and exercise a live localhost cluster.
+
+:func:`run_cluster` is the acceptance harness behind
+``python -m repro.harness.cli cluster``: it starts one
+:class:`~repro.service.server.HAgentServer` and N
+:class:`~repro.service.server.NodeServer` processes-worth of endpoints
+in a single event loop, registers a population of mobile agents, then
+drives a register/locate/migrate workload through per-node
+:class:`~repro.service.client.ServiceClient` instances -- every RPC a
+real TCP round-trip through the wire codec.
+
+The driver keeps its own ground-truth map of where every agent *should*
+be, so each ``locate`` is checked, not just completed. With
+``crash_iagent=True`` it kills the record-heaviest IAgent half way
+through the run and relies on the recovery chain -- HAgent liveness
+monitor, takeover re-hosting, journaled ``move``, soft-state
+re-registration, client refresh-and-retry -- to keep the success rate
+at 100%. Stale-secondary retries are expected and *counted*, never
+hidden.
+
+:func:`serve_cluster` boots the same topology and parks until
+cancelled; it backs the ``serve`` subcommand for interactive poking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.trace import Tracer, wall_clock
+from repro.platform.naming import AgentId, AgentNamer
+from repro.service.client import (
+    ClientConfig,
+    ClientCounters,
+    ServiceClient,
+    ServiceLocateError,
+)
+from repro.service.server import HAgentServer, NodeServer, ServiceConfig
+
+__all__ = ["ClusterConfig", "ClusterReport", "run_cluster", "serve_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster run: topology, population, workload, faults."""
+
+    nodes: int = 5
+    agents: int = 20
+    ops: int = 200
+    seed: int = 1
+    crash_iagent: bool = False
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    #: Workload mix (weights; the remainder registers new agents).
+    locate_fraction: float = 0.45
+    migrate_fraction: float = 0.45
+    trace: bool = False
+
+
+@dataclass
+class ClusterReport:
+    """What happened, with enough counters to judge it."""
+
+    nodes: int = 0
+    agents: int = 0
+    ops: int = 0
+    duration: float = 0.0
+    locates: int = 0
+    locate_failures: int = 0
+    locate_mismatches: int = 0
+    registers: int = 0
+    updates: int = 0
+    retries: int = 0
+    refreshes: int = 0
+    not_responsible: int = 0
+    no_record_retries: int = 0
+    transport_retries: int = 0
+    splits: int = 0
+    merges: int = 0
+    takeovers: int = 0
+    iagents_final: int = 0
+    hash_version: int = 0
+    crashed: bool = False
+    records_lost: int = 0
+    final_verified: bool = False
+
+    @property
+    def passed(self) -> bool:
+        """Every locate succeeded, agreed with ground truth, and the
+        post-run sweep re-located the whole population."""
+        return (
+            self.locate_failures == 0
+            and self.locate_mismatches == 0
+            and self.final_verified
+        )
+
+    def to_dict(self) -> Dict:
+        record = dict(self.__dict__)
+        record["passed"] = self.passed
+        return record
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"cluster run: {status}",
+            f"  topology    {self.nodes} nodes, {self.iagents_final} IAgents "
+            f"(hash v{self.hash_version}), {self.agents} mobile agents",
+            f"  workload    {self.ops} ops in {self.duration:.2f}s "
+            f"({self.locates} locates, {self.updates} updates, "
+            f"{self.registers} registers)",
+            f"  correctness {self.locate_failures} locate failures, "
+            f"{self.locate_mismatches} mismatches, "
+            f"final sweep {'ok' if self.final_verified else 'FAILED'}",
+            f"  staleness   {self.retries} retries "
+            f"({self.not_responsible} not-responsible, "
+            f"{self.no_record_retries} no-record, "
+            f"{self.transport_retries} transport), "
+            f"{self.refreshes} secondary refreshes",
+            f"  rehashing   {self.splits} splits, {self.merges} merges, "
+            f"{self.takeovers} takeovers",
+        ]
+        if self.crashed:
+            lines.append(
+                f"  fault       crashed 1 IAgent mid-run "
+                f"({self.records_lost} records lost, all recovered)"
+            )
+        return "\n".join(lines)
+
+
+class _Cluster:
+    """The booted topology plus the driver's ground truth."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.tracer = Tracer(clock=wall_clock()) if config.trace else None
+        self.hagent = HAgentServer(config.service, tracer=self.tracer)
+        self.nodes: List[NodeServer] = []
+        self.clients: List[ServiceClient] = []
+        self.rng = random.Random(config.seed)
+        self.namer = AgentNamer(seed=config.seed)
+        #: agent id -> (home node index, sequence number). The truth the
+        #: protocol's answers are checked against.
+        self.truth: Dict[AgentId, Tuple[int, int]] = {}
+
+    async def start(self) -> None:
+        await self.hagent.start()
+        assert self.hagent.addr is not None
+        for index in range(self.config.nodes):
+            node = NodeServer(
+                f"node-{index}",
+                self.hagent.addr,
+                self.config.service,
+                tracer=self.tracer,
+            )
+            await node.start()
+            self.nodes.append(node)
+        # Bootstrap the single-IAgent hash function (paper §2.2).
+        await self.nodes[0].channel.call(
+            self.hagent.addr, "hagent", "bootstrap", {}
+        )
+        for node in self.nodes:
+            assert node.addr is not None
+            self.clients.append(
+                ServiceClient(
+                    node.name,
+                    node.addr,
+                    config=self.config.client,
+                    rng=random.Random(self.config.seed + 1),
+                    tracer=self.tracer,
+                )
+            )
+
+    async def stop(self) -> None:
+        for client in self.clients:
+            await client.close()
+        for node in self.nodes:
+            await node.stop()
+        await self.hagent.stop()
+
+    # -- driver operations ----------------------------------------------
+
+    def client_for(self, node_index: int) -> ServiceClient:
+        return self.clients[node_index]
+
+    async def spawn_agent(self) -> AgentId:
+        """Create a mobile agent on a random home node and register it."""
+        agent = self.namer.next_id()
+        home = self.rng.randrange(len(self.nodes))
+        self.truth[agent] = (home, 0)
+        await self._notify_host(home, "agent-arrive", agent, 0)
+        await self.client_for(home).register(agent, self.nodes[home].name, 0)
+        return agent
+
+    async def migrate_agent(self, agent: AgentId) -> None:
+        """Move an agent to a new node: arrive, update record, depart."""
+        old_home, seq = self.truth[agent]
+        new_home = self.rng.randrange(len(self.nodes))
+        if new_home == old_home:
+            new_home = (old_home + 1) % len(self.nodes)
+        seq += 1
+        # Arrive first so the new host's re-registration loop covers the
+        # agent even if the explicit update below has to ride out a
+        # takeover; the sequence number makes the orders equivalent.
+        await self._notify_host(new_home, "agent-arrive", agent, seq)
+        self.truth[agent] = (new_home, seq)
+        await self.client_for(new_home).update(
+            agent, self.nodes[new_home].name, seq
+        )
+        await self._notify_host(old_home, "agent-depart", agent, seq)
+
+    async def locate_agent(self, agent: AgentId, requester: int) -> bool:
+        """Locate from a random node; True iff the answer matches truth."""
+        client = self.client_for(requester)
+        try:
+            found = await client.locate(agent)
+        except ServiceLocateError:
+            return False
+        return found == self.nodes[self.truth[agent][0]].name
+
+    async def crash_heaviest_iagent(self) -> int:
+        """Kill the IAgent holding the most records; return that count."""
+        assert self.hagent.addr is not None
+        listing = await self.nodes[0].channel.call(
+            self.hagent.addr, "hagent", "list-iagents", {}
+        )
+        heaviest, heaviest_node, heaviest_records = None, None, -1
+        for entry in listing["iagents"]:
+            if entry["addr"] is None:
+                continue
+            ping = await self.nodes[0].channel.call(
+                tuple(entry["addr"]), entry["owner"], "ping", {}
+            )
+            if ping["records"] > heaviest_records:
+                heaviest = entry["owner"]
+                heaviest_node = tuple(entry["addr"])
+                heaviest_records = ping["records"]
+        assert heaviest is not None and heaviest_node is not None
+        reply = await self.nodes[0].channel.call(
+            heaviest_node, "host", "crash-iagent", {"owner": heaviest}
+        )
+        return reply["records_lost"]
+
+    async def _notify_host(
+        self, node_index: int, op: str, agent: AgentId, seq: int
+    ) -> None:
+        node = self.nodes[node_index]
+        assert node.addr is not None
+        await node.channel.call(
+            node.addr, "host", op, {"agent": agent, "seq": seq}
+        )
+
+    def merged_counters(self) -> ClientCounters:
+        merged = ClientCounters()
+        for client in self.clients:
+            merged.merge(client.counters)
+        return merged
+
+
+async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
+    """Boot, drive, verify, and tear down one cluster; never leaks tasks."""
+    config = config or ClusterConfig()
+    if config.nodes < 1 or config.agents < 1:
+        raise ValueError("cluster needs at least one node and one agent")
+    cluster = _Cluster(config)
+    report = ClusterReport(nodes=config.nodes)
+    started = time.monotonic()
+    try:
+        await cluster.start()
+        agents: List[AgentId] = []
+        for _ in range(config.agents):
+            agents.append(await cluster.spawn_agent())
+
+        crash_at = config.ops // 2 if config.crash_iagent else -1
+        for op_index in range(config.ops):
+            if op_index == crash_at:
+                report.records_lost = await cluster.crash_heaviest_iagent()
+                report.crashed = True
+            roll = cluster.rng.random()
+            if roll < config.locate_fraction:
+                agent = cluster.rng.choice(agents)
+                requester = cluster.rng.randrange(len(cluster.nodes))
+                if not await cluster.locate_agent(agent, requester):
+                    report.locate_mismatches += 1
+            elif roll < config.locate_fraction + config.migrate_fraction:
+                await cluster.migrate_agent(cluster.rng.choice(agents))
+            else:
+                agents.append(await cluster.spawn_agent())
+
+        # Final sweep: every agent in the population must still resolve
+        # to its true node -- the crash must have healed completely.
+        report.final_verified = True
+        for agent in agents:
+            requester = cluster.rng.randrange(len(cluster.nodes))
+            if not await cluster.locate_agent(agent, requester):
+                report.final_verified = False
+                report.locate_mismatches += 1
+
+        assert cluster.hagent.addr is not None
+        stats = await cluster.nodes[0].channel.call(
+            cluster.hagent.addr, "hagent", "stats", {}
+        )
+        report.agents = len(agents)
+        report.ops = config.ops
+        report.splits = stats["splits"]
+        report.merges = stats["merges"]
+        report.takeovers = stats["takeovers"]
+        report.iagents_final = stats["iagents"]
+        report.hash_version = stats["version"]
+        counters = cluster.merged_counters()
+        report.locates = counters.locates
+        report.locate_failures = counters.locate_failures
+        report.registers = counters.registers
+        report.updates = counters.updates
+        report.retries = counters.retries
+        report.refreshes = counters.refreshes
+        report.not_responsible = counters.not_responsible
+        report.no_record_retries = counters.no_record_retries
+        report.transport_retries = counters.transport_retries
+    finally:
+        report.duration = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+async def serve_cluster(config: Optional[ClusterConfig] = None) -> None:
+    """Boot a cluster and park until cancelled (the ``serve`` command)."""
+    config = config or ClusterConfig()
+    cluster = _Cluster(config)
+    await cluster.start()
+    assert cluster.hagent.addr is not None
+    print(f"hagent    {cluster.hagent.addr[0]}:{cluster.hagent.addr[1]}")
+    for node in cluster.nodes:
+        assert node.addr is not None
+        print(f"{node.name:<9} {node.addr[0]}:{node.addr[1]}")
+    print("serving; interrupt to stop")
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    finally:
+        await cluster.stop()

@@ -1,0 +1,1042 @@
+"""Asyncio TCP servers hosting the paper's three agent roles.
+
+Two server kinds:
+
+* :class:`HAgentServer` -- the coordinator process. Owns the primary
+  copy of the hash function (a real
+  :class:`repro.core.hash_tree.HashTree`), the delta-sync journal served
+  through :func:`repro.core.hagent.delta_reply`, and the rehash policy:
+  splits planned with :func:`repro.core.rehashing.plan_split` on load
+  reports, merges after sustained under-threshold reports, plus a
+  liveness monitor that *takes over* a crashed IAgent's leaf by
+  re-hosting it on a live node (a journaled ``move``, so secondary
+  copies catch up by delta).
+* :class:`NodeServer` -- one per node. A single listening socket
+  multiplexing three target kinds: the node's LHAgent (secondary copy,
+  refreshed via the same delta protocol as the simulator), any resident
+  IAgents (spawned remotely by the HAgent during bootstrap, splits and
+  takeovers), and the node ``host`` endpoint that tracks which mobile
+  agents currently reside on the node.
+
+Requests address a target (``"lhagent"``, ``"host"``, ``"hagent"`` or
+an :class:`AgentId` for a resident IAgent) and carry a
+:class:`repro.platform.messages.Request`; replies are ``Response``
+envelopes. Protocol outcomes (``ok`` / ``not-responsible`` /
+``no-record``) stay in-band as statuses, exactly like the simulator;
+only transport-level conditions (unknown target, malformed frame) use
+the error side of the envelope.
+
+Crash recovery is soft-state: every node host periodically re-publishes
+its residents' locations through the normal ``update`` path, so a
+takeover IAgent that starts with an empty table converges within one
+re-registration period. Location records carry per-agent sequence
+numbers so a late re-publish can never roll back a newer move.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import HashMechanismConfig
+from repro.core.hagent import delta_reply
+from repro.core.hash_tree import HashTree
+from repro.core.iagent import NO_RECORD, NOT_RESPONSIBLE, OK, pattern_matches
+from repro.core.lhagent import HashFunctionCopy
+from repro.core.load import LoadStatistics
+from repro.core.rehashing import plan_split
+from repro.metrics.trace import Tracer
+from repro.platform.messages import Request, Response
+from repro.platform.naming import AgentId, AgentNamer
+from repro.service import wire
+from repro.service.client import (
+    AGENT_NOT_FOUND,
+    Address,
+    ClientConfig,
+    RemoteOpError,
+    RpcChannel,
+    ServiceClient,
+    ServiceError,
+    ServiceRpcError,
+)
+
+__all__ = ["HAgentServer", "NodeServer", "ServiceConfig"]
+
+
+def _default_mechanism_config() -> HashMechanismConfig:
+    """Mechanism tunables re-scaled from virtual to wall-clock seconds.
+
+    The simulator defaults model paper-era hardware; a live localhost
+    cluster is fast and short-lived, so the windows shrink to keep the
+    control loop responsive within a CI smoke run.
+    """
+    return HashMechanismConfig(
+        t_max=15.0,
+        t_min=1.0,
+        rate_window=1.0,
+        report_interval=0.25,
+        warmup_fraction=0.5,
+        cooldown=1.0,
+        merge_patience=4,
+        rpc_timeout=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment tunables of the live service layer."""
+
+    host: str = "127.0.0.1"
+
+    #: Per-RPC timeout for server-to-server calls (s).
+    rpc_timeout: float = 2.0
+
+    #: Period of the node hosts' soft-state re-registration (s); bounds
+    #: how long a takeover IAgent's table stays empty.
+    reregister_interval: float = 0.5
+
+    #: An IAgent silent for this long is pinged; a failed ping triggers
+    #: takeover (s).
+    liveness_timeout: float = 1.0
+
+    #: Frame-size ceiling on every connection.
+    max_frame: int = wire.DEFAULT_MAX_FRAME
+
+    #: Protocol tunables shared with the simulator mechanism.
+    mechanism: HashMechanismConfig = field(default_factory=_default_mechanism_config)
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+
+class _FramedServer:
+    """A listening socket speaking the framed request/response protocol."""
+
+    def __init__(self, config: ServiceConfig, tracer: Optional[Tracer]) -> None:
+        self.config = config
+        self.tracer = tracer
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._bg_tasks: Set[asyncio.Task] = set()
+        self.addr: Optional[Address] = None
+
+    async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
+        self._server = await asyncio.start_server(
+            self._on_connection, host or self.config.host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.addr = (sockname[0], sockname[1])
+        return self.addr
+
+    def spawn(self, coro, name: str) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        try:
+            task.set_name(name)
+        except AttributeError:  # pragma: no cover - pre-3.8 fallback
+            pass
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+        return task
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, then cancel all tasks."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task_set in (self._bg_tasks, self._conn_tasks):
+            for task in list(task_set):
+                task.cancel()
+            for task in list(task_set):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            task_set.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown path: end the task normally, else the stream
+            # protocol's connection_made callback logs the cancellation
+            # as an "exception in callback" on every open connection.
+            pass
+        except (ConnectionError, OSError, wire.WireError):
+            pass  # a broken or garbage-speaking peer never kills the server
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await wire.read_frame(reader, max_frame=self.config.max_frame)
+            if frame is None:
+                return
+            response = await self._respond(frame)
+            await wire.write_frame(writer, response, max_frame=self.config.max_frame)
+
+    async def _respond(self, frame: Any) -> Response:
+        if (
+            not isinstance(frame, dict)
+            or not isinstance(frame.get("req"), Request)
+            or "to" not in frame
+        ):
+            return Response(message_id=-1, error="bad-envelope: expected {to, req}")
+        request: Request = frame["req"]
+        started = time.monotonic()
+        try:
+            value = await self.dispatch(frame["to"], request)
+            error = None
+        except _Reject as reject:
+            value, error = None, str(reject)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # a handler bug must not kill the server
+            value, error = None, f"internal-error: {type(exc).__name__}: {exc}"
+        if self.tracer is not None:
+            self.tracer.record_now(
+                "rpc-server",
+                op=request.op,
+                target=str(frame["to"]),
+                outcome=error or "ok",
+                elapsed=time.monotonic() - started,
+            )
+        return Response(message_id=request.message_id, value=value, error=error)
+
+    async def dispatch(self, target: Any, request: Request) -> Any:
+        raise NotImplementedError
+
+
+class _Reject(ServiceError):
+    """Raised by handlers to produce an error reply (code: message)."""
+
+
+# ----------------------------------------------------------------------
+# Endpoints hosted by a NodeServer
+# ----------------------------------------------------------------------
+
+
+class IAgentEndpoint:
+    """The live Information Agent: one hash-tree leaf's directory shard.
+
+    The same record-table protocol as :class:`repro.core.iagent.IAgent`
+    (register / update / unregister / locate / extract / adopt ...), with
+    wall-clock :class:`repro.core.load.LoadStatistics` and per-record
+    sequence numbers for idempotent re-registration.
+    """
+
+    def __init__(self, owner: AgentId, node: "NodeServer", pattern: Optional[str]) -> None:
+        self.owner = owner
+        self.node = node
+        self.coverage = pattern
+        #: agent id -> [node name, sequence number].
+        self.records: Dict[AgentId, List] = {}
+        self.stats = LoadStatistics(node.config.mechanism.rate_window)
+        self.report_task: Optional[asyncio.Task] = None
+
+    # -- op handlers (named like the simulator IAgent's) ----------------
+
+    def op_register(self, body: Dict) -> Dict:
+        return self._store(body)
+
+    def op_update(self, body: Dict) -> Dict:
+        return self._store(body)
+
+    def _store(self, body: Dict) -> Dict:
+        agent_id, node, seq = body["agent"], body["node"], body.get("seq", 0)
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        existing = self.records.get(agent_id)
+        if existing is None or seq >= existing[1]:
+            self.records[agent_id] = [node, seq]
+        self.stats.record_update(agent_id, time.monotonic())
+        return {"status": OK}
+
+    def op_unregister(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        existing = self.records.get(agent_id)
+        if existing is not None and body.get("seq", 0) >= existing[1]:
+            del self.records[agent_id]
+            self.stats.forget_agent(agent_id)
+        return {"status": OK}
+
+    def op_locate(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        self.stats.record_query(agent_id, time.monotonic())
+        record = self.records.get(agent_id)
+        if record is None:
+            return {"status": NO_RECORD}
+        return {"status": OK, "node": record[0], "seq": record[1]}
+
+    def op_get_loads(self, body: Dict) -> Dict:
+        loads = {
+            agent_id.bits: load for agent_id, load in self.stats.per_agent.items()
+        }
+        return {"status": OK, "loads": loads, "rate": self.stats.rate(time.monotonic())}
+
+    def op_extract(self, body: Dict) -> Dict:
+        pattern = body["pattern"]
+        moved_records: Dict[AgentId, List] = {}
+        moved_loads: Dict[AgentId, int] = {}
+        for agent_id in list(self.records):
+            if not pattern_matches(pattern, agent_id.bits):
+                moved_records[agent_id] = self.records.pop(agent_id)
+                moved_loads[agent_id] = self.stats.per_agent.get(agent_id, 0)
+                self.stats.forget_agent(agent_id)
+        self.coverage = pattern
+        self.stats.total.reset(time.monotonic())
+        return {"status": OK, "records": moved_records, "loads": moved_loads}
+
+    def op_extract_all(self, body: Dict) -> Dict:
+        records, self.records = self.records, {}
+        loads = {
+            agent_id: self.stats.per_agent.get(agent_id, 0) for agent_id in records
+        }
+        for agent_id in records:
+            self.stats.forget_agent(agent_id)
+        self.coverage = None
+        return {"status": OK, "records": records, "loads": loads}
+
+    def op_adopt(self, body: Dict) -> Dict:
+        if "pattern" in body:
+            self.coverage = body["pattern"]
+        for agent_id, record in body.get("records", {}).items():
+            existing = self.records.get(agent_id)
+            if existing is None or record[1] >= existing[1]:
+                self.records[agent_id] = list(record)
+        for agent_id, load in body.get("loads", {}).items():
+            self.stats.adopt_agent(agent_id, load)
+        return {"status": OK}
+
+    def op_set_coverage(self, body: Dict) -> Dict:
+        self.coverage = body["pattern"]
+        return {"status": OK}
+
+    def op_ping(self, body: Dict) -> Dict:
+        return {"status": OK, "node": self.node.name, "records": len(self.records)}
+
+    # -- background: periodic load reports to the HAgent ----------------
+
+    async def report_loop(self) -> None:
+        config = self.node.config
+        while True:
+            await asyncio.sleep(config.mechanism.report_interval)
+            now = time.monotonic()
+            try:
+                await self.node.channel.call(
+                    self.node.hagent_addr,
+                    "hagent",
+                    "load-report",
+                    {
+                        "owner": self.owner,
+                        "rate": self.stats.rate(now),
+                        "mature": self.stats.total.mature(
+                            now, config.mechanism.warmup_fraction
+                        ),
+                        "records": len(self.records),
+                        "node": self.node.name,
+                    },
+                    timeout=config.rpc_timeout,
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue  # reporting is best-effort, like the simulator
+
+
+class LHAgentEndpoint:
+    """The node's Local Hash Agent: the lazily refreshed secondary copy.
+
+    Resolution and refresh reuse the simulator's
+    :class:`repro.core.lhagent.HashFunctionCopy`, including delta-sync
+    journal replay -- the wire carries exactly the journal entries the
+    simulator protocol defines.
+    """
+
+    def __init__(self, node: "NodeServer") -> None:
+        self.node = node
+        self.copy: Optional[HashFunctionCopy] = None
+        self.node_addrs: Dict[str, Tuple[str, int]] = {}
+        self._fetch_lock = asyncio.Lock()
+        self.whois_served = 0
+        self.refreshes = 0
+        self.delta_refreshes = 0
+        self.full_refreshes = 0
+
+    async def op_whois(self, body: Dict) -> Dict:
+        if self.copy is None:
+            await self._fetch_primary_copy()
+        self.whois_served += 1
+        return self._resolve(body["agent"])
+
+    async def op_refresh(self, body: Dict) -> Dict:
+        stale_version = body.get("stale_version", -1)
+        if self.copy is None or self.copy.version <= stale_version:
+            await self._fetch_primary_copy()
+        return self._resolve(body["agent"])
+
+    def op_version(self, body: Dict) -> Dict:
+        return {"version": self.copy.version if self.copy else -1}
+
+    def _resolve(self, agent_id: AgentId) -> Dict:
+        assert self.copy is not None
+        owner, node = self.copy.resolve(agent_id)
+        addr = self.node_addrs.get(node) if node is not None else None
+        return {
+            "iagent": owner,
+            "node": node,
+            "addr": list(addr) if addr is not None else None,
+            "version": self.copy.version,
+        }
+
+    async def _fetch_primary_copy(self) -> None:
+        async with self._fetch_lock:
+            await self._fetch_locked()
+
+    async def _fetch_locked(self) -> None:
+        node = self.node
+        config = node.config
+        use_delta = config.mechanism.delta_sync and self.copy is not None
+        if use_delta:
+            reply = await node.channel.call(
+                node.hagent_addr,
+                "hagent",
+                "get-hash-delta",
+                {"since": self.copy.version},
+                timeout=config.rpc_timeout,
+            )
+        else:
+            reply = await node.channel.call(
+                node.hagent_addr,
+                "hagent",
+                "get-hash-function",
+                timeout=config.rpc_timeout,
+            )
+        self.refreshes += 1
+        if use_delta and reply.get("mode") == "delta":
+            assert self.copy is not None  # implied by use_delta
+            self.copy.apply_ops(reply["ops"])
+            self.delta_refreshes += 1
+            return
+        self.full_refreshes += 1
+        fresh = HashFunctionCopy.from_bundle(reply)
+        self.node_addrs.update(
+            {name: tuple(addr) for name, addr in reply.get("node_addrs", {}).items()}
+        )
+        if self.copy is None or fresh.version >= self.copy.version:
+            self.copy = fresh
+
+
+class HostEndpoint:
+    """Tracks the mobile agents resident on this node (soft state).
+
+    The cluster driver (or a real agent platform) notifies arrivals and
+    departures; the host re-publishes every resident's location through
+    the normal ``update`` path each ``reregister_interval`` -- the
+    self-healing loop that repopulates a takeover IAgent's table.
+    """
+
+    def __init__(self, node: "NodeServer") -> None:
+        self.node = node
+        #: agent id -> latest sequence number observed on arrival.
+        self.residents: Dict[AgentId, int] = {}
+        self.republishes = 0
+
+    def op_agent_arrive(self, body: Dict) -> Dict:
+        self.residents[body["agent"]] = body.get("seq", 0)
+        return {"status": OK}
+
+    def op_agent_depart(self, body: Dict) -> Dict:
+        self.residents.pop(body["agent"], None)
+        return {"status": OK}
+
+    def op_ping(self, body: Dict) -> Dict:
+        return {"status": OK, "node": self.node.name, "residents": len(self.residents)}
+
+    async def republish_loop(self) -> None:
+        node = self.node
+        while True:
+            await asyncio.sleep(node.config.reregister_interval)
+            client = node.client
+            if client is None:  # not fully started yet
+                continue
+            for agent_id, seq in list(self.residents.items()):
+                if self.residents.get(agent_id) != seq:
+                    continue  # moved while we were iterating
+                try:
+                    await client.update(agent_id, node.name, seq)
+                    self.republishes += 1
+                except ServiceError:
+                    continue  # best-effort; the next period retries
+
+
+# ----------------------------------------------------------------------
+# The per-node server
+# ----------------------------------------------------------------------
+
+
+class NodeServer(_FramedServer):
+    """One node: LHAgent + host endpoint + any resident IAgents."""
+
+    def __init__(
+        self,
+        name: str,
+        hagent_addr: Address,
+        config: Optional[ServiceConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(config or ServiceConfig(), tracer)
+        self.name = name
+        self.hagent_addr = hagent_addr
+        self.channel = RpcChannel(
+            rpc_timeout=self.config.rpc_timeout,
+            max_frame=self.config.max_frame,
+            tracer=tracer,
+        )
+        self.lhagent = LHAgentEndpoint(self)
+        self.host = HostEndpoint(self)
+        self.iagents: Dict[AgentId, IAgentEndpoint] = {}
+        #: Owners crashed via fault injection; requests get agent-not-found.
+        self.crashed: Set[AgentId] = set()
+        # The host republishes through a full protocol client so crash
+        # recovery exercises the same retry loop applications use.
+        self.client: Optional[ServiceClient] = None
+
+    async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
+        addr = await super().start(host, port)
+        self.client = ServiceClient(
+            self.name,
+            addr,
+            config=ClientConfig(
+                rpc_timeout=self.config.rpc_timeout,
+                max_retries=6,
+                op_deadline=self.config.reregister_interval * 4,
+            ),
+            channel=self.channel,
+            tracer=self.tracer,
+        )
+        await self.channel.call(
+            self.hagent_addr,
+            "hagent",
+            "register-node",
+            {"name": self.name, "host": addr[0], "port": addr[1]},
+            timeout=self.config.rpc_timeout,
+        )
+        self.spawn(self.host.republish_loop(), name=f"{self.name}-republish")
+        return addr
+
+    # ------------------------------------------------------------------
+
+    async def dispatch(self, target: Any, request: Request) -> Any:
+        handler_owner: Any
+        if target == "lhagent":
+            handler_owner = self.lhagent
+        elif target == "host":
+            handler_owner = self.host
+        elif isinstance(target, AgentId):
+            endpoint = self.iagents.get(target)
+            if endpoint is None:
+                raise _Reject(f"{AGENT_NOT_FOUND}: no agent {target} on {self.name}")
+            handler_owner = endpoint
+        else:
+            raise _Reject(f"unknown-target: {target!r}")
+        if request.op.startswith("_"):
+            raise _Reject(f"unknown-op: {request.op!r}")
+        handler = getattr(
+            handler_owner, "op_" + request.op.replace("-", "_"), None
+        )
+        if handler is None:
+            handler = getattr(self, "nodeop_" + request.op.replace("-", "_"), None)
+            if handler is None or handler_owner is not self.host:
+                raise _Reject(
+                    f"unknown-op: {request.op!r} for target {target!r}"
+                )
+        result = handler(request.body or {})
+        if asyncio.iscoroutine(result):
+            result = await result
+        return result
+
+    # -- node-management ops (addressed to the "host" target) ------------
+
+    def nodeop_host_iagent(self, body: Dict) -> Dict:
+        """Spawn (or re-host, on takeover) an IAgent on this node."""
+        owner: AgentId = body["owner"]
+        endpoint = IAgentEndpoint(owner, self, body.get("pattern"))
+        self.crashed.discard(owner)
+        self.iagents[owner] = endpoint
+        endpoint.report_task = self.spawn(
+            endpoint.report_loop(), name=f"report-{owner.short()}"
+        )
+        return {"status": OK, "node": self.name}
+
+    def nodeop_retire_iagent(self, body: Dict) -> Dict:
+        """Gracefully remove a merged-away IAgent."""
+        endpoint = self.iagents.pop(body["owner"], None)
+        if endpoint is not None and endpoint.report_task is not None:
+            endpoint.report_task.cancel()
+        return {"status": OK}
+
+    def nodeop_crash_iagent(self, body: Dict) -> Dict:
+        """Fault injection: kill a resident IAgent abruptly.
+
+        The endpoint vanishes mid-protocol -- no extract, no handover;
+        subsequent requests are refused with ``agent-not-found`` exactly
+        like a process that died.
+        """
+        owner: AgentId = body["owner"]
+        endpoint = self.iagents.pop(owner, None)
+        if endpoint is None:
+            raise _Reject(f"{AGENT_NOT_FOUND}: no agent {owner} on {self.name}")
+        if endpoint.report_task is not None:
+            endpoint.report_task.cancel()
+        self.crashed.add(owner)
+        return {"status": OK, "records_lost": len(endpoint.records)}
+
+    def nodeop_node_stats(self, body: Dict) -> Dict:
+        return {
+            "status": OK,
+            "node": self.name,
+            "iagents": len(self.iagents),
+            "residents": len(self.host.residents),
+            "republishes": self.host.republishes,
+            "lhagent": {
+                "version": self.lhagent.copy.version if self.lhagent.copy else -1,
+                "whois_served": self.lhagent.whois_served,
+                "refreshes": self.lhagent.refreshes,
+                "delta_refreshes": self.lhagent.delta_refreshes,
+                "full_refreshes": self.lhagent.full_refreshes,
+            },
+        }
+
+    async def stop(self) -> None:
+        await super().stop()
+        await self.channel.close()
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+
+
+class HAgentServer(_FramedServer):
+    """The live HAgent: primary copy, rehash coordinator, failure healer."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        tracer: Optional[Tracer] = None,
+        namer: Optional[AgentNamer] = None,
+    ) -> None:
+        super().__init__(config or ServiceConfig(), tracer)
+        self.namer = namer or AgentNamer(seed=0xD1EC7)
+        self.channel = RpcChannel(
+            rpc_timeout=self.config.rpc_timeout,
+            max_frame=self.config.max_frame,
+            tracer=tracer,
+        )
+        self.tree: Optional[HashTree] = None
+        self.iagent_nodes: Dict[Any, str] = {}
+        self.node_addrs: Dict[str, Tuple[str, int]] = {}
+        self.node_order: List[str] = []
+        self.version = 0
+        self.journal = deque(maxlen=self.config.mechanism.sync_journal_capacity)
+        self._rehash_lock = asyncio.Lock()
+        self._cooldown_until: Dict[Any, float] = {}
+        self._merge_streak: Dict[Any, int] = {}
+        self._last_report: Dict[Any, float] = {}
+        self._spawn_round_robin = 0
+        self.splits = 0
+        self.merges = 0
+        self.takeovers = 0
+        self.rehash_log: List[Dict] = []
+
+    async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
+        addr = await super().start(host, port)
+        self.spawn(self._monitor_loop(), name="hagent-monitor")
+        return addr
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def dispatch(self, target: Any, request: Request) -> Any:
+        if target != "hagent":
+            raise _Reject(f"unknown-target: {target!r} (this is the HAgent)")
+        op = request.op
+        body = request.body or {}
+        if op == "register-node":
+            return self._op_register_node(body)
+        if op == "bootstrap":
+            return await self._op_bootstrap(body)
+        if op == "get-hash-function":
+            return self.bundle()
+        if op == "get-hash-delta":
+            return delta_reply(
+                self.journal,
+                self.version,
+                body.get("since", -1),
+                self.bundle,
+                lambda: 64 + 96 * len(self.tree) if self.tree else 64,
+            )
+        if op == "load-report":
+            return self._op_load_report(body)
+        if op == "list-iagents":
+            return self._op_list_iagents(body)
+        if op == "stats":
+            return self._op_stats(body)
+        if op == "ping":
+            return {"status": OK, "version": self.version}
+        raise _Reject(f"unknown-op: {op!r}")
+
+    def _op_register_node(self, body: Dict) -> Dict:
+        name = body["name"]
+        if name not in self.node_addrs:
+            self.node_order.append(name)
+        self.node_addrs[name] = (body["host"], body["port"])
+        return {"status": OK, "nodes": len(self.node_addrs)}
+
+    async def _op_bootstrap(self, body: Dict) -> Dict:
+        """Deploy the initial single-IAgent hash function (paper §2.2)."""
+        if self.tree is not None:
+            return {"status": OK, "version": self.version}
+        if not self.node_addrs:
+            raise _Reject("precondition: bootstrap before any node registered")
+        node = self.node_order[-1]
+        owner = self.namer.next_id()
+        await self._rpc_node(node, "host-iagent", {"owner": owner, "pattern": ""})
+        self.tree = HashTree(owner, width=self.namer.width)
+        self.iagent_nodes = {owner: node}
+        self._last_report[owner] = time.monotonic()
+        self.version += 1  # non-journaled, like the simulator's adopt_tree
+        return {"status": OK, "version": self.version, "owner": owner}
+
+    def bundle(self) -> Dict:
+        """The full primary copy, plus the node address book."""
+        if self.tree is None:
+            raise _Reject("precondition: not bootstrapped yet")
+        return {
+            "version": self.version,
+            "tree": self.tree.to_spec(),
+            "iagent_nodes": dict(self.iagent_nodes),
+            "node_addrs": {
+                name: list(addr) for name, addr in self.node_addrs.items()
+            },
+        }
+
+    def _op_list_iagents(self, body: Dict) -> Dict:
+        return {
+            "status": OK,
+            "iagents": [
+                {
+                    "owner": owner,
+                    "node": node,
+                    "addr": list(self.node_addrs.get(node, ())) or None,
+                }
+                for owner, node in self.iagent_nodes.items()
+            ],
+        }
+
+    def _op_stats(self, body: Dict) -> Dict:
+        return {
+            "status": OK,
+            "version": self.version,
+            "iagents": len(self.iagent_nodes),
+            "splits": self.splits,
+            "merges": self.merges,
+            "takeovers": self.takeovers,
+            "journal_len": len(self.journal),
+        }
+
+    # ------------------------------------------------------------------
+    # Load reports -> rehash decisions (paper §4.1-§4.2)
+    # ------------------------------------------------------------------
+
+    def _op_load_report(self, body: Dict) -> Dict:
+        owner = body["owner"]
+        if self.tree is None or not self.tree.has_owner(owner):
+            return {"status": "stale"}
+        self._last_report[owner] = time.monotonic()
+        config = self.config.mechanism
+        if not body.get("mature") or time.monotonic() < self._cooldown_until.get(
+            owner, 0.0
+        ):
+            return {"status": OK}
+        rate = body["rate"]
+        if rate > config.t_max:
+            self._merge_streak.pop(owner, None)
+            self.spawn(self._split(owner), name=f"split-{owner.short()}")
+        elif config.enable_merge and rate < config.t_min and len(self.tree) > 1:
+            streak = self._merge_streak.get(owner, 0) + 1
+            self._merge_streak[owner] = streak
+            if streak >= config.merge_patience:
+                self._merge_streak.pop(owner, None)
+                self.spawn(self._merge(owner), name=f"merge-{owner.short()}")
+        else:
+            self._merge_streak.pop(owner, None)
+        return {"status": OK}
+
+    async def _split(self, owner: AgentId) -> None:
+        config = self.config.mechanism
+        async with self._rehash_lock:
+            if self.tree is None or not self.tree.has_owner(owner):
+                return
+            if time.monotonic() < self._cooldown_until.get(owner, 0.0):
+                return
+            loads_by_owner: Dict[Any, Dict[str, int]] = {}
+            try:
+                loads_by_owner[owner] = await self._fetch_loads(owner)
+                if config.complex_split_scope == "path":
+                    for candidate in self.tree.split_candidates(
+                        owner, scope="path", max_simple_m=config.max_simple_m
+                    ):
+                        for affected in self.tree.affected_owners(candidate):
+                            if affected not in loads_by_owner:
+                                loads_by_owner[affected] = await self._fetch_loads(
+                                    affected
+                                )
+            except (ServiceRpcError, RemoteOpError):
+                return  # unreachable IAgent; retry on the next report
+
+            planned = plan_split(self.tree, owner, loads_by_owner, config)
+            if planned is None:
+                self._set_cooldown(owner)
+                return
+
+            new_owner = self.namer.next_id()
+            new_node = self._pick_node()
+            try:
+                await self._rpc_node(
+                    new_node, "host-iagent", {"owner": new_owner, "pattern": None}
+                )
+            except (ServiceRpcError, RemoteOpError):
+                return
+            outcome = self.tree.apply_split(planned.candidate, new_owner)
+            self.iagent_nodes[new_owner] = new_node
+            self._last_report[new_owner] = time.monotonic()
+
+            moved_records: Dict[AgentId, List] = {}
+            moved_loads: Dict[AgentId, int] = {}
+            for affected in outcome.affected_owners:
+                pattern = self.tree.hyper_label(affected).pattern()
+                try:
+                    reply = await self._rpc_iagent(
+                        affected, "extract", {"pattern": pattern}
+                    )
+                except (ServiceRpcError, RemoteOpError):
+                    continue  # its records re-converge via re-registration
+                moved_records.update(reply["records"])
+                moved_loads.update(reply["loads"])
+            new_pattern = self.tree.hyper_label(new_owner).pattern()
+            try:
+                await self._rpc_iagent(
+                    new_owner,
+                    "adopt",
+                    {
+                        "records": moved_records,
+                        "loads": moved_loads,
+                        "pattern": new_pattern,
+                    },
+                )
+            except (ServiceRpcError, RemoteOpError):
+                pass  # coverage arrives with the next takeover/republish
+
+            self.splits += 1
+            self._set_cooldown(owner)
+            self._set_cooldown(new_owner)
+            self._publish(
+                {
+                    "op": "split",
+                    "kind": planned.candidate.kind,
+                    "owner": owner,
+                    "bit": planned.candidate.bit_position,
+                    "new_owner": new_owner,
+                    "new_node": new_node,
+                }
+            )
+            self._log(
+                "split",
+                owner=owner,
+                new_owner=new_owner,
+                kind=planned.candidate.kind,
+                moved=len(moved_records),
+            )
+
+    async def _merge(self, owner: AgentId) -> None:
+        async with self._rehash_lock:
+            if (
+                self.tree is None
+                or not self.tree.has_owner(owner)
+                or len(self.tree) <= 1
+            ):
+                return
+            outcome = self.tree.apply_merge(owner)
+            node = self.iagent_nodes.pop(owner, None)
+            self._last_report.pop(owner, None)
+            try:
+                reply = await self._rpc_iagent(owner, "extract-all", node_name=node)
+                records, loads = reply["records"], reply["loads"]
+            except (ServiceRpcError, RemoteOpError):
+                records, loads = {}, {}  # re-converges via re-registration
+
+            per_absorber: Dict[Any, Dict] = {
+                absorber: {"records": {}, "loads": {}}
+                for absorber in outcome.absorbers
+            }
+            for agent_id, record in records.items():
+                absorber = self.tree.lookup(agent_id.bits)
+                bucket = per_absorber.setdefault(
+                    absorber, {"records": {}, "loads": {}}
+                )
+                bucket["records"][agent_id] = record
+                bucket["loads"][agent_id] = loads.get(agent_id, 0)
+            for absorber, bucket in per_absorber.items():
+                bucket["pattern"] = self.tree.hyper_label(absorber).pattern()
+                try:
+                    await self._rpc_iagent(absorber, "adopt", bucket)
+                except (ServiceRpcError, RemoteOpError):
+                    continue
+                self._set_cooldown(absorber)
+            if node is not None:
+                try:
+                    await self._rpc_node(node, "retire-iagent", {"owner": owner})
+                except (ServiceRpcError, RemoteOpError):
+                    pass
+            self.merges += 1
+            self._publish({"op": "merge", "owner": owner})
+            self._log("merge", owner=owner, kind=outcome.kind, moved=len(records))
+
+    # ------------------------------------------------------------------
+    # Liveness monitoring and takeover
+    # ------------------------------------------------------------------
+
+    async def _monitor_loop(self) -> None:
+        config = self.config
+        while True:
+            await asyncio.sleep(config.mechanism.report_interval)
+            if self.tree is None:
+                continue
+            now = time.monotonic()
+            for owner in list(self.iagent_nodes):
+                last = self._last_report.get(owner, now)
+                if now - last < config.liveness_timeout:
+                    continue
+                try:
+                    await self._rpc_iagent(owner, "ping", timeout=0.5)
+                    self._last_report[owner] = time.monotonic()
+                except (ServiceRpcError, RemoteOpError):
+                    await self._takeover(owner)
+
+    async def _takeover(self, owner: AgentId) -> None:
+        """Re-host a dead IAgent's leaf on a live node (journaled move).
+
+        The replacement starts with an empty table and the dead shard's
+        exact coverage; the node hosts' re-registration loop repopulates
+        it within one period. Secondary copies learn the new address via
+        the ordinary delta-refresh path.
+        """
+        async with self._rehash_lock:
+            if self.tree is None or not self.tree.has_owner(owner):
+                return
+            if owner not in self.iagent_nodes:
+                return
+            old_node = self.iagent_nodes[owner]
+            pattern = self.tree.hyper_label(owner).pattern()
+            for _ in range(len(self.node_order)):
+                new_node = self._pick_node()
+                if new_node != old_node or len(self.node_order) == 1:
+                    break
+            try:
+                await self._rpc_node(
+                    new_node, "host-iagent", {"owner": owner, "pattern": pattern}
+                )
+            except (ServiceRpcError, RemoteOpError):
+                return  # that node is sick too; the monitor loop retries
+            self.iagent_nodes[owner] = new_node
+            self._last_report[owner] = time.monotonic()
+            self.takeovers += 1
+            self._publish({"op": "move", "owner": owner, "node": new_node})
+            self._log("takeover", owner=owner, node=new_node, old_node=old_node)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _pick_node(self) -> str:
+        self._spawn_round_robin += 1
+        return self.node_order[self._spawn_round_robin % len(self.node_order)]
+
+    async def _fetch_loads(self, owner: Any) -> Dict[str, int]:
+        reply = await self._rpc_iagent(owner, "get-loads")
+        return reply["loads"]
+
+    async def _rpc_node(self, node: str, op: str, body: Dict) -> Dict:
+        return await self.channel.call(
+            self.node_addrs[node],
+            "host",
+            op,
+            body,
+            timeout=self.config.rpc_timeout,
+        )
+
+    async def _rpc_iagent(
+        self,
+        owner: Any,
+        op: str,
+        body: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+        node_name: Optional[str] = None,
+    ) -> Dict:
+        node = node_name if node_name is not None else self.iagent_nodes.get(owner)
+        if node is None:
+            raise ServiceRpcError(f"IAgent {owner} has no known node")
+        return await self.channel.call(
+            self.node_addrs[node],
+            owner,
+            op,
+            body or {},
+            timeout=timeout if timeout is not None else self.config.rpc_timeout,
+        )
+
+    def _set_cooldown(self, owner: Any) -> None:
+        self._cooldown_until[owner] = (
+            time.monotonic() + self.config.mechanism.cooldown
+        )
+
+    def _publish(self, op: Dict) -> None:
+        self.version += 1
+        op["version"] = self.version
+        self.journal.append(op)
+
+    def _log(self, event: str, **fields: Any) -> None:
+        entry = {"event": event, "version": self.version, **fields}
+        self.rehash_log.append(entry)
+        if self.tracer is not None:
+            self.tracer.record_now(
+                "rehash",
+                event=event,
+                iagents=len(self.tree) if self.tree else 0,
+            )
+
+    async def stop(self) -> None:
+        await super().stop()
+        await self.channel.close()

@@ -1,0 +1,305 @@
+"""The wire codec: length-prefixed JSON frames with tagged rich types.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON. JSON alone cannot carry the repository's protocol
+vocabulary -- :class:`repro.platform.naming.AgentId` appears both as
+values and as dictionary *keys* (location-record tables), hash-tree
+specs are nested tuples, and the envelopes of
+:mod:`repro.platform.messages` are dataclasses -- so values are encoded
+through a reversible tagging scheme:
+
+==================  ==================================================
+``AgentId``         ``{"$aid": [value, width]}``
+``tuple``           ``{"$tuple": [items...]}``
+``Request``         ``{"$request": {op, body, sender_node, sender_agent, size, message_id}}``
+``Response``        ``{"$response": {message_id, value, error, size}}``
+non-string-key dict ``{"$dict": [[key, value], ...]}``
+``{"$x": ...}``     escaped as ``{"$esc": {"$x": ...}}``
+==================  ==================================================
+
+``encode_frame``/``decode_frame`` are the one-shot forms;
+:class:`FrameDecoder` consumes a byte stream incrementally (partial
+frames simply wait for more bytes); ``read_frame``/``write_frame`` are
+the asyncio stream helpers the service layer uses. Truncated one-shot
+buffers, oversized length prefixes and malformed JSON all raise
+:class:`WireError` -- a server must never crash on a garbage frame.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
+from typing import Any, Iterator, List, Optional
+
+from repro.platform.messages import Request, Response
+from repro.platform.naming import AgentId
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FrameDecoder",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "from_jsonable",
+    "read_frame",
+    "to_jsonable",
+    "write_frame",
+]
+
+#: Frames beyond this many payload bytes are rejected outright. Far
+#: above any protocol message (full-tree snapshots included); purely a
+#: guard against garbage length prefixes allocating gigabytes.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Tags understood by :func:`from_jsonable`; a single-key dict whose key
+#: starts with ``$`` but is not listed here is rejected, so unknown
+#: future tags fail loudly instead of decoding to nonsense.
+_TAGS = ("$aid", "$tuple", "$request", "$response", "$dict", "$esc")
+
+
+class WireError(ValueError):
+    """A frame or value that cannot be (de)coded."""
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lower a protocol value to plain JSON types, tagging rich ones."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, AgentId):
+        return {"$aid": [value.value, value.width]}
+    if isinstance(value, tuple):
+        return {"$tuple": [to_jsonable(item) for item in value]}
+    if isinstance(value, list):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Request):
+        return {
+            "$request": {
+                "op": value.op,
+                "body": to_jsonable(value.body),
+                "sender_node": value.sender_node,
+                "sender_agent": to_jsonable(value.sender_agent),
+                "size": value.size,
+                "message_id": value.message_id,
+            }
+        }
+    if isinstance(value, Response):
+        return {
+            "$response": {
+                "message_id": value.message_id,
+                "value": to_jsonable(value.value),
+                "error": value.error,
+                "size": value.size,
+            }
+        }
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            if any(key.startswith("$") for key in value):
+                # A user dict that happens to look tagged: escape it.
+                return {
+                    "$esc": {key: to_jsonable(item) for key, item in value.items()}
+                }
+            return {key: to_jsonable(item) for key, item in value.items()}
+        return {
+            "$dict": [
+                [to_jsonable(key), to_jsonable(item)] for key, item in value.items()
+            ]
+        }
+    raise WireError(f"value of type {type(value).__name__!r} is not wire-encodable")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    if not isinstance(value, dict):
+        raise WireError(f"unexpected JSON value of type {type(value).__name__!r}")
+    if len(value) == 1:
+        (tag,) = value
+        if isinstance(tag, str) and tag.startswith("$"):
+            if tag not in _TAGS:
+                raise WireError(f"unknown wire tag {tag!r}")
+            return _decode_tagged(tag, value[tag])
+    return {key: from_jsonable(item) for key, item in value.items()}
+
+
+def _decode_tagged(tag: str, payload: Any) -> Any:
+    if tag == "$aid":
+        try:
+            raw, width = payload
+            return AgentId(int(raw), int(width))
+        except (TypeError, ValueError) as error:
+            raise WireError(f"malformed $aid payload {payload!r}") from error
+    if tag == "$tuple":
+        if not isinstance(payload, list):
+            raise WireError(f"malformed $tuple payload {payload!r}")
+        return tuple(from_jsonable(item) for item in payload)
+    if tag == "$dict":
+        if not isinstance(payload, list):
+            raise WireError(f"malformed $dict payload {payload!r}")
+        try:
+            return {
+                from_jsonable(key): from_jsonable(item) for key, item in payload
+            }
+        except (TypeError, ValueError) as error:
+            raise WireError(f"malformed $dict payload {payload!r}") from error
+    if tag == "$esc":
+        if not isinstance(payload, dict):
+            raise WireError(f"malformed $esc payload {payload!r}")
+        return {key: from_jsonable(item) for key, item in payload.items()}
+    if tag == "$request":
+        fields = _expect_fields(tag, payload, ("op", "message_id"))
+        request = Request(
+            op=fields["op"],
+            body=from_jsonable(fields.get("body")),
+            sender_node=fields.get("sender_node"),
+            sender_agent=from_jsonable(fields.get("sender_agent")),
+            size=int(fields.get("size", 256)),
+        )
+        request.message_id = int(fields["message_id"])
+        return request
+    # tag == "$response"
+    fields = _expect_fields(tag, payload, ("message_id",))
+    return Response(
+        message_id=int(fields["message_id"]),
+        value=from_jsonable(fields.get("value")),
+        error=fields.get("error"),
+        size=int(fields.get("size", 256)),
+    )
+
+
+def _expect_fields(tag: str, payload: Any, required: tuple) -> dict:
+    if not isinstance(payload, dict):
+        raise WireError(f"malformed {tag} payload {payload!r}")
+    for name in required:
+        if name not in payload:
+            raise WireError(f"{tag} payload missing {name!r}: {payload!r}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+
+
+def encode_frame(value: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """One value as a length-prefixed frame."""
+    body = json.dumps(
+        to_jsonable(value), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > max_frame:
+        raise WireError(f"frame of {len(body)} bytes exceeds limit {max_frame}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(buffer: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> Any:
+    """Decode exactly one frame occupying the whole buffer."""
+    if len(buffer) < _LENGTH.size:
+        raise WireError(f"truncated frame: {len(buffer)} bytes is no header")
+    (length,) = _LENGTH.unpack_from(buffer)
+    if length > max_frame:
+        raise WireError(f"frame length {length} exceeds limit {max_frame}")
+    body = buffer[_LENGTH.size :]
+    if len(body) != length:
+        raise WireError(
+            f"truncated frame: header says {length} bytes, got {len(body)}"
+        )
+    return _decode_body(bytes(body))
+
+
+def _decode_body(body: bytes) -> Any:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame body is not JSON: {error}") from error
+    return from_jsonable(document)
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of frames.
+
+    Feed arbitrary chunks; complete frames come out, partial frames stay
+    buffered. A malformed length prefix or body raises :class:`WireError`
+    and poisons the decoder (a stream is unrecoverable once desynced).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Consume ``data``; return every frame completed by it."""
+        if self._poisoned:
+            raise WireError("decoder poisoned by an earlier malformed frame")
+        self._buffer.extend(data)
+        frames: List[Any] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return frames
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_frame:
+                self._poisoned = True
+                raise WireError(
+                    f"frame length {length} exceeds limit {self.max_frame}"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            try:
+                frames.append(_decode_body(body))
+            except WireError:
+                self._poisoned = True
+                raise
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Any]:  # pragma: no cover - convenience
+        return iter(())
+
+
+# ----------------------------------------------------------------------
+# asyncio stream helpers
+# ----------------------------------------------------------------------
+
+
+async def read_frame(
+    reader: StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Any]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError("connection closed mid-header") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame:
+        raise WireError(f"frame length {length} exceeds limit {max_frame}")
+    try:
+        body = await reader.readexactly(length)
+    except IncompleteReadError as error:
+        raise WireError("connection closed mid-frame") from error
+    return _decode_body(body)
+
+
+async def write_frame(
+    writer: StreamWriter, value: Any, max_frame: int = DEFAULT_MAX_FRAME
+) -> None:
+    """Encode ``value`` and flush it to the stream."""
+    writer.write(encode_frame(value, max_frame=max_frame))
+    await writer.drain()
