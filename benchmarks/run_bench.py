@@ -48,6 +48,7 @@ SWEEP_BENCH_ROUNDS = 3
 #: The gated suites, in run order.
 BENCH_FILES = (
     "benchmarks/bench_core_microbench.py",
+    "benchmarks/bench_storage_wal.py",
     "benchmarks/bench_exp1_agent_scaling.py",
 )
 

@@ -1,18 +1,33 @@
-"""``python -m repro``: banner, version and pointers."""
+"""``python -m repro``: banner, or forward a command to the harness CLI.
+
+With no arguments this prints the banner and pointers. With arguments,
+it forwards verbatim to :func:`repro.harness.cli.main`, so the short
+spelling works for every command::
+
+    python -m repro exp1 --quick
+    python -m repro cluster --nodes 5 --restart-iagent --data-dir /tmp/d
+"""
 
 import sys
+from typing import List, Optional
 
 import repro
 
 
-def main() -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv:
+        from repro.harness.cli import main as cli_main
+
+        return cli_main(argv)
     print(
         f"repro {repro.__version__} -- reproduction of "
         "'A Scalable Hash-Based Mobile Agent Location Mechanism' "
         "(Kastidou, Pitoura & Samaras, ICDCSW'03)\n"
         "\n"
-        "  experiments : python -m repro.harness.cli exp1|exp2|all [--quick]\n"
-        "  report      : python -m repro.harness.cli report --out report.md\n"
+        "  experiments : python -m repro exp1|exp2|all [--quick]\n"
+        "  report      : python -m repro report --out report.md\n"
+        "  live serve  : python -m repro serve --nodes 5\n"
+        "  live check  : python -m repro cluster --nodes 5 --restart-iagent\n"
         "  examples    : python examples/quickstart.py\n"
         "  tests       : pytest tests/\n"
         "  benchmarks  : pytest benchmarks/ --benchmark-only\n"
@@ -23,4 +38,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

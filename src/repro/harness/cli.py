@@ -17,12 +17,19 @@ service layer (:mod:`repro.service`) over real localhost sockets::
 
     python -m repro.harness.cli serve --nodes 5
     python -m repro.harness.cli cluster --nodes 5 --ops 200 --crash-iagent
+    python -m repro cluster --nodes 5 --restart-iagent --data-dir /tmp/d
 
 ``serve`` boots an N-node cluster and parks until interrupted;
 ``cluster`` runs a verified register/locate/migrate workload against it
 (optionally crashing an IAgent mid-run) and exits 0 only if every
-locate succeeded and matched ground truth. These are excluded from
-``all``, which remains simulation-only.
+locate succeeded and matched ground truth. With ``--data-dir`` every
+authoritative mutation is journaled through :mod:`repro.storage`, and
+``--restart-iagent`` warm-restarts the record-heaviest IAgent mid-run
+from its on-disk snapshot + WAL (the run fails unless the whole shard
+came back from disk within one re-registration interval). ``--fsync``
+picks the WAL durability policy; ``--trace-jsonl PATH`` streams every
+trace event to a JSON-lines file. These are excluded from ``all``,
+which remains simulation-only.
 
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
@@ -303,13 +310,27 @@ def cmd_report(args) -> None:
 
 def _cluster_config(args):
     from repro.service.cluster import ClusterConfig
+    from repro.service.server import ServiceConfig
 
+    data_dir = getattr(args, "data_dir", None)
+    if getattr(args, "restart_iagent", False) and data_dir is None:
+        # Warm restart needs somewhere to keep the WAL + snapshots; be
+        # forgiving and provision a scratch directory on the fly.
+        import tempfile
+
+        data_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+        print(f"--restart-iagent without --data-dir: durable state in {data_dir}")
     return ClusterConfig(
         nodes=args.nodes,
         agents=args.agents,
         ops=args.ops,
         seed=args.seeds,
         crash_iagent=getattr(args, "crash_iagent", False),
+        restart_iagent=getattr(args, "restart_iagent", False),
+        service=ServiceConfig(
+            data_dir=data_dir, fsync=getattr(args, "fsync", "interval")
+        ),
+        trace_jsonl=getattr(args, "trace_jsonl", None),
     )
 
 
@@ -430,6 +451,30 @@ def main(argv: List[str] = None) -> int:
         "--crash-iagent",
         action="store_true",
         help="kill the record-heaviest IAgent half way through the run",
+    )
+    service.add_argument(
+        "--restart-iagent",
+        action="store_true",
+        help="kill the record-heaviest IAgent half way through the run, "
+        "then warm-restart it in place from its WAL + snapshots",
+    )
+    service.add_argument(
+        "--data-dir",
+        metavar="PATH",
+        default=None,
+        help="root directory for durable state (enables WAL + snapshots)",
+    )
+    service.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="WAL fsync policy when --data-dir is set (default: interval)",
+    )
+    service.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="stream protocol trace events to PATH as JSON lines",
     )
     args = parser.parse_args(argv)
 

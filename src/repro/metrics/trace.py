@@ -7,7 +7,10 @@ locate take three retries?") and by the trace-driven tests; disabled
 runtimes pay a single ``None`` check per event.
 
 Attach with :func:`attach_tracer`; query with :meth:`Tracer.select`
-or dump with :meth:`Tracer.to_jsonl`.
+or dump with :meth:`Tracer.to_jsonl`. For runs longer than the
+in-memory ring buffer, :meth:`Tracer.write_jsonl` attaches a streaming
+file sink: every event is appended to the file as it is recorded, so
+the full history survives even after the ring has dropped it.
 
 The same tracer also serves the live service layer
 (:mod:`repro.service`), where events carry *wall-clock* seconds instead
@@ -82,6 +85,8 @@ class Tracer:
         self.clock = clock
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        self._sink: Optional[Any] = None
+        self.sink_written = 0
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         """Append one event (subject to the kind filter and capacity)."""
@@ -90,7 +95,12 @@ class Tracer:
         if len(self.events) >= self.capacity:
             self.events.pop(0)
             self.dropped += 1
-        self.events.append(TraceEvent(time=time, kind=kind, fields=fields))
+        event = TraceEvent(time=time, kind=kind, fields=fields)
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event.to_dict(), default=str) + "\n")
+            self._sink.flush()
+            self.sink_written += 1
 
     def record_now(self, kind: str, **fields: Any) -> None:
         """Append one event stamped from the injected ``clock``."""
@@ -136,6 +146,23 @@ class Tracer:
         return "\n".join(
             json.dumps(event.to_dict(), default=str) for event in self.events
         )
+
+    def write_jsonl(self, path: Any) -> None:
+        """Attach a streaming JSON-lines sink at ``path`` (append mode).
+
+        Subsequent events are written (and flushed) to the file as they
+        are recorded, independent of the ring buffer -- the sink keeps
+        the full history while memory keeps only the recent window.
+        Calling again re-targets the sink; :meth:`close_sink` detaches.
+        """
+        self.close_sink()
+        self._sink = open(path, "a", encoding="utf-8")
+
+    def close_sink(self) -> None:
+        """Flush and detach the streaming sink, if any (idempotent)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
 
     def __len__(self) -> int:
         return len(self.events)

@@ -90,6 +90,16 @@ class AgentNamer:
         self._state = splitmix64(self._state)
         return AgentId(self._state & self._mask, self.width)
 
+    @property
+    def state(self) -> int:
+        """The generator position -- persist and restore it to guarantee
+        a recovered coordinator never re-issues an already-used id."""
+        return self._state
+
+    @state.setter
+    def state(self, value: int) -> None:
+        self._state = int(value)
+
 
 class SkewedNamer(AgentNamer):
     """Generates ids where a fraction share a fixed high-bit prefix.

@@ -52,12 +52,17 @@ class ClusterConfig:
     ops: int = 200
     seed: int = 1
     crash_iagent: bool = False
+    #: Crash the record-heaviest IAgent mid-run, then warm-restart it in
+    #: place from its WAL + snapshots (requires ``service.data_dir``).
+    restart_iagent: bool = False
     service: ServiceConfig = field(default_factory=ServiceConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
     #: Workload mix (weights; the remainder registers new agents).
     locate_fraction: float = 0.45
     migrate_fraction: float = 0.45
     trace: bool = False
+    #: Stream trace events to this JSON-lines file (implies tracing).
+    trace_jsonl: Optional[str] = None
 
 
 @dataclass
@@ -86,15 +91,26 @@ class ClusterReport:
     crashed: bool = False
     records_lost: int = 0
     final_verified: bool = False
+    restarted: bool = False
+    records_recovered: int = 0
+    wal_replayed: int = 0
+    recovery_s: float = 0.0
+    #: True iff the restart came back with records from *disk* fast
+    #: enough that soft-state republish cannot be the explanation.
+    recovery_warm: bool = False
+    restart_verified: bool = False
 
     @property
     def passed(self) -> bool:
         """Every locate succeeded, agreed with ground truth, and the
-        post-run sweep re-located the whole population."""
+        post-run sweep re-located the whole population. A warm restart
+        must additionally have recovered its records from disk within
+        one re-registration interval and re-verified the population."""
         return (
             self.locate_failures == 0
             and self.locate_mismatches == 0
             and self.final_verified
+            and (not self.restarted or (self.recovery_warm and self.restart_verified))
         )
 
     def to_dict(self) -> Dict:
@@ -127,6 +143,15 @@ class ClusterReport:
                 f"  fault       crashed 1 IAgent mid-run "
                 f"({self.records_lost} records lost, all recovered)"
             )
+        if self.restarted:
+            lines.append(
+                f"  fault       warm-restarted 1 IAgent mid-run: "
+                f"{self.records_recovered}/{self.records_lost} records "
+                f"recovered from disk in {self.recovery_s * 1000:.1f}ms "
+                f"(wal replay {self.wal_replayed}, "
+                f"{'warm' if self.recovery_warm else 'COLD'}, population "
+                f"{'re-verified' if self.restart_verified else 'UNVERIFIED'})"
+            )
         return "\n".join(lines)
 
 
@@ -135,7 +160,13 @@ class _Cluster:
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
-        self.tracer = Tracer(clock=wall_clock()) if config.trace else None
+        self.tracer = (
+            Tracer(clock=wall_clock())
+            if config.trace or config.trace_jsonl
+            else None
+        )
+        if self.tracer is not None and config.trace_jsonl:
+            self.tracer.write_jsonl(config.trace_jsonl)
         self.hagent = HAgentServer(config.service, tracer=self.tracer)
         self.nodes: List[NodeServer] = []
         self.clients: List[ServiceClient] = []
@@ -179,6 +210,8 @@ class _Cluster:
         for node in self.nodes:
             await node.stop()
         await self.hagent.stop()
+        if self.tracer is not None:
+            self.tracer.close_sink()
 
     # -- driver operations ----------------------------------------------
 
@@ -220,8 +253,8 @@ class _Cluster:
             return False
         return found == self.nodes[self.truth[agent][0]].name
 
-    async def crash_heaviest_iagent(self) -> int:
-        """Kill the IAgent holding the most records; return that count."""
+    async def _heaviest_iagent(self) -> Tuple[AgentId, Tuple[str, int], int]:
+        """The reachable IAgent holding the most records."""
         assert self.hagent.addr is not None
         listing = await self.nodes[0].channel.call(
             self.hagent.addr, "hagent", "list-iagents", {}
@@ -238,10 +271,34 @@ class _Cluster:
                 heaviest_node = tuple(entry["addr"])
                 heaviest_records = ping["records"]
         assert heaviest is not None and heaviest_node is not None
+        return heaviest, heaviest_node, heaviest_records
+
+    async def crash_heaviest_iagent(self) -> int:
+        """Kill the IAgent holding the most records; return that count."""
+        heaviest, heaviest_node, _ = await self._heaviest_iagent()
         reply = await self.nodes[0].channel.call(
             heaviest_node, "host", "crash-iagent", {"owner": heaviest}
         )
         return reply["records_lost"]
+
+    async def restart_heaviest_iagent(self) -> Dict:
+        """Crash the record-heaviest IAgent, then warm-restart it in
+        place from its own WAL + snapshots; return the recovery report.
+
+        ``records_before`` (the table size the instant before the kill)
+        is the ground truth the recovered count is judged against: a
+        warm restart must bring *all* of it back from disk.
+        """
+        heaviest, heaviest_node, records_before = await self._heaviest_iagent()
+        reply = await self.nodes[0].channel.call(
+            heaviest_node, "host", "restart-iagent", {"owner": heaviest}
+        )
+        return {
+            "records_before": records_before,
+            "records_recovered": reply["records_recovered"],
+            "wal_replayed": reply["wal_replayed"],
+            "recovery_s": reply["recovery_s"],
+        }
 
     async def _notify_host(
         self, node_index: int, op: str, agent: AgentId, seq: int
@@ -264,6 +321,8 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
     config = config or ClusterConfig()
     if config.nodes < 1 or config.agents < 1:
         raise ValueError("cluster needs at least one node and one agent")
+    if config.restart_iagent and config.service.data_dir is None:
+        raise ValueError("restart_iagent requires service.data_dir (durable state)")
     cluster = _Cluster(config)
     report = ClusterReport(nodes=config.nodes)
     started = time.monotonic()
@@ -273,11 +332,36 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         for _ in range(config.agents):
             agents.append(await cluster.spawn_agent())
 
-        crash_at = config.ops // 2 if config.crash_iagent else -1
+        inject_fault = config.crash_iagent or config.restart_iagent
+        crash_at = config.ops // 2 if inject_fault else -1
         for op_index in range(config.ops):
             if op_index == crash_at:
-                report.records_lost = await cluster.crash_heaviest_iagent()
-                report.crashed = True
+                if config.restart_iagent:
+                    recovery = await cluster.restart_heaviest_iagent()
+                    report.restarted = True
+                    report.records_lost = recovery["records_before"]
+                    report.records_recovered = recovery["records_recovered"]
+                    report.wal_replayed = recovery["wal_replayed"]
+                    report.recovery_s = recovery["recovery_s"]
+                    # Warm = the shard came back from *disk* (every
+                    # pre-crash record, recovered faster than the first
+                    # republish interval could have refilled it).
+                    report.recovery_warm = (
+                        report.records_recovered >= report.records_lost
+                        and report.records_recovered > 0
+                        and report.recovery_s < config.service.reregister_interval
+                    )
+                    # Recovered records must agree with ground truth
+                    # *now*, before the workload resumes.
+                    report.restart_verified = True
+                    for agent in agents:
+                        requester = cluster.rng.randrange(len(cluster.nodes))
+                        if not await cluster.locate_agent(agent, requester):
+                            report.restart_verified = False
+                            report.locate_mismatches += 1
+                else:
+                    report.records_lost = await cluster.crash_heaviest_iagent()
+                    report.crashed = True
             roll = cluster.rng.random()
             if roll < config.locate_fraction:
                 agent = cluster.rng.choice(agents)

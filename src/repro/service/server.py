@@ -26,11 +26,18 @@ envelopes. Protocol outcomes (``ok`` / ``not-responsible`` /
 only transport-level conditions (unknown target, malformed frame) use
 the error side of the envelope.
 
-Crash recovery is soft-state: every node host periodically re-publishes
-its residents' locations through the normal ``update`` path, so a
-takeover IAgent that starts with an empty table converges within one
-re-registration period. Location records carry per-agent sequence
-numbers so a late re-publish can never roll back a newer move.
+Crash recovery is layered. The soft-state floor is always there: every
+node host periodically re-publishes its residents' locations through
+the normal ``update`` path, so even an IAgent that starts with an empty
+table converges within one re-registration period, and per-agent
+sequence numbers keep late re-publishes from rolling back newer moves.
+With a ``data_dir`` configured, the servers additionally journal every
+authoritative mutation through :class:`repro.storage.DurableStore` --
+the HAgent logs node registrations, the bootstrap and every journaled
+rehash op; each IAgent logs its record mutations -- so a crashed agent
+can come back **warm**: ``restart-iagent`` reloads the shard from the
+latest snapshot plus the WAL suffix in milliseconds, then lets the
+soft-state loop reconcile any tail the crash cut off.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import HashMechanismConfig
@@ -62,6 +70,7 @@ from repro.service.client import (
     ServiceError,
     ServiceRpcError,
 )
+from repro.storage import DurableStore
 
 __all__ = ["HAgentServer", "NodeServer", "ServiceConfig"]
 
@@ -105,8 +114,31 @@ class ServiceConfig:
     #: Frame-size ceiling on every connection.
     max_frame: int = wire.DEFAULT_MAX_FRAME
 
+    #: Root directory for durable state (WAL + snapshots). ``None``
+    #: keeps the PR-3 behaviour: soft-state only, nothing on disk.
+    data_dir: Optional[str] = None
+
+    #: WAL fsync policy: ``"always"`` / ``"interval"`` / ``"never"``.
+    fsync: str = "interval"
+
+    #: Mutations logged between automatic snapshots (0 disables them).
+    snapshot_every: int = 256
+
+    #: WAL segment rotation threshold (bytes).
+    wal_segment_bytes: int = 1 << 20
+
     #: Protocol tunables shared with the simulator mechanism.
     mechanism: HashMechanismConfig = field(default_factory=_default_mechanism_config)
+
+    def durable_store(self, root: Path, name: str) -> DurableStore:
+        """A :class:`DurableStore` under ``root`` with this config's knobs."""
+        return DurableStore(
+            root,
+            name,
+            fsync=self.fsync,
+            segment_max_bytes=self.wal_segment_bytes,
+            snapshot_every=self.snapshot_every,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -241,9 +273,22 @@ class IAgentEndpoint:
     (register / update / unregister / locate / extract / adopt ...), with
     wall-clock :class:`repro.core.load.LoadStatistics` and per-record
     sequence numbers for idempotent re-registration.
+
+    With a :class:`~repro.storage.DurableStore` attached, every mutation
+    of the shard is journaled *after* it is applied and *before* it is
+    acknowledged; :meth:`apply_mutation` is the matching replay reducer,
+    so recovery re-runs exactly the in-memory transitions. Query-side
+    state (load statistics) is deliberately soft: it re-warms from
+    traffic.
     """
 
-    def __init__(self, owner: AgentId, node: "NodeServer", pattern: Optional[str]) -> None:
+    def __init__(
+        self,
+        owner: AgentId,
+        node: "NodeServer",
+        pattern: Optional[str],
+        store: Optional[DurableStore] = None,
+    ) -> None:
         self.owner = owner
         self.node = node
         self.coverage = pattern
@@ -251,6 +296,63 @@ class IAgentEndpoint:
         self.records: Dict[AgentId, List] = {}
         self.stats = LoadStatistics(node.config.mechanism.rate_window)
         self.report_task: Optional[asyncio.Task] = None
+        self.store = store
+        #: Set by a warm restart: how much state came back from disk.
+        self.records_recovered = 0
+        self.wal_replayed = 0
+
+    # -- durability -----------------------------------------------------
+
+    @staticmethod
+    def initial_state() -> Dict:
+        """The durable-state shape: coverage + the record table."""
+        return {"coverage": None, "records": {}}
+
+    @staticmethod
+    def apply_mutation(state: Dict, op: Dict) -> None:
+        """Replay one journaled mutation onto a durable-state dict.
+
+        Mirrors the live handlers exactly (including the sequence-number
+        conflict rule), so ``recover()`` = the same transitions, re-run.
+        """
+        records = state["records"]
+        kind = op["op"]
+        if kind == "put":
+            existing = records.get(op["agent"])
+            if existing is None or op["seq"] >= existing[1]:
+                records[op["agent"]] = [op["node"], op["seq"]]
+        elif kind == "del":
+            records.pop(op["agent"], None)
+        elif kind == "coverage":
+            state["coverage"] = op["pattern"]
+        elif kind == "extract":
+            for agent_id in list(records):
+                if not pattern_matches(op["pattern"], agent_id.bits):
+                    del records[agent_id]
+            state["coverage"] = op["pattern"]
+        elif kind == "clear":
+            state["records"] = {}
+            state["coverage"] = None
+        elif kind == "adopt":
+            if "pattern" in op:
+                state["coverage"] = op["pattern"]
+            for agent_id, record in op.get("records", {}).items():
+                existing = records.get(agent_id)
+                if existing is None or record[1] >= existing[1]:
+                    records[agent_id] = list(record)
+        else:  # pragma: no cover - would be a writer bug
+            raise ValueError(f"unknown IAgent mutation {kind!r}")
+
+    def durable_state(self) -> Dict:
+        return {"coverage": self.coverage, "records": self.records}
+
+    def _log(self, op: Dict) -> None:
+        """Journal one applied mutation; fold into a snapshot when due."""
+        if self.store is None:
+            return
+        self.store.log(op)
+        if self.store.should_snapshot:
+            self.store.snapshot(self.durable_state())
 
     # -- op handlers (named like the simulator IAgent's) ----------------
 
@@ -267,6 +369,7 @@ class IAgentEndpoint:
         existing = self.records.get(agent_id)
         if existing is None or seq >= existing[1]:
             self.records[agent_id] = [node, seq]
+            self._log({"op": "put", "agent": agent_id, "node": node, "seq": seq})
         self.stats.record_update(agent_id, time.monotonic())
         return {"status": OK}
 
@@ -278,6 +381,7 @@ class IAgentEndpoint:
         if existing is not None and body.get("seq", 0) >= existing[1]:
             del self.records[agent_id]
             self.stats.forget_agent(agent_id)
+            self._log({"op": "del", "agent": agent_id})
         return {"status": OK}
 
     def op_locate(self, body: Dict) -> Dict:
@@ -307,6 +411,9 @@ class IAgentEndpoint:
                 self.stats.forget_agent(agent_id)
         self.coverage = pattern
         self.stats.total.reset(time.monotonic())
+        # Replay recomputes the dropped records from the pattern, so the
+        # journal entry is O(1) regardless of how many records moved.
+        self._log({"op": "extract", "pattern": pattern})
         return {"status": OK, "records": moved_records, "loads": moved_loads}
 
     def op_extract_all(self, body: Dict) -> Dict:
@@ -317,6 +424,7 @@ class IAgentEndpoint:
         for agent_id in records:
             self.stats.forget_agent(agent_id)
         self.coverage = None
+        self._log({"op": "clear"})
         return {"status": OK, "records": records, "loads": loads}
 
     def op_adopt(self, body: Dict) -> Dict:
@@ -328,14 +436,32 @@ class IAgentEndpoint:
                 self.records[agent_id] = list(record)
         for agent_id, load in body.get("loads", {}).items():
             self.stats.adopt_agent(agent_id, load)
+        # Adopted records come from another shard, so (unlike extract)
+        # they must ride in the journal entry itself.
+        entry: Dict[str, Any] = {
+            "op": "adopt",
+            "records": {
+                agent_id: list(record)
+                for agent_id, record in body.get("records", {}).items()
+            },
+        }
+        if "pattern" in body:
+            entry["pattern"] = body["pattern"]
+        self._log(entry)
         return {"status": OK}
 
     def op_set_coverage(self, body: Dict) -> Dict:
         self.coverage = body["pattern"]
+        self._log({"op": "coverage", "pattern": body["pattern"]})
         return {"status": OK}
 
     def op_ping(self, body: Dict) -> Dict:
-        return {"status": OK, "node": self.node.name, "records": len(self.records)}
+        return {
+            "status": OK,
+            "node": self.node.name,
+            "records": len(self.records),
+            "records_recovered": self.records_recovered,
+        }
 
     # -- background: periodic load reports to the HAgent ----------------
 
@@ -521,6 +647,12 @@ class NodeServer(_FramedServer):
         # The host republishes through a full protocol client so crash
         # recovery exercises the same retry loop applications use.
         self.client: Optional[ServiceClient] = None
+        #: Per-node durable root (``<data_dir>/<node_name>/``), or None.
+        self.data_root: Optional[Path] = (
+            Path(self.config.data_dir) / self.name
+            if self.config.data_dir is not None
+            else None
+        )
 
     async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
         addr = await super().start(host, port)
@@ -578,22 +710,92 @@ class NodeServer(_FramedServer):
 
     # -- node-management ops (addressed to the "host" target) ------------
 
-    def nodeop_host_iagent(self, body: Dict) -> Dict:
-        """Spawn (or re-host, on takeover) an IAgent on this node."""
-        owner: AgentId = body["owner"]
-        endpoint = IAgentEndpoint(owner, self, body.get("pattern"))
+    def _iagent_store(self, owner: AgentId) -> Optional[DurableStore]:
+        """This node's durable store for ``owner``, or None when diskless."""
+        if self.data_root is None:
+            return None
+        return self.config.durable_store(self.data_root, f"iagent-{owner.value:x}")
+
+    def _host_iagent(
+        self, owner: AgentId, pattern: Optional[str], recover: bool
+    ) -> Dict:
+        """Create an IAgent endpoint, fresh or warm-recovered from disk."""
+        store = self._iagent_store(owner)
+        endpoint = IAgentEndpoint(owner, self, pattern, store=store)
+        recovery_s = 0.0
+        if store is not None:
+            if recover and store.has_data:
+                result = store.recover(
+                    initial=IAgentEndpoint.initial_state,
+                    apply=IAgentEndpoint.apply_mutation,
+                )
+                endpoint.records = result.state["records"]
+                # A pattern from the HAgent (takeover) wins; otherwise
+                # the recovered coverage stands. "" covers everything,
+                # so test against None, not truthiness.
+                if pattern is None:
+                    endpoint.coverage = result.state["coverage"]
+                endpoint.records_recovered = len(endpoint.records)
+                endpoint.wal_replayed = result.replayed
+                recovery_s = result.elapsed_s
+                # Fold the recovered state into a fresh snapshot so the
+                # next restart replays only post-recovery mutations.
+                store.snapshot(endpoint.durable_state())
+                if pattern is not None:
+                    endpoint._log({"op": "coverage", "pattern": pattern})
+            else:
+                # A *new* incarnation (bootstrap, split, cross-node
+                # takeover): stale history must not resurrect into it.
+                store.reset()
+                if pattern is not None:
+                    endpoint._log({"op": "coverage", "pattern": pattern})
         self.crashed.discard(owner)
         self.iagents[owner] = endpoint
         endpoint.report_task = self.spawn(
             endpoint.report_loop(), name=f"report-{owner.short()}"
         )
-        return {"status": OK, "node": self.name}
+        return {
+            "status": OK,
+            "node": self.name,
+            "records_recovered": endpoint.records_recovered,
+            "wal_replayed": endpoint.wal_replayed,
+            "recovery_s": recovery_s,
+        }
+
+    def nodeop_host_iagent(self, body: Dict) -> Dict:
+        """Spawn (or re-host, on takeover) an IAgent on this node."""
+        return self._host_iagent(
+            body["owner"], body.get("pattern"), bool(body.get("recover"))
+        )
+
+    def nodeop_restart_iagent(self, body: Dict) -> Dict:
+        """Fault injection: crash a resident IAgent, then warm-restart it.
+
+        The endpoint is killed abruptly (no extract, no final sync --
+        exactly :meth:`nodeop_crash_iagent`), then re-created from its
+        own disk state: latest snapshot plus WAL-suffix replay.
+        """
+        owner: AgentId = body["owner"]
+        if self.data_root is None:
+            raise _Reject("no-durable-state: node started without --data-dir")
+        endpoint = self.iagents.pop(owner, None)
+        if endpoint is not None:
+            if endpoint.report_task is not None:
+                endpoint.report_task.cancel()
+            if endpoint.store is not None:
+                endpoint.store.abort()
+        elif owner not in self.crashed:
+            raise _Reject(f"{AGENT_NOT_FOUND}: no agent {owner} on {self.name}")
+        return self._host_iagent(owner, None, recover=True)
 
     def nodeop_retire_iagent(self, body: Dict) -> Dict:
         """Gracefully remove a merged-away IAgent."""
         endpoint = self.iagents.pop(body["owner"], None)
-        if endpoint is not None and endpoint.report_task is not None:
-            endpoint.report_task.cancel()
+        if endpoint is not None:
+            if endpoint.report_task is not None:
+                endpoint.report_task.cancel()
+            if endpoint.store is not None:
+                endpoint.store.close()
         return {"status": OK}
 
     def nodeop_crash_iagent(self, body: Dict) -> Dict:
@@ -601,7 +803,9 @@ class NodeServer(_FramedServer):
 
         The endpoint vanishes mid-protocol -- no extract, no handover;
         subsequent requests are refused with ``agent-not-found`` exactly
-        like a process that died.
+        like a process that died. Its durable store is abandoned without
+        a final sync, so on-disk state is whatever the fsync policy had
+        already made durable -- the honest crash picture.
         """
         owner: AgentId = body["owner"]
         endpoint = self.iagents.pop(owner, None)
@@ -609,6 +813,8 @@ class NodeServer(_FramedServer):
             raise _Reject(f"{AGENT_NOT_FOUND}: no agent {owner} on {self.name}")
         if endpoint.report_task is not None:
             endpoint.report_task.cancel()
+        if endpoint.store is not None:
+            endpoint.store.abort()
         self.crashed.add(owner)
         return {"status": OK, "records_lost": len(endpoint.records)}
 
@@ -630,6 +836,9 @@ class NodeServer(_FramedServer):
 
     async def stop(self) -> None:
         await super().stop()
+        for endpoint in self.iagents.values():
+            if endpoint.store is not None:
+                endpoint.store.close()
         await self.channel.close()
 
 
@@ -669,11 +878,121 @@ class HAgentServer(_FramedServer):
         self.merges = 0
         self.takeovers = 0
         self.rehash_log: List[Dict] = []
+        self.store: Optional[DurableStore] = (
+            self.config.durable_store(Path(self.config.data_dir), "hagent")
+            if self.config.data_dir is not None
+            else None
+        )
+        #: Set by :meth:`_recover_from_disk` on a warm coordinator start.
+        self.recovered_version = 0
+        self.wal_replayed = 0
 
     async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
+        self._recover_from_disk()
         addr = await super().start(host, port)
         self.spawn(self._monitor_loop(), name="hagent-monitor")
         return addr
+
+    # ------------------------------------------------------------------
+    # Durability: the primary copy is one of the two authoritative
+    # states in the mechanism (the other being each IAgent's shard)
+    # ------------------------------------------------------------------
+
+    def _durable_state(self) -> Dict:
+        """Snapshot shape: everything a cold coordinator must rebuild."""
+        return {
+            "version": self.version,
+            "tree": self.tree.to_spec() if self.tree is not None else None,
+            "iagent_nodes": dict(self.iagent_nodes),
+            "node_addrs": {
+                name: list(addr) for name, addr in self.node_addrs.items()
+            },
+            "node_order": list(self.node_order),
+            "namer": self.namer.state,
+            "journal": list(self.journal),
+        }
+
+    def _hlog(self, op: Dict) -> None:
+        """Journal one applied mutation; fold into a snapshot when due."""
+        if self.store is None:
+            return
+        self.store.log(op)
+        if self.store.should_snapshot:
+            self.store.snapshot(self._durable_state())
+
+    def _recover_from_disk(self) -> None:
+        """Warm-start: latest snapshot + WAL-suffix replay, pre-serve.
+
+        The namer position rides in every journaled op so a recovered
+        coordinator never re-issues an already-used IAgent id.
+        """
+        if self.store is None or not self.store.has_data:
+            return
+        snapshot = self.store.snapshots.latest()
+        base = 0
+        if snapshot is not None:
+            state, base = snapshot.state, snapshot.last_lsn
+            self.version = state["version"]
+            if state["tree"] is not None:
+                self.tree = HashTree.from_spec(state["tree"])
+            self.iagent_nodes = dict(state["iagent_nodes"])
+            self.node_addrs = {
+                name: (addr[0], addr[1])
+                for name, addr in state["node_addrs"].items()
+            }
+            self.node_order = list(state["node_order"])
+            self.namer.state = state["namer"]
+            self.journal.extend(state["journal"])
+        replayed = 0
+        for record in self.store.wal.replay(after=base):
+            self._replay_mutation(record.value)
+            replayed += 1
+        self.wal_replayed = replayed
+        self.recovered_version = self.version
+        # Grace period: the monitor must not declare every recovered
+        # IAgent dead before it had a chance to report once.
+        now = time.monotonic()
+        for owner in self.iagent_nodes:
+            self._last_report[owner] = now
+        self.store.snapshot(self._durable_state())
+        self._log(
+            "recover", snapshot_lsn=base, replayed=replayed, version=self.version
+        )
+
+    def _replay_mutation(self, op: Dict) -> None:
+        """Re-run one journaled coordinator mutation (replay reducer)."""
+        kind = op["op"]
+        if kind == "register-node":
+            if op["name"] not in self.node_addrs:
+                self.node_order.append(op["name"])
+            self.node_addrs[op["name"]] = (op["host"], op["port"])
+        elif kind == "bootstrap":
+            self.tree = HashTree(op["owner"], width=op["width"])
+            self.iagent_nodes = {op["owner"]: op["node"]}
+            self.namer.state = op["namer"]
+            self.version += 1
+        elif kind == "rehash":
+            # Mirrors HashFunctionCopy.apply_ops, one entry at a time.
+            entry = op["entry"]
+            ekind = entry["op"]
+            assert self.tree is not None
+            if ekind == "split":
+                self.tree.replay_split(
+                    entry["kind"], entry["owner"], entry["bit"], entry["new_owner"]
+                )
+                self.iagent_nodes[entry["new_owner"]] = entry["new_node"]
+            elif ekind == "merge":
+                self.tree.apply_merge(entry["owner"])
+                self.iagent_nodes.pop(entry["owner"], None)
+            elif ekind == "move":
+                self.iagent_nodes[entry["owner"]] = entry["node"]
+            else:  # pragma: no cover - would be a writer bug
+                raise ValueError(f"unknown rehash journal op {ekind!r}")
+            self.version = entry["version"]
+            self.journal.append(entry)
+            self.namer.state = op["namer"]
+        else:  # pragma: no cover - would be a writer bug
+            raise ValueError(f"unknown HAgent mutation {kind!r}")
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -713,6 +1032,14 @@ class HAgentServer(_FramedServer):
         if name not in self.node_addrs:
             self.node_order.append(name)
         self.node_addrs[name] = (body["host"], body["port"])
+        self._hlog(
+            {
+                "op": "register-node",
+                "name": name,
+                "host": body["host"],
+                "port": body["port"],
+            }
+        )
         return {"status": OK, "nodes": len(self.node_addrs)}
 
     async def _op_bootstrap(self, body: Dict) -> Dict:
@@ -728,6 +1055,15 @@ class HAgentServer(_FramedServer):
         self.iagent_nodes = {owner: node}
         self._last_report[owner] = time.monotonic()
         self.version += 1  # non-journaled, like the simulator's adopt_tree
+        self._hlog(
+            {
+                "op": "bootstrap",
+                "owner": owner,
+                "node": node,
+                "width": self.namer.width,
+                "namer": self.namer.state,
+            }
+        )
         return {"status": OK, "version": self.version, "owner": owner}
 
     def bundle(self) -> Dict:
@@ -966,8 +1302,17 @@ class HAgentServer(_FramedServer):
                 if new_node != old_node or len(self.node_order) == 1:
                     break
             try:
+                # A same-node re-host may warm-recover the shard from its
+                # own disk; a cross-node one starts empty (the history
+                # lives on the dead node) and refills via soft state.
                 await self._rpc_node(
-                    new_node, "host-iagent", {"owner": owner, "pattern": pattern}
+                    new_node,
+                    "host-iagent",
+                    {
+                        "owner": owner,
+                        "pattern": pattern,
+                        "recover": new_node == old_node,
+                    },
                 )
             except (ServiceRpcError, RemoteOpError):
                 return  # that node is sick too; the monitor loop retries
@@ -1026,6 +1371,7 @@ class HAgentServer(_FramedServer):
         self.version += 1
         op["version"] = self.version
         self.journal.append(op)
+        self._hlog({"op": "rehash", "entry": dict(op), "namer": self.namer.state})
 
     def _log(self, event: str, **fields: Any) -> None:
         entry = {"event": event, "version": self.version, **fields}
@@ -1039,4 +1385,7 @@ class HAgentServer(_FramedServer):
 
     async def stop(self) -> None:
         await super().stop()
+        if self.store is not None:
+            self.store.snapshot(self._durable_state())
+            self.store.close()
         await self.channel.close()

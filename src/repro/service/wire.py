@@ -23,6 +23,11 @@ frames simply wait for more bytes); ``read_frame``/``write_frame`` are
 the asyncio stream helpers the service layer uses. Truncated one-shot
 buffers, oversized length prefixes and malformed JSON all raise
 :class:`WireError` -- a server must never crash on a garbage frame.
+
+The value codec itself lives in :mod:`repro.platform.jsonable` (the
+durable-state layer persists the same tagged form); this module owns
+the framing and re-exports ``to_jsonable``/``from_jsonable`` bound to
+:class:`WireError`.
 """
 
 from __future__ import annotations
@@ -32,8 +37,8 @@ import struct
 from asyncio import IncompleteReadError, StreamReader, StreamWriter
 from typing import Any, Iterator, List, Optional
 
-from repro.platform.messages import Request, Response
-from repro.platform.naming import AgentId
+from repro.platform import jsonable
+from repro.platform.jsonable import TaggedCodecError
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
@@ -54,136 +59,24 @@ DEFAULT_MAX_FRAME = 8 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
 
-#: Tags understood by :func:`from_jsonable`; a single-key dict whose key
-#: starts with ``$`` but is not listed here is rejected, so unknown
-#: future tags fail loudly instead of decoding to nonsense.
-_TAGS = ("$aid", "$tuple", "$request", "$response", "$dict", "$esc")
 
-
-class WireError(ValueError):
+class WireError(TaggedCodecError):
     """A frame or value that cannot be (de)coded."""
 
 
 # ----------------------------------------------------------------------
-# Value codec
+# Value codec (shared with repro.storage via repro.platform.jsonable)
 # ----------------------------------------------------------------------
 
 
 def to_jsonable(value: Any) -> Any:
     """Lower a protocol value to plain JSON types, tagging rich ones."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, AgentId):
-        return {"$aid": [value.value, value.width]}
-    if isinstance(value, tuple):
-        return {"$tuple": [to_jsonable(item) for item in value]}
-    if isinstance(value, list):
-        return [to_jsonable(item) for item in value]
-    if isinstance(value, Request):
-        return {
-            "$request": {
-                "op": value.op,
-                "body": to_jsonable(value.body),
-                "sender_node": value.sender_node,
-                "sender_agent": to_jsonable(value.sender_agent),
-                "size": value.size,
-                "message_id": value.message_id,
-            }
-        }
-    if isinstance(value, Response):
-        return {
-            "$response": {
-                "message_id": value.message_id,
-                "value": to_jsonable(value.value),
-                "error": value.error,
-                "size": value.size,
-            }
-        }
-    if isinstance(value, dict):
-        if all(isinstance(key, str) for key in value):
-            if any(key.startswith("$") for key in value):
-                # A user dict that happens to look tagged: escape it.
-                return {
-                    "$esc": {key: to_jsonable(item) for key, item in value.items()}
-                }
-            return {key: to_jsonable(item) for key, item in value.items()}
-        return {
-            "$dict": [
-                [to_jsonable(key), to_jsonable(item)] for key, item in value.items()
-            ]
-        }
-    raise WireError(f"value of type {type(value).__name__!r} is not wire-encodable")
+    return jsonable.to_jsonable(value, error=WireError)
 
 
 def from_jsonable(value: Any) -> Any:
     """Invert :func:`to_jsonable`."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, list):
-        return [from_jsonable(item) for item in value]
-    if not isinstance(value, dict):
-        raise WireError(f"unexpected JSON value of type {type(value).__name__!r}")
-    if len(value) == 1:
-        (tag,) = value
-        if isinstance(tag, str) and tag.startswith("$"):
-            if tag not in _TAGS:
-                raise WireError(f"unknown wire tag {tag!r}")
-            return _decode_tagged(tag, value[tag])
-    return {key: from_jsonable(item) for key, item in value.items()}
-
-
-def _decode_tagged(tag: str, payload: Any) -> Any:
-    if tag == "$aid":
-        try:
-            raw, width = payload
-            return AgentId(int(raw), int(width))
-        except (TypeError, ValueError) as error:
-            raise WireError(f"malformed $aid payload {payload!r}") from error
-    if tag == "$tuple":
-        if not isinstance(payload, list):
-            raise WireError(f"malformed $tuple payload {payload!r}")
-        return tuple(from_jsonable(item) for item in payload)
-    if tag == "$dict":
-        if not isinstance(payload, list):
-            raise WireError(f"malformed $dict payload {payload!r}")
-        try:
-            return {
-                from_jsonable(key): from_jsonable(item) for key, item in payload
-            }
-        except (TypeError, ValueError) as error:
-            raise WireError(f"malformed $dict payload {payload!r}") from error
-    if tag == "$esc":
-        if not isinstance(payload, dict):
-            raise WireError(f"malformed $esc payload {payload!r}")
-        return {key: from_jsonable(item) for key, item in payload.items()}
-    if tag == "$request":
-        fields = _expect_fields(tag, payload, ("op", "message_id"))
-        request = Request(
-            op=fields["op"],
-            body=from_jsonable(fields.get("body")),
-            sender_node=fields.get("sender_node"),
-            sender_agent=from_jsonable(fields.get("sender_agent")),
-            size=int(fields.get("size", 256)),
-        )
-        request.message_id = int(fields["message_id"])
-        return request
-    # tag == "$response"
-    fields = _expect_fields(tag, payload, ("message_id",))
-    return Response(
-        message_id=int(fields["message_id"]),
-        value=from_jsonable(fields.get("value")),
-        error=fields.get("error"),
-        size=int(fields.get("size", 256)),
-    )
-
-
-def _expect_fields(tag: str, payload: Any, required: tuple) -> dict:
-    if not isinstance(payload, dict):
-        raise WireError(f"malformed {tag} payload {payload!r}")
-    for name in required:
-        if name not in payload:
-            raise WireError(f"{tag} payload missing {name!r}: {payload!r}")
-    return payload
+    return jsonable.from_jsonable(value, error=WireError)
 
 
 # ----------------------------------------------------------------------

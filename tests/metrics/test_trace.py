@@ -120,3 +120,49 @@ class TestRuntimeIntegration:
         # *application-level* miss is visible as agent-not-found only
         # when someone then contacts the node, which locate does not do.
         assert tracer.count("rpc-sent") >= 2
+
+
+class TestStreamingSink:
+    def test_sink_keeps_what_the_ring_drops(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(capacity=2)
+        tracer.write_jsonl(path)
+        for t in range(5):
+            tracer.record(float(t), "tick", n=t)
+        tracer.close_sink()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5  # the file has the full history...
+        assert len(tracer) == 2  # ...while memory kept only the window
+        assert tracer.sink_written == 5
+        assert json.loads(lines[0]) == {"time": 0.0, "kind": "tick", "n": 0}
+
+    def test_sink_appends_across_attachments(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        tracer.write_jsonl(path)
+        tracer.record(1.0, "a")
+        tracer.close_sink()
+        tracer.write_jsonl(path)
+        tracer.record(2.0, "b")
+        tracer.close_sink()
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds == ["a", "b"]
+
+    def test_kind_filter_applies_to_the_sink_too(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(kinds=["keep"])
+        tracer.write_jsonl(path)
+        tracer.record(1.0, "keep")
+        tracer.record(1.5, "drop")
+        tracer.close_sink()
+        assert len(path.read_text().splitlines()) == 1
+        assert tracer.sink_written == 1
+
+    def test_close_sink_is_idempotent(self, tmp_path):
+        tracer = Tracer()
+        tracer.close_sink()  # never attached: a no-op
+        tracer.write_jsonl(tmp_path / "t.jsonl")
+        tracer.close_sink()
+        tracer.close_sink()
+        tracer.record(1.0, "after")  # detached: memory only
+        assert (tmp_path / "t.jsonl").read_text() == ""

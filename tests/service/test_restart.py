@@ -1,0 +1,261 @@
+"""Warm crash-restart recovery through the live service layer.
+
+Boots real asyncio TCP servers with a ``data_dir`` configured, kills
+agents abruptly, and asserts they come back from *disk* -- records,
+coverage and sequence numbers intact -- before the soft-state
+republish loop could have refilled them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.platform.naming import AgentId
+from repro.service.client import RemoteOpError
+from repro.service.cluster import ClusterConfig, run_cluster
+from repro.service.server import HAgentServer, NodeServer, ServiceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def boot(data_dir, nodes=1):
+    """One HAgent + N nodes with durability on; returns the first owner."""
+    config = ServiceConfig(data_dir=str(data_dir))
+    hagent = HAgentServer(config)
+    await hagent.start()
+    node_servers = []
+    for index in range(nodes):
+        node = NodeServer(f"node-{index}", hagent.addr, config)
+        await node.start()
+        node_servers.append(node)
+    reply = await node_servers[0].channel.call(
+        hagent.addr, "hagent", "bootstrap", {}
+    )
+    return config, hagent, node_servers, reply["owner"]
+
+
+async def shutdown(hagent, nodes):
+    for node in nodes:
+        await node.stop()
+    await hagent.stop()
+
+
+class TestIAgentWarmRestart:
+    def test_restart_recovers_every_record_from_disk(self, tmp_path):
+        async def scenario():
+            config, hagent, nodes, owner = await boot(tmp_path)
+            node = nodes[0]
+            for value in range(1, 21):
+                await node.channel.call(
+                    node.addr,
+                    owner,
+                    "register",
+                    {"agent": AgentId(value), "node": "node-0", "seq": 0},
+                )
+            reply = await node.channel.call(
+                node.addr, "host", "restart-iagent", {"owner": owner}
+            )
+            assert reply["records_recovered"] == 20
+            # Bootstrap logs the "" coverage, then 20 puts.
+            assert reply["wal_replayed"] == 21
+            assert reply["recovery_s"] < config.reregister_interval
+            # The recovered shard still answers, with coverage intact.
+            located = await node.channel.call(
+                node.addr, owner, "locate", {"agent": AgentId(5)}
+            )
+            assert located["status"] == "ok"
+            assert located["node"] == "node-0"
+            ping = await node.channel.call(node.addr, owner, "ping", {})
+            assert ping["records_recovered"] == 20
+            await shutdown(hagent, nodes)
+
+        run(scenario())
+
+    def test_second_restart_replays_only_the_suffix(self, tmp_path):
+        async def scenario():
+            _, hagent, nodes, owner = await boot(tmp_path)
+            node = nodes[0]
+            for value in range(1, 11):
+                await node.channel.call(
+                    node.addr,
+                    owner,
+                    "register",
+                    {"agent": AgentId(value), "node": "node-0", "seq": 0},
+                )
+            await node.channel.call(
+                node.addr, "host", "restart-iagent", {"owner": owner}
+            )
+            # Recovery folded the state into a snapshot, so a second
+            # restart with no new mutations replays nothing.
+            reply = await node.channel.call(
+                node.addr, "host", "restart-iagent", {"owner": owner}
+            )
+            assert reply["records_recovered"] == 10
+            assert reply["wal_replayed"] == 0
+            await shutdown(hagent, nodes)
+
+        run(scenario())
+
+    def test_restart_after_explicit_crash(self, tmp_path):
+        async def scenario():
+            _, hagent, nodes, owner = await boot(tmp_path)
+            node = nodes[0]
+            await node.channel.call(
+                node.addr,
+                owner,
+                "register",
+                {"agent": AgentId(42), "node": "node-0", "seq": 3},
+            )
+            await node.channel.call(
+                node.addr, "host", "crash-iagent", {"owner": owner}
+            )
+            with pytest.raises(RemoteOpError):
+                await node.channel.call(
+                    node.addr, owner, "locate", {"agent": AgentId(42)}
+                )
+            reply = await node.channel.call(
+                node.addr, "host", "restart-iagent", {"owner": owner}
+            )
+            assert reply["records_recovered"] == 1
+            located = await node.channel.call(
+                node.addr, owner, "locate", {"agent": AgentId(42)}
+            )
+            # The sequence number survived the crash too.
+            assert located["status"] == "ok" and located["seq"] == 3
+            await shutdown(hagent, nodes)
+
+        run(scenario())
+
+    def test_mutations_replay_with_full_fidelity(self, tmp_path):
+        """del / adopt / set-coverage all survive the restart."""
+
+        async def scenario():
+            _, hagent, nodes, owner = await boot(tmp_path)
+            node = nodes[0]
+            for value in range(1, 6):
+                await node.channel.call(
+                    node.addr,
+                    owner,
+                    "register",
+                    {"agent": AgentId(value), "node": "node-0", "seq": 0},
+                )
+            await node.channel.call(
+                node.addr, owner, "unregister", {"agent": AgentId(2), "seq": 1}
+            )
+            await node.channel.call(
+                node.addr,
+                owner,
+                "adopt",
+                {"records": {AgentId(9): ["node-0", 7]}},
+            )
+            reply = await node.channel.call(
+                node.addr, "host", "restart-iagent", {"owner": owner}
+            )
+            assert reply["records_recovered"] == 5  # 5 - 1 del + 1 adopt
+            deleted = await node.channel.call(
+                node.addr, owner, "locate", {"agent": AgentId(2)}
+            )
+            assert deleted["status"] == "no-record"
+            adopted = await node.channel.call(
+                node.addr, owner, "locate", {"agent": AgentId(9)}
+            )
+            assert adopted["status"] == "ok" and adopted["seq"] == 7
+            await shutdown(hagent, nodes)
+
+        run(scenario())
+
+    def test_restart_without_data_dir_is_rejected(self):
+        async def scenario():
+            config = ServiceConfig()  # no data_dir: soft-state only
+            hagent = HAgentServer(config)
+            await hagent.start()
+            node = NodeServer("node-0", hagent.addr, config)
+            await node.start()
+            reply = await node.channel.call(
+                hagent.addr, "hagent", "bootstrap", {}
+            )
+            with pytest.raises(RemoteOpError):
+                await node.channel.call(
+                    node.addr,
+                    "host",
+                    "restart-iagent",
+                    {"owner": reply["owner"]},
+                )
+            await shutdown(hagent, [node])
+
+        run(scenario())
+
+
+class TestHAgentRecovery:
+    def test_coordinator_recovers_from_wal_replay(self, tmp_path):
+        """No snapshot yet: the whole coordinator rebuilds from the WAL."""
+
+        async def scenario():
+            config, hagent, nodes, owner = await boot(tmp_path, nodes=2)
+            hagent._publish({"op": "move", "owner": owner, "node": "node-1"})
+            hagent.store.wal.sync()
+
+            recovered = HAgentServer(config)
+            recovered._recover_from_disk()
+            # 2 register-node + bootstrap + 1 rehash entry.
+            assert recovered.wal_replayed == 4
+            assert recovered.version == hagent.version
+            assert recovered.tree.to_spec() == hagent.tree.to_spec()
+            assert recovered.namer.state == hagent.namer.state
+            assert recovered.node_addrs == hagent.node_addrs
+            # The replayed move relocated the shard in the recovered map.
+            assert recovered.iagent_nodes[owner] == "node-1"
+            assert list(recovered.journal) == list(hagent.journal)
+            recovered.store.close()
+            await shutdown(hagent, nodes)
+
+        run(scenario())
+
+    def test_coordinator_recovers_from_stop_snapshot(self, tmp_path):
+        async def scenario():
+            config, hagent, nodes, owner = await boot(tmp_path, nodes=2)
+            version = hagent.version
+            tree_spec = hagent.tree.to_spec()
+            namer_state = hagent.namer.state
+            await shutdown(hagent, nodes)  # stop() snapshots
+
+            recovered = HAgentServer(config)
+            await recovered.start()
+            assert recovered.wal_replayed == 0  # all via the snapshot
+            assert recovered.recovered_version == version
+            assert recovered.tree.to_spec() == tree_spec
+            # A recovered namer never re-issues an already-used id.
+            assert recovered.namer.state == namer_state
+            assert recovered.namer.next_id() != owner
+            await recovered.stop()
+
+        run(scenario())
+
+
+class TestClusterRestartRun:
+    def test_cluster_warm_restart_passes(self, tmp_path):
+        report = run(
+            run_cluster(
+                ClusterConfig(
+                    nodes=3,
+                    agents=10,
+                    ops=60,
+                    seed=5,
+                    restart_iagent=True,
+                    service=ServiceConfig(data_dir=str(tmp_path)),
+                )
+            )
+        )
+        assert report.restarted
+        assert report.passed, report.render()
+        assert report.records_recovered > 0
+        assert report.records_recovered >= report.records_lost
+        assert report.recovery_warm
+        assert report.restart_verified
+        assert report.recovery_s < 0.5
+
+    def test_restart_mode_requires_data_dir(self):
+        with pytest.raises(ValueError):
+            run(run_cluster(ClusterConfig(nodes=2, restart_iagent=True)))

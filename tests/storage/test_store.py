@@ -1,0 +1,157 @@
+"""Tests for the DurableStore facade: log, snapshot, compact, recover."""
+
+import pytest
+
+from repro.platform.naming import AgentId
+from repro.storage import DurableStore, RecordTooLargeError
+
+
+def apply_put(state, op):
+    """A toy reducer over {key: value} mutations (dict state, in place)."""
+    if op["op"] == "put":
+        state[op["key"]] = op["value"]
+    elif op["op"] == "del":
+        state.pop(op["key"], None)
+
+
+class TestRecover:
+    def test_wal_only_recovery(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        store.log({"op": "put", "key": "a", "value": 1})
+        store.log({"op": "put", "key": "b", "value": 2})
+        store.log({"op": "del", "key": "a"})
+        store.close()
+
+        reopened = DurableStore(tmp_path, "shard", fsync="never")
+        result = reopened.recover(initial=dict, apply=apply_put)
+        assert result.state == {"b": 2}
+        assert result.snapshot_lsn == 0
+        assert result.replayed == 3
+        assert result.elapsed_s >= 0.0
+        reopened.close()
+
+    def test_snapshot_plus_suffix_recovery(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        state = {}
+        for index in range(5):
+            op = {"op": "put", "key": f"k{index}", "value": index}
+            apply_put(state, op)
+            store.log(op)
+        store.snapshot(state)
+        store.log({"op": "put", "key": "late", "value": 99})
+        store.close()
+
+        reopened = DurableStore(tmp_path, "shard", fsync="never")
+        result = reopened.recover(initial=dict, apply=apply_put)
+        assert result.snapshot_lsn == 5
+        assert result.replayed == 1  # only the post-snapshot suffix
+        assert result.state == {**state, "late": 99}
+        reopened.close()
+
+    def test_apply_may_return_replacement_state(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        store.log(3)
+        store.log(4)
+        store.close()
+        reopened = DurableStore(tmp_path, "shard", fsync="never")
+        result = reopened.recover(initial=lambda: 0, apply=lambda s, v: s + v)
+        assert result.state == 7
+        reopened.close()
+
+    def test_fresh_store_recovers_initial(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        assert not store.has_data
+        result = store.recover(initial=lambda: {"empty": True}, apply=apply_put)
+        assert result.state == {"empty": True}
+        assert result.replayed == 0
+        store.close()
+
+    def test_agent_ids_round_trip_through_recovery(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        agent = AgentId(0xBEEF)
+        store.log({"op": "put", "key": agent, "value": ["node-1", 2]})
+        store.close()
+        reopened = DurableStore(tmp_path, "shard", fsync="never")
+        result = reopened.recover(initial=dict, apply=apply_put)
+        assert result.state == {agent: ["node-1", 2]}
+        assert isinstance(next(iter(result.state)), AgentId)
+        reopened.close()
+
+
+class TestCompaction:
+    def test_snapshot_drops_covered_segments(self, tmp_path):
+        store = DurableStore(
+            tmp_path, "shard", fsync="never", segment_max_bytes=128
+        )
+        state = {}
+        for index in range(30):
+            op = {"op": "put", "key": f"k{index}", "value": index}
+            apply_put(state, op)
+            store.log(op)
+        assert len(store.wal.segments()) > 1
+        store.snapshot(state)
+        assert store.compacted_segments > 0
+        assert len(store.wal.segments()) == 1
+        # Recovery still sees everything, now through the snapshot.
+        result = store.recover(initial=dict, apply=apply_put)
+        assert result.state == state
+        assert result.replayed == 0
+        store.close()
+
+    def test_auto_snapshot_threshold(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never", snapshot_every=4)
+        for index in range(3):
+            store.log({"op": "put", "key": "k", "value": index})
+            assert not store.should_snapshot
+        store.log({"op": "put", "key": "k", "value": 3})
+        assert store.should_snapshot
+        store.snapshot({"k": 3})
+        assert not store.should_snapshot
+        store.close()
+
+    def test_snapshot_every_zero_disables_auto(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never", snapshot_every=0)
+        for index in range(10):
+            store.log({"op": "put", "key": "k", "value": index})
+        assert not store.should_snapshot
+        store.close()
+
+
+class TestLifecycle:
+    def test_reset_wipes_history(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        store.log({"op": "put", "key": "stale", "value": 1})
+        store.snapshot({"stale": 1})
+        assert store.has_data
+        store.reset()
+        assert not store.has_data
+        result = store.recover(initial=dict, apply=apply_put)
+        assert result.state == {}
+        store.close()
+
+    def test_abort_preserves_flushed_records(self, tmp_path):
+        """An in-process crash loses nothing that reached the OS."""
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        store.log({"op": "put", "key": "a", "value": 1})
+        store.abort()
+        reopened = DurableStore(tmp_path, "shard", fsync="never")
+        result = reopened.recover(initial=dict, apply=apply_put)
+        assert result.state == {"a": 1}
+        reopened.close()
+
+    def test_max_record_guard_passes_through(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never", max_record=32)
+        with pytest.raises(RecordTooLargeError):
+            store.log({"blob": "y" * 100})
+        store.close()
+
+    def test_stats_shape(self, tmp_path):
+        store = DurableStore(tmp_path, "shard", fsync="never")
+        store.log({"op": "put", "key": "a", "value": 1})
+        store.snapshot({"a": 1})
+        stats = store.stats()
+        assert stats["name"] == "shard"
+        assert stats["last_lsn"] == 1
+        assert stats["snapshots"] == 1
+        assert stats["appended"] == 1
+        store.close()
