@@ -31,6 +31,21 @@ picks the WAL durability policy; ``--trace-jsonl PATH`` streams every
 trace event to a JSON-lines file. These are excluded from ``all``,
 which remains simulation-only.
 
+Replication and chaos::
+
+    python -m repro cluster --nodes 5 --replicas 3 --ops 200
+    python -m repro cluster --nodes 5 --crash-hagent --json
+    python -m repro cluster --nodes 5 --chaos 7 --chaos-duration 6
+    python -m repro chaos --chaos 7 --chaos-duration 10
+
+``--replicas`` runs hot-standby HAgents tailing the primary's rehash
+journal; ``--crash-hagent`` kills the primary mid-run and the run only
+passes if a standby promotes within one heartbeat timeout with every
+locate still verified. ``--chaos SEED`` runs a seeded, deterministic
+fault schedule (crashes, partitions, heals) alongside the live
+workload; the ``chaos`` command replays the same schedule twice through
+the simulator and exits 0 only if the runs are bit-identical.
+
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
 Execution: ``--jobs N`` fans the grid over N worker processes (default:
@@ -320,6 +335,13 @@ def _cluster_config(args):
 
         data_dir = tempfile.mkdtemp(prefix="repro-cluster-")
         print(f"--restart-iagent without --data-dir: durable state in {data_dir}")
+    replicas = getattr(args, "replicas", 1)
+    crash_hagent = getattr(args, "crash_hagent", False)
+    chaos_seed = getattr(args, "chaos", None)
+    if crash_hagent or chaos_seed is not None:
+        # A mid-run primary kill (explicit or from a chaos schedule)
+        # needs standbys to promote; quietly provision a sensible quorum.
+        replicas = max(replicas, 3)
     return ClusterConfig(
         nodes=args.nodes,
         agents=args.agents,
@@ -327,6 +349,10 @@ def _cluster_config(args):
         seed=args.seeds,
         crash_iagent=getattr(args, "crash_iagent", False),
         restart_iagent=getattr(args, "restart_iagent", False),
+        hagent_replicas=replicas,
+        crash_hagent=crash_hagent,
+        chaos_seed=chaos_seed,
+        chaos_duration=getattr(args, "chaos_duration", None) or 6.0,
         service=ServiceConfig(
             data_dir=data_dir, fsync=getattr(args, "fsync", "interval")
         ),
@@ -355,13 +381,74 @@ def cmd_cluster(args) -> int:
 
     report = asyncio.run(run_cluster(_cluster_config(args)))
     print(report.render())
-    if args.json:
+    if args.json is not None:
         import json
-        from pathlib import Path
 
-        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
-        print(f"report written to {args.json}")
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload)
+            print(f"report written to {args.json}")
+        else:
+            print(payload)
     return 0 if report.passed else 1
+
+
+def cmd_chaos(args) -> int:
+    """Seeded chaos schedule in the simulator, replayed twice.
+
+    Generates a :class:`~repro.platform.chaos.ChaosSchedule`, runs the
+    same scenario through the simulator twice with the schedule applied
+    via :class:`~repro.platform.failures.FailureInjector`, and exits 0
+    only if the two runs are bit-identical (same fault log, same
+    metrics) -- the determinism the live ``--chaos`` flag relies on.
+    """
+    from repro.platform.chaos import ChaosSchedule
+    from repro.platform.failures import FailureInjector
+
+    seed = args.chaos if args.chaos is not None else 1
+    scenario = exp1_scenario(30, **_quick_overrides(True))
+    # The quick scenario simulates ~3s; default the schedule to fit
+    # inside it so every fault actually fires.
+    duration = args.chaos_duration if args.chaos_duration is not None else 3.0
+    schedule = ChaosSchedule.generate(
+        seed,
+        duration,
+        nodes=[f"node-{i}" for i in range(scenario.num_nodes)],
+    )
+    print(schedule.describe())
+    print(f"digest {schedule.digest()}")
+    outcomes = []
+    for attempt in (1, 2):
+        injectors = []
+
+        def inject(runtime) -> None:
+            injector = FailureInjector(runtime)
+            injectors.append(injector)
+            injector.apply_schedule(schedule)
+
+        result = run_experiment(scenario, "hash", before_run=inject)
+        outcomes.append(
+            {
+                "fault_log": injectors[0].log,
+                "mean_ms": result.mean_location_ms,
+                "messages": result.metrics.messages_sent,
+                "failed_locates": result.metrics.failed_locates,
+            }
+        )
+        print(
+            f"run {attempt}: {len(injectors[0].log)} faults applied, "
+            f"mean {result.mean_location_ms:.3f}ms, "
+            f"{result.metrics.messages_sent} messages, "
+            f"{result.metrics.failed_locates} failed locates"
+        )
+    identical = outcomes[0] == outcomes[1]
+    applied = len(outcomes[0]["fault_log"])
+    print(f"replay: {'bit-identical' if identical else 'DIVERGED'}")
+    if applied == 0:
+        print("no faults fired inside the simulated horizon -- vacuous run")
+    return 0 if identical and applied > 0 else 1
 
 
 #: Live-service commands: separate from COMMANDS so ``all`` (which
@@ -369,6 +456,7 @@ def cmd_cluster(args) -> int:
 SERVICE_COMMANDS = {
     "serve": cmd_serve,
     "cluster": cmd_cluster,
+    "chaos": cmd_chaos,
 }
 
 
@@ -428,8 +516,11 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--json",
         metavar="PATH",
+        nargs="?",
+        const="",
         default=None,
-        help="also write the series as JSON (exp1/exp2 only)",
+        help="also emit JSON: a series file for exp1/exp2, the run "
+        "report for cluster (bare --json prints to stdout)",
     )
     parser.add_argument(
         "--out",
@@ -457,6 +548,36 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="kill the record-heaviest IAgent half way through the run, "
         "then warm-restart it in place from its WAL + snapshots",
+    )
+    service.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="HAgent replicas (rank 0 primary + hot standbys; default 1)",
+    )
+    service.add_argument(
+        "--crash-hagent",
+        action="store_true",
+        help="kill the primary HAgent half way through the run; a "
+        "standby must promote within one heartbeat timeout "
+        "(implies --replicas >= 3)",
+    )
+    service.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run the seeded chaos schedule alongside the live workload "
+        "(cluster), or replay it twice in the simulator (chaos)",
+    )
+    service.add_argument(
+        "--chaos-duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="chaos schedule length in seconds, settle tail included "
+        "(default: 6 for the live cluster, 3 for the simulator)",
     )
     service.add_argument(
         "--data-dir",

@@ -18,7 +18,9 @@ platform with
 * agent lifecycle and migration (:mod:`repro.platform.agents`,
   :mod:`repro.platform.runtime`), and
 * fault injection for the fault-tolerance extension
-  (:mod:`repro.platform.failures`).
+  (:mod:`repro.platform.failures`) and seeded, replayable chaos
+  schedules shared with the live cluster driver
+  (:mod:`repro.platform.chaos`).
 
 All randomness flows through named, seeded streams
 (:mod:`repro.platform.random`), so every experiment is reproducible
@@ -36,6 +38,7 @@ from repro.platform.naming import AgentId, AgentNamer, SkewedNamer
 from repro.platform.agents import Agent, MobileAgent
 from repro.platform.runtime import AgentRuntime
 from repro.platform.failures import FailureInjector
+from repro.platform.chaos import ChaosEvent, ChaosSchedule
 
 __all__ = [
     "Agent",
@@ -43,6 +46,8 @@ __all__ = [
     "AgentNamer",
     "AgentNotFound",
     "AgentRuntime",
+    "ChaosEvent",
+    "ChaosSchedule",
     "FailureInjector",
     "Future",
     "gather",

@@ -1,0 +1,197 @@
+"""Seeded chaos schedules: deterministic fault scripts over a deployment.
+
+A :class:`ChaosSchedule` is a pure value: a seed, a run duration and a
+time-ordered tuple of :class:`ChaosEvent` (crash / partition / heal /
+restart over HAgents, IAgents and nodes). Generation is a deterministic
+function of its inputs -- the same seed always yields byte-identical
+events -- so a chaos run can be *replayed*: once through the simulator's
+:class:`repro.platform.failures.FailureInjector`, once through the live
+cluster driver, or twice through either to check bit-identical
+behaviour. :meth:`ChaosSchedule.digest` is the canonical fingerprint the
+replay checks compare.
+
+Two deliberate shape decisions keep schedules portable across the two
+runtimes:
+
+* Events name *roles*, not instances: ``"hagent"`` means the current
+  primary coordinator, ``"iagent"`` means "an IAgent picked
+  deterministically at apply time" (the record-heaviest live, the
+  lowest-id in the simulator). The schedule stays valid even though the
+  set of IAgents changes as the tree splits and merges.
+* Every disruptive event is *paired*: a partition carries its heal, a
+  crash its recovery window, and all pairs close before the settle
+  fraction at the end of the run -- so post-run invariant checks
+  (copies converge, 100% verified locates) judge a healed system, not
+  an amputated one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CHAOS_KINDS", "ChaosEvent", "ChaosSchedule"]
+
+#: Every event kind a schedule may contain. ``*-hagent`` events target
+#: the coordinator role, ``*-iagent`` a directory shard, ``*-node`` a
+#: named node. Heal/recover kinds only ever appear as the closing half
+#: of a pair.
+CHAOS_KINDS = frozenset(
+    {
+        "crash-hagent",
+        "restart-hagent",
+        "partition-hagent",
+        "heal-hagent",
+        "crash-iagent",
+        "restart-iagent",
+        "crash-node",
+        "recover-node",
+        "partition-node",
+        "heal-node",
+    }
+)
+
+#: The opening kinds a generator may draw, with their closing partner
+#: (None = the event is a point fault with no pair).
+_PAIRED: Dict[str, Optional[str]] = {
+    "crash-hagent": "restart-hagent",
+    "partition-hagent": "heal-hagent",
+    "crash-node": "recover-node",
+    "partition-node": "heal-node",
+    "crash-iagent": None,  # healed by takeover + soft state, not by us
+    "restart-iagent": None,  # the warm restart is itself the recovery
+}
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault at one instant of the run."""
+
+    #: Seconds into the run (simulated or wall-clock, per runtime).
+    at: float
+    kind: str
+    #: A node name for ``*-node`` kinds, else the role (``"hagent"``,
+    #: ``"iagent"``) resolved by the applying runtime.
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"chaos event before the run starts: {self.at}")
+
+    def to_dict(self) -> Dict:
+        return {"at": self.at, "kind": self.kind, "target": self.target}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosEvent":
+        return cls(at=data["at"], kind=data["kind"], target=data["target"])
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A deterministic, replayable fault script."""
+
+    seed: int
+    duration: float
+    events: Tuple[ChaosEvent, ...]
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float,
+        nodes: Sequence[str],
+        kinds: Optional[Sequence[str]] = None,
+        faults: Optional[int] = None,
+        settle_fraction: float = 0.3,
+        min_outage: float = 0.05,
+        max_outage_fraction: float = 0.15,
+    ) -> "ChaosSchedule":
+        """A schedule drawn deterministically from ``seed``.
+
+        ``kinds`` restricts the palette of *opening* kinds (closing
+        halves are implied); runtimes that cannot express node faults
+        (the live driver) pass the subset they support. ``faults`` fixes
+        the number of opening events (default: one per ~20% of the run,
+        at least 2). All faults open inside the first
+        ``1 - settle_fraction`` of the run and every pair closes there
+        too, leaving the tail to re-converge.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        palette = sorted(kinds if kinds is not None else _PAIRED)
+        for kind in palette:
+            if kind not in _PAIRED:
+                raise ValueError(
+                    f"{kind!r} is not an opening chaos kind (one of {sorted(_PAIRED)})"
+                )
+        node_palette = sorted(nodes)
+        if not node_palette and any(kind.endswith("-node") for kind in palette):
+            raise ValueError("node-targeting kinds need a non-empty node list")
+        # A string seed keeps the stream independent from any other
+        # Random(seed) user while staying deterministic across runs.
+        rng = random.Random(f"chaos-schedule:{seed}:{duration}")
+        count = faults if faults is not None else max(2, int(duration / 5.0))
+        horizon = duration * (1.0 - settle_fraction)
+        max_outage = max(min_outage, duration * max_outage_fraction)
+        events: List[ChaosEvent] = []
+        for _ in range(count):
+            kind = rng.choice(palette)
+            if kind.endswith("-node"):
+                target = rng.choice(node_palette)
+            elif kind.endswith("-hagent"):
+                target = "hagent"
+            else:
+                target = "iagent"
+            closing = _PAIRED[kind]
+            if closing is None:
+                at = rng.uniform(0.0, horizon)
+                events.append(ChaosEvent(at=at, kind=kind, target=target))
+                continue
+            outage = rng.uniform(min_outage, max_outage)
+            at = rng.uniform(0.0, max(0.0, horizon - outage))
+            events.append(ChaosEvent(at=at, kind=kind, target=target))
+            events.append(ChaosEvent(at=at + outage, kind=closing, target=target))
+        events.sort(key=lambda event: (event.at, event.kind, event.target))
+        return cls(seed=seed, duration=duration, events=tuple(events))
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosSchedule":
+        return cls(
+            seed=data["seed"],
+            duration=data["duration"],
+            events=tuple(ChaosEvent.from_dict(entry) for entry in data["events"]),
+        )
+
+    def digest(self) -> str:
+        """Canonical fingerprint; equal iff the schedules replay alike."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        lines = [f"chaos schedule seed={self.seed} duration={self.duration:g}s"]
+        for event in self.events:
+            lines.append(f"  t={event.at:7.3f}s  {event.kind:<16} {event.target}")
+        return "\n".join(lines)

@@ -6,12 +6,27 @@ point" and names fault tolerance as ongoing work. The failover ablation
 measures recovery with the primary/backup extension enabled; this module
 provides the crash/recover primitives it (and the failure-injection
 tests) use.
+
+Every injected fault is appended to :attr:`FailureInjector.log` as a
+structured event dict -- ``{"t": sim-time, "kind": ..., "target": ...}``
+(agent events add ``"node"``: where the agent was, since a crash is a
+*placement* event). The node-level faults are idempotent: partitioning
+an already-partitioned node (or healing a healthy one) is a no-op that
+logs nothing, so a replayed or overlapping schedule cannot double-apply.
+
+:meth:`FailureInjector.apply_schedule` replays a seeded
+:class:`repro.platform.chaos.ChaosSchedule` against the runtime: every
+event becomes a simulator script firing at its ``at`` time. Role
+targets resolve deterministically (``"hagent"`` -> the mechanism's
+coordinator, ``"iagent"`` -> the lowest-id live IAgent), so the same
+schedule replays bit-identically on the same scenario.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
+from repro.platform.chaos import ChaosSchedule
 from repro.platform.events import Timeout
 
 __all__ = ["FailureInjector"]
@@ -22,7 +37,15 @@ class FailureInjector:
 
     def __init__(self, runtime) -> None:
         self.runtime = runtime
-        self.log: List[tuple] = []
+        #: Structured fault events, in application order.
+        self.log: List[Dict] = []
+
+    def _record(self, kind: str, target: str, node: Optional[str] = None) -> Dict:
+        event: Dict = {"t": self.runtime.sim.now, "kind": kind, "target": target}
+        if node is not None or kind.endswith("-agent"):
+            event["node"] = node
+        self.log.append(event)
+        return event
 
     # ------------------------------------------------------------------
     # Agent-level faults
@@ -35,26 +58,12 @@ class FailureInjector:
         server.
         """
         agent.mailbox.stop()
-        self.log.append(
-            (
-                self.runtime.sim.now,
-                "crash-agent",
-                str(agent.agent_id),
-                self._node_of(agent),
-            )
-        )
+        self._record("crash-agent", str(agent.agent_id), self._node_of(agent))
 
     def recover_agent(self, agent) -> None:
         """Restart a crashed agent's mailbox."""
         agent.mailbox.restart()
-        self.log.append(
-            (
-                self.runtime.sim.now,
-                "recover-agent",
-                str(agent.agent_id),
-                self._node_of(agent),
-            )
-        )
+        self._record("recover-agent", str(agent.agent_id), self._node_of(agent))
 
     @staticmethod
     def _node_of(agent) -> Optional[str]:
@@ -63,45 +72,63 @@ class FailureInjector:
         return agent.node.name if agent.node is not None else None
 
     # ------------------------------------------------------------------
-    # Node-level faults
+    # Node-level faults (idempotent)
     # ------------------------------------------------------------------
 
-    def crash_node(self, node_name: str) -> None:
-        """Crash a node: it drops deliveries and refuses arriving agents."""
+    def crash_node(self, node_name: str) -> bool:
+        """Crash a node: it drops deliveries and refuses arriving agents.
+
+        Returns False (and logs nothing) if the node is already down.
+        """
         node = self.runtime.get_node(node_name)
+        if node.crashed:
+            return False
         node.crashed = True
         self.runtime.network.partition(node_name)
-        self.log.append((self.runtime.sim.now, "crash-node", node_name))
+        self._record("crash-node", node_name)
+        return True
 
-    def recover_node(self, node_name: str) -> None:
+    def recover_node(self, node_name: str) -> bool:
         """Bring a crashed node back (its agents resume where they were)."""
         node = self.runtime.get_node(node_name)
+        if not node.crashed:
+            return False
         node.crashed = False
         self.runtime.network.heal(node_name)
-        self.log.append((self.runtime.sim.now, "recover-node", node_name))
+        self._record("recover-node", node_name)
+        return True
 
-    def partition_node(self, node_name: str) -> None:
+    def partition_node(self, node_name: str) -> bool:
         """Cut a node off the network without crashing it.
 
         Unlike :meth:`crash_node` the node's agents keep running and it
         still accepts arrivals scheduled locally; only network
         deliveries to and from it are dropped -- the classic asymmetry
-        between a dead process and an unreachable one.
+        between a dead process and an unreachable one. Idempotent: a
+        second partition of the same node is a logged-nothing no-op.
         """
+        self.runtime.get_node(node_name)  # raise early on unknown nodes
+        if self.runtime.network.is_partitioned(node_name):
+            return False
         self.runtime.network.partition(node_name)
-        self.log.append((self.runtime.sim.now, "partition-node", node_name))
+        self._record("partition-node", node_name)
+        return True
 
-    def heal_node(self, node_name: str) -> None:
-        """Reconnect a partitioned node."""
+    def heal_node(self, node_name: str) -> bool:
+        """Reconnect a partitioned node (no-op if it is not cut off)."""
+        self.runtime.get_node(node_name)
+        if not self.runtime.network.is_partitioned(node_name):
+            return False
         self.runtime.network.heal(node_name)
-        self.log.append((self.runtime.sim.now, "heal-node", node_name))
+        self._record("heal-node", node_name)
+        return True
 
     # ------------------------------------------------------------------
     # Scheduled faults
     # ------------------------------------------------------------------
 
     def schedule_agent_crash(
-        self, agent, at: float, recover_after: float = None
+        self, agent, at: float, recover_after: Optional[float] = None
     ) -> None:
         """Crash ``agent`` at simulated time ``at`` (optionally recover)."""
 
@@ -115,3 +142,90 @@ class FailureInjector:
                 self.recover_agent(agent)
 
         self.runtime.sim.spawn(script(), name="fault-script")
+
+    def schedule_node_crash(
+        self, node_name: str, at: float, recover_after: Optional[float] = None
+    ) -> None:
+        """Crash node ``node_name`` at time ``at`` (optionally recover)."""
+
+        def script() -> Generator:
+            delay = at - self.runtime.sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            self.crash_node(node_name)
+            if recover_after is not None:
+                yield Timeout(recover_after)
+                self.recover_node(node_name)
+
+        self.runtime.sim.spawn(script(), name="fault-script")
+
+    # ------------------------------------------------------------------
+    # Chaos schedules
+    # ------------------------------------------------------------------
+
+    def apply_schedule(self, schedule: ChaosSchedule) -> None:
+        """Replay every event of a seeded chaos schedule, in order.
+
+        One simulator script walks the whole schedule so overlapping
+        events fire in the schedule's canonical order even when several
+        share a timestamp. Role targets resolve at fire time against the
+        installed location mechanism: ``"hagent"`` is the coordinator,
+        ``"iagent"`` the lowest-id live IAgent (deterministic, so a
+        replay on the same scenario picks the same victims).
+        """
+
+        def script() -> Generator:
+            for event in schedule.events:
+                delay = event.at - self.runtime.sim.now
+                if delay > 0:
+                    yield Timeout(delay)
+                self._apply_event(event.kind, event.target)
+
+        self.runtime.sim.spawn(script(), name="chaos-schedule")
+
+    def _apply_event(self, kind: str, target: str) -> None:
+        if kind == "crash-node":
+            self.crash_node(target)
+        elif kind == "recover-node":
+            self.recover_node(target)
+        elif kind == "partition-node":
+            self.partition_node(target)
+        elif kind == "heal-node":
+            self.heal_node(target)
+        elif kind in ("crash-hagent", "partition-hagent"):
+            hagent = self._mechanism_hagent()
+            if hagent is not None and not hagent.mailbox.stopped:
+                self.crash_agent(hagent)
+        elif kind in ("restart-hagent", "heal-hagent"):
+            hagent = self._mechanism_hagent()
+            if hagent is not None and hagent.mailbox.stopped:
+                self.recover_agent(hagent)
+        elif kind == "crash-iagent":
+            victim = self._pick_iagent()
+            if victim is not None and not victim.mailbox.stopped:
+                self.crash_agent(victim)
+        elif kind == "restart-iagent":
+            victim = self._pick_iagent(stopped=True)
+            if victim is not None:
+                self.recover_agent(victim)
+        else:  # pragma: no cover - ChaosEvent validates kinds
+            raise ValueError(f"unknown chaos kind {kind!r}")
+
+    def _mechanism_hagent(self):
+        location = getattr(self.runtime, "location", None)
+        return getattr(location, "hagent", None)
+
+    def _pick_iagent(self, stopped: bool = False):
+        """The lowest-id IAgent in the wanted liveness state (or None)."""
+        location = getattr(self.runtime, "location", None)
+        iagents = getattr(location, "iagents", None)
+        if not iagents:
+            return None
+        candidates = [
+            agent
+            for agent in iagents.values()
+            if agent.mailbox.stopped == stopped
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda agent: agent.agent_id.bits)

@@ -36,6 +36,8 @@ from repro.service import wire
 
 __all__ = [
     "AGENT_NOT_FOUND",
+    "NOT_PRIMARY",
+    "STALE_EPOCH",
     "ClientConfig",
     "ClientCounters",
     "RemoteOpError",
@@ -45,6 +47,7 @@ __all__ = [
     "ServiceLocateError",
     "ServiceRpcError",
     "ServiceTimeout",
+    "format_addr",
 ]
 
 Address = Tuple[str, int]
@@ -54,13 +57,48 @@ Address = Tuple[str, int]
 #: :class:`repro.platform.messages.AgentNotFound`.
 AGENT_NOT_FOUND = "agent-not-found"
 
+#: Error code a node's epoch fence replies with when a deposed primary
+#: tries to serialize a rehash operation (see
+#: :mod:`repro.service.replication`).
+STALE_EPOCH = "stale-epoch"
+
+#: Error code a standby HAgent replica replies with when asked to do
+#: primary-only work (register-node, bootstrap, rehash serialization).
+NOT_PRIMARY = "not-primary"
+
+
+def format_addr(addr: Optional[Address]) -> str:
+    """``host:port`` for error messages (tolerates None)."""
+    if addr is None:
+        return "<unknown>"
+    return f"{addr[0]}:{addr[1]}"
+
 
 class ServiceError(Exception):
     """Base class of service-layer failures."""
 
 
 class ServiceRpcError(ServiceError):
-    """The transport failed: connect, send or receive did not complete."""
+    """The transport failed: connect, send or receive did not complete.
+
+    Carries enough context to debug a dead cluster from the message
+    alone: ``op`` is the RPC that failed and ``addr`` the target
+    address. ``refused`` distinguishes an actively refused connection
+    (the process is *gone*) from a hang or reset -- the failure
+    detector's fast-fail path keys off it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: Optional[str] = None,
+        addr: Optional[Address] = None,
+        refused: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.addr = addr
+        self.refused = refused
 
 
 class ServiceTimeout(ServiceRpcError):
@@ -171,16 +209,23 @@ class RpcChannel:
                 )
             except asyncio.TimeoutError:
                 await self._drop(addr)
-                self._trace(op, addr, "timeout")
-                raise ServiceTimeout(f"{op} to {addr} timed out after {timeout}s")
-            except ServiceRpcError:
+                message = (
+                    f"{op} to {format_addr(addr)} timed out after {timeout}s"
+                )
+                self._trace(op, addr, f"timeout: {message}")
+                raise ServiceTimeout(message, op=op, addr=addr)
+            except ServiceRpcError as error:
                 await self._drop(addr)
-                self._trace(op, addr, "transport-error")
+                self._trace(op, addr, f"transport-error: {error}")
                 raise
             except (ConnectionError, OSError, EOFError, wire.WireError) as error:
                 await self._drop(addr)
-                self._trace(op, addr, "transport-error")
-                raise ServiceRpcError(f"{op} to {addr} failed: {error}") from error
+                refused = isinstance(error, ConnectionRefusedError)
+                message = f"{op} to {format_addr(addr)} failed: {error}"
+                self._trace(op, addr, f"transport-error: {message}")
+                raise ServiceRpcError(
+                    message, op=op, addr=addr, refused=refused
+                ) from error
         if reply.error is not None:
             self._trace(op, addr, reply.error)
             raise RemoteOpError(reply.error)
@@ -196,7 +241,12 @@ class RpcChannel:
         while True:
             frame = await wire.read_frame(reader, max_frame=self.max_frame)
             if frame is None:
-                raise ServiceRpcError(f"{addr} closed the connection mid-call")
+                raise ServiceRpcError(
+                    f"{op} to {format_addr(addr)}: peer closed the "
+                    "connection mid-call",
+                    op=op,
+                    addr=addr,
+                )
             if isinstance(frame, Response) and frame.message_id == request.message_id:
                 return frame
             # Any other frame is a peer bug (a timed-out call's late

@@ -31,13 +31,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.trace import Tracer, wall_clock
+from repro.platform.chaos import ChaosSchedule
 from repro.platform.naming import AgentId, AgentNamer
+from repro.service.chaos import LiveChaosDriver, live_chaos_palette
 from repro.service.client import (
     ClientConfig,
     ClientCounters,
     ServiceClient,
     ServiceLocateError,
 )
+from repro.service.replication import single_primary_violations
 from repro.service.server import HAgentServer, NodeServer, ServiceConfig
 
 __all__ = ["ClusterConfig", "ClusterReport", "run_cluster", "serve_cluster"]
@@ -55,6 +58,18 @@ class ClusterConfig:
     #: Crash the record-heaviest IAgent mid-run, then warm-restart it in
     #: place from its WAL + snapshots (requires ``service.data_dir``).
     restart_iagent: bool = False
+    #: HAgent replicas to run (rank 0 = initial primary, the rest are
+    #: hot standbys tailing its journal).
+    hagent_replicas: int = 1
+    #: Kill the primary HAgent mid-run; a standby must promote within
+    #: one heartbeat timeout and the run must still verify 100%.
+    #: Requires ``hagent_replicas >= 2``.
+    crash_hagent: bool = False
+    #: Seed of a live chaos schedule to run alongside the workload
+    #: (None = no chaos). See :mod:`repro.service.chaos`.
+    chaos_seed: Optional[int] = None
+    #: Wall-clock length of the chaos schedule, settle tail included.
+    chaos_duration: float = 6.0
     service: ServiceConfig = field(default_factory=ServiceConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
     #: Workload mix (weights; the remainder registers new agents).
@@ -99,18 +114,51 @@ class ClusterReport:
     #: enough that soft-state republish cannot be the explanation.
     recovery_warm: bool = False
     restart_verified: bool = False
+    #: HAgent replication / failover outcome.
+    hagent_replicas: int = 1
+    hagent_crashed: bool = False
+    promotions: int = 0
+    #: Wall seconds from the primary kill to the standby's promotion
+    #: (None when no crash was injected).
+    promotion_latency_s: Optional[float] = None
+    #: The latency budget: one heartbeat timeout.
+    promotion_budget_s: float = 0.0
+    promoted_rank: Optional[int] = None
+    epoch_final: int = 1
+    fence_rejections: int = 0
+    demotions: int = 0
+    orphans_retired: int = 0
+    #: The single-fenced-primary-per-epoch invariant held across every
+    #: replica's claim history.
+    single_primary_ok: bool = True
+    #: Every live standby's tree copy converged to the primary's.
+    replicas_converged: bool = True
+    #: Chaos run summary (seed, digest, applied events), or None.
+    chaos: Optional[Dict] = None
 
     @property
     def passed(self) -> bool:
         """Every locate succeeded, agreed with ground truth, and the
         post-run sweep re-located the whole population. A warm restart
         must additionally have recovered its records from disk within
-        one re-registration interval and re-verified the population."""
+        one re-registration interval and re-verified the population.
+        A primary-HAgent crash must have promoted exactly one fenced
+        standby within the heartbeat-timeout budget, and any replicated
+        run must end with converged copies and the single-primary-per-
+        epoch invariant intact."""
+        replication_ok = self.single_primary_ok and self.replicas_converged
+        failover_ok = not self.hagent_crashed or (
+            self.promotions >= 1
+            and self.promotion_latency_s is not None
+            and self.promotion_latency_s <= self.promotion_budget_s
+        )
         return (
             self.locate_failures == 0
             and self.locate_mismatches == 0
             and self.final_verified
             and (not self.restarted or (self.recovery_warm and self.restart_verified))
+            and replication_ok
+            and failover_ok
         )
 
     def to_dict(self) -> Dict:
@@ -152,6 +200,31 @@ class ClusterReport:
                 f"{'warm' if self.recovery_warm else 'COLD'}, population "
                 f"{'re-verified' if self.restart_verified else 'UNVERIFIED'})"
             )
+        if self.hagent_replicas > 1:
+            lines.append(
+                f"  replication {self.hagent_replicas} HAgent replicas, "
+                f"epoch {self.epoch_final}, {self.fence_rejections} fenced ops, "
+                f"copies {'converged' if self.replicas_converged else 'DIVERGED'}, "
+                f"single-primary {'ok' if self.single_primary_ok else 'VIOLATED'}"
+            )
+        if self.hagent_crashed:
+            latency = (
+                f"{self.promotion_latency_s * 1000:.0f}ms"
+                if self.promotion_latency_s is not None
+                else "NEVER"
+            )
+            lines.append(
+                f"  failover    killed primary HAgent mid-run; rank "
+                f"{self.promoted_rank} promoted in {latency} "
+                f"(budget {self.promotion_budget_s * 1000:.0f}ms, "
+                f"{self.promotions} promotions, {self.demotions} demotions)"
+            )
+        if self.chaos is not None:
+            lines.append(
+                f"  chaos       seed {self.chaos['seed']}, "
+                f"{len(self.chaos['applied'])} events applied "
+                f"(digest {self.chaos['digest'][:12]}...)"
+            )
         return "\n".join(lines)
 
 
@@ -167,7 +240,13 @@ class _Cluster:
         )
         if self.tracer is not None and config.trace_jsonl:
             self.tracer.write_jsonl(config.trace_jsonl)
-        self.hagent = HAgentServer(config.service, tracer=self.tracer)
+        #: Live HAgent replicas; killed ones move to :attr:`dead_hagents`.
+        self.hagents: List[HAgentServer] = [
+            HAgentServer(config.service, tracer=self.tracer, rank=rank)
+            for rank in range(max(1, config.hagent_replicas))
+        ]
+        self.dead_hagents: List[HAgentServer] = []
+        self.hagent_crashed_at: Optional[float] = None
         self.nodes: List[NodeServer] = []
         self.clients: List[ServiceClient] = []
         self.rng = random.Random(config.seed)
@@ -176,21 +255,43 @@ class _Cluster:
         #: protocol's answers are checked against.
         self.truth: Dict[AgentId, Tuple[int, int]] = {}
 
+    def primary(self) -> HAgentServer:
+        """The live replica currently acting as primary (highest epoch),
+        falling back to the lowest rank while an election is in flight."""
+        primaries = [h for h in self.hagents if h.role == "primary"]
+        if primaries:
+            return max(primaries, key=lambda h: h.epoch)
+        return min(self.hagents, key=lambda h: h.rank)
+
+    def node_by_name(self, name: str) -> NodeServer:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
     async def start(self) -> None:
-        await self.hagent.start()
-        assert self.hagent.addr is not None
+        peers: Dict[int, Tuple[str, int]] = {}
+        for hagent in self.hagents:
+            addr = await hagent.start()
+            peers[hagent.rank] = addr
+        for hagent in self.hagents:
+            hagent.set_peers(peers)
+        primary_addr = self.hagents[0].addr
+        assert primary_addr is not None
+        replica_addrs = [h.addr for h in self.hagents if h.addr is not None]
         for index in range(self.config.nodes):
             node = NodeServer(
                 f"node-{index}",
-                self.hagent.addr,
+                primary_addr,
                 self.config.service,
                 tracer=self.tracer,
+                hagent_addrs=replica_addrs,
             )
             await node.start()
             self.nodes.append(node)
         # Bootstrap the single-IAgent hash function (paper §2.2).
         await self.nodes[0].channel.call(
-            self.hagent.addr, "hagent", "bootstrap", {}
+            primary_addr, "hagent", "bootstrap", {}
         )
         for node in self.nodes:
             assert node.addr is not None
@@ -209,9 +310,103 @@ class _Cluster:
             await client.close()
         for node in self.nodes:
             await node.stop()
-        await self.hagent.stop()
+        for hagent in self.hagents:
+            await hagent.stop()
         if self.tracer is not None:
             self.tracer.close_sink()
+
+    # -- HAgent failover ------------------------------------------------
+
+    async def crash_primary_hagent(self) -> Dict:
+        """Kill the current primary abruptly; record the crash instant."""
+        primary = self.primary()
+        crashed_at = time.monotonic()
+        await primary.kill()
+        self.hagents.remove(primary)
+        self.dead_hagents.append(primary)
+        self.hagent_crashed_at = crashed_at
+        return {"rank": primary.rank, "crashed_at": crashed_at}
+
+    async def restart_killed_hagent(self) -> Optional[HAgentServer]:
+        """Bring the most recently killed replica back as a standby.
+
+        Reuses the old rank and port, so every peer address book and
+        node re-discovery list stays valid; durable state (if any) is
+        recovered from the replica's own WAL + snapshots, and the
+        standby sync loop pulls it level with the current primary.
+        """
+        if not self.dead_hagents:
+            return None
+        dead = self.dead_hagents.pop()
+        assert dead.addr is not None
+        replacement = HAgentServer(
+            self.config.service,
+            tracer=self.tracer,
+            rank=dead.rank,
+            role="standby",
+        )
+        peers = {h.rank: h.addr for h in self.hagents if h.addr is not None}
+        peers[dead.rank] = dead.addr
+        await replacement.start(port=dead.addr[1])
+        replacement.set_peers(peers)
+        self.hagents.append(replacement)
+        return replacement
+
+    async def await_promotion(self, deadline_s: float) -> Optional[HAgentServer]:
+        """Wait until some live replica has promoted itself, or None."""
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            for hagent in self.hagents:
+                if hagent.role == "primary" and hagent.promoted_at is not None:
+                    return hagent
+            await asyncio.sleep(0.02)
+        return None
+
+    async def reannounce_primary(self) -> None:
+        """Have the current primary re-broadcast ``new-primary``.
+
+        Used after healing a partition so a deposed, still-convinced
+        primary learns the cluster moved on and demotes at the fence.
+        """
+        primary = self.primary()
+        if primary.role == "primary" and primary.promoted_at is not None:
+            await primary._announce_primary()
+
+    async def replicas_converged(self, budget_s: float = 3.0) -> bool:
+        """True iff every live standby's copy reaches the primary's
+        (epoch, version, tree) within ``budget_s``."""
+        deadline = time.monotonic() + budget_s
+        while True:
+            primary = self.primary()
+            spec = primary.tree.to_spec() if primary.tree is not None else None
+            diverged = [
+                standby
+                for standby in self.hagents
+                if standby is not primary
+                and not standby.partitioned
+                and (
+                    standby.epoch != primary.epoch
+                    or standby.version != primary.version
+                    or (
+                        standby.tree.to_spec()
+                        if standby.tree is not None
+                        else None
+                    )
+                    != spec
+                )
+            ]
+            if not diverged:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(self.config.service.heartbeat_interval)
+
+    def epoch_claims(self) -> List[Tuple[int, str]]:
+        """Every primary claim ever made, live and dead replicas alike."""
+        claims: List[Tuple[int, str]] = []
+        for hagent in self.hagents + self.dead_hagents:
+            claims.extend(hagent.epoch_claims)
+        return claims
 
     # -- driver operations ----------------------------------------------
 
@@ -255,9 +450,10 @@ class _Cluster:
 
     async def _heaviest_iagent(self) -> Tuple[AgentId, Tuple[str, int], int]:
         """The reachable IAgent holding the most records."""
-        assert self.hagent.addr is not None
+        primary_addr = self.primary().addr
+        assert primary_addr is not None
         listing = await self.nodes[0].channel.call(
-            self.hagent.addr, "hagent", "list-iagents", {}
+            primary_addr, "hagent", "list-iagents", {}
         )
         heaviest, heaviest_node, heaviest_records = None, None, -1
         for entry in listing["iagents"]:
@@ -323,18 +519,45 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         raise ValueError("cluster needs at least one node and one agent")
     if config.restart_iagent and config.service.data_dir is None:
         raise ValueError("restart_iagent requires service.data_dir (durable state)")
+    if config.crash_hagent and config.hagent_replicas < 2:
+        raise ValueError("crash_hagent requires hagent_replicas >= 2")
     cluster = _Cluster(config)
     report = ClusterReport(nodes=config.nodes)
+    report.hagent_replicas = max(1, config.hagent_replicas)
+    report.promotion_budget_s = config.service.heartbeat_timeout
     started = time.monotonic()
+    chaos_driver: Optional[LiveChaosDriver] = None
     try:
         await cluster.start()
         agents: List[AgentId] = []
         for _ in range(config.agents):
             agents.append(await cluster.spawn_agent())
 
+        if config.chaos_seed is not None:
+            schedule = ChaosSchedule.generate(
+                config.chaos_seed,
+                config.chaos_duration,
+                nodes=[node.name for node in cluster.nodes],
+                kinds=live_chaos_palette(config.service.data_dir is not None),
+            )
+            chaos_driver = LiveChaosDriver(cluster, schedule)
+            chaos_driver.start()
+
         inject_fault = config.crash_iagent or config.restart_iagent
         crash_at = config.ops // 2 if inject_fault else -1
+        crash_hagent_at = config.ops // 2 if config.crash_hagent else -1
         for op_index in range(config.ops):
+            if op_index == crash_hagent_at:
+                crash_info = await cluster.crash_primary_hagent()
+                report.hagent_crashed = True
+                promoted = await cluster.await_promotion(
+                    config.service.heartbeat_timeout + 2.0
+                )
+                if promoted is not None and promoted.promoted_at is not None:
+                    report.promoted_rank = promoted.rank
+                    report.promotion_latency_s = (
+                        promoted.promoted_at - crash_info["crashed_at"]
+                    )
             if op_index == crash_at:
                 if config.restart_iagent:
                     recovery = await cluster.restart_heaviest_iagent()
@@ -373,6 +596,16 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
             else:
                 agents.append(await cluster.spawn_agent())
 
+        # Let the chaos schedule finish (faults and settle tail) before
+        # judging anything: invariants are checked on a healed cluster.
+        if chaos_driver is not None:
+            await chaos_driver.drain()
+            report.chaos = {
+                "seed": chaos_driver.schedule.seed,
+                "digest": chaos_driver.schedule.digest(),
+                "applied": chaos_driver.applied,
+            }
+
         # Final sweep: every agent in the population must still resolve
         # to its true node -- the crash must have healed completely.
         report.final_verified = True
@@ -382,10 +615,33 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
                 report.final_verified = False
                 report.locate_mismatches += 1
 
-        assert cluster.hagent.addr is not None
-        stats = await cluster.nodes[0].channel.call(
-            cluster.hagent.addr, "hagent", "stats", {}
+        # Replication invariants: every live standby converged to the
+        # primary, and no epoch was ever claimed by two primaries.
+        if len(cluster.hagents) > 1:
+            report.replicas_converged = await cluster.replicas_converged()
+        report.single_primary_ok = not single_primary_violations(
+            cluster.epoch_claims()
         )
+        report.promotions = sum(
+            len(h.promotions)
+            for h in cluster.hagents + cluster.dead_hagents
+        )
+        report.demotions = sum(
+            h.demotions for h in cluster.hagents + cluster.dead_hagents
+        )
+        report.fence_rejections = sum(
+            node.fence_rejections for node in cluster.nodes
+        )
+        report.orphans_retired = sum(
+            node.orphans_retired for node in cluster.nodes
+        )
+
+        primary = cluster.primary()
+        assert primary.addr is not None
+        stats = await cluster.nodes[0].channel.call(
+            primary.addr, "hagent", "stats", {}
+        )
+        report.epoch_final = stats["epoch"]
         report.agents = len(agents)
         report.ops = config.ops
         report.splits = stats["splits"]
@@ -414,8 +670,12 @@ async def serve_cluster(config: Optional[ClusterConfig] = None) -> None:
     config = config or ClusterConfig()
     cluster = _Cluster(config)
     await cluster.start()
-    assert cluster.hagent.addr is not None
-    print(f"hagent    {cluster.hagent.addr[0]}:{cluster.hagent.addr[1]}")
+    for hagent in cluster.hagents:
+        assert hagent.addr is not None
+        print(
+            f"hagent-{hagent.rank} {hagent.addr[0]}:{hagent.addr[1]} "
+            f"({hagent.role})"
+        )
     for node in cluster.nodes:
         assert node.addr is not None
         print(f"{node.name:<9} {node.addr[0]}:{node.addr[1]}")

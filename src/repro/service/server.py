@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import HashMechanismConfig
+from repro.core.errors import CoreError
 from repro.core.hagent import delta_reply
 from repro.core.hash_tree import HashTree
 from repro.core.iagent import NO_RECORD, NOT_RESPONSIBLE, OK, pattern_matches
@@ -62,6 +63,8 @@ from repro.platform.naming import AgentId, AgentNamer
 from repro.service import wire
 from repro.service.client import (
     AGENT_NOT_FOUND,
+    NOT_PRIMARY,
+    STALE_EPOCH,
     Address,
     ClientConfig,
     RemoteOpError,
@@ -69,6 +72,13 @@ from repro.service.client import (
     ServiceClient,
     ServiceError,
     ServiceRpcError,
+    ServiceTimeout,
+    format_addr,
+)
+from repro.service.replication import (
+    EpochFence,
+    FailureDetector,
+    next_epoch,
 )
 from repro.storage import DurableStore
 
@@ -127,6 +137,26 @@ class ServiceConfig:
     #: WAL segment rotation threshold (bytes).
     wal_segment_bytes: int = 1 << 20
 
+    #: Standby sync/heartbeat period (s): each standby HAgent replica
+    #: pulls the primary's journal this often; a successful pull doubles
+    #: as the heartbeat.
+    heartbeat_interval: float = 0.15
+
+    #: Silence window after which the first-in-line standby declares the
+    #: primary dead (s). A *crashed* primary is usually detected faster
+    #: through the fast-fail path (see ``fast_fail_threshold``); a
+    #: partitioned one must wait out the full window.
+    heartbeat_timeout: float = 0.75
+
+    #: Extra silence each further standby waits beyond the one ahead of
+    #: it (s) -- keeps promotion deterministic by rank.
+    promotion_stagger: float = 0.5
+
+    #: Consecutive connection-refused sync failures (scaled by rank)
+    #: that trigger promotion without waiting out the silence window: a
+    #: refused connect means the process is *gone*, not merely slow.
+    fast_fail_threshold: int = 3
+
     #: Protocol tunables shared with the simulator mechanism.
     mechanism: HashMechanismConfig = field(default_factory=_default_mechanism_config)
 
@@ -156,6 +186,11 @@ class _FramedServer:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._bg_tasks: Set[asyncio.Task] = set()
         self.addr: Optional[Address] = None
+        #: Fault injection: a partitioned server swallows every incoming
+        #: request without replying (callers time out, exactly like a
+        #: network cut) while its own outgoing RPCs are blocked by the
+        #: subclasses that make them. The process itself stays alive.
+        self.partitioned = False
 
     async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
         self._server = await asyncio.start_server(
@@ -182,13 +217,22 @@ class _FramedServer:
             await self._server.wait_closed()
             self._server = None
         for task_set in (self._bg_tasks, self._conn_tasks):
-            for task in list(task_set):
-                task.cancel()
-            for task in list(task_set):
-                try:
-                    await task
-                except (asyncio.CancelledError, Exception):
-                    pass
+            # Re-cancel until every task actually dies: on Python <=
+            # 3.12 asyncio.wait_for can swallow a cancellation that
+            # races the inner call's completion, leaving a loop task
+            # alive in its next sleep -- a single cancel() is not
+            # guaranteed to stick.
+            tasks = [task for task in task_set if not task.done()]
+            while tasks:
+                for task in tasks:
+                    task.cancel()
+                done, pending = await asyncio.wait(tasks, timeout=1.0)
+                for task in done:
+                    try:
+                        task.exception()
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                tasks = list(pending)
             task_set.clear()
 
     async def _on_connection(
@@ -222,6 +266,8 @@ class _FramedServer:
             frame = await wire.read_frame(reader, max_frame=self.config.max_frame)
             if frame is None:
                 return
+            if self.partitioned:
+                continue  # injected partition: drop the request silently
             response = await self._respond(frame)
             await wire.write_frame(writer, response, max_frame=self.config.max_frame)
 
@@ -401,6 +447,7 @@ class IAgentEndpoint:
         return {"status": OK, "loads": loads, "rate": self.stats.rate(time.monotonic())}
 
     def op_extract(self, body: Dict) -> Dict:
+        self.node.check_fence(body, "extract")
         pattern = body["pattern"]
         moved_records: Dict[AgentId, List] = {}
         moved_loads: Dict[AgentId, int] = {}
@@ -417,6 +464,7 @@ class IAgentEndpoint:
         return {"status": OK, "records": moved_records, "loads": moved_loads}
 
     def op_extract_all(self, body: Dict) -> Dict:
+        self.node.check_fence(body, "extract-all")
         records, self.records = self.records, {}
         loads = {
             agent_id: self.stats.per_agent.get(agent_id, 0) for agent_id in records
@@ -428,6 +476,7 @@ class IAgentEndpoint:
         return {"status": OK, "records": records, "loads": loads}
 
     def op_adopt(self, body: Dict) -> Dict:
+        self.node.check_fence(body, "adopt")
         if "pattern" in body:
             self.coverage = body["pattern"]
         for agent_id, record in body.get("records", {}).items():
@@ -451,6 +500,7 @@ class IAgentEndpoint:
         return {"status": OK}
 
     def op_set_coverage(self, body: Dict) -> Dict:
+        self.node.check_fence(body, "set-coverage")
         self.coverage = body["pattern"]
         self._log({"op": "coverage", "pattern": body["pattern"]})
         return {"status": OK}
@@ -467,11 +517,13 @@ class IAgentEndpoint:
 
     async def report_loop(self) -> None:
         config = self.node.config
+        failures = 0
+        stale_streak = 0
         while True:
             await asyncio.sleep(config.mechanism.report_interval)
             now = time.monotonic()
             try:
-                await self.node.channel.call(
+                reply = await self.node.channel.call(
                     self.node.hagent_addr,
                     "hagent",
                     "load-report",
@@ -487,7 +539,26 @@ class IAgentEndpoint:
                     timeout=config.rpc_timeout,
                 )
             except (ServiceRpcError, RemoteOpError):
-                continue  # reporting is best-effort, like the simulator
+                # Best-effort, like the simulator -- but a dead or
+                # deposed coordinator may have failed over, so every few
+                # misses the node re-discovers the current primary.
+                failures += 1
+                if failures % 3 == 0:
+                    await self.node.find_primary()
+                continue
+            failures = 0
+            if reply.get("status") == "stale":
+                # The coordinator does not know this shard. After a
+                # failover that lost the serializing split, such an
+                # orphan would report forever without ever being merged
+                # or taken over -- retire it; its records re-register
+                # through the hosts' soft-state loop.
+                stale_streak += 1
+                if stale_streak >= 8 and self.node.iagents.get(self.owner) is self:
+                    self.node.retire_orphan(self.owner)
+                    return
+            else:
+                stale_streak = 0
 
 
 class LHAgentEndpoint:
@@ -502,6 +573,12 @@ class LHAgentEndpoint:
     def __init__(self, node: "NodeServer") -> None:
         self.node = node
         self.copy: Optional[HashFunctionCopy] = None
+        #: The epoch this copy was fetched under. Versions are only
+        #: comparable within one epoch: a promoted standby may restart
+        #: version numbering below the dead primary's, so refreshes are
+        #: epoch-qualified and an epoch change always accepts the
+        #: authoritative copy regardless of version.
+        self.copy_epoch = 0
         self.node_addrs: Dict[str, Tuple[str, int]] = {}
         self._fetch_lock = asyncio.Lock()
         self.whois_served = 0
@@ -540,37 +617,56 @@ class LHAgentEndpoint:
             await self._fetch_locked()
 
     async def _fetch_locked(self) -> None:
-        node = self.node
-        config = node.config
-        use_delta = config.mechanism.delta_sync and self.copy is not None
-        if use_delta:
-            reply = await node.channel.call(
-                node.hagent_addr,
-                "hagent",
-                "get-hash-delta",
-                {"since": self.copy.version},
-                timeout=config.rpc_timeout,
-            )
-        else:
-            reply = await node.channel.call(
-                node.hagent_addr,
-                "hagent",
-                "get-hash-function",
-                timeout=config.rpc_timeout,
-            )
+        try:
+            reply = await self._fetch_once()
+        except (ServiceRpcError, RemoteOpError) as error:
+            if isinstance(error, RemoteOpError) and error.code not in (
+                NOT_PRIMARY,
+            ):
+                raise
+            # The coordinator is unreachable or deposed: re-discover the
+            # current primary through the node's replica address book
+            # and retry once against it.
+            if await self.node.find_primary() is None:
+                raise
+            reply = await self._fetch_once()
         self.refreshes += 1
-        if use_delta and reply.get("mode") == "delta":
-            assert self.copy is not None  # implied by use_delta
+        epoch = reply.get("epoch", self.copy_epoch)
+        if reply.get("mode") == "delta" and self.copy is not None:
             self.copy.apply_ops(reply["ops"])
             self.delta_refreshes += 1
+            self.copy_epoch = epoch
             return
         self.full_refreshes += 1
         fresh = HashFunctionCopy.from_bundle(reply)
         self.node_addrs.update(
             {name: tuple(addr) for name, addr in reply.get("node_addrs", {}).items()}
         )
-        if self.copy is None or fresh.version >= self.copy.version:
+        if (
+            self.copy is None
+            or epoch != self.copy_epoch
+            or fresh.version >= self.copy.version
+        ):
             self.copy = fresh
+        self.copy_epoch = epoch
+
+    async def _fetch_once(self) -> Dict:
+        node = self.node
+        config = node.config
+        if config.mechanism.delta_sync and self.copy is not None:
+            return await node.channel.call(
+                node.hagent_addr,
+                "hagent",
+                "get-hash-delta",
+                {"since": self.copy.version, "epoch": self.copy_epoch},
+                timeout=config.rpc_timeout,
+            )
+        return await node.channel.call(
+            node.hagent_addr,
+            "hagent",
+            "get-hash-function",
+            timeout=config.rpc_timeout,
+        )
 
 
 class HostEndpoint:
@@ -630,10 +726,20 @@ class NodeServer(_FramedServer):
         hagent_addr: Address,
         config: Optional[ServiceConfig] = None,
         tracer: Optional[Tracer] = None,
+        hagent_addrs: Optional[List[Address]] = None,
     ) -> None:
         super().__init__(config or ServiceConfig(), tracer)
         self.name = name
+        #: The coordinator this node currently believes is primary;
+        #: repointed by ``new-primary`` announcements or re-discovery.
         self.hagent_addr = hagent_addr
+        #: Every known HAgent replica address, for primary re-discovery
+        #: when the believed primary stops answering.
+        self.hagent_addrs: List[Address] = list(hagent_addrs or [hagent_addr])
+        #: Fencing token guard: rejects rehash ops from deposed primaries.
+        self.fence = EpochFence()
+        self.fence_rejections = 0
+        self.orphans_retired = 0
         self.channel = RpcChannel(
             rpc_timeout=self.config.rpc_timeout,
             max_frame=self.config.max_frame,
@@ -708,6 +814,78 @@ class NodeServer(_FramedServer):
             result = await result
         return result
 
+    # -- epoch fencing and primary re-discovery ---------------------------
+
+    def check_fence(self, body: Dict, op: str) -> None:
+        """Refuse a coordinator-issued op from a deposed primary.
+
+        Ops carrying no ``epoch`` (driver and test calls) pass freely;
+        epoch-stamped ones must clear this node's :class:`EpochFence`.
+        """
+        epoch = body.get("epoch")
+        if epoch is None:
+            return
+        decision = self.fence.admit(epoch, body.get("claimant"))
+        if not decision.admitted:
+            self.fence_rejections += 1
+            raise _Reject(f"{decision.reason} (op {op!r} at {self.name})")
+
+    async def find_primary(self) -> Optional[Address]:
+        """Scan the replica address book for the highest-epoch primary.
+
+        Returns the primary's address (repointing :attr:`hagent_addr`
+        and advancing the fence), or None when no replica answers as
+        primary -- an election may still be in flight.
+        """
+        best: Optional[Tuple[int, Address]] = None
+        candidates = list(self.hagent_addrs)
+        if self.hagent_addr not in candidates:
+            candidates.append(self.hagent_addr)
+        for addr in candidates:
+            try:
+                reply = await self.channel.call(
+                    addr,
+                    "hagent",
+                    "ping",
+                    timeout=min(0.5, self.config.rpc_timeout),
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+            if reply.get("role", "primary") != "primary":
+                continue
+            epoch = reply.get("epoch", 0)
+            if best is None or epoch > best[0]:
+                best = (epoch, addr)
+        if best is None:
+            return None
+        self.fence.admit(best[0])
+        self.hagent_addr = best[1]
+        return best[1]
+
+    def retire_orphan(self, owner: AgentId) -> None:
+        """Drop a shard the coordinator no longer knows (post-failover)."""
+        endpoint = self.iagents.pop(owner, None)
+        if endpoint is None:
+            return
+        if endpoint.report_task is not None:
+            endpoint.report_task.cancel()
+        if endpoint.store is not None:
+            endpoint.store.close()
+        self.orphans_retired += 1
+
+    def nodeop_new_primary(self, body: Dict) -> Dict:
+        """A promoted HAgent replica announces its epoch and address."""
+        decision = self.fence.admit(body["epoch"], body.get("claimant"))
+        if not decision.admitted:
+            self.fence_rejections += 1
+            raise _Reject(
+                f"{decision.reason} (new-primary announcement at {self.name})"
+            )
+        self.hagent_addr = (body["host"], body["port"])
+        if self.hagent_addr not in self.hagent_addrs:
+            self.hagent_addrs.append(self.hagent_addr)
+        return {"status": OK, "epoch": self.fence.epoch}
+
     # -- node-management ops (addressed to the "host" target) ------------
 
     def _iagent_store(self, owner: AgentId) -> Optional[DurableStore]:
@@ -764,6 +942,7 @@ class NodeServer(_FramedServer):
 
     def nodeop_host_iagent(self, body: Dict) -> Dict:
         """Spawn (or re-host, on takeover) an IAgent on this node."""
+        self.check_fence(body, "host-iagent")
         return self._host_iagent(
             body["owner"], body.get("pattern"), bool(body.get("recover"))
         )
@@ -790,6 +969,7 @@ class NodeServer(_FramedServer):
 
     def nodeop_retire_iagent(self, body: Dict) -> Dict:
         """Gracefully remove a merged-away IAgent."""
+        self.check_fence(body, "retire-iagent")
         endpoint = self.iagents.pop(body["owner"], None)
         if endpoint is not None:
             if endpoint.report_task is not None:
@@ -825,6 +1005,10 @@ class NodeServer(_FramedServer):
             "iagents": len(self.iagents),
             "residents": len(self.host.residents),
             "republishes": self.host.republishes,
+            "epoch": self.fence.epoch,
+            "fence_rejections": self.fence_rejections,
+            "orphans_retired": self.orphans_retired,
+            "hagent_addr": list(self.hagent_addr),
             "lhagent": {
                 "version": self.lhagent.copy.version if self.lhagent.copy else -1,
                 "whois_served": self.lhagent.whois_served,
@@ -848,15 +1032,53 @@ class NodeServer(_FramedServer):
 
 
 class HAgentServer(_FramedServer):
-    """The live HAgent: primary copy, rehash coordinator, failure healer."""
+    """The live HAgent: primary copy, rehash coordinator, failure healer.
+
+    Replication (the §7 fault-tolerance extension, live): a deployment
+    may run several ``HAgentServer`` replicas, ranked by ``rank``. Rank
+    0 boots as the primary; the others boot as hot standbys that tail
+    the primary's rehash journal through ``replica-sync`` (the same
+    delta protocol the LHAgents use) every ``heartbeat_interval``. A
+    successful sync doubles as the heartbeat; when a standby's
+    :class:`FailureDetector` declares the primary dead it claims
+    ``next_epoch(...)``, promotes itself and announces ``new-primary``
+    to every node and peer. All coordinator-issued rehash ops carry the
+    epoch, so a deposed primary is fenced at every node (and demotes
+    itself on the first ``stale-epoch`` rejection it sees).
+    """
 
     def __init__(
         self,
         config: Optional[ServiceConfig] = None,
         tracer: Optional[Tracer] = None,
         namer: Optional[AgentNamer] = None,
+        rank: int = 0,
+        role: Optional[str] = None,
     ) -> None:
         super().__init__(config or ServiceConfig(), tracer)
+        if rank < 0:
+            raise ValueError("replica ranks start at 0")
+        self.rank = rank
+        self.role = role if role is not None else ("primary" if rank == 0 else "standby")
+        self.replica_name = f"hagent-{rank}"
+        #: The highest epoch this replica has witnessed; its own when
+        #: primary. 0 = a standby that has not synced yet.
+        self.epoch = 1 if self.role == "primary" else 0
+        #: rank -> address of every replica (self included); see
+        #: :meth:`set_peers`.
+        self.peers: Dict[int, Address] = {}
+        #: Where this replica believes the current primary listens.
+        self.primary_addr: Optional[Address] = None
+        self.detector: Optional[FailureDetector] = None
+        #: Promotion history (epoch, version, wall time) of *this* replica.
+        self.promotions: List[Dict] = []
+        self.demotions = 0
+        #: Every ``(epoch, replica)`` primary claim this replica made --
+        #: the raw material of the single-primary-per-epoch invariant.
+        self.epoch_claims: List[Tuple[int, str]] = []
+        #: ``time.monotonic()`` of the most recent promotion, if any.
+        self.promoted_at: Optional[float] = None
+        self.syncs = 0
         self.namer = namer or AgentNamer(seed=0xD1EC7)
         self.channel = RpcChannel(
             rpc_timeout=self.config.rpc_timeout,
@@ -878,8 +1100,13 @@ class HAgentServer(_FramedServer):
         self.merges = 0
         self.takeovers = 0
         self.rehash_log: List[Dict] = []
+        # Rank 0 keeps the pre-replication store name so single-replica
+        # deployments stay restart-compatible with their old state.
         self.store: Optional[DurableStore] = (
-            self.config.durable_store(Path(self.config.data_dir), "hagent")
+            self.config.durable_store(
+                Path(self.config.data_dir),
+                "hagent" if rank == 0 else f"hagent-{rank}",
+            )
             if self.config.data_dir is not None
             else None
         )
@@ -890,8 +1117,27 @@ class HAgentServer(_FramedServer):
     async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
         self._recover_from_disk()
         addr = await super().start(host, port)
-        self.spawn(self._monitor_loop(), name="hagent-monitor")
+        if self.role == "primary":
+            self._record_claim()
+            self.spawn(self._monitor_loop(), name="hagent-monitor")
+        else:
+            self.spawn(self._standby_loop(), name=f"{self.replica_name}-sync")
         return addr
+
+    def set_peers(self, peers: Dict[int, Address]) -> None:
+        """Install the replica address book (rank -> address, self too)."""
+        self.peers = dict(peers)
+        if self.role != "primary" and self.primary_addr is None:
+            others = sorted(r for r in self.peers if r != self.rank)
+            if others:
+                # Until an announcement says otherwise, assume the
+                # lowest-ranked peer is the primary.
+                self.primary_addr = self.peers[others[0]]
+
+    def _record_claim(self) -> None:
+        claim = (self.epoch, self.replica_name)
+        if claim not in self.epoch_claims:
+            self.epoch_claims.append(claim)
 
     # ------------------------------------------------------------------
     # Durability: the primary copy is one of the two authoritative
@@ -901,6 +1147,7 @@ class HAgentServer(_FramedServer):
     def _durable_state(self) -> Dict:
         """Snapshot shape: everything a cold coordinator must rebuild."""
         return {
+            "epoch": self.epoch,
             "version": self.version,
             "tree": self.tree.to_spec() if self.tree is not None else None,
             "iagent_nodes": dict(self.iagent_nodes),
@@ -932,6 +1179,8 @@ class HAgentServer(_FramedServer):
         base = 0
         if snapshot is not None:
             state, base = snapshot.state, snapshot.last_lsn
+            # Pre-replication snapshots carry no epoch; keep the boot one.
+            self.epoch = state.get("epoch", self.epoch)
             self.version = state["version"]
             if state["tree"] is not None:
                 self.tree = HashTree.from_spec(state["tree"])
@@ -972,27 +1221,38 @@ class HAgentServer(_FramedServer):
             self.namer.state = op["namer"]
             self.version += 1
         elif kind == "rehash":
-            # Mirrors HashFunctionCopy.apply_ops, one entry at a time.
-            entry = op["entry"]
-            ekind = entry["op"]
-            assert self.tree is not None
-            if ekind == "split":
-                self.tree.replay_split(
-                    entry["kind"], entry["owner"], entry["bit"], entry["new_owner"]
-                )
-                self.iagent_nodes[entry["new_owner"]] = entry["new_node"]
-            elif ekind == "merge":
-                self.tree.apply_merge(entry["owner"])
-                self.iagent_nodes.pop(entry["owner"], None)
-            elif ekind == "move":
-                self.iagent_nodes[entry["owner"]] = entry["node"]
-            else:  # pragma: no cover - would be a writer bug
-                raise ValueError(f"unknown rehash journal op {ekind!r}")
-            self.version = entry["version"]
-            self.journal.append(entry)
+            self._apply_journal_entry(op["entry"])
             self.namer.state = op["namer"]
+        elif kind == "epoch":
+            # A witnessed or claimed fencing token -- durable, so a
+            # restarted replica can never claim an epoch at or below one
+            # it already saw.
+            self.epoch = max(self.epoch, op["epoch"])
         else:  # pragma: no cover - would be a writer bug
             raise ValueError(f"unknown HAgent mutation {kind!r}")
+
+    def _apply_journal_entry(self, entry: Dict) -> None:
+        """One rehash journal entry onto the local tree state.
+
+        Mirrors :meth:`repro.core.lhagent.HashFunctionCopy.apply_ops`,
+        one entry at a time; shared by WAL replay and standby sync.
+        """
+        ekind = entry["op"]
+        assert self.tree is not None
+        if ekind == "split":
+            self.tree.replay_split(
+                entry["kind"], entry["owner"], entry["bit"], entry["new_owner"]
+            )
+            self.iagent_nodes[entry["new_owner"]] = entry["new_node"]
+        elif ekind == "merge":
+            self.tree.apply_merge(entry["owner"])
+            self.iagent_nodes.pop(entry["owner"], None)
+        elif ekind == "move":
+            self.iagent_nodes[entry["owner"]] = entry["node"]
+        else:  # pragma: no cover - would be a writer bug
+            raise ValueError(f"unknown rehash journal op {ekind!r}")
+        self.version = entry["version"]
+        self.journal.append(entry)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -1003,29 +1263,69 @@ class HAgentServer(_FramedServer):
             raise _Reject(f"unknown-target: {target!r} (this is the HAgent)")
         op = request.op
         body = request.body or {}
-        if op == "register-node":
-            return self._op_register_node(body)
-        if op == "bootstrap":
-            return await self._op_bootstrap(body)
+        if op in ("register-node", "bootstrap", "load-report"):
+            # Primary-only: these either mutate authoritative state or
+            # feed the rehash policy. Reads (hash function, stats) stay
+            # answerable on standbys for discovery and convergence checks.
+            if self.role != "primary":
+                primary = (
+                    f"; primary last seen at {format_addr(self.primary_addr)}"
+                    if self.primary_addr is not None
+                    else ""
+                )
+                raise _Reject(
+                    f"{NOT_PRIMARY}: {self.replica_name} is a standby"
+                    f" (epoch {self.epoch}){primary}"
+                )
+            if op == "register-node":
+                return self._op_register_node(body)
+            if op == "bootstrap":
+                return await self._op_bootstrap(body)
+            return self._op_load_report(body)
         if op == "get-hash-function":
             return self.bundle()
         if op == "get-hash-delta":
-            return delta_reply(
-                self.journal,
-                self.version,
-                body.get("since", -1),
-                self.bundle,
-                lambda: 64 + 96 * len(self.tree) if self.tree else 64,
-            )
-        if op == "load-report":
-            return self._op_load_report(body)
+            return self._op_get_delta(body)
+        if op == "replica-sync":
+            return self._op_replica_sync(body)
+        if op == "new-primary":
+            return self._op_new_primary(body)
         if op == "list-iagents":
             return self._op_list_iagents(body)
         if op == "stats":
             return self._op_stats(body)
         if op == "ping":
-            return {"status": OK, "version": self.version}
+            return {
+                "status": OK,
+                "version": self.version,
+                "role": self.role,
+                "rank": self.rank,
+                "epoch": self.epoch,
+            }
         raise _Reject(f"unknown-op: {op!r}")
+
+    def _snapshot_size(self) -> int:
+        return 64 + 96 * len(self.tree) if self.tree else 64
+
+    def _op_get_delta(self, body: Dict) -> Dict:
+        requester_epoch = body.get("epoch")
+        if requester_epoch is not None and requester_epoch != self.epoch:
+            # Versions are not comparable across epochs (a promoted
+            # standby may restart numbering below the dead primary's):
+            # serve the full authoritative copy, stamped with ours.
+            reply = self.bundle()
+            reply["mode"] = "full"
+            reply["_wire_size"] = self._snapshot_size()
+        else:
+            reply = delta_reply(
+                self.journal,
+                self.version,
+                body.get("since", -1),
+                self.bundle,
+                self._snapshot_size,
+            )
+        reply["epoch"] = self.epoch
+        return reply
 
     def _op_register_node(self, body: Dict) -> Dict:
         name = body["name"]
@@ -1072,6 +1372,7 @@ class HAgentServer(_FramedServer):
             raise _Reject("precondition: not bootstrapped yet")
         return {
             "version": self.version,
+            "epoch": self.epoch,
             "tree": self.tree.to_spec(),
             "iagent_nodes": dict(self.iagent_nodes),
             "node_addrs": {
@@ -1101,7 +1402,347 @@ class HAgentServer(_FramedServer):
             "merges": self.merges,
             "takeovers": self.takeovers,
             "journal_len": len(self.journal),
+            "role": self.role,
+            "rank": self.rank,
+            "epoch": self.epoch,
+            "syncs": self.syncs,
+            "demotions": self.demotions,
+            "promotions": [dict(entry) for entry in self.promotions],
+            "promoted_at": self.promoted_at,
+            "epoch_claims": [
+                [epoch, name] for epoch, name in self.epoch_claims
+            ],
         }
+
+    # ------------------------------------------------------------------
+    # Replication: standby sync, failure detection, promotion, fencing
+    # ------------------------------------------------------------------
+
+    def _op_replica_sync(self, body: Dict) -> Dict:
+        """Serve one standby pull: journal delta + coordinator context.
+
+        Reuses the LHAgents' delta protocol for the tree, then adds what
+        a standby needs to *become* the coordinator: the node address
+        book, the spawn order, the namer position and the epoch.
+        """
+        if self.role != "primary":
+            raise _Reject(
+                f"{NOT_PRIMARY}: {self.replica_name} is a standby"
+                f" (epoch {self.epoch})"
+            )
+        requester_epoch = body.get("epoch")
+        if self.tree is None:
+            reply: Dict[str, Any] = {
+                "mode": "full",
+                "version": self.version,
+                "tree": None,
+                "iagent_nodes": {},
+            }
+        elif requester_epoch is not None and requester_epoch != self.epoch:
+            reply = self.bundle()
+            reply["mode"] = "full"
+        else:
+            reply = delta_reply(
+                self.journal,
+                self.version,
+                body.get("since", -1),
+                self.bundle,
+                self._snapshot_size,
+            )
+        reply["epoch"] = self.epoch
+        reply["namer"] = self.namer.state
+        reply["node_addrs"] = {
+            name: list(addr) for name, addr in self.node_addrs.items()
+        }
+        reply["node_order"] = list(self.node_order)
+        return reply
+
+    def _op_new_primary(self, body: Dict) -> Dict:
+        """A peer replica announces its promotion to this replica."""
+        epoch, claimant = body["epoch"], body.get("claimant")
+        if claimant == self.replica_name:
+            return {"status": OK, "epoch": self.epoch}
+        if epoch <= self.epoch:
+            raise _Reject(
+                f"{STALE_EPOCH}: announced epoch {epoch} is not above"
+                f" {self.replica_name}'s witnessed epoch {self.epoch}"
+            )
+        self.epoch = epoch
+        self._hlog({"op": "epoch", "epoch": epoch})
+        self.primary_addr = (body["host"], body["port"])
+        if self.role == "primary":
+            self._demote(f"deposed by {claimant or 'a peer'} at epoch {epoch}")
+        elif self.detector is not None:
+            self.detector.record_ok(time.monotonic())
+        return {"status": OK, "epoch": self.epoch}
+
+    def _apply_sync_reply(self, reply: Dict) -> None:
+        """Fold one ``replica-sync`` reply into this standby's state."""
+        if reply.get("mode") == "full":
+            spec = reply.get("tree")
+            self.tree = HashTree.from_spec(spec) if spec is not None else None
+            self.version = reply["version"]
+            self.iagent_nodes = dict(reply.get("iagent_nodes", {}))
+            # Version continuity across the wire restarts here: older
+            # journal suffixes belong to state this full copy replaced.
+            self.journal.clear()
+        else:
+            try:
+                for entry in reply["ops"]:
+                    self._apply_journal_entry(entry)
+                    self._hlog(
+                        {
+                            "op": "rehash",
+                            "entry": dict(entry),
+                            "namer": reply["namer"],
+                        }
+                    )
+            except CoreError as error:
+                # A delta that does not fit this copy (e.g. served by a
+                # primary whose bundle and journal disagreed): drop the
+                # copy and pull a full bundle on the next beat rather
+                # than dying mid-tail.
+                self.tree = None
+                self.version = -1
+                self.iagent_nodes.clear()
+                self.journal.clear()
+                self._log("resync", reason=str(error))
+        self.node_addrs = {
+            name: (addr[0], addr[1])
+            for name, addr in reply.get("node_addrs", {}).items()
+        }
+        self.node_order = list(reply.get("node_order", self.node_order))
+        self.namer.state = reply["namer"]
+        epoch = reply.get("epoch", self.epoch)
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self._hlog({"op": "epoch", "epoch": epoch})
+        if reply.get("mode") == "full" and self.store is not None:
+            self.store.snapshot(self._durable_state())
+        self.syncs += 1
+
+    async def _standby_loop(self) -> None:
+        """Tail the primary; promote when the failure detector fires."""
+        config = self.config
+        detector = FailureDetector(
+            rank=max(1, self.rank),
+            heartbeat_timeout=config.heartbeat_timeout,
+            promotion_stagger=config.promotion_stagger,
+            fast_fail_threshold=config.fast_fail_threshold,
+        )
+        self.detector = detector
+        # Sync *before* the first sleep: a standby must learn the
+        # primary's epoch (and tree) as early as possible, so a primary
+        # that dies within the very first heartbeat interval cannot
+        # leave the survivor promoting blind from epoch 0.
+        while self.role == "standby":
+            synced = False
+            pause = config.heartbeat_interval
+            if self.partitioned:
+                # A cut-off standby keeps counting silence but can never
+                # pass the promotion preflight below.
+                detector.record_failure(time.monotonic())
+            else:
+                target = self.primary_addr
+                if target is None:
+                    target = await self._scan_for_primary()
+                if target is None:
+                    # No address book yet (set_peers races the loop at
+                    # boot): retry quickly so the first real sync lands
+                    # within milliseconds of startup, not a full beat
+                    # later -- a primary that dies young must not leave
+                    # its standbys blind at epoch 0.
+                    pause = min(0.02, config.heartbeat_interval)
+                    detector.record_failure(time.monotonic())
+                else:
+                    try:
+                        reply = await self.channel.call(
+                            target,
+                            "hagent",
+                            "replica-sync",
+                            {
+                                "since": self.version,
+                                "epoch": self.epoch,
+                                "rank": self.rank,
+                            },
+                            timeout=min(
+                                config.rpc_timeout, config.heartbeat_timeout / 2
+                            ),
+                        )
+                    except ServiceTimeout:
+                        detector.record_failure(time.monotonic())
+                    except ServiceRpcError as error:
+                        detector.record_failure(
+                            time.monotonic(), refused=error.refused
+                        )
+                    except RemoteOpError as error:
+                        if error.code == NOT_PRIMARY:
+                            # Stale pointer (that peer demoted); rediscover.
+                            self.primary_addr = None
+                        detector.record_failure(time.monotonic())
+                    else:
+                        self._apply_sync_reply(reply)
+                        detector.record_ok(time.monotonic())
+                        synced = True
+            if not synced and detector.should_promote(time.monotonic()):
+                if await self._preflight_promotion():
+                    await self._promote()
+                    return
+            await asyncio.sleep(pause)
+
+    async def _scan_for_primary(self) -> Optional[Address]:
+        """Poll the peer replicas for whoever answers as primary."""
+        best: Optional[Tuple[int, Address]] = None
+        for rank in sorted(self.peers):
+            if rank == self.rank:
+                continue
+            addr = self.peers[rank]
+            try:
+                reply = await self.channel.call(
+                    addr, "hagent", "ping", timeout=0.3
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+            if reply.get("role") != "primary":
+                continue
+            epoch = reply.get("epoch", 0)
+            if best is None or epoch > best[0]:
+                best = (epoch, addr)
+        if best is None:
+            return None
+        if best[0] > self.epoch:
+            self.epoch = best[0]
+            self._hlog({"op": "epoch", "epoch": best[0]})
+        self.primary_addr = best[1]
+        return best[1]
+
+    async def _preflight_promotion(self) -> bool:
+        """Safety gate before claiming a new epoch.
+
+        Poll the other standbys first: if any of them has witnessed a
+        newer epoch (or already promoted), adopt it instead of claiming.
+        Otherwise require a majority of the standby set (self included)
+        to be reachable -- a fully partitioned standby can therefore
+        never claim an epoch the healthy cluster would have to fence.
+        """
+        if self.partitioned:
+            return False
+        standby_ranks = [
+            rank
+            for rank, addr in self.peers.items()
+            if rank != self.rank and addr != self.primary_addr
+        ]
+        reached = 0
+        for rank in sorted(standby_ranks):
+            try:
+                reply = await self.channel.call(
+                    self.peers[rank], "hagent", "ping", timeout=0.3
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+            reached += 1
+            peer_epoch = reply.get("epoch", 0)
+            if peer_epoch > self.epoch or (
+                reply.get("role") == "primary" and peer_epoch >= self.epoch
+            ):
+                # The cluster already moved on: follow, do not promote.
+                if peer_epoch > self.epoch:
+                    self.epoch = peer_epoch
+                    self._hlog({"op": "epoch", "epoch": peer_epoch})
+                if reply.get("role") == "primary":
+                    self.primary_addr = self.peers[rank]
+                if self.detector is not None:
+                    self.detector.record_ok(time.monotonic())
+                return False
+        total = len(standby_ranks) + 1
+        return (reached + 1) * 2 > total
+
+    async def _promote(self) -> None:
+        """Claim the next epoch and take over as primary."""
+        claimed = next_epoch(self.epoch)
+        self.role = "primary"
+        self.epoch = claimed
+        self.primary_addr = self.addr
+        self.promoted_at = time.monotonic()
+        self.promotions.append(
+            {"epoch": claimed, "version": self.version, "at": self.promoted_at}
+        )
+        self._record_claim()
+        # The claim must hit disk before any fenced op carries it.
+        self._hlog({"op": "epoch", "epoch": claimed})
+        if self.store is not None:
+            self.store.snapshot(self._durable_state())
+        # Grace period: no shard reported to *this* replica yet; give
+        # each one a full liveness window before takeovers may fire.
+        now = time.monotonic()
+        for owner in self.iagent_nodes:
+            self._last_report[owner] = now
+        self._log("promote", epoch=claimed, rank=self.rank)
+        self.spawn(self._monitor_loop(), name="hagent-monitor")
+        await self._announce_primary()
+
+    async def _announce_primary(self) -> None:
+        """Push ``new-primary`` to every node and peer replica.
+
+        Best-effort: a node that cannot be reached learns the address
+        through its own re-discovery scan instead. A ``stale-epoch``
+        rejection means another replica won the epoch race -- demote.
+        """
+        assert self.addr is not None
+        body = {
+            "epoch": self.epoch,
+            "claimant": self.replica_name,
+            "host": self.addr[0],
+            "port": self.addr[1],
+        }
+        lost_race = False
+        for name in list(self.node_order):
+            addr = self.node_addrs.get(name)
+            if addr is None:
+                continue
+            try:
+                await self.channel.call(
+                    addr,
+                    "host",
+                    "new-primary",
+                    dict(body),
+                    timeout=self.config.rpc_timeout,
+                )
+            except RemoteOpError as error:
+                if error.code == STALE_EPOCH:
+                    lost_race = True
+            except ServiceRpcError:
+                continue
+        for rank, addr in self.peers.items():
+            if rank == self.rank:
+                continue
+            try:
+                await self.channel.call(
+                    addr, "hagent", "new-primary", dict(body), timeout=0.5
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+        if lost_race:
+            self._demote("lost the epoch race during announcement")
+
+    def _demote(self, reason: str) -> None:
+        """Step down to standby (fenced, deposed, or told of a successor)."""
+        if self.role != "primary":
+            return
+        self.role = "standby"
+        self.demotions += 1
+        self.primary_addr = None
+        self._log("demote", reason=reason, epoch=self.epoch)
+        self.spawn(self._standby_loop(), name=f"{self.replica_name}-sync")
+
+    async def kill(self) -> None:
+        """Abrupt crash for fault injection: no final snapshot, no
+        clean store close -- on-disk state is whatever the fsync policy
+        already made durable, exactly like a killed process."""
+        await _FramedServer.stop(self)
+        if self.store is not None:
+            self.store.abort()
+        await self.channel.close()
 
     # ------------------------------------------------------------------
     # Load reports -> rehash decisions (paper §4.1-§4.2)
@@ -1169,6 +1810,23 @@ class HAgentServer(_FramedServer):
             outcome = self.tree.apply_split(planned.candidate, new_owner)
             self.iagent_nodes[new_owner] = new_node
             self._last_report[new_owner] = time.monotonic()
+            self.splits += 1
+            self._set_cooldown(owner)
+            self._set_cooldown(new_owner)
+            # Published in the same event-loop step as the mutation: a
+            # replica-sync bundle served between the two would carry the
+            # post-split tree under the pre-split version, and the
+            # standby's next delta would replay the split twice.
+            self._publish(
+                {
+                    "op": "split",
+                    "kind": planned.candidate.kind,
+                    "owner": owner,
+                    "bit": planned.candidate.bit_position,
+                    "new_owner": new_owner,
+                    "new_node": new_node,
+                }
+            )
 
             moved_records: Dict[AgentId, List] = {}
             moved_loads: Dict[AgentId, int] = {}
@@ -1195,20 +1853,6 @@ class HAgentServer(_FramedServer):
                 )
             except (ServiceRpcError, RemoteOpError):
                 pass  # coverage arrives with the next takeover/republish
-
-            self.splits += 1
-            self._set_cooldown(owner)
-            self._set_cooldown(new_owner)
-            self._publish(
-                {
-                    "op": "split",
-                    "kind": planned.candidate.kind,
-                    "owner": owner,
-                    "bit": planned.candidate.bit_position,
-                    "new_owner": new_owner,
-                    "new_node": new_node,
-                }
-            )
             self._log(
                 "split",
                 owner=owner,
@@ -1228,6 +1872,10 @@ class HAgentServer(_FramedServer):
             outcome = self.tree.apply_merge(owner)
             node = self.iagent_nodes.pop(owner, None)
             self._last_report.pop(owner, None)
+            self.merges += 1
+            # Same torn-bundle guard as in _split: version and journal
+            # must advance in the event-loop step that mutated the tree.
+            self._publish({"op": "merge", "owner": owner})
             try:
                 reply = await self._rpc_iagent(owner, "extract-all", node_name=node)
                 records, loads = reply["records"], reply["loads"]
@@ -1257,8 +1905,6 @@ class HAgentServer(_FramedServer):
                     await self._rpc_node(node, "retire-iagent", {"owner": owner})
                 except (ServiceRpcError, RemoteOpError):
                     pass
-            self.merges += 1
-            self._publish({"op": "merge", "owner": owner})
             self._log("merge", owner=owner, kind=outcome.kind, moved=len(records))
 
     # ------------------------------------------------------------------
@@ -1269,7 +1915,9 @@ class HAgentServer(_FramedServer):
         config = self.config
         while True:
             await asyncio.sleep(config.mechanism.report_interval)
-            if self.tree is None:
+            if self.role != "primary":
+                return  # demoted: the standby loop took over
+            if self.tree is None or self.partitioned:
                 continue
             now = time.monotonic()
             for owner in list(self.iagent_nodes):
@@ -1334,14 +1982,31 @@ class HAgentServer(_FramedServer):
         reply = await self._rpc_iagent(owner, "get-loads")
         return reply["loads"]
 
+    def _fenced(self, body: Optional[Dict]) -> Dict:
+        """Stamp an outgoing coordinator op with this replica's epoch."""
+        stamped = dict(body or {})
+        stamped.setdefault("epoch", self.epoch)
+        stamped.setdefault("claimant", self.replica_name)
+        return stamped
+
     async def _rpc_node(self, node: str, op: str, body: Dict) -> Dict:
-        return await self.channel.call(
-            self.node_addrs[node],
-            "host",
-            op,
-            body,
-            timeout=self.config.rpc_timeout,
-        )
+        if self.partitioned:
+            raise ServiceRpcError(
+                f"{op} to {node} blocked: {self.replica_name} is partitioned",
+                op=op,
+            )
+        try:
+            return await self.channel.call(
+                self.node_addrs[node],
+                "host",
+                op,
+                self._fenced(body),
+                timeout=self.config.rpc_timeout,
+            )
+        except RemoteOpError as error:
+            if error.code == STALE_EPOCH:
+                self._demote(f"fenced by node {node}: {error}")
+            raise
 
     async def _rpc_iagent(
         self,
@@ -1353,14 +2018,24 @@ class HAgentServer(_FramedServer):
     ) -> Dict:
         node = node_name if node_name is not None else self.iagent_nodes.get(owner)
         if node is None:
-            raise ServiceRpcError(f"IAgent {owner} has no known node")
-        return await self.channel.call(
-            self.node_addrs[node],
-            owner,
-            op,
-            body or {},
-            timeout=timeout if timeout is not None else self.config.rpc_timeout,
-        )
+            raise ServiceRpcError(f"IAgent {owner} has no known node", op=op)
+        if self.partitioned:
+            raise ServiceRpcError(
+                f"{op} to {owner} blocked: {self.replica_name} is partitioned",
+                op=op,
+            )
+        try:
+            return await self.channel.call(
+                self.node_addrs[node],
+                owner,
+                op,
+                self._fenced(body),
+                timeout=timeout if timeout is not None else self.config.rpc_timeout,
+            )
+        except RemoteOpError as error:
+            if error.code == STALE_EPOCH:
+                self._demote(f"fenced by {owner} on {node}: {error}")
+            raise
 
     def _set_cooldown(self, owner: Any) -> None:
         self._cooldown_until[owner] = (
@@ -1370,6 +2045,7 @@ class HAgentServer(_FramedServer):
     def _publish(self, op: Dict) -> None:
         self.version += 1
         op["version"] = self.version
+        op["epoch"] = self.epoch
         self.journal.append(op)
         self._hlog({"op": "rehash", "entry": dict(op), "namer": self.namer.state})
 

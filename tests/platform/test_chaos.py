@@ -1,0 +1,186 @@
+"""Seeded chaos schedules: generation, value semantics, sim replay.
+
+The schedule is the contract between the simulator's
+:class:`~repro.platform.failures.FailureInjector` and the live cluster
+driver: the same seed must always yield byte-identical events, every
+disruptive event must carry its heal inside the pre-settle window, and
+replaying a schedule against the same scenario must be bit-identical.
+"""
+
+import pytest
+
+from repro.platform.chaos import CHAOS_KINDS, ChaosEvent, ChaosSchedule
+from repro.platform.failures import FailureInjector
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism
+
+NODES = ["node-0", "node-1", "node-2", "node-3"]
+
+
+class TestChaosEvent:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at=1.0, kind="set-on-fire", target="node-0")
+
+    def test_negative_time_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at=-0.1, kind="crash-node", target="node-0")
+
+    def test_round_trip(self):
+        event = ChaosEvent(at=2.5, kind="partition-node", target="node-1")
+        assert ChaosEvent.from_dict(event.to_dict()) == event
+
+
+class TestGeneration:
+    def test_same_seed_is_byte_identical(self):
+        first = ChaosSchedule.generate(7, 10.0, NODES)
+        second = ChaosSchedule.generate(7, 10.0, NODES)
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_different_seeds_differ(self):
+        digests = {
+            ChaosSchedule.generate(seed, 10.0, NODES).digest()
+            for seed in range(5)
+        }
+        assert len(digests) == 5
+
+    def test_every_kind_generated_is_known(self):
+        schedule = ChaosSchedule.generate(3, 60.0, NODES, faults=20)
+        assert all(event.kind in CHAOS_KINDS for event in schedule.events)
+
+    def test_faults_fixes_the_opening_count(self):
+        schedule = ChaosSchedule.generate(1, 10.0, NODES, faults=6)
+        closers = {"restart-hagent", "heal-hagent", "recover-node", "heal-node"}
+        openers = [e for e in schedule.events if e.kind not in closers]
+        assert len(openers) == 6
+
+    def test_pairs_close_inside_the_settle_window(self):
+        schedule = ChaosSchedule.generate(
+            5, 20.0, NODES, faults=10, settle_fraction=0.3
+        )
+        horizon = 20.0 * 0.7
+        assert all(event.at <= horizon for event in schedule.events)
+        # Every opening half is followed by its closing half on the
+        # same target, strictly later.
+        pending = []
+        pairs = {
+            "crash-hagent": "restart-hagent",
+            "partition-hagent": "heal-hagent",
+            "crash-node": "recover-node",
+            "partition-node": "heal-node",
+        }
+        closers = set(pairs.values())
+        for event in schedule.events:
+            if event.kind in pairs:
+                pending.append((pairs[event.kind], event.target, event.at))
+            elif event.kind in closers:
+                match = next(
+                    entry
+                    for entry in pending
+                    if entry[0] == event.kind and entry[1] == event.target
+                )
+                assert event.at >= match[2]
+                pending.remove(match)
+        assert pending == []
+
+    def test_events_are_time_ordered(self):
+        schedule = ChaosSchedule.generate(9, 30.0, NODES, faults=12)
+        times = [event.at for event in schedule.events]
+        assert times == sorted(times)
+
+    def test_palette_restriction_is_honoured(self):
+        schedule = ChaosSchedule.generate(
+            2, 10.0, NODES, kinds=["partition-node"], faults=4
+        )
+        assert {e.kind for e in schedule.events} == {
+            "partition-node",
+            "heal-node",
+        }
+
+    def test_non_positive_duration_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(1, 0.0, NODES)
+
+    def test_closing_kind_in_palette_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(1, 10.0, NODES, kinds=["heal-node"])
+
+    def test_node_kinds_need_nodes(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(1, 10.0, [], kinds=["crash-node"])
+
+
+class TestValueSemantics:
+    def test_dict_round_trip_preserves_digest(self):
+        schedule = ChaosSchedule.generate(11, 15.0, NODES)
+        restored = ChaosSchedule.from_dict(schedule.to_dict())
+        assert restored == schedule
+        assert restored.digest() == schedule.digest()
+
+    def test_len_counts_events(self):
+        schedule = ChaosSchedule.generate(1, 10.0, NODES, faults=3)
+        assert len(schedule) == len(schedule.events)
+
+    def test_describe_mentions_every_event(self):
+        schedule = ChaosSchedule.generate(1, 10.0, NODES, faults=3)
+        text = schedule.describe()
+        for event in schedule.events:
+            assert event.kind in text
+
+
+class TestSimReplay:
+    def _replay(self, schedule, seed=1):
+        runtime = build_runtime(seed=seed)
+        install_hash_mechanism(runtime)
+        injector = FailureInjector(runtime)
+        injector.apply_schedule(schedule)
+        drain(runtime, schedule.duration)
+        return injector.log
+
+    def test_same_schedule_replays_bit_identically(self):
+        schedule = ChaosSchedule.generate(
+            13, 5.0, NODES, kinds=["partition-node", "crash-node"], faults=4
+        )
+        assert self._replay(schedule) == self._replay(schedule)
+        assert len(self._replay(schedule)) > 0
+
+    def test_role_targets_resolve_against_the_mechanism(self):
+        schedule = ChaosSchedule.generate(
+            3, 5.0, [], kinds=["crash-hagent"], faults=1
+        )
+        runtime = build_runtime()
+        mechanism = install_hash_mechanism(runtime)
+        injector = FailureInjector(runtime)
+        injector.apply_schedule(schedule)
+        drain(runtime, schedule.duration)
+        # The role target resolved to the mechanism's coordinator: it
+        # crashed at the opening event and recovered at the closing one.
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["crash-agent", "recover-agent"]
+        assert all(
+            entry["target"] == str(mechanism.hagent.agent_id)
+            for entry in injector.log
+        )
+        assert not mechanism.hagent.mailbox.stopped
+
+    def test_node_faults_are_idempotent_under_overlap(self):
+        # Two overlapping partitions of the same node: the injector
+        # applies the first and logs nothing for the duplicate.
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        injector = FailureInjector(runtime)
+        schedule = ChaosSchedule(
+            seed=0,
+            duration=4.0,
+            events=(
+                ChaosEvent(at=0.5, kind="partition-node", target="node-1"),
+                ChaosEvent(at=0.6, kind="partition-node", target="node-1"),
+                ChaosEvent(at=1.0, kind="heal-node", target="node-1"),
+                ChaosEvent(at=1.1, kind="heal-node", target="node-1"),
+            ),
+        )
+        injector.apply_schedule(schedule)
+        drain(runtime, schedule.duration)
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["partition-node", "heal-node"]

@@ -52,8 +52,10 @@ class TestAgentFaults:
         injector = FailureInjector(runtime)
         injector.crash_agent(agent)
         injector.recover_agent(agent)
-        kinds = [entry[1] for entry in injector.log]
+        kinds = [entry["kind"] for entry in injector.log]
         assert kinds == ["crash-agent", "recover-agent"]
+        # Every event is a structured record stamped with sim-time.
+        assert all(entry["t"] == runtime.sim.now for entry in injector.log)
 
     def test_fault_log_records_node_of_agent(self):
         # A crash is a placement event: the log must say *where* the
@@ -63,9 +65,9 @@ class TestAgentFaults:
         injector = FailureInjector(runtime)
         injector.crash_agent(agent)
         injector.recover_agent(agent)
-        assert injector.log[0][2] == str(agent.agent_id)
-        assert injector.log[0][3] == "node-2"
-        assert injector.log[1][3] == "node-2"
+        assert injector.log[0]["target"] == str(agent.agent_id)
+        assert injector.log[0]["node"] == "node-2"
+        assert injector.log[1]["node"] == "node-2"
 
     def test_fault_log_tolerates_homeless_agent(self):
         runtime = build_runtime()
@@ -74,7 +76,7 @@ class TestAgentFaults:
         agent.node = None
         injector = FailureInjector(runtime)
         injector.crash_agent(agent)
-        assert injector.log[0][3] is None
+        assert injector.log[0]["node"] is None
 
     def test_scheduled_crash_and_recovery(self):
         runtime = build_runtime()
@@ -166,5 +168,42 @@ class TestPartitions:
         # During the partition the locate either timed out (None) or
         # was answered by an IAgent outside the partition.
         assert located_during in (None, target.node_name)
-        kinds = [entry[1] for entry in injector.log]
+        kinds = [entry["kind"] for entry in injector.log]
         assert kinds == ["partition-node", "heal-node"]
+
+    def test_partition_and_heal_are_idempotent(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        assert injector.partition_node("node-1")
+        # Re-partitioning is a no-op and must not double-log.
+        assert not injector.partition_node("node-1")
+        assert injector.heal_node("node-1")
+        assert not injector.heal_node("node-1")
+        assert not injector.heal_node("node-2")  # healthy node: no-op
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["partition-node", "heal-node"]
+
+    def test_unknown_node_raises_not_logs(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        with pytest.raises(KeyError):
+            injector.partition_node("no-such-node")
+        assert injector.log == []
+
+
+class TestScheduledNodeCrash:
+    def test_scheduled_node_crash_and_recovery(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        injector.schedule_node_crash("node-1", at=1.0, recover_after=1.0)
+        runtime.sim.run(until=0.5)
+        assert not runtime.get_node("node-1").crashed
+        runtime.sim.run(until=1.5)
+        assert runtime.get_node("node-1").crashed
+        assert call(runtime, agent) == "timeout"
+        runtime.sim.run(until=2.5)
+        assert not runtime.get_node("node-1").crashed
+        assert call(runtime, agent) == "pong"
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["crash-node", "recover-node"]
