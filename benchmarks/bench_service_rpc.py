@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Measure the service wire path: codecs x driving disciplines.
+
+Boots a real localhost cluster (one HAgent, N node servers, every RPC a
+TCP round-trip) twice -- once pinned to tagged-JSON framing, once to the
+negotiated binary codec -- and drives the ``locate`` hot path three
+ways per codec:
+
+* ``sequential`` -- one locate at a time, full round-trip each: the
+  pre-pipelining baseline every speedup is quoted against.
+* ``pipelined``  -- a window of concurrent locates multiplexed over the
+  pooled connections, correlated by ``message_id``.
+* ``batched``    -- ``locate_batch`` amortizing one ``locate-batch``
+  RPC over many agents.
+
+Writes ops/sec and p50/p99 latency for all six arms to
+``BENCH_service.json`` at the repo root. Commit the refreshed snapshot
+when a PR moves the numbers; diffs of that file are the perf history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_rpc.py           # full
+    PYTHONPATH=src python benchmarks/bench_service_rpc.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_service_rpc.py --quick --check
+
+``--check`` exits non-zero unless (a) binary is at least as fast as
+JSON on the pipelined and batched locate arms (small tolerance for CI
+noise) and (b) the best pipelined/batched binary arm clears 3x the
+sequential JSON baseline. ``--quick`` numbers are not comparable to a
+full run and should never be committed over a full snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.platform.naming import AgentId
+from repro.service.client import ClientConfig, ServiceClient
+from repro.service.cluster import ClusterConfig, _Cluster
+from repro.service.server import ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Concurrent locates in flight during the pipelined arm.
+PIPELINE_WINDOW = 32
+
+#: Agents per ``locate-batch`` RPC during the batched arm.
+BATCH_SIZE = 64
+
+
+# ----------------------------------------------------------------------
+# The three driving disciplines
+# ----------------------------------------------------------------------
+
+
+async def _run_sequential(
+    client: ServiceClient, agents: List[AgentId], ops: int
+) -> Tuple[List[float], float]:
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for index in range(ops):
+        begin = time.perf_counter()
+        await client.locate(agents[index % len(agents)])
+        latencies.append(time.perf_counter() - begin)
+    return latencies, time.perf_counter() - start
+
+
+async def _run_pipelined(
+    client: ServiceClient, agents: List[AgentId], ops: int
+) -> Tuple[List[float], float]:
+    latencies: List[float] = []
+
+    async def one(agent: AgentId) -> None:
+        begin = time.perf_counter()
+        await client.locate(agent)
+        latencies.append(time.perf_counter() - begin)
+
+    start = time.perf_counter()
+    for base in range(0, ops, PIPELINE_WINDOW):
+        window = range(base, min(base + PIPELINE_WINDOW, ops))
+        await asyncio.gather(
+            *(one(agents[index % len(agents)]) for index in window)
+        )
+    return latencies, time.perf_counter() - start
+
+
+async def _run_batched(
+    client: ServiceClient, agents: List[AgentId], ops: int
+) -> Tuple[List[float], float]:
+    # Each item's latency is its batch's round-trip: that is what the
+    # caller of locate_batch actually waits.
+    latencies: List[float] = []
+    start = time.perf_counter()
+    done = 0
+    while done < ops:
+        chunk = [
+            agents[(done + offset) % len(agents)]
+            for offset in range(min(BATCH_SIZE, ops - done))
+        ]
+        begin = time.perf_counter()
+        located = await client.locate_batch(chunk)
+        elapsed = time.perf_counter() - begin
+        assert len(located) == len(set(chunk))
+        latencies.extend([elapsed] * len(chunk))
+        done += len(chunk)
+    return latencies, time.perf_counter() - start
+
+
+ARMS = {
+    "sequential": _run_sequential,
+    "pipelined": _run_pipelined,
+    "batched": _run_batched,
+}
+
+
+# ----------------------------------------------------------------------
+# Per-codec run
+# ----------------------------------------------------------------------
+
+
+def _summarize(latencies: List[float], duration: float) -> Dict[str, float]:
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "ops": len(latencies),
+        "duration_s": round(duration, 6),
+        "ops_per_sec": round(len(latencies) / duration, 1),
+        "p50_ms": round(quantile(0.50) * 1e3, 4),
+        "p99_ms": round(quantile(0.99) * 1e3, 4),
+        "mean_ms": round(statistics.mean(latencies) * 1e3, 4),
+    }
+
+
+async def _bench_codec(
+    codec: str, nodes: int, agent_count: int, ops: int
+) -> Dict[str, Dict[str, float]]:
+    config = ClusterConfig(
+        nodes=nodes,
+        agents=agent_count,
+        ops=0,
+        seed=7,
+        service=ServiceConfig(wire=codec),
+        client=ClientConfig(wire=codec, batch_size=BATCH_SIZE),
+    )
+    cluster = _Cluster(config)
+    await cluster.start()
+    try:
+        agents = [await cluster.spawn_agent() for _ in range(agent_count)]
+        driver = cluster.clients[0]
+        negotiated = set(driver.channel.negotiated.values())
+        assert negotiated <= {codec}, (codec, negotiated)
+        results: Dict[str, Dict[str, float]] = {}
+        for arm, runner in ARMS.items():
+            # Warm the connection pool + secondary copies out of band.
+            await runner(driver, agents, min(len(agents), PIPELINE_WINDOW))
+            latencies, duration = await runner(driver, agents, ops)
+            results[arm] = _summarize(latencies, duration)
+        negotiated = set(driver.channel.negotiated.values())
+        assert negotiated == {codec}, (codec, negotiated)
+        return results
+    finally:
+        await cluster.stop()
+
+
+def run(quick: bool, nodes: int, agents: int, ops: int) -> Dict:
+    snapshot: Dict = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "quick": quick,
+        "config": {
+            "nodes": nodes,
+            "agents": agents,
+            "ops_per_arm": ops,
+            "pipeline_window": PIPELINE_WINDOW,
+            "batch_size": BATCH_SIZE,
+        },
+        "codecs": {},
+    }
+    for codec in ("json", "binary"):
+        print(f"== codec {codec}: {ops} locates per arm over {nodes} nodes ==")
+        results = asyncio.run(_bench_codec(codec, nodes, agents, ops))
+        snapshot["codecs"][codec] = results
+        for arm, summary in results.items():
+            print(
+                f"  {arm:<10} {summary['ops_per_sec']:>9.1f} ops/s   "
+                f"p50 {summary['p50_ms']:.3f} ms   p99 {summary['p99_ms']:.3f} ms"
+            )
+    baseline = snapshot["codecs"]["json"]["sequential"]["ops_per_sec"]
+    snapshot["speedups_vs_json_sequential"] = {
+        f"{codec}_{arm}": round(
+            snapshot["codecs"][codec][arm]["ops_per_sec"] / baseline, 2
+        )
+        for codec in ("json", "binary")
+        for arm in ARMS
+    }
+    return snapshot
+
+
+def check(snapshot: Dict, tolerance: float = 0.9) -> List[str]:
+    """The CI gate; returns a list of failures (empty = pass)."""
+    failures = []
+    codecs = snapshot["codecs"]
+    for arm in ("pipelined", "batched"):
+        binary = codecs["binary"][arm]["ops_per_sec"]
+        json_ = codecs["json"][arm]["ops_per_sec"]
+        if binary < tolerance * json_:
+            failures.append(
+                f"binary {arm} locate ({binary:.0f} ops/s) slower than "
+                f"JSON ({json_:.0f} ops/s)"
+            )
+    sequential_json = codecs["json"]["sequential"]["ops_per_sec"]
+    best_binary = max(
+        codecs["binary"]["pipelined"]["ops_per_sec"],
+        codecs["binary"]["batched"]["ops_per_sec"],
+    )
+    if best_binary < 3.0 * sequential_json:
+        failures.append(
+            f"best binary arm ({best_binary:.0f} ops/s) is below 3x the "
+            f"sequential JSON baseline ({sequential_json:.0f} ops/s)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: fewer ops, small cluster"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless binary clears the gate (see module docs)",
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--agents", type=int, default=None)
+    parser.add_argument("--ops", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="snapshot path (default: BENCH_service.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    nodes = args.nodes or (3 if args.quick else 5)
+    agents = args.agents or (48 if args.quick else 128)
+    ops = args.ops or (384 if args.quick else 2000)
+    snapshot = run(args.quick, nodes, agents, ops)
+    args.output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    if args.check:
+        failures = check(snapshot)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ SWEEP_BENCH_ROUNDS = 3
 BENCH_FILES = (
     "benchmarks/bench_core_microbench.py",
     "benchmarks/bench_storage_wal.py",
+    "benchmarks/bench_wire_codec.py",
     "benchmarks/bench_exp1_agent_scaling.py",
 )
 

@@ -12,9 +12,10 @@ so protocol fixes land once and serve both worlds.
 
 Modules
 -------
-* :mod:`repro.service.wire` -- length-prefixed JSON frames; tagged
-  encoding for :class:`repro.platform.naming.AgentId` and the
-  :class:`repro.platform.messages.Request`/``Response`` envelopes.
+* :mod:`repro.service.wire` -- length-prefixed frames in two codecs:
+  tagged JSON (the compatibility floor every peer speaks) and a compact
+  binary format negotiated per-connection via a hello handshake, with
+  transparent fallback for peers that predate it.
 * :mod:`repro.service.server` -- the HAgent server and per-node servers
   hosting the LHAgent, resident IAgents and the node-host endpoint.
 * :mod:`repro.service.client` -- the locate/register/migrate client with
@@ -27,10 +28,12 @@ Everything is standard library only (``asyncio`` + ``json``); no
 ``[service]`` extra is required.
 """
 
-from repro.service.client import ClientConfig, ClientCounters, ServiceClient
+from repro.service.client import ClientConfig, ClientCounters, RpcChannel, ServiceClient
 from repro.service.cluster import ClusterConfig, ClusterReport, run_cluster
 from repro.service.server import HAgentServer, NodeServer, ServiceConfig
 from repro.service.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
     FrameDecoder,
     WireError,
     decode_frame,
@@ -40,6 +43,8 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "ClientConfig",
     "ClientCounters",
     "ClusterConfig",
@@ -47,6 +52,7 @@ __all__ = [
     "FrameDecoder",
     "HAgentServer",
     "NodeServer",
+    "RpcChannel",
     "ServiceClient",
     "ServiceConfig",
     "WireError",

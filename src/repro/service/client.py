@@ -2,11 +2,18 @@
 
 Two layers:
 
-* :class:`RpcChannel` -- the transport. One pooled TCP connection per
-  destination address, one request in flight per connection, per-RPC
-  timeouts. Transport failures (refused, reset, timed out, garbage
-  frames) surface as :class:`ServiceRpcError` and drop the pooled
-  connection, so the next call reconnects from scratch.
+* :class:`RpcChannel` -- the transport. A small per-address pool of
+  framed TCP connections, each carrying many requests in flight at
+  once: a reader task correlates replies to callers by ``message_id``,
+  writes are coalesced (one ``drain()`` per flush window, not per
+  frame), and idle connections are reaped. New connections negotiate
+  the binary wire codec via the hello handshake and fall back to
+  tagged JSON transparently when the peer predates it (see
+  :mod:`repro.service.wire`). Transport failures (refused, reset,
+  garbage frames) surface as :class:`ServiceRpcError` and drop the
+  connection -- failing every call in flight on it -- while a single
+  call's *timeout* only abandons that call: its late reply, if any, is
+  discarded by message id and the connection keeps serving the rest.
 * :class:`ServiceClient` -- the protocol. Mirrors
   :meth:`repro.core.mechanism.HashLocationMechanism.iagent_request`, the
   paper's §2.3 + §4.3 loop, over the wire: resolve the responsible
@@ -16,7 +23,12 @@ Two layers:
   migration, takeover) takes the same refresh path; ``no-record`` during
   a locate backs off and retries while a record transfer or a
   post-takeover re-registration is in flight. Retry rounds sleep a
-  capped exponential backoff with jitter.
+  capped exponential backoff with jitter drawn from an injectable RNG
+  (``ClientConfig.rng``), so retry timing is deterministic under test.
+  :meth:`ServiceClient.register_batch` / :meth:`~ServiceClient.locate_batch`
+  amortize one round-trip over N operations -- safe because LHAgent
+  lazy refresh already tolerates staleness -- and fall back to the
+  single-op recovery loop for any item the batch could not settle.
 
 Counters mirror the simulator's mechanism counters so the live smoke
 run reports the same vocabulary (retries, refreshes, bounces).
@@ -26,8 +38,8 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.trace import Tracer
 from repro.platform.messages import Request, Response
@@ -145,6 +157,29 @@ class ClientConfig:
     #: ``[delay * (1 - jitter), delay]``.
     backoff_jitter: float = 0.5
 
+    #: Backoff RNG. Inject a seeded ``random.Random`` so retry timing
+    #: is deterministic under test and chaos replay; None draws a fresh
+    #: unseeded generator per client.
+    rng: Optional[random.Random] = None
+
+    #: Wire codec preference: ``"binary"`` negotiates the compact codec
+    #: where the peer supports it (transparent JSON fallback otherwise);
+    #: ``"json"`` pins every connection to tagged JSON.
+    wire: str = wire.CODEC_BINARY
+
+    #: Requests in flight per pooled connection before the channel opens
+    #: another connection (or queues, once the pool is full).
+    pipeline_depth: int = 32
+
+    #: Pooled connections per destination address.
+    pool_size: int = 2
+
+    #: Idle seconds after which a pooled connection is reaped.
+    pool_idle_s: float = 30.0
+
+    #: Items per batched RPC chunk (``register-batch``/``locate-batch``).
+    batch_size: int = 64
+
 
 @dataclass
 class ClientCounters:
@@ -167,6 +202,10 @@ class ClientCounters:
     #: Rounds retried due to transport failures (timeouts, resets,
     #: vanished agents).
     transport_retries: int = 0
+    #: Batched RPCs sent (each amortizes one round-trip over N items).
+    batch_rpcs: int = 0
+    #: Items settled directly by a batched RPC (no single-op fallback).
+    batched_ops: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -176,20 +215,120 @@ class ClientCounters:
             setattr(self, name, getattr(self, name) + value)
 
 
+class _Connection:
+    """One negotiated framed connection with its in-flight requests.
+
+    The reader task is the only consumer of the socket: it resolves each
+    :class:`Response` to the waiting caller's future by ``message_id``.
+    Replies whose caller already timed out resolve to nobody and are
+    dropped -- a late reply must not wedge or kill the stream. Any
+    transport failure fails every pending future and closes the
+    connection.
+    """
+
+    def __init__(
+        self,
+        channel: "RpcChannel",
+        addr: Address,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec: str,
+    ) -> None:
+        self.channel = channel
+        self.addr = addr
+        self.reader = reader
+        self.writer = writer
+        self.codec = codec
+        self.pending: Dict[int, "asyncio.Future[Response]"] = {}
+        self.closed = False
+        self.last_used = asyncio.get_event_loop().time()
+        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self.reader_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.pending)
+
+    def send(self, payload: bytes) -> None:
+        """Queue one frame; schedule a single coalesced drain."""
+        self.writer.write(payload)
+        self.last_used = asyncio.get_event_loop().time()
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        try:
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the read loop surfaces transport failures
+
+    async def _read_loop(self) -> None:
+        detail = "connection closed"
+        try:
+            while True:
+                frame = await wire.read_frame(
+                    self.reader, max_frame=self.channel.max_frame, codec=self.codec
+                )
+                if frame is None:
+                    detail = "peer closed the connection"
+                    break
+                if isinstance(frame, Response):
+                    future = self.pending.pop(frame.message_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                    self.last_used = asyncio.get_event_loop().time()
+                # Any other frame is a peer bug; skip it rather than
+                # wedging the stream.
+        except (ConnectionError, OSError, EOFError, wire.WireError) as error:
+            detail = str(error)
+        except asyncio.CancelledError:
+            self.close("connection closed")
+            raise
+        self.close(detail)
+
+    def close(self, detail: str = "connection closed") -> None:
+        if self.closed:
+            return
+        self.closed = True
+        pending, self.pending = self.pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    ServiceRpcError(
+                        f"rpc to {format_addr(self.addr)} failed: {detail}",
+                        addr=self.addr,
+                    )
+                )
+        if not self.reader_task.done():
+            self.reader_task.cancel()
+        self.writer.close()
+
+
 class RpcChannel:
-    """A pool of framed request/response connections, keyed by address."""
+    """A pool of pipelined framed connections, keyed by address."""
 
     def __init__(
         self,
         rpc_timeout: float = 2.0,
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         tracer: Optional[Tracer] = None,
+        wire_format: str = wire.CODEC_BINARY,
+        pipeline_depth: int = 32,
+        pool_size: int = 2,
+        pool_idle_s: float = 30.0,
     ) -> None:
         self.rpc_timeout = rpc_timeout
         self.max_frame = max_frame
         self.tracer = tracer
-        self._conns: Dict[Address, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
-        self._locks: Dict[Address, asyncio.Lock] = {}
+        self.wire_format = wire_format
+        self.pipeline_depth = max(1, pipeline_depth)
+        self.pool_size = max(1, pool_size)
+        self.pool_idle_s = pool_idle_s
+        #: Codec negotiated with each address, for observability/tests.
+        self.negotiated: Dict[Address, str] = {}
+        self._pools: Dict[Address, List[_Connection]] = {}
+        self._open_locks: Dict[Address, asyncio.Lock] = {}
+        self._last_reap = 0.0
 
     async def call(
         self,
@@ -201,82 +340,156 @@ class RpcChannel:
     ) -> Any:
         """One RPC: returns the reply value or raises a service error."""
         timeout = self.rpc_timeout if timeout is None else timeout
-        lock = self._locks.setdefault(addr, asyncio.Lock())
-        async with lock:
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        self._reap_idle(loop.time())
+        try:
+            conn = await asyncio.wait_for(self._acquire(addr, op), timeout)
+        except asyncio.TimeoutError:
+            message = f"{op} to {format_addr(addr)} timed out connecting"
+            self._trace(op, addr, f"timeout: {message}")
+            raise ServiceTimeout(message, op=op, addr=addr)
+        except ServiceRpcError as error:
+            self._trace(op, addr, f"transport-error: {error}")
+            raise
+        request = Request(op=op, body=body)
+        try:
+            payload = wire.encode_frame(
+                {"to": to, "req": request}, max_frame=self.max_frame, codec=conn.codec
+            )
+        except wire.WireError as error:
+            message = f"{op} to {format_addr(addr)} failed: {error}"
+            self._trace(op, addr, f"transport-error: {message}")
+            raise ServiceRpcError(message, op=op, addr=addr) from error
+        future: "asyncio.Future[Response]" = loop.create_future()
+        conn.pending[request.message_id] = future
+        try:
             try:
-                reply = await asyncio.wait_for(
-                    self._exchange(addr, to, op, body), timeout
-                )
+                conn.send(payload)
+                remaining = max(0.001, deadline - loop.time())
+                reply = await asyncio.wait_for(future, remaining)
             except asyncio.TimeoutError:
-                await self._drop(addr)
-                message = (
-                    f"{op} to {format_addr(addr)} timed out after {timeout}s"
-                )
+                # Abandon only this call; the connection stays up and a
+                # late reply is discarded by message id in the read loop.
+                message = f"{op} to {format_addr(addr)} timed out after {timeout}s"
                 self._trace(op, addr, f"timeout: {message}")
                 raise ServiceTimeout(message, op=op, addr=addr)
             except ServiceRpcError as error:
-                await self._drop(addr)
-                self._trace(op, addr, f"transport-error: {error}")
-                raise
-            except (ConnectionError, OSError, EOFError, wire.WireError) as error:
-                await self._drop(addr)
-                refused = isinstance(error, ConnectionRefusedError)
                 message = f"{op} to {format_addr(addr)} failed: {error}"
                 self._trace(op, addr, f"transport-error: {message}")
                 raise ServiceRpcError(
-                    message, op=op, addr=addr, refused=refused
+                    message, op=op, addr=addr, refused=error.refused
                 ) from error
+            except (ConnectionError, OSError) as error:
+                conn.close(str(error))
+                message = f"{op} to {format_addr(addr)} failed: {error}"
+                self._trace(op, addr, f"transport-error: {message}")
+                raise ServiceRpcError(message, op=op, addr=addr) from error
+        finally:
+            conn.pending.pop(request.message_id, None)
         if reply.error is not None:
             self._trace(op, addr, reply.error)
             raise RemoteOpError(reply.error)
         self._trace(op, addr, "ok")
         return reply.value
 
-    async def _exchange(self, addr: Address, to: Any, op: str, body: Any) -> Response:
-        reader, writer = await self._connect(addr)
-        request = Request(op=op, body=body)
-        await wire.write_frame(
-            writer, {"to": to, "req": request}, max_frame=self.max_frame
-        )
-        while True:
-            frame = await wire.read_frame(reader, max_frame=self.max_frame)
-            if frame is None:
+    # ------------------------------------------------------------------
+    # Pooling and negotiation
+    # ------------------------------------------------------------------
+
+    def _live_pool(self, addr: Address) -> List[_Connection]:
+        # Prune in place: callers hold a reference to this list across
+        # awaits (open + append under the lock), so its identity must
+        # be stable or a concurrent prune orphans their append.
+        pool = self._pools.setdefault(addr, [])
+        if any(conn.closed for conn in pool):
+            pool[:] = [conn for conn in pool if not conn.closed]
+        return pool
+
+    def _pick(self, pool: List[_Connection]) -> Optional[_Connection]:
+        """The least-loaded live connection usable without a new socket."""
+        if not pool:
+            return None
+        conn = min(pool, key=lambda c: c.in_flight)
+        if conn.in_flight < self.pipeline_depth or len(pool) >= self.pool_size:
+            return conn
+        return None
+
+    async def _acquire(self, addr: Address, op: str) -> _Connection:
+        conn = self._pick(self._live_pool(addr))
+        if conn is not None:
+            return conn
+        lock = self._open_locks.setdefault(addr, asyncio.Lock())
+        async with lock:
+            pool = self._live_pool(addr)
+            conn = self._pick(pool)
+            if conn is not None:
+                return conn
+            conn = await self._open(addr, op)
+            pool.append(conn)
+            return conn
+
+    async def _open(self, addr: Address, op: str) -> _Connection:
+        try:
+            reader, writer = await asyncio.open_connection(addr[0], addr[1])
+        except (ConnectionError, OSError) as error:
+            refused = isinstance(error, ConnectionRefusedError)
+            raise ServiceRpcError(
+                f"{op} to {format_addr(addr)} failed: {error}",
+                op=op,
+                addr=addr,
+                refused=refused,
+            ) from error
+        codec = wire.CODEC_JSON
+        if self.wire_format == wire.CODEC_BINARY:
+            try:
+                writer.write(wire.encode_hello())
+                await writer.drain()
+                reply = await wire.read_frame(reader, max_frame=self.max_frame)
+                acked = None if reply is None else wire.hello_ack_codec(reply)
+                if acked == wire.CODEC_BINARY:
+                    codec = wire.CODEC_BINARY
+                # Anything else -- a "json" ack, or the bad-envelope
+                # error a pre-handshake peer replies with -- means:
+                # stay on JSON.
+            except asyncio.CancelledError:
+                writer.close()
+                raise
+            except (ConnectionError, OSError, EOFError, wire.WireError) as error:
+                writer.close()
                 raise ServiceRpcError(
-                    f"{op} to {format_addr(addr)}: peer closed the "
-                    "connection mid-call",
+                    f"{op} to {format_addr(addr)} failed during codec "
+                    f"negotiation: {error}",
                     op=op,
                     addr=addr,
-                )
-            if isinstance(frame, Response) and frame.message_id == request.message_id:
-                return frame
-            # Any other frame is a peer bug (a timed-out call's late
-            # reply cannot arrive here -- its connection was dropped);
-            # skip it rather than wedging the stream.
+                ) from error
+        self.negotiated[addr] = codec
+        return _Connection(self, addr, reader, writer, codec)
 
-    async def _connect(
-        self, addr: Address
-    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        conn = self._conns.get(addr)
-        if conn is not None and not conn[1].is_closing():
-            return conn
-        reader, writer = await asyncio.open_connection(addr[0], addr[1])
-        self._conns[addr] = (reader, writer)
-        return reader, writer
-
-    async def _drop(self, addr: Address) -> None:
-        conn = self._conns.pop(addr, None)
-        if conn is None:
+    def _reap_idle(self, now: float) -> None:
+        """Close connections idle past ``pool_idle_s``; cheap, amortized."""
+        if now - self._last_reap < max(1.0, self.pool_idle_s / 4):
             return
-        conn[1].close()
-        try:
-            await conn[1].wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        self._last_reap = now
+        for addr in list(self._pools):
+            for conn in list(self._pools[addr]):
+                if not conn.closed and not conn.in_flight:
+                    if now - conn.last_used > self.pool_idle_s:
+                        conn.close("idle-reaped")
+            self._live_pool(addr)
 
     async def close(self) -> None:
         """Close every pooled connection."""
-        for addr in list(self._conns):
-            await self._drop(addr)
+        conns = [conn for pool in self._pools.values() for conn in pool]
+        self._pools.clear()
+        self.negotiated.clear()
+        for conn in conns:
+            conn.close()
+        for conn in conns:
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     def _trace(self, op: str, addr: Address, outcome: str) -> None:
         if self.tracer is not None:
@@ -301,9 +514,14 @@ class ServiceClient:
         self.lhagent_addr = lhagent_addr
         self.config = config or ClientConfig()
         self.channel = channel or RpcChannel(
-            rpc_timeout=self.config.rpc_timeout, tracer=tracer
+            rpc_timeout=self.config.rpc_timeout,
+            tracer=tracer,
+            wire_format=self.config.wire,
+            pipeline_depth=self.config.pipeline_depth,
+            pool_size=self.config.pool_size,
+            pool_idle_s=self.config.pool_idle_s,
         )
-        self.rng = rng or random.Random()
+        self.rng = rng or self.config.rng or random.Random()
         self.counters = ClientCounters()
 
     # ------------------------------------------------------------------
@@ -329,6 +547,167 @@ class ServiceClient:
     async def locate(self, agent_id: AgentId) -> str:
         """Resolve an agent to its current node name."""
         self.counters.locates += 1
+        return await self._locate_resolved(agent_id)
+
+    async def register_batch(
+        self, items: Sequence[Tuple[AgentId, str, int]]
+    ) -> None:
+        """Publish many ``(agent, node, seq)`` records in bulk.
+
+        One ``whois-batch`` resolves every agent, then one
+        ``register-batch`` RPC per responsible IAgent (chunked at
+        ``config.batch_size``) carries the records -- one round-trip
+        amortized over N updates. Safe under staleness: per-agent
+        sequence numbers make late or replayed publishes harmless, and
+        any item the batch cannot settle (unresolved mapping, bounce,
+        transport failure) falls back to the single-op §4.3 recovery
+        loop.
+        """
+        items = list(items)
+        if not items:
+            return
+        self.counters.registers += len(items)
+        groups, fallback = await self._group_by_iagent([a for a, _, _ in items])
+
+        async def send(key: Tuple[Address, Any], indices: List[int]) -> List[int]:
+            addr, iagent = key
+            ops = [
+                {"agent": items[i][0], "node": items[i][1], "seq": items[i][2]}
+                for i in indices
+            ]
+            return self._settle_batch(
+                indices,
+                await self._batch_rpc(addr, iagent, "register-batch", {"ops": ops}),
+                lambda i, item: None,
+            )
+
+        for bad in await asyncio.gather(
+            *(send(key, chunk) for key, chunk in self._chunked(groups))
+        ):
+            fallback.extend(bad)
+        for index in fallback:
+            agent, node, seq = items[index]
+            await self._update_op("register", agent, node, seq)
+
+    async def locate_batch(
+        self, agent_ids: Sequence[AgentId]
+    ) -> Dict[AgentId, str]:
+        """Resolve many agents to node names; the bulk locate hot path.
+
+        Same shape as :meth:`register_batch`: ``whois-batch`` then one
+        ``locate-batch`` per IAgent chunk, with per-item fallback to
+        :meth:`locate`'s retry loop. Raises
+        :class:`ServiceLocateError` if any agent is unlocatable, like
+        the single-op form.
+        """
+        agents = list(agent_ids)
+        if not agents:
+            return {}
+        self.counters.locates += len(agents)
+        groups, fallback = await self._group_by_iagent(agents)
+        results: Dict[AgentId, str] = {}
+
+        async def send(key: Tuple[Address, Any], indices: List[int]) -> List[int]:
+            addr, iagent = key
+            reply = await self._batch_rpc(
+                addr, iagent, "locate-batch", {"agents": [agents[i] for i in indices]}
+            )
+            return self._settle_batch(
+                indices,
+                reply,
+                lambda i, item: results.__setitem__(agents[i], item["node"]),
+            )
+
+        for bad in await asyncio.gather(
+            *(send(key, chunk) for key, chunk in self._chunked(groups))
+        ):
+            fallback.extend(bad)
+        for index in fallback:
+            results[agents[index]] = await self._locate_resolved(agents[index])
+        return results
+
+    async def close(self) -> None:
+        await self.channel.close()
+
+    # ------------------------------------------------------------------
+    # Batch plumbing
+    # ------------------------------------------------------------------
+
+    async def _group_by_iagent(
+        self, agents: List[AgentId]
+    ) -> Tuple[Dict[Tuple[Address, Any], List[int]], List[int]]:
+        """Map each agent index to its responsible IAgent via whois-batch.
+
+        Returns ``(groups, unresolved)``; on any transport failure every
+        index is handed to the single-op fallback, which owns recovery.
+        """
+        self.counters.ops += len(agents)
+        try:
+            reply = await self.channel.call(
+                self.lhagent_addr,
+                "lhagent",
+                "whois-batch",
+                {"agents": agents},
+                timeout=self.config.rpc_timeout,
+            )
+            mappings = reply["mappings"]
+        except (ServiceRpcError, RemoteOpError, KeyError):
+            return {}, list(range(len(agents)))
+        groups: Dict[Tuple[Address, Any], List[int]] = {}
+        unresolved: List[int] = []
+        for index, mapping in enumerate(mappings):
+            addr = mapping.get("addr")
+            if addr is None:
+                unresolved.append(index)
+            else:
+                groups.setdefault((tuple(addr), mapping["iagent"]), []).append(index)
+        return groups, unresolved
+
+    def _chunked(
+        self, groups: Dict[Tuple[Address, Any], List[int]]
+    ) -> List[Tuple[Tuple[Address, Any], List[int]]]:
+        size = max(1, self.config.batch_size)
+        chunks = []
+        for key, indices in groups.items():
+            for start in range(0, len(indices), size):
+                chunks.append((key, indices[start : start + size]))
+        return chunks
+
+    async def _batch_rpc(
+        self, addr: Address, iagent: Any, op: str, body: Dict
+    ) -> Optional[Dict]:
+        try:
+            reply = await self.channel.call(addr, iagent, op, body)
+        except (ServiceRpcError, RemoteOpError):
+            return None
+        self.counters.batch_rpcs += 1
+        return reply
+
+    def _settle_batch(
+        self,
+        indices: List[int],
+        reply: Optional[Dict],
+        on_ok: Callable[[int, Dict], None],
+    ) -> List[int]:
+        """Apply per-item batch results; return indices needing fallback."""
+        if reply is None:
+            return indices
+        items = reply.get("results", [])
+        bad: List[int] = []
+        for index, item in zip(indices, items):
+            if isinstance(item, dict) and item.get("status") == "ok":
+                self.counters.batched_ops += 1
+                on_ok(index, item)
+            else:
+                bad.append(index)
+        bad.extend(indices[len(items) :])
+        return bad
+
+    # ------------------------------------------------------------------
+    # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3), live
+    # ------------------------------------------------------------------
+
+    async def _locate_resolved(self, agent_id: AgentId) -> str:
         reply = await self._iagent_request(
             agent_id, "locate", {"agent": agent_id}, tolerate_no_record=True
         )
@@ -338,13 +717,6 @@ class ServiceClient:
                 f"could not locate {agent_id}: {reply.get('status')}"
             )
         return reply["node"]
-
-    async def close(self) -> None:
-        await self.channel.close()
-
-    # ------------------------------------------------------------------
-    # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3), live
-    # ------------------------------------------------------------------
 
     async def _update_op(
         self, op: str, agent_id: AgentId, node: str, seq: int

@@ -88,6 +88,8 @@ class ClusterReport:
     agents: int = 0
     ops: int = 0
     duration: float = 0.0
+    #: Wire codec the deployment negotiated ("binary" or "json").
+    wire: str = "binary"
     locates: int = 0
     locate_failures: int = 0
     locate_mismatches: int = 0
@@ -98,6 +100,10 @@ class ClusterReport:
     not_responsible: int = 0
     no_record_retries: int = 0
     transport_retries: int = 0
+    #: Batched RPCs sent (host republish + any driver batching) and the
+    #: items they settled without a single-op fallback.
+    batch_rpcs: int = 0
+    batched_ops: int = 0
     splits: int = 0
     merges: int = 0
     takeovers: int = 0
@@ -174,7 +180,9 @@ class ClusterReport:
             f"(hash v{self.hash_version}), {self.agents} mobile agents",
             f"  workload    {self.ops} ops in {self.duration:.2f}s "
             f"({self.locates} locates, {self.updates} updates, "
-            f"{self.registers} registers)",
+            f"{self.registers} registers) over {self.wire} framing",
+            f"  batching    {self.batch_rpcs} batched RPCs settling "
+            f"{self.batched_ops} ops without fallback",
             f"  correctness {self.locate_failures} locate failures, "
             f"{self.locate_mismatches} mismatches, "
             f"final sweep {'ok' if self.final_verified else 'FAILED'}",
@@ -523,6 +531,7 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         raise ValueError("crash_hagent requires hagent_replicas >= 2")
     cluster = _Cluster(config)
     report = ClusterReport(nodes=config.nodes)
+    report.wire = config.service.wire
     report.hagent_replicas = max(1, config.hagent_replicas)
     report.promotion_budget_s = config.service.heartbeat_timeout
     started = time.monotonic()
@@ -659,6 +668,13 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         report.not_responsible = counters.not_responsible
         report.no_record_retries = counters.no_record_retries
         report.transport_retries = counters.transport_retries
+        # Batching happens in the node hosts' republish loops (their
+        # clients are distinct from the driver's), so count both.
+        for node_client in [n.client for n in cluster.nodes if n.client] + list(
+            cluster.clients
+        ):
+            report.batch_rpcs += node_client.counters.batch_rpcs
+            report.batched_ops += node_client.counters.batched_ops
     finally:
         report.duration = time.monotonic() - started
         await cluster.stop()

@@ -124,6 +124,13 @@ class ServiceConfig:
     #: Frame-size ceiling on every connection.
     max_frame: int = wire.DEFAULT_MAX_FRAME
 
+    #: Wire codec this deployment negotiates: ``"binary"`` accepts the
+    #: compact codec from peers that offer it (and prefers it for
+    #: outgoing server-to-server calls); ``"json"`` pins every
+    #: connection to tagged JSON. Old peers that never send a hello
+    #: stay on JSON either way.
+    wire: str = wire.CODEC_BINARY
+
     #: Root directory for durable state (WAL + snapshots). ``None``
     #: keeps the PR-3 behaviour: soft-state only, nothing on disk.
     data_dir: Optional[str] = None
@@ -262,14 +269,27 @@ class _FramedServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        codec = wire.CODEC_JSON
         while True:
-            frame = await wire.read_frame(reader, max_frame=self.config.max_frame)
+            frame = await wire.read_frame(
+                reader, max_frame=self.config.max_frame, codec=codec
+            )
             if frame is None:
                 return
             if self.partitioned:
                 continue  # injected partition: drop the request silently
+            offered = wire.hello_codecs(frame)
+            if offered is not None:
+                # Codec negotiation: ack (always JSON-framed), then
+                # switch this connection to the agreed codec.
+                codec = wire.negotiate_codec(offered, accept=self.config.wire)
+                writer.write(wire.encode_hello_ack(codec))
+                await writer.drain()
+                continue
             response = await self._respond(frame)
-            await wire.write_frame(writer, response, max_frame=self.config.max_frame)
+            await wire.write_frame(
+                writer, response, max_frame=self.config.max_frame, codec=codec
+            )
 
     async def _respond(self, frame: Any) -> Response:
         if (
@@ -419,6 +439,16 @@ class IAgentEndpoint:
         self.stats.record_update(agent_id, time.monotonic())
         return {"status": OK}
 
+    def op_register_batch(self, body: Dict) -> Dict:
+        """Apply many register/update records in one round-trip.
+
+        Each item takes the exact single-op path (coverage check,
+        sequence gating, journaling), so a batch is indistinguishable
+        from N singles except for the saved round-trips; per-item
+        statuses let the client fall back selectively.
+        """
+        return {"status": OK, "results": [self._store(op) for op in body["ops"]]}
+
     def op_unregister(self, body: Dict) -> Dict:
         agent_id = body["agent"]
         if not pattern_matches(self.coverage, agent_id.bits):
@@ -439,6 +469,13 @@ class IAgentEndpoint:
         if record is None:
             return {"status": NO_RECORD}
         return {"status": OK, "node": record[0], "seq": record[1]}
+
+    def op_locate_batch(self, body: Dict) -> Dict:
+        """Resolve many agents in one round-trip; per-item statuses."""
+        return {
+            "status": OK,
+            "results": [self.op_locate({"agent": agent}) for agent in body["agents"]],
+        }
 
     def op_get_loads(self, body: Dict) -> Dict:
         loads = {
@@ -598,6 +635,14 @@ class LHAgentEndpoint:
             await self._fetch_primary_copy()
         return self._resolve(body["agent"])
 
+    async def op_whois_batch(self, body: Dict) -> Dict:
+        """Resolve many agents against one consistent secondary copy."""
+        if self.copy is None:
+            await self._fetch_primary_copy()
+        agents = body["agents"]
+        self.whois_served += len(agents)
+        return {"mappings": [self._resolve(agent) for agent in agents]}
+
     def op_version(self, body: Dict) -> Dict:
         return {"version": self.copy.version if self.copy else -1}
 
@@ -702,14 +747,25 @@ class HostEndpoint:
             client = node.client
             if client is None:  # not fully started yet
                 continue
-            for agent_id, seq in list(self.residents.items()):
-                if self.residents.get(agent_id) != seq:
-                    continue  # moved while we were iterating
-                try:
-                    await client.update(agent_id, node.name, seq)
-                    self.republishes += 1
-                except ServiceError:
-                    continue  # best-effort; the next period retries
+            # One batched RPC per responsible IAgent instead of one
+            # round-trip per resident. Safe under concurrent moves: a
+            # resident that departs mid-batch re-publishes a stale
+            # (agent, seq) pair at worst, and per-agent sequence numbers
+            # make stale publishes harmless.
+            items = [
+                (agent_id, node.name, seq)
+                for agent_id, seq in list(self.residents.items())
+            ]
+            if not items:
+                continue
+            try:
+                if len(items) == 1:
+                    await client.update(items[0][0], node.name, items[0][2])
+                else:
+                    await client.register_batch(items)
+                self.republishes += len(items)
+            except ServiceError:
+                continue  # best-effort; the next period retries
 
 
 # ----------------------------------------------------------------------
@@ -744,6 +800,7 @@ class NodeServer(_FramedServer):
             rpc_timeout=self.config.rpc_timeout,
             max_frame=self.config.max_frame,
             tracer=tracer,
+            wire_format=self.config.wire,
         )
         self.lhagent = LHAgentEndpoint(self)
         self.host = HostEndpoint(self)
@@ -769,6 +826,7 @@ class NodeServer(_FramedServer):
                 rpc_timeout=self.config.rpc_timeout,
                 max_retries=6,
                 op_deadline=self.config.reregister_interval * 4,
+                wire=self.config.wire,
             ),
             channel=self.channel,
             tracer=self.tracer,
@@ -1084,6 +1142,7 @@ class HAgentServer(_FramedServer):
             rpc_timeout=self.config.rpc_timeout,
             max_frame=self.config.max_frame,
             tracer=tracer,
+            wire_format=self.config.wire,
         )
         self.tree: Optional[HashTree] = None
         self.iagent_nodes: Dict[Any, str] = {}

@@ -1,32 +1,44 @@
-"""The wire codec: length-prefixed JSON frames with tagged rich types.
+"""The wire codecs: length-prefixed frames, tagged-JSON or binary.
 
 A frame is a 4-byte big-endian unsigned length followed by that many
-bytes of UTF-8 JSON. JSON alone cannot carry the repository's protocol
-vocabulary -- :class:`repro.platform.naming.AgentId` appears both as
-values and as dictionary *keys* (location-record tables), hash-tree
-specs are nested tuples, and the envelopes of
-:mod:`repro.platform.messages` are dataclasses -- so values are encoded
-through a reversible tagging scheme:
+bytes of body. Two body codecs exist:
 
-==================  ==================================================
-``AgentId``         ``{"$aid": [value, width]}``
-``tuple``           ``{"$tuple": [items...]}``
-``Request``         ``{"$request": {op, body, sender_node, sender_agent, size, message_id}}``
-``Response``        ``{"$response": {message_id, value, error, size}}``
-non-string-key dict ``{"$dict": [[key, value], ...]}``
-``{"$x": ...}``     escaped as ``{"$esc": {"$x": ...}}``
-==================  ==================================================
+* ``"json"`` -- UTF-8 JSON with the reversible tagging scheme of
+  :mod:`repro.platform.jsonable` (``AgentId`` as ``{"$aid": ...}``,
+  tuples as ``{"$tuple": ...}`` and so on). Every peer speaks it; the
+  durable-state layer persists the same form.
+* ``"binary"`` -- a compact ``struct``/varint format: one tag byte per
+  value, zigzag-varint integers, raw-int ``AgentId`` payloads, interned
+  protocol op names, and tuple/dict shapes without per-value JSON tags.
+  Typically 2-4x smaller and cheaper to (de)code than tagged JSON on
+  protocol traffic.
+
+Codecs are negotiated **per connection**. A connection always starts in
+JSON. A binary-capable client sends a *hello* frame first::
+
+    {"hello": {"codecs": ["binary", "json"]}}
+
+A binary-capable server answers ``{"hello-ack": {"codec": "binary"}}``
+and both sides switch; a JSON-pinned server acks ``"json"``; a peer
+from *before* this protocol treats the hello as a malformed request and
+replies with an error :class:`~repro.platform.messages.Response` -- the
+client recognises anything other than a binary ack as "stay on JSON",
+so mixed-version deployments keep working transparently.
 
 ``encode_frame``/``decode_frame`` are the one-shot forms;
 :class:`FrameDecoder` consumes a byte stream incrementally (partial
 frames simply wait for more bytes); ``read_frame``/``write_frame`` are
 the asyncio stream helpers the service layer uses. Truncated one-shot
-buffers, oversized length prefixes and malformed JSON all raise
+buffers, oversized length prefixes and malformed bodies all raise
 :class:`WireError` -- a server must never crash on a garbage frame.
+Decoding works over :class:`memoryview` slices up to the JSON/struct
+boundary, so large frames (snapshot bundles, batched tables) are not
+copied byte-for-byte on their way in.
 
-The value codec itself lives in :mod:`repro.platform.jsonable` (the
-durable-state layer persists the same tagged form); this module owns
-the framing and re-exports ``to_jsonable``/``from_jsonable`` bound to
+The tagged-JSON value codec itself lives in
+:mod:`repro.platform.jsonable` (the durable-state layer persists the
+same form); this module owns the framing, the binary codec and the
+negotiation, and re-exports ``to_jsonable``/``from_jsonable`` bound to
 :class:`WireError`.
 """
 
@@ -35,18 +47,29 @@ from __future__ import annotations
 import json
 import struct
 from asyncio import IncompleteReadError, StreamReader, StreamWriter
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.platform import jsonable
 from repro.platform.jsonable import TaggedCodecError
+from repro.platform.messages import Request, Response
+from repro.platform.naming import AgentId
 
 __all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "DEFAULT_MAX_FRAME",
     "FrameDecoder",
     "WireError",
     "decode_frame",
+    "encode_binary",
+    "decode_binary",
     "encode_frame",
+    "encode_hello",
+    "encode_hello_ack",
     "from_jsonable",
+    "hello_ack_codec",
+    "hello_codecs",
+    "negotiate_codec",
     "read_frame",
     "to_jsonable",
     "write_frame",
@@ -57,7 +80,14 @@ __all__ = [
 #: guard against garbage length prefixes allocating gigabytes.
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
 
+#: Wire codec names, in preference order for negotiation.
+CODEC_BINARY = "binary"
+CODEC_JSON = "json"
+
 _LENGTH = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class WireError(TaggedCodecError):
@@ -65,7 +95,7 @@ class WireError(TaggedCodecError):
 
 
 # ----------------------------------------------------------------------
-# Value codec (shared with repro.storage via repro.platform.jsonable)
+# Tagged-JSON value codec (shared with repro.storage via jsonable)
 # ----------------------------------------------------------------------
 
 
@@ -80,12 +110,392 @@ def from_jsonable(value: Any) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Binary value codec
+# ----------------------------------------------------------------------
+
+#: Protocol op names carried as a one-byte table index instead of a
+#: string. Append only -- indices are wire format. An op missing here
+#: still travels, as an inline string.
+INTERNED_OPS: Tuple[str, ...] = (
+    "register",
+    "update",
+    "unregister",
+    "locate",
+    "whois",
+    "refresh",
+    "version",
+    "ping",
+    "get-loads",
+    "extract",
+    "extract-all",
+    "adopt",
+    "set-coverage",
+    "agent-arrive",
+    "agent-depart",
+    "register-node",
+    "bootstrap",
+    "load-report",
+    "get-hash-function",
+    "get-hash-delta",
+    "replica-sync",
+    "new-primary",
+    "list-iagents",
+    "stats",
+    "host-iagent",
+    "restart-iagent",
+    "retire-iagent",
+    "crash-iagent",
+    "node-stats",
+    "register-batch",
+    "locate-batch",
+    "whois-batch",
+)
+_OP_INDEX: Dict[str, int] = {name: index for index, name in enumerate(INTERNED_OPS)}
+
+# One tag byte per value. bool/None get dedicated tags; containers carry
+# a varint count; dicts whose keys are all strings skip per-key tags.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_AID = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT_STR = 0x09
+_T_DICT_ANY = 0x0A
+_T_REQUEST = 0x0B
+_T_RESPONSE = 0x0C
+
+# Request op field discriminator: interned table index vs inline string.
+_OP_INLINE = 0x00
+_OP_INTERNED = 0x01
+
+
+def _write_uvarint(n: int, out: bytearray) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _write_svarint(n: int, out: bytearray) -> None:
+    _write_uvarint((n << 1) if n >= 0 else (((-n) << 1) - 1), out)
+
+
+def _write_str(text: str, out: bytearray) -> None:
+    data = text.encode("utf-8")
+    _write_uvarint(len(data), out)
+    out += data
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    kind = type(value)
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif kind is int:
+        out.append(_T_INT)
+        _write_svarint(value, out)
+    elif kind is str:
+        out.append(_T_STR)
+        _write_str(value, out)
+    elif kind is AgentId:
+        out.append(_T_AID)
+        _write_uvarint(value.value, out)
+        _write_uvarint(value.width, out)
+    elif kind is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif kind is dict:
+        _encode_dict(value, out)
+    elif kind is list:
+        out.append(_T_LIST)
+        _write_uvarint(len(value), out)
+        for item in value:
+            _encode_value(item, out)
+    elif kind is tuple:
+        out.append(_T_TUPLE)
+        _write_uvarint(len(value), out)
+        for item in value:
+            _encode_value(item, out)
+    elif kind is Request:
+        out.append(_T_REQUEST)
+        index = _OP_INDEX.get(value.op)
+        if index is None:
+            out.append(_OP_INLINE)
+            _write_str(value.op, out)
+        else:
+            out.append(_OP_INTERNED)
+            _write_uvarint(index, out)
+        _write_svarint(value.message_id, out)
+        _write_svarint(value.size, out)
+        _encode_value(value.body, out)
+        _encode_value(value.sender_node, out)
+        _encode_value(value.sender_agent, out)
+    elif kind is Response:
+        out.append(_T_RESPONSE)
+        _write_svarint(value.message_id, out)
+        _write_svarint(value.size, out)
+        _encode_value(value.value, out)
+        _encode_value(value.error, out)
+    elif isinstance(value, bool):  # bool subclass, before the int check
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_svarint(value, out)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        _write_str(value, out)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        _write_uvarint(len(value), out)
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        _encode_dict(value, out)
+    else:
+        raise WireError(
+            f"value of type {type(value).__name__!r} is not wire-encodable"
+        )
+
+
+def _encode_dict(value: Dict, out: bytearray) -> None:
+    all_str = True
+    for key in value:
+        if type(key) is not str:
+            all_str = False
+            break
+    if all_str:
+        out.append(_T_DICT_STR)
+        _write_uvarint(len(value), out)
+        for key, item in value.items():
+            _write_str(key, out)
+            _encode_value(item, out)
+    else:
+        out.append(_T_DICT_ANY)
+        _write_uvarint(len(value), out)
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+
+
+def encode_binary(value: Any) -> bytes:
+    """One value in the binary codec, unframed (mostly for tests)."""
+    out = bytearray()
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def _read_uvarint(view: memoryview, pos: int, end: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= end:
+            raise WireError("binary frame truncated inside a varint")
+        byte = view[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _read_svarint(view: memoryview, pos: int, end: int) -> Tuple[int, int]:
+    raw, pos = _read_uvarint(view, pos, end)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+
+
+def _read_str(view: memoryview, pos: int, end: int) -> Tuple[str, int]:
+    length, pos = _read_uvarint(view, pos, end)
+    stop = pos + length
+    if stop > end:
+        raise WireError("binary frame truncated inside a string")
+    try:
+        return str(view[pos:stop], "utf-8"), stop
+    except UnicodeDecodeError as error:
+        raise WireError(f"binary string is not UTF-8: {error}") from error
+
+
+def _decode_value(view: memoryview, pos: int, end: int) -> Tuple[Any, int]:
+    if pos >= end:
+        raise WireError("binary frame truncated at a value tag")
+    tag = view[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _read_svarint(view, pos, end)
+    if tag == _T_STR:
+        return _read_str(view, pos, end)
+    if tag == _T_AID:
+        raw, pos = _read_uvarint(view, pos, end)
+        width, pos = _read_uvarint(view, pos, end)
+        try:
+            return AgentId(raw, width), pos
+        except ValueError as error:
+            raise WireError(f"malformed binary AgentId: {error}") from error
+    if tag == _T_FLOAT:
+        if pos + 8 > end:
+            raise WireError("binary frame truncated inside a float")
+        return _F64.unpack_from(view, pos)[0], pos + 8
+    if tag == _T_DICT_STR:
+        count, pos = _read_uvarint(view, pos, end)
+        table: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _read_str(view, pos, end)
+            table[key], pos = _decode_value(view, pos, end)
+        return table, pos
+    if tag == _T_DICT_ANY:
+        count, pos = _read_uvarint(view, pos, end)
+        table = {}
+        for _ in range(count):
+            key, pos = _decode_value(view, pos, end)
+            table[key], pos = _decode_value(view, pos, end)
+        return table, pos
+    if tag == _T_LIST:
+        count, pos = _read_uvarint(view, pos, end)
+        items: List[Any] = []
+        for _ in range(count):
+            item, pos = _decode_value(view, pos, end)
+            items.append(item)
+        return items, pos
+    if tag == _T_TUPLE:
+        count, pos = _read_uvarint(view, pos, end)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(view, pos, end)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _T_REQUEST:
+        if pos >= end:
+            raise WireError("binary frame truncated inside a request op")
+        op_kind = view[pos]
+        pos += 1
+        if op_kind == _OP_INTERNED:
+            index, pos = _read_uvarint(view, pos, end)
+            if index >= len(INTERNED_OPS):
+                raise WireError(f"unknown interned op index {index}")
+            op = INTERNED_OPS[index]
+        elif op_kind == _OP_INLINE:
+            op, pos = _read_str(view, pos, end)
+        else:
+            raise WireError(f"malformed request op discriminator {op_kind:#x}")
+        message_id, pos = _read_svarint(view, pos, end)
+        size, pos = _read_svarint(view, pos, end)
+        body, pos = _decode_value(view, pos, end)
+        sender_node, pos = _decode_value(view, pos, end)
+        sender_agent, pos = _decode_value(view, pos, end)
+        request = Request(
+            op=op,
+            body=body,
+            sender_node=sender_node,
+            sender_agent=sender_agent,
+            size=size,
+        )
+        request.message_id = message_id
+        return request, pos
+    if tag == _T_RESPONSE:
+        message_id, pos = _read_svarint(view, pos, end)
+        size, pos = _read_svarint(view, pos, end)
+        value, pos = _decode_value(view, pos, end)
+        error, pos = _decode_value(view, pos, end)
+        return Response(message_id=message_id, value=value, error=error, size=size), pos
+    raise WireError(f"unknown binary tag {tag:#04x}")
+
+
+def decode_binary(body: Buffer) -> Any:
+    """Invert :func:`encode_binary`; the buffer must hold exactly one value."""
+    view = body if isinstance(body, memoryview) else memoryview(body)
+    value, pos = _decode_value(view, 0, len(view))
+    if pos != len(view):
+        raise WireError(
+            f"binary frame has {len(view) - pos} trailing garbage bytes"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Codec negotiation (the hello handshake)
+# ----------------------------------------------------------------------
+
+
+def encode_hello(codecs: Tuple[str, ...] = (CODEC_BINARY, CODEC_JSON)) -> bytes:
+    """The client's first frame: the codecs it can speak, preferred first.
+
+    Always JSON-framed, so a peer from before this protocol can still
+    parse it (and reject it as a malformed request, which the client
+    treats as "stay on JSON").
+    """
+    return encode_frame({"hello": {"codecs": list(codecs)}})
+
+
+def encode_hello_ack(codec: str) -> bytes:
+    """The server's reply to a hello, also always JSON-framed."""
+    return encode_frame({"hello-ack": {"codec": codec}})
+
+
+def hello_codecs(frame: Any) -> Optional[List[str]]:
+    """The offered codec list if ``frame`` is a hello, else None."""
+    if isinstance(frame, dict) and set(frame) == {"hello"}:
+        offer = frame["hello"]
+        if isinstance(offer, dict):
+            codecs = offer.get("codecs")
+            if isinstance(codecs, list):
+                return [codec for codec in codecs if isinstance(codec, str)]
+        return []
+    return None
+
+
+def hello_ack_codec(frame: Any) -> Optional[str]:
+    """The acked codec if ``frame`` is a hello-ack, else None."""
+    if isinstance(frame, dict) and set(frame) == {"hello-ack"}:
+        ack = frame["hello-ack"]
+        if isinstance(ack, dict) and isinstance(ack.get("codec"), str):
+            return ack["codec"]
+    return None
+
+
+def negotiate_codec(offered: List[str], accept: str = CODEC_BINARY) -> str:
+    """The server's pick: the client's first offer this side accepts.
+
+    ``accept=CODEC_BINARY`` accepts both codecs; ``accept=CODEC_JSON``
+    pins the connection to JSON regardless of the offer.
+    """
+    if accept == CODEC_BINARY and CODEC_BINARY in offered:
+        return CODEC_BINARY
+    return CODEC_JSON
+
+
+# ----------------------------------------------------------------------
 # Frame codec
 # ----------------------------------------------------------------------
 
 
-def encode_frame(value: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """One value as a length-prefixed frame."""
+def encode_frame(
+    value: Any, max_frame: int = DEFAULT_MAX_FRAME, codec: str = CODEC_JSON
+) -> bytes:
+    """One value as a length-prefixed frame in the given codec."""
+    if codec == CODEC_BINARY:
+        # Encode straight after the header slot: framing adds no copy.
+        out = bytearray(_LENGTH.size)
+        _encode_value(value, out)
+        length = len(out) - _LENGTH.size
+        if length > max_frame:
+            raise WireError(f"frame of {length} bytes exceeds limit {max_frame}")
+        _LENGTH.pack_into(out, 0, length)
+        return bytes(out)
     body = json.dumps(
         to_jsonable(value), separators=(",", ":"), ensure_ascii=False
     ).encode("utf-8")
@@ -94,24 +504,28 @@ def encode_frame(value: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
-def decode_frame(buffer: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> Any:
+def decode_frame(
+    buffer: Buffer, max_frame: int = DEFAULT_MAX_FRAME, codec: str = CODEC_JSON
+) -> Any:
     """Decode exactly one frame occupying the whole buffer."""
     if len(buffer) < _LENGTH.size:
         raise WireError(f"truncated frame: {len(buffer)} bytes is no header")
     (length,) = _LENGTH.unpack_from(buffer)
     if length > max_frame:
         raise WireError(f"frame length {length} exceeds limit {max_frame}")
-    body = buffer[_LENGTH.size :]
+    body = memoryview(buffer)[_LENGTH.size :]
     if len(body) != length:
         raise WireError(
             f"truncated frame: header says {length} bytes, got {len(body)}"
         )
-    return _decode_body(bytes(body))
+    return _decode_body(body, codec)
 
 
-def _decode_body(body: bytes) -> Any:
+def _decode_body(body: Buffer, codec: str = CODEC_JSON) -> Any:
+    if codec == CODEC_BINARY:
+        return decode_binary(body)
     try:
-        document = json.loads(body.decode("utf-8"))
+        document = json.loads(str(body, "utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise WireError(f"frame body is not JSON: {error}") from error
     return from_jsonable(document)
@@ -123,10 +537,15 @@ class FrameDecoder:
     Feed arbitrary chunks; complete frames come out, partial frames stay
     buffered. A malformed length prefix or body raises :class:`WireError`
     and poisons the decoder (a stream is unrecoverable once desynced).
+    ``codec`` may be reassigned mid-stream at a frame boundary -- that is
+    exactly what the hello handshake does.
     """
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    def __init__(
+        self, max_frame: int = DEFAULT_MAX_FRAME, codec: str = CODEC_JSON
+    ) -> None:
         self.max_frame = max_frame
+        self.codec = codec
         self._buffer = bytearray()
         self._poisoned = False
 
@@ -148,21 +567,23 @@ class FrameDecoder:
             end = _LENGTH.size + length
             if len(self._buffer) < end:
                 return frames
-            body = bytes(self._buffer[_LENGTH.size : end])
-            del self._buffer[:end]
+            # Decode straight out of the buffer through a memoryview --
+            # no bytes(...) copy of the body. The view must be released
+            # before the del resizes the bytearray.
+            view = memoryview(self._buffer)
             try:
-                frames.append(_decode_body(body))
+                frames.append(_decode_body(view[_LENGTH.size : end], self.codec))
             except WireError:
                 self._poisoned = True
                 raise
+            finally:
+                view.release()
+            del self._buffer[:end]
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered towards the next (incomplete) frame."""
         return len(self._buffer)
-
-    def __iter__(self) -> Iterator[Any]:  # pragma: no cover - convenience
-        return iter(())
 
 
 # ----------------------------------------------------------------------
@@ -171,7 +592,9 @@ class FrameDecoder:
 
 
 async def read_frame(
-    reader: StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+    reader: StreamReader,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    codec: str = CODEC_JSON,
 ) -> Optional[Any]:
     """Read one frame; ``None`` on a clean EOF at a frame boundary."""
     try:
@@ -187,12 +610,15 @@ async def read_frame(
         body = await reader.readexactly(length)
     except IncompleteReadError as error:
         raise WireError("connection closed mid-frame") from error
-    return _decode_body(body)
+    return _decode_body(body, codec)
 
 
 async def write_frame(
-    writer: StreamWriter, value: Any, max_frame: int = DEFAULT_MAX_FRAME
+    writer: StreamWriter,
+    value: Any,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    codec: str = CODEC_JSON,
 ) -> None:
     """Encode ``value`` and flush it to the stream."""
-    writer.write(encode_frame(value, max_frame=max_frame))
+    writer.write(encode_frame(value, max_frame=max_frame, codec=codec))
     await writer.drain()

@@ -1,0 +1,375 @@
+"""The pipelined RpcChannel: correlation, pooling, negotiation, backoff.
+
+Covers the transport behaviours the cluster suites only exercise
+implicitly: out-of-order reply correlation by ``message_id``, timeout
+isolation (one abandoned call must not kill the connection), the
+per-address pool bound, idle reaping, live mixed-version codec
+negotiation (including against a *legacy* peer that predates the hello
+handshake entirely), and deterministic retry backoff from an injected
+RNG.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.platform.messages import Request, Response
+from repro.platform.naming import AgentNamer
+from repro.service import wire
+from repro.service.client import (
+    ClientConfig,
+    RpcChannel,
+    ServiceClient,
+    ServiceTimeout,
+)
+from repro.service.server import HAgentServer, NodeServer, ServiceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _ToyServer:
+    """A scriptable framed peer; ``mode`` picks the reply behaviour."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self.server = None
+        self.addr = None
+        self.frames = []
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        sockname = self.server.sockets[0].getsockname()
+        self.addr = (sockname[0], sockname[1])
+        return self.addr
+
+    async def stop(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        try:
+            if self.mode == "legacy":
+                await self._serve_legacy(reader, writer)
+            elif self.mode == "reversed":
+                await self._serve_reversed(reader, writer)
+            elif self.mode == "selective":
+                await self._serve_selective(reader, writer)
+        except (ConnectionError, OSError, wire.WireError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_legacy(self, reader, writer):
+        # A peer from before the hello handshake: JSON only, and any
+        # frame that is not a {to, req} envelope -- the hello included --
+        # gets the bad-envelope error reply, verbatim from the old code.
+        while True:
+            frame = await wire.read_frame(reader)
+            if frame is None:
+                return
+            self.frames.append(frame)
+            if isinstance(frame, dict) and isinstance(frame.get("req"), Request):
+                reply = Response(
+                    message_id=frame["req"].message_id, value={"status": "ok"}
+                )
+            else:
+                reply = Response(
+                    message_id=-1, error="bad-envelope: expected {to, req}"
+                )
+            await wire.write_frame(writer, reply)
+
+    async def _serve_reversed(self, reader, writer):
+        # JSON, no hello support; collect two requests, answer them in
+        # reverse order, echoing each request's body back as the value.
+        while True:
+            pair = []
+            for _ in range(2):
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    return
+                pair.append(frame["req"])
+            for request in reversed(pair):
+                await wire.write_frame(
+                    writer,
+                    Response(message_id=request.message_id, value=request.body),
+                )
+
+    async def _serve_selective(self, reader, writer):
+        # Answers every op except "slow", which is swallowed forever.
+        while True:
+            frame = await wire.read_frame(reader)
+            if frame is None:
+                return
+            request = frame["req"]
+            if request.op == "slow":
+                continue
+            await wire.write_frame(
+                writer, Response(message_id=request.message_id, value=request.body)
+            )
+
+
+class TestPipelining:
+    def test_out_of_order_replies_correlate_by_message_id(self):
+        async def scenario():
+            peer = _ToyServer("reversed")
+            await peer.start()
+            channel = RpcChannel(wire_format="json")
+            try:
+                first, second = await asyncio.gather(
+                    channel.call(peer.addr, "t", "echo", {"n": 1}),
+                    channel.call(peer.addr, "t", "echo", {"n": 2}),
+                )
+                assert first == {"n": 1}
+                assert second == {"n": 2}
+            finally:
+                await channel.close()
+                await peer.stop()
+
+        run(scenario())
+
+    def test_timeout_abandons_one_call_not_the_connection(self):
+        async def scenario():
+            peer = _ToyServer("selective")
+            await peer.start()
+            channel = RpcChannel(wire_format="json", rpc_timeout=5.0)
+            try:
+                slow = asyncio.ensure_future(
+                    channel.call(peer.addr, "t", "slow", {"n": 0}, timeout=0.2)
+                )
+                fast = await channel.call(peer.addr, "t", "echo", {"n": 1})
+                assert fast == {"n": 1}
+                with pytest.raises(ServiceTimeout):
+                    await slow
+                # The connection survived the abandoned call.
+                assert await channel.call(peer.addr, "t", "echo", {"n": 2}) == {
+                    "n": 2
+                }
+                pool = channel._pools[peer.addr]
+                assert len(pool) == 1 and not pool[0].closed
+                assert pool[0].pending == {}
+            finally:
+                await channel.close()
+                await peer.stop()
+
+        run(scenario())
+
+    def test_pool_is_bounded_under_concurrency(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            channel = RpcChannel(pipeline_depth=4, pool_size=2)
+            try:
+                replies = await asyncio.gather(
+                    *(channel.call(hagent.addr, "hagent", "ping") for _ in range(40))
+                )
+                assert all(reply["status"] == "ok" for reply in replies)
+                assert len(channel._pools[hagent.addr]) <= 2
+            finally:
+                await channel.close()
+                await hagent.stop()
+
+        run(scenario())
+
+    def test_idle_connections_are_reaped(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            channel = RpcChannel(pool_idle_s=0.01)
+            try:
+                await channel.call(hagent.addr, "hagent", "ping")
+                conn = channel._pools[hagent.addr][0]
+                loop = asyncio.get_event_loop()
+                channel._last_reap = 0.0
+                channel._reap_idle(loop.time() + 10.0)
+                assert conn.closed
+            finally:
+                await channel.close()
+                await hagent.stop()
+
+        run(scenario())
+
+
+class TestNegotiation:
+    def test_binary_client_against_legacy_json_peer_falls_back(self):
+        async def scenario():
+            peer = _ToyServer("legacy")
+            await peer.start()
+            channel = RpcChannel()  # binary-preferring
+            try:
+                reply = await channel.call(peer.addr, "t", "anything", {"x": 1})
+                assert reply == {"status": "ok"}
+                assert channel.negotiated[peer.addr] == wire.CODEC_JSON
+                # The legacy peer really did see (and reject) the hello.
+                assert any(
+                    wire.hello_codecs(frame) is not None for frame in peer.frames
+                )
+            finally:
+                await channel.close()
+                await peer.stop()
+
+        run(scenario())
+
+    def test_binary_client_against_json_pinned_server(self):
+        async def scenario():
+            hagent = HAgentServer(ServiceConfig(wire="json"))
+            await hagent.start()
+            channel = RpcChannel()
+            try:
+                reply = await channel.call(hagent.addr, "hagent", "ping")
+                assert reply["status"] == "ok"
+                assert channel.negotiated[hagent.addr] == wire.CODEC_JSON
+            finally:
+                await channel.close()
+                await hagent.stop()
+
+        run(scenario())
+
+    def test_json_client_against_binary_server(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            channel = RpcChannel(wire_format="json")
+            try:
+                reply = await channel.call(hagent.addr, "hagent", "ping")
+                assert reply["status"] == "ok"
+                assert channel.negotiated[hagent.addr] == wire.CODEC_JSON
+            finally:
+                await channel.close()
+                await hagent.stop()
+
+        run(scenario())
+
+    def test_binary_negotiated_end_to_end(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            node = NodeServer("node-0", hagent.addr)
+            await node.start()
+            channel = RpcChannel()
+            try:
+                await channel.call(hagent.addr, "hagent", "bootstrap")
+                agent = AgentNamer(seed=4).next_id()
+                mapping = await channel.call(
+                    node.addr, "lhagent", "whois", {"agent": agent}
+                )
+                assert mapping["node"] == "node-0"
+                assert channel.negotiated[node.addr] == wire.CODEC_BINARY
+                # Server-to-server channels negotiated binary too.
+                assert wire.CODEC_BINARY in node.channel.negotiated.values()
+            finally:
+                await channel.close()
+                await node.stop()
+                await hagent.stop()
+
+        run(scenario())
+
+
+class TestBatchedOps:
+    def test_register_and_locate_batch_round_trip(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            node = NodeServer("node-0", hagent.addr)
+            await node.start()
+            client = ServiceClient("driver", node.addr)
+            try:
+                await client.channel.call(hagent.addr, "hagent", "bootstrap")
+                namer = AgentNamer(seed=11)
+                agents = [namer.next_id() for _ in range(20)]
+                await client.register_batch(
+                    [(agent, "node-0", 0) for agent in agents]
+                )
+                located = await client.locate_batch(agents)
+                assert located == {agent: "node-0" for agent in agents}
+                assert client.counters.batch_rpcs >= 2
+                assert client.counters.batched_ops == 40
+                assert client.counters.registers == 20
+                assert client.counters.locates == 20
+            finally:
+                await client.close()
+                await node.stop()
+                await hagent.stop()
+
+        run(scenario())
+
+    def test_batch_chunks_respect_batch_size(self):
+        async def scenario():
+            hagent = HAgentServer()
+            await hagent.start()
+            node = NodeServer("node-0", hagent.addr)
+            await node.start()
+            client = ServiceClient(
+                "driver", node.addr, config=ClientConfig(batch_size=4)
+            )
+            try:
+                await client.channel.call(hagent.addr, "hagent", "bootstrap")
+                namer = AgentNamer(seed=12)
+                agents = [namer.next_id() for _ in range(10)]
+                await client.register_batch(
+                    [(agent, "node-0", 0) for agent in agents]
+                )
+                # 10 items at batch_size 4 -> 3 register-batch RPCs.
+                assert client.counters.batch_rpcs == 3
+                assert client.counters.batched_ops == 10
+            finally:
+                await client.close()
+                await node.stop()
+                await hagent.stop()
+
+        run(scenario())
+
+    def test_empty_batches_are_no_ops(self):
+        async def scenario():
+            client = ServiceClient("driver", ("127.0.0.1", 1))
+            try:
+                await client.register_batch([])
+                assert await client.locate_batch([]) == {}
+                assert client.counters.ops == 0
+            finally:
+                await client.close()
+
+        run(scenario())
+
+
+class TestSeededBackoff:
+    def test_config_rng_makes_backoff_deterministic(self):
+        async def delays_for(seed):
+            client = ServiceClient(
+                "n",
+                ("127.0.0.1", 1),
+                config=ClientConfig(rng=random.Random(seed)),
+            )
+            recorded = []
+            real_sleep = asyncio.sleep
+
+            async def capture(delay):
+                recorded.append(delay)
+                await real_sleep(0)
+
+            asyncio.sleep = capture
+            try:
+                for attempt in range(1, 6):
+                    await client._sleep(attempt)
+            finally:
+                asyncio.sleep = real_sleep
+                await client.close()
+            return recorded
+
+        first = run(delays_for(7))
+        second = run(delays_for(7))
+        different = run(delays_for(8))
+        assert first == second
+        assert first != different
+
+    def test_explicit_rng_argument_still_wins(self):
+        client = ServiceClient(
+            "n",
+            ("127.0.0.1", 1),
+            config=ClientConfig(rng=random.Random(1)),
+            rng=random.Random(2),
+        )
+        assert client.rng.random() == random.Random(2).random()
+        run(client.close())
