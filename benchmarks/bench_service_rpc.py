@@ -13,9 +13,22 @@ ways per codec:
 * ``batched``    -- ``locate_batch`` amortizing one ``locate-batch``
   RPC over many agents.
 
-Writes ops/sec and p50/p99 latency for all six arms to
-``BENCH_service.json`` at the repo root. Commit the refreshed snapshot
-when a PR moves the numbers; diffs of that file are the perf history.
+On top of the codec grid, a **sharded coordinator** section boots the
+cluster at 1 / 2 / 4 prefix shards (each shard its own primary HAgent,
+see ``docs/PROTOCOLS.md`` §12) and measures the coordination plane two
+ways per shard count:
+
+* ``rehash``  -- forged over-threshold load reports storm every leaf
+  until a fixed total split count lands; splits/sec is the rehash
+  throughput. One shard serializes every split behind a single rehash
+  lock; S shards run S splits' RPC round-trips concurrently.
+* ``reports`` -- benign pipelined load reports, aggregate ops/sec
+  across every shard's primary.
+
+Writes ops/sec and p50/p99 latency for all six codec arms plus the
+sharded section to ``BENCH_service.json`` at the repo root. Commit the
+refreshed snapshot when a PR moves the numbers; diffs of that file are
+the perf history.
 
 Usage::
 
@@ -25,9 +38,10 @@ Usage::
 
 ``--check`` exits non-zero unless (a) binary is at least as fast as
 JSON on the pipelined and batched locate arms (small tolerance for CI
-noise) and (b) the best pipelined/batched binary arm clears 3x the
-sequential JSON baseline. ``--quick`` numbers are not comparable to a
-full run and should never be committed over a full snapshot.
+noise), (b) the best pipelined/batched binary arm clears 3x the
+sequential JSON baseline, and (c) rehash throughput at 4 shards clears
+1.6x the single-shard baseline. ``--quick`` numbers are not comparable
+to a full run and should never be committed over a full snapshot.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro.core.config import HashMechanismConfig
 from repro.platform.naming import AgentId
 from repro.service.client import ClientConfig, ServiceClient
 from repro.service.cluster import ClusterConfig, _Cluster
@@ -53,6 +68,22 @@ PIPELINE_WINDOW = 32
 
 #: Agents per ``locate-batch`` RPC during the batched arm.
 BATCH_SIZE = 64
+
+#: Coordinator shard counts the sharded section sweeps.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Concurrent benign load reports in flight per shard primary.
+REPORT_WINDOW = 32
+
+#: Wall-clock ceiling on one rehash storm (a storm that cannot reach
+#: its split target is reported with whatever it achieved, not hung).
+REHASH_DEADLINE_S = 45.0
+
+#: Modeled one-way coordinator-to-node/IAgent RPC latency during the
+#: sharded section (s). Localhost round-trips cost ~nothing, which
+#: hides the sequential-RPC serialization inside each split that
+#: sharding actually removes; a WAN-representative delay restores it.
+RPC_DELAY_S = 0.004
 
 
 # ----------------------------------------------------------------------
@@ -172,9 +203,201 @@ async def _bench_codec(
         await cluster.stop()
 
 
+# ----------------------------------------------------------------------
+# Sharded coordinator section (PROTOCOLS.md §12)
+# ----------------------------------------------------------------------
+
+
+def _sharded_mechanism() -> HashMechanismConfig:
+    """Mechanism knobs for the coordination-plane storm.
+
+    Cooldown off so forged reports can drive back-to-back splits;
+    merges off so the storm only ever grows the trees; the real IAgent
+    report loops quieted so every report on the wire is the bench's.
+    """
+    return HashMechanismConfig(
+        t_max=15.0,
+        t_min=1.0,
+        rate_window=1.0,
+        report_interval=30.0,
+        warmup_fraction=0.5,
+        cooldown=0.0,
+        enable_merge=False,
+        rpc_timeout=2.0,
+    )
+
+
+async def _bench_sharded(
+    shards: int, nodes: int, agent_count: int, split_target: int, report_ops: int
+) -> Dict[str, Dict[str, float]]:
+    """One shard count: benign-report ops/sec, then the rehash storm."""
+    config = ClusterConfig(
+        nodes=nodes,
+        agents=agent_count,
+        ops=0,
+        seed=11,
+        shards=shards,
+        service=ServiceConfig(
+            wire="binary",
+            mechanism=_sharded_mechanism(),
+            coordinator_rpc_delay=RPC_DELAY_S,
+        ),
+        client=ClientConfig(wire="binary"),
+    )
+    cluster = _Cluster(config)
+    await cluster.start()
+    try:
+        for _ in range(agent_count):
+            await cluster.spawn_agent()
+        channel = cluster.clients[0].channel
+        primaries = {
+            shard: cluster.primary(shard).addr for shard in range(shards)
+        }
+
+        # -- benign reports: aggregate coordination-plane capacity.
+        # Total in-flight window is held constant across shard counts
+        # (split evenly over the shard primaries) so the arm compares
+        # routing fan-out, not offered concurrency.
+        per_shard_ops = report_ops // shards
+        per_shard_window = max(1, REPORT_WINDOW // shards)
+
+        async def pump_reports(shard: int, addr) -> None:
+            reply = await channel.call(addr, "hagent", "list-iagents", {})
+            owner = reply["iagents"][0]["owner"]
+            done = 0
+            while done < per_shard_ops:
+                window = min(per_shard_window, per_shard_ops - done)
+                await asyncio.gather(
+                    *(
+                        channel.call(
+                            addr,
+                            "hagent",
+                            "load-report",
+                            {
+                                "owner": owner,
+                                "rate": 0.0,
+                                "mature": False,
+                                "shard": shard,
+                            },
+                        )
+                        for _ in range(window)
+                    )
+                )
+                done += window
+
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(pump_reports(shard, addr) for shard, addr in primaries.items())
+        )
+        report_duration = time.perf_counter() - start
+        reports = {
+            "ops": per_shard_ops * shards,
+            "duration_s": round(report_duration, 6),
+            "ops_per_sec": round(per_shard_ops * shards / report_duration, 1),
+        }
+
+        # -- rehash storm: splits/sec until the shared target lands ----
+        splits_seen: Dict[int, int] = {shard: 0 for shard in primaries}
+        stop = asyncio.Event()
+
+        async def storm(shard: int, addr) -> None:
+            deadline = start + REHASH_DEADLINE_S
+            while not stop.is_set() and time.perf_counter() < deadline:
+                reply = await channel.call(addr, "hagent", "list-iagents", {})
+                owners = [entry["owner"] for entry in reply["iagents"]]
+                await asyncio.gather(
+                    *(
+                        channel.call(
+                            addr,
+                            "hagent",
+                            "load-report",
+                            {
+                                "owner": owner,
+                                "rate": 1e9,
+                                "mature": True,
+                                "shard": shard,
+                            },
+                        )
+                        for owner in owners
+                    )
+                )
+                stats = await channel.call(addr, "hagent", "stats", {})
+                splits_seen[shard] = stats["splits"]
+                if sum(splits_seen.values()) >= split_target:
+                    stop.set()
+
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(storm(shard, addr) for shard, addr in primaries.items())
+        )
+        storm_duration = time.perf_counter() - start
+        achieved = sum(splits_seen.values())
+        rehash = {
+            "split_target": split_target,
+            "splits": achieved,
+            "duration_s": round(storm_duration, 6),
+            "splits_per_sec": round(achieved / storm_duration, 2),
+        }
+        return {"reports": reports, "rehash": rehash}
+    finally:
+        await cluster.stop()
+
+
+def run_sharded(
+    quick: bool, nodes: int, agent_count: int, split_target: int, report_ops: int
+) -> Dict:
+    section: Dict = {
+        "config": {
+            "nodes": nodes,
+            "agents": agent_count,
+            "split_target": split_target,
+            "report_ops": report_ops,
+            "report_window": REPORT_WINDOW,
+            "rpc_delay_ms": RPC_DELAY_S * 1e3,
+        },
+        "counts": {},
+    }
+    for shards in SHARD_COUNTS:
+        print(
+            f"== shards {shards}: {split_target} splits + {report_ops} reports "
+            f"over {nodes} nodes =="
+        )
+        results = asyncio.run(
+            _bench_sharded(shards, nodes, agent_count, split_target, report_ops)
+        )
+        section["counts"][str(shards)] = results
+        print(
+            f"  rehash     {results['rehash']['splits_per_sec']:>9.2f} splits/s "
+            f"({results['rehash']['splits']}/{split_target} in "
+            f"{results['rehash']['duration_s']:.3f}s)"
+        )
+        print(
+            f"  reports    {results['reports']['ops_per_sec']:>9.1f} ops/s"
+        )
+    baseline = section["counts"]["1"]["rehash"]["splits_per_sec"]
+    report_baseline = section["counts"]["1"]["reports"]["ops_per_sec"]
+    section["rehash_speedup_vs_1"] = {
+        str(shards): round(
+            section["counts"][str(shards)]["rehash"]["splits_per_sec"]
+            / baseline,
+            2,
+        )
+        for shards in SHARD_COUNTS
+    }
+    section["report_speedup_vs_1"] = {
+        str(shards): round(
+            section["counts"][str(shards)]["reports"]["ops_per_sec"]
+            / report_baseline,
+            2,
+        )
+        for shards in SHARD_COUNTS
+    }
+    return section
+
+
 def run(quick: bool, nodes: int, agents: int, ops: int) -> Dict:
     snapshot: Dict = {
-        "schema": 1,
+        "schema": 2,
         "generated_unix": int(time.time()),
         "quick": quick,
         "config": {
@@ -203,6 +426,13 @@ def run(quick: bool, nodes: int, agents: int, ops: int) -> Dict:
         for codec in ("json", "binary")
         for arm in ARMS
     }
+    snapshot["shards"] = run_sharded(
+        quick,
+        nodes,
+        agent_count=48 if quick else 96,
+        split_target=12 if quick else 32,
+        report_ops=384 if quick else 1536,
+    )
     return snapshot
 
 
@@ -228,6 +458,15 @@ def check(snapshot: Dict, tolerance: float = 0.9) -> List[str]:
             f"best binary arm ({best_binary:.0f} ops/s) is below 3x the "
             f"sequential JSON baseline ({sequential_json:.0f} ops/s)"
         )
+    sharded = snapshot.get("shards")
+    if sharded is not None:
+        one = sharded["counts"]["1"]["rehash"]["splits_per_sec"]
+        four = sharded["counts"]["4"]["rehash"]["splits_per_sec"]
+        if four < 1.6 * one:
+            failures.append(
+                f"4-shard rehash throughput ({four:.2f} splits/s) is below "
+                f"1.6x the single-shard baseline ({one:.2f} splits/s)"
+            )
     return failures
 
 

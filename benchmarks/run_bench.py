@@ -21,9 +21,15 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --quick     # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/b.json
 
+Unless ``--sweep-only``, the runner also refreshes the service-layer
+snapshot (``BENCH_service.json``) through ``bench_service_rpc.py`` --
+the codec grid plus the sharded-coordinator section -- so one
+invocation advances both trajectories.
+
 ``--quick`` is the CI arm: one round per sweep arm, a smaller grid and
-fast pytest-benchmark settings. Its numbers are *not* comparable to a
-full run and should never be committed over a full snapshot.
+fast pytest-benchmark settings (the service bench runs its quick arm
+too). Its numbers are *not* comparable to a full run and should never
+be committed over a full snapshot.
 """
 
 from __future__ import annotations
@@ -52,6 +58,24 @@ BENCH_FILES = (
     "benchmarks/bench_wire_codec.py",
     "benchmarks/bench_exp1_agent_scaling.py",
 )
+
+
+def run_service_bench(quick: bool = False) -> None:
+    """Refresh ``BENCH_service.json`` via ``bench_service_rpc.py``.
+
+    The service snapshot is its own file (codec grid + sharded
+    coordinator section), but the trajectory should advance whenever
+    this runner does -- including the CI ``--quick`` arm.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [sys.executable, "benchmarks/bench_service_rpc.py"]
+    if quick:
+        command.append("--quick")
+    subprocess.run(command, cwd=REPO_ROOT, env=env, check=True)
 
 
 def run_suite(bench_file: str, scratch: Path, quick: bool = False) -> dict:
@@ -183,6 +207,7 @@ def main(argv=None) -> int:
         with tempfile.TemporaryDirectory() as scratch:
             for bench_file in BENCH_FILES:
                 medians.update(run_suite(bench_file, Path(scratch), args.quick))
+        run_service_bench(args.quick)
     medians.update(run_sweep_bench(args.quick))
 
     snapshot = {

@@ -46,6 +46,16 @@ fault schedule (crashes, partitions, heals) alongside the live
 workload; the ``chaos`` command replays the same schedule twice through
 the simulator and exits 0 only if the runs are bit-identical.
 
+Sharding::
+
+    python -m repro cluster --nodes 5 --shards 4 --replicas 3
+
+``--shards N`` prefix-partitions the coordinator tier: each top-level
+id-prefix subtree gets its own primary HAgent with its own replica
+set, journal and durable store, and node servers route per shard (see
+``docs/PROTOCOLS.md`` §12). ``--shards 1`` (the default) is
+byte-compatible with the unsharded protocol.
+
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
 Execution: ``--jobs N`` fans the grid over N worker processes (default:
@@ -348,6 +358,7 @@ def _cluster_config(args):
         agents=args.agents,
         ops=args.ops,
         seed=args.seeds,
+        shards=getattr(args, "shards", 1),
         crash_iagent=getattr(args, "crash_iagent", False),
         restart_iagent=getattr(args, "restart_iagent", False),
         hagent_replicas=replicas,
@@ -559,6 +570,14 @@ def main(argv: List[str] = None) -> int:
         default=1,
         metavar="N",
         help="HAgent replicas (rank 0 primary + hot standbys; default 1)",
+    )
+    service.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="prefix-partition the coordinator tier into N shards "
+        "(power of two; each shard gets its own HAgent replica set)",
     )
     service.add_argument(
         "--crash-hagent",

@@ -16,6 +16,9 @@ Modules
   tagged JSON (the compatibility floor every peer speaks) and a compact
   binary format negotiated per-connection via a hello handshake, with
   transparent fallback for peers that predate it.
+* :mod:`repro.service.routing` -- prefix sharding of the coordinator
+  tier: the pure id-to-shard mapping, the versioned shard map and the
+  client-side router with its last-known-good primary cache.
 * :mod:`repro.service.server` -- the HAgent server and per-node servers
   hosting the LHAgent, resident IAgents and the node-host endpoint.
 * :mod:`repro.service.client` -- the locate/register/migrate client with
@@ -30,6 +33,15 @@ Everything is standard library only (``asyncio`` + ``json``); no
 
 from repro.service.client import ClientConfig, ClientCounters, RpcChannel, ServiceClient
 from repro.service.cluster import ClusterConfig, ClusterReport, run_cluster
+from repro.service.routing import (
+    WRONG_SHARD,
+    ShardMap,
+    ShardRouter,
+    prefix_bits,
+    shard_of,
+    shard_prefix,
+    validate_shards,
+)
 from repro.service.server import HAgentServer, NodeServer, ServiceConfig
 from repro.service.wire import (
     CODEC_BINARY,
@@ -55,10 +67,17 @@ __all__ = [
     "RpcChannel",
     "ServiceClient",
     "ServiceConfig",
+    "ShardMap",
+    "ShardRouter",
+    "WRONG_SHARD",
     "WireError",
     "decode_frame",
     "encode_frame",
     "from_jsonable",
+    "prefix_bits",
     "run_cluster",
+    "shard_of",
+    "shard_prefix",
     "to_jsonable",
+    "validate_shards",
 ]

@@ -63,9 +63,14 @@ def live_chaos_palette(durable: bool) -> List[str]:
 class LiveChaosDriver:
     """Walks one schedule against a booted :class:`_Cluster`."""
 
-    def __init__(self, cluster, schedule: ChaosSchedule) -> None:
+    def __init__(self, cluster, schedule: ChaosSchedule, shard: int = 0) -> None:
         self.cluster = cluster
         self.schedule = schedule
+        #: Coordinator shard the HAgent faults aim at. Node and IAgent
+        #: faults are topology-wide and belong to shard 0's driver; a
+        #: sharded run gives every further shard its own driver with a
+        #: coordinator-only schedule.
+        self.shard = shard
         #: Structured application log: wall offset, kind, target, outcome.
         self.applied: List[Dict] = []
         self._task: Optional[asyncio.Task] = None
@@ -114,22 +119,23 @@ class LiveChaosDriver:
     async def _apply(self, kind: str, target: str) -> str:
         cluster = self.cluster
         if kind == "crash-hagent":
-            # Never amputate the last live replica: the schedule's
-            # paired restart has not run yet, so require a standby.
-            if len(cluster.hagents) < 2:
+            # Never amputate the shard's last live replica: the
+            # schedule's paired restart has not run yet, so require a
+            # standby.
+            if len(cluster.live_replicas(self.shard)) < 2:
                 return "skipped: no live standby"
-            info = await cluster.crash_primary_hagent()
-            return f"killed rank {info['rank']}"
+            info = await cluster.crash_primary_hagent(self.shard)
+            return f"killed rank {info['rank']} (shard {self.shard})"
         if kind == "restart-hagent":
-            restarted = await cluster.restart_killed_hagent()
+            restarted = await cluster.restart_killed_hagent(self.shard)
             if restarted is None:
                 return "skipped: nothing to restart"
             return f"restarted rank {restarted.rank} as standby"
         if kind == "partition-hagent":
-            primary = cluster.primary()
+            primary = cluster.primary(self.shard)
             primary.partitioned = True
             self._partitioned_hagents.append(primary)
-            return f"partitioned rank {primary.rank}"
+            return f"partitioned rank {primary.rank} (shard {self.shard})"
         if kind == "heal-hagent":
             if not self._partitioned_hagents:
                 return "skipped: nothing partitioned"
@@ -137,7 +143,7 @@ class LiveChaosDriver:
             healed.partitioned = False
             # The current primary re-announces so the healed replica
             # learns the cluster moved on and demotes at the fence.
-            await cluster.reannounce_primary()
+            await cluster.reannounce_primary(self.shard)
             return f"healed rank {healed.rank}"
         if kind == "partition-node":
             node = cluster.node_by_name(target)

@@ -45,11 +45,13 @@ from repro.metrics.trace import Tracer
 from repro.platform.messages import Request, Response
 from repro.platform.naming import AgentId
 from repro.service import wire
+from repro.service.routing import WRONG_SHARD
 
 __all__ = [
     "AGENT_NOT_FOUND",
     "NOT_PRIMARY",
     "STALE_EPOCH",
+    "WRONG_SHARD",
     "ClientConfig",
     "ClientCounters",
     "RemoteOpError",
@@ -202,6 +204,9 @@ class ClientCounters:
     #: Rounds retried due to transport failures (timeouts, resets,
     #: vanished agents).
     transport_retries: int = 0
+    #: ``wrong-shard`` bounces: the resolved route predated a shard-map
+    #: change (cross-shard absorption) and had to be re-resolved.
+    wrong_shard_retries: int = 0
     #: Batched RPCs sent (each amortizes one round-trip over N items).
     batch_rpcs: int = 0
     #: Items settled directly by a batched RPC (no single-op fallback).
@@ -758,12 +763,19 @@ class ServiceClient:
                     timeout=config.rpc_timeout,
                 )
             except (ServiceRpcError, RemoteOpError) as error:
-                if isinstance(error, RemoteOpError) and error.code != AGENT_NOT_FOUND:
+                if isinstance(error, RemoteOpError) and error.code not in (
+                    AGENT_NOT_FOUND,
+                    WRONG_SHARD,
+                ):
                     raise
-                # The resolved IAgent is unreachable or gone from that
-                # node (crash, migration, takeover): refresh the copy.
+                # The resolved IAgent is unreachable, gone from that
+                # node (crash, migration, takeover), or answered from a
+                # shard that no longer serves the id: refresh the copy.
                 self.counters.retries += 1
-                self.counters.transport_retries += 1
+                if isinstance(error, RemoteOpError) and error.code == WRONG_SHARD:
+                    self.counters.wrong_shard_retries += 1
+                else:
+                    self.counters.transport_retries += 1
                 await self._sleep(attempt)
                 mapping = await self._refresh(agent_id, mapping.get("version", -1))
                 last_status = "unreachable"

@@ -37,13 +37,18 @@ from repro.service.chaos import LiveChaosDriver, live_chaos_palette
 from repro.service.client import (
     ClientConfig,
     ClientCounters,
+    RemoteOpError,
     ServiceClient,
     ServiceLocateError,
+    ServiceRpcError,
 )
-from repro.service.replication import single_primary_violations
+from repro.service.replication import sharded_single_primary_violations
+from repro.service.routing import validate_shards
 from repro.service.server import HAgentServer, NodeServer, ServiceConfig
 
 __all__ = ["ClusterConfig", "ClusterReport", "run_cluster", "serve_cluster"]
+
+Address = Tuple[str, int]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,10 @@ class ClusterConfig:
     #: one heartbeat timeout and the run must still verify 100%.
     #: Requires ``hagent_replicas >= 2``.
     crash_hagent: bool = False
+    #: Coordinator shards (a power of two): each runs its own HAgent
+    #: replica set serializing the rehashing of its own id-prefix
+    #: subtree (see :mod:`repro.service.routing`).
+    shards: int = 1
     #: Seed of a live chaos schedule to run alongside the workload
     #: (None = no chaos). See :mod:`repro.service.chaos`.
     chaos_seed: Optional[int] = None
@@ -141,6 +150,17 @@ class ClusterReport:
     replicas_converged: bool = True
     #: Chaos run summary (seed, digest, applied events), or None.
     chaos: Optional[Dict] = None
+    #: Coordinator shards the deployment ran.
+    shards: int = 1
+    #: Cross-shard merges initiated / prefixes absorbed / aborts.
+    xshard_merges: int = 0
+    xshard_absorbs: int = 0
+    xshard_aborts: int = 0
+    #: Aggregated node-side routing-cache counters, or None (1 shard
+    #: keeps reporting them too -- the cache exists either way).
+    routing: Optional[Dict] = None
+    #: Client ops re-resolved after a ``wrong-shard`` bounce.
+    wrong_shard_retries: int = 0
 
     @property
     def passed(self) -> bool:
@@ -194,6 +214,16 @@ class ClusterReport:
             f"  rehashing   {self.splits} splits, {self.merges} merges, "
             f"{self.takeovers} takeovers",
         ]
+        if self.shards > 1:
+            routing = self.routing or {}
+            lines.append(
+                f"  sharding    {self.shards} coordinator shards, "
+                f"{routing.get('cached_hits', 0)} cached routes / "
+                f"{routing.get('discoveries', 0)} discoveries, "
+                f"{self.wrong_shard_retries} wrong-shard retries, "
+                f"{self.xshard_merges} cross-shard merges "
+                f"({self.xshard_absorbs} absorbed, {self.xshard_aborts} aborted)"
+            )
         if self.crashed:
             lines.append(
                 f"  fault       crashed 1 IAgent mid-run "
@@ -248,13 +278,26 @@ class _Cluster:
         )
         if self.tracer is not None and config.trace_jsonl:
             self.tracer.write_jsonl(config.trace_jsonl)
-        #: Live HAgent replicas; killed ones move to :attr:`dead_hagents`.
-        self.hagents: List[HAgentServer] = [
-            HAgentServer(config.service, tracer=self.tracer, rank=rank)
-            for rank in range(max(1, config.hagent_replicas))
-        ]
+        validate_shards(config.shards)
+        #: Live HAgent replicas per shard; killed ones move to
+        #: :attr:`dead_hagents` (they remember their own shard).
+        self.shard_hagents: Dict[int, List[HAgentServer]] = {
+            shard: [
+                HAgentServer(
+                    config.service,
+                    tracer=self.tracer,
+                    rank=rank,
+                    shard=shard,
+                    shards=config.shards,
+                )
+                for rank in range(max(1, config.hagent_replicas))
+            ]
+            for shard in range(config.shards)
+        }
         self.dead_hagents: List[HAgentServer] = []
         self.hagent_crashed_at: Optional[float] = None
+        #: Every shard's replica address book, filled by :meth:`start`.
+        self.shard_books: Dict[int, List[Address]] = {}
         self.nodes: List[NodeServer] = []
         self.clients: List[ServiceClient] = []
         self.rng = random.Random(config.seed)
@@ -263,13 +306,23 @@ class _Cluster:
         #: protocol's answers are checked against.
         self.truth: Dict[AgentId, Tuple[int, int]] = {}
 
-    def primary(self) -> HAgentServer:
-        """The live replica currently acting as primary (highest epoch),
-        falling back to the lowest rank while an election is in flight."""
-        primaries = [h for h in self.hagents if h.role == "primary"]
+    @property
+    def hagents(self) -> List[HAgentServer]:
+        """Every live replica across every shard (flat view)."""
+        return [h for replicas in self.shard_hagents.values() for h in replicas]
+
+    def live_replicas(self, shard: int = 0) -> List[HAgentServer]:
+        return self.shard_hagents[shard]
+
+    def primary(self, shard: int = 0) -> HAgentServer:
+        """The live replica currently acting as ``shard``'s primary
+        (highest epoch), falling back to the lowest rank while an
+        election is in flight."""
+        replicas = self.shard_hagents[shard]
+        primaries = [h for h in replicas if h.role == "primary"]
         if primaries:
             return max(primaries, key=lambda h: h.epoch)
-        return min(self.hagents, key=lambda h: h.rank)
+        return min(replicas, key=lambda h: h.rank)
 
     def node_by_name(self, name: str) -> NodeServer:
         for node in self.nodes:
@@ -278,29 +331,50 @@ class _Cluster:
         raise KeyError(name)
 
     async def start(self) -> None:
-        peers: Dict[int, Tuple[str, int]] = {}
-        for hagent in self.hagents:
-            addr = await hagent.start()
-            peers[hagent.rank] = addr
-        for hagent in self.hagents:
-            hagent.set_peers(peers)
-        primary_addr = self.hagents[0].addr
-        assert primary_addr is not None
-        replica_addrs = [h.addr for h in self.hagents if h.addr is not None]
+        for shard, replicas in sorted(self.shard_hagents.items()):
+            peers: Dict[int, Tuple[str, int]] = {}
+            for hagent in replicas:
+                peers[hagent.rank] = await hagent.start()
+            for hagent in replicas:
+                hagent.set_peers(peers)
+            self.shard_books[shard] = [
+                h.addr for h in replicas if h.addr is not None
+            ]
+        # Every replica learns every shard's address book so cross-shard
+        # merges can find (and fence against) their buddy coordinator.
+        for replicas in self.shard_hagents.values():
+            for hagent in replicas:
+                hagent.set_shard_peers(self.shard_books)
+        primary_addr = self.shard_books[0][0]
+        extra_books = {
+            shard: addrs
+            for shard, addrs in self.shard_books.items()
+            if shard != 0
+        }
         for index in range(self.config.nodes):
             node = NodeServer(
                 f"node-{index}",
                 primary_addr,
                 self.config.service,
                 tracer=self.tracer,
-                hagent_addrs=replica_addrs,
+                hagent_addrs=self.shard_books[0],
+                shards=self.config.shards,
+                shard_addrs=extra_books or None,
             )
             await node.start()
             self.nodes.append(node)
-        # Bootstrap the single-IAgent hash function (paper §2.2).
+        # Bootstrap each shard's single-IAgent hash function (paper
+        # §2.2); shard 0's bootstrap body is the pre-sharding one.
         await self.nodes[0].channel.call(
             primary_addr, "hagent", "bootstrap", {}
         )
+        for shard in range(1, self.config.shards):
+            await self.nodes[0].channel.call(
+                self.shard_books[shard][0],
+                "hagent",
+                "bootstrap",
+                {"shard": shard},
+            )
         for node in self.nodes:
             assert node.addr is not None
             self.clients.append(
@@ -325,71 +399,93 @@ class _Cluster:
 
     # -- HAgent failover ------------------------------------------------
 
-    async def crash_primary_hagent(self) -> Dict:
-        """Kill the current primary abruptly; record the crash instant."""
-        primary = self.primary()
+    async def crash_primary_hagent(self, shard: int = 0) -> Dict:
+        """Kill ``shard``'s current primary abruptly; record the instant."""
+        primary = self.primary(shard)
         crashed_at = time.monotonic()
         await primary.kill()
-        self.hagents.remove(primary)
+        self.shard_hagents[shard].remove(primary)
         self.dead_hagents.append(primary)
         self.hagent_crashed_at = crashed_at
-        return {"rank": primary.rank, "crashed_at": crashed_at}
+        return {"rank": primary.rank, "shard": shard, "crashed_at": crashed_at}
 
-    async def restart_killed_hagent(self) -> Optional[HAgentServer]:
-        """Bring the most recently killed replica back as a standby.
+    async def restart_killed_hagent(self, shard: int = 0) -> Optional[HAgentServer]:
+        """Bring ``shard``'s most recently killed replica back as a standby.
 
         Reuses the old rank and port, so every peer address book and
         node re-discovery list stays valid; durable state (if any) is
         recovered from the replica's own WAL + snapshots, and the
         standby sync loop pulls it level with the current primary.
         """
-        if not self.dead_hagents:
+        dead: Optional[HAgentServer] = None
+        for index in range(len(self.dead_hagents) - 1, -1, -1):
+            if self.dead_hagents[index].shard == shard:
+                dead = self.dead_hagents.pop(index)
+                break
+        if dead is None:
             return None
-        dead = self.dead_hagents.pop()
         assert dead.addr is not None
         replacement = HAgentServer(
             self.config.service,
             tracer=self.tracer,
             rank=dead.rank,
             role="standby",
+            shard=shard,
+            shards=self.config.shards,
         )
-        peers = {h.rank: h.addr for h in self.hagents if h.addr is not None}
+        peers = {
+            h.rank: h.addr
+            for h in self.shard_hagents[shard]
+            if h.addr is not None
+        }
         peers[dead.rank] = dead.addr
         await replacement.start(port=dead.addr[1])
         replacement.set_peers(peers)
-        self.hagents.append(replacement)
+        replacement.set_shard_peers(self.shard_books)
+        self.shard_hagents[shard].append(replacement)
         return replacement
 
-    async def await_promotion(self, deadline_s: float) -> Optional[HAgentServer]:
-        """Wait until some live replica has promoted itself, or None."""
+    async def await_promotion(
+        self, deadline_s: float, shard: int = 0
+    ) -> Optional[HAgentServer]:
+        """Wait until a live replica of ``shard`` has promoted, or None."""
         deadline = time.monotonic() + deadline_s
         while time.monotonic() < deadline:
-            for hagent in self.hagents:
+            for hagent in self.shard_hagents[shard]:
                 if hagent.role == "primary" and hagent.promoted_at is not None:
                     return hagent
             await asyncio.sleep(0.02)
         return None
 
-    async def reannounce_primary(self) -> None:
-        """Have the current primary re-broadcast ``new-primary``.
+    async def reannounce_primary(self, shard: int = 0) -> None:
+        """Have ``shard``'s current primary re-broadcast ``new-primary``.
 
         Used after healing a partition so a deposed, still-convinced
         primary learns the cluster moved on and demotes at the fence.
         """
-        primary = self.primary()
+        primary = self.primary(shard)
         if primary.role == "primary" and primary.promoted_at is not None:
             await primary._announce_primary()
 
     async def replicas_converged(self, budget_s: float = 3.0) -> bool:
-        """True iff every live standby's copy reaches the primary's
+        """True iff every shard's live standbys reach their primary's
         (epoch, version, tree) within ``budget_s``."""
+        results = await asyncio.gather(
+            *(
+                self._shard_converged(shard, budget_s)
+                for shard in sorted(self.shard_hagents)
+            )
+        )
+        return all(results)
+
+    async def _shard_converged(self, shard: int, budget_s: float) -> bool:
         deadline = time.monotonic() + budget_s
         while True:
-            primary = self.primary()
+            primary = self.primary(shard)
             spec = primary.tree.to_spec() if primary.tree is not None else None
             diverged = [
                 standby
-                for standby in self.hagents
+                for standby in self.shard_hagents[shard]
                 if standby is not primary
                 and not standby.partitioned
                 and (
@@ -414,6 +510,13 @@ class _Cluster:
         claims: List[Tuple[int, str]] = []
         for hagent in self.hagents + self.dead_hagents:
             claims.extend(hagent.epoch_claims)
+        return claims
+
+    def epoch_claims_by_shard(self) -> Dict[int, List[Tuple[int, str]]]:
+        """Claim histories grouped by shard (epochs are per-shard)."""
+        claims: Dict[int, List[Tuple[int, str]]] = {}
+        for hagent in self.hagents + self.dead_hagents:
+            claims.setdefault(hagent.shard, []).extend(hagent.epoch_claims)
         return claims
 
     # -- driver operations ----------------------------------------------
@@ -457,24 +560,35 @@ class _Cluster:
         return found == self.nodes[self.truth[agent][0]].name
 
     async def _heaviest_iagent(self) -> Tuple[AgentId, Tuple[str, int], int]:
-        """The reachable IAgent holding the most records."""
-        primary_addr = self.primary().addr
-        assert primary_addr is not None
-        listing = await self.nodes[0].channel.call(
-            primary_addr, "hagent", "list-iagents", {}
-        )
+        """The reachable IAgent holding the most records, any shard."""
         heaviest, heaviest_node, heaviest_records = None, None, -1
-        for entry in listing["iagents"]:
-            if entry["addr"] is None:
-                continue
-            ping = await self.nodes[0].channel.call(
-                tuple(entry["addr"]), entry["owner"], "ping", {}
+        for shard in sorted(self.shard_hagents):
+            primary = self.primary(shard)
+            if primary.addr is None or not primary.owned:
+                continue  # absorbed shards serve no subtree anymore
+            listing = await self.nodes[0].channel.call(
+                primary.addr, "hagent", "list-iagents", {}
             )
-            if ping["records"] > heaviest_records:
-                heaviest = entry["owner"]
-                heaviest_node = tuple(entry["addr"])
-                heaviest_records = ping["records"]
-        assert heaviest is not None and heaviest_node is not None
+            for entry in listing["iagents"]:
+                if entry["addr"] is None:
+                    continue
+                try:
+                    ping = await self.nodes[0].channel.call(
+                        tuple(entry["addr"]), entry["owner"], "ping", {}
+                    )
+                except (ServiceRpcError, RemoteOpError):
+                    continue  # retired by a cross-shard drain, or down
+                if ping["records"] > heaviest_records:
+                    heaviest = entry["owner"]
+                    heaviest_node = tuple(entry["addr"])
+                    heaviest_records = ping["records"]
+        if heaviest is None or heaviest_node is None:
+            # Every listed IAgent was unreachable (partitions, a drain
+            # in flight): the fault injector treats this as a skipped
+            # event, exactly like a failed ping did pre-sharding.
+            raise ServiceRpcError(
+                "no reachable IAgent to target", op="list-iagents"
+            )
         return heaviest, heaviest_node, heaviest_records
 
     async def crash_heaviest_iagent(self) -> int:
@@ -532,10 +646,12 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
     cluster = _Cluster(config)
     report = ClusterReport(nodes=config.nodes)
     report.wire = config.service.wire
+    report.shards = config.shards
     report.hagent_replicas = max(1, config.hagent_replicas)
     report.promotion_budget_s = config.service.heartbeat_timeout
     started = time.monotonic()
     chaos_driver: Optional[LiveChaosDriver] = None
+    extra_chaos: List[LiveChaosDriver] = []
     try:
         await cluster.start()
         agents: List[AgentId] = []
@@ -543,6 +659,9 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
             agents.append(await cluster.spawn_agent())
 
         if config.chaos_seed is not None:
+            # Shard 0's schedule is generated from exactly the inputs a
+            # single-shard run uses, so its digest (and replay) is
+            # byte-identical whatever ``shards`` is.
             schedule = ChaosSchedule.generate(
                 config.chaos_seed,
                 config.chaos_duration,
@@ -551,16 +670,40 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
             )
             chaos_driver = LiveChaosDriver(cluster, schedule)
             chaos_driver.start()
+            # Further shards get their own coordinator-fault schedules
+            # (derived seeds); node/IAgent faults stay with shard 0's
+            # driver -- they are topology-wide, not per-coordinator.
+            # Partitions only: a crash+restart leaves a diskless replica
+            # with an unsynced (empty) copy, and promoting *that* under
+            # a follow-up partition is a known pre-sharding hazard --
+            # shard 0's full palette already covers crash faults.
+            if config.shards > 1 and config.hagent_replicas >= 2:
+                for shard in range(1, config.shards):
+                    extra = ChaosSchedule.generate(
+                        config.chaos_seed + 7919 * shard,
+                        config.chaos_duration,
+                        nodes=[node.name for node in cluster.nodes],
+                        kinds=["partition-hagent"],
+                    )
+                    driver = LiveChaosDriver(cluster, extra, shard=shard)
+                    driver.start()
+                    extra_chaos.append(driver)
 
         inject_fault = config.crash_iagent or config.restart_iagent
         crash_at = config.ops // 2 if inject_fault else -1
         crash_hagent_at = config.ops // 2 if config.crash_hagent else -1
+        # In a sharded deployment the crash targets the highest shard's
+        # primary -- the failover then runs entirely inside that shard's
+        # own epoch sequence and `hagent-s<N>-<rank>` replica set.
+        crash_shard = config.shards - 1
         for op_index in range(config.ops):
             if op_index == crash_hagent_at:
-                crash_info = await cluster.crash_primary_hagent()
+                crash_info = await cluster.crash_primary_hagent(
+                    shard=crash_shard
+                )
                 report.hagent_crashed = True
                 promoted = await cluster.await_promotion(
-                    config.service.heartbeat_timeout + 2.0
+                    config.service.heartbeat_timeout + 2.0, shard=crash_shard
                 )
                 if promoted is not None and promoted.promoted_at is not None:
                     report.promoted_rank = promoted.rank
@@ -614,6 +757,18 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
                 "digest": chaos_driver.schedule.digest(),
                 "applied": chaos_driver.applied,
             }
+            if extra_chaos:
+                for driver in extra_chaos:
+                    await driver.drain()
+                report.chaos["shards"] = [
+                    {
+                        "shard": driver.shard,
+                        "seed": driver.schedule.seed,
+                        "digest": driver.schedule.digest(),
+                        "applied": driver.applied,
+                    }
+                    for driver in extra_chaos
+                ]
 
         # Final sweep: every agent in the population must still resolve
         # to its true node -- the crash must have healed completely.
@@ -626,10 +781,10 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
 
         # Replication invariants: every live standby converged to the
         # primary, and no epoch was ever claimed by two primaries.
-        if len(cluster.hagents) > 1:
+        if config.hagent_replicas > 1:
             report.replicas_converged = await cluster.replicas_converged()
-        report.single_primary_ok = not single_primary_violations(
-            cluster.epoch_claims()
+        report.single_primary_ok = not sharded_single_primary_violations(
+            cluster.epoch_claims_by_shard()
         )
         report.promotions = sum(
             len(h.promotions)
@@ -645,19 +800,30 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
             node.orphans_retired for node in cluster.nodes
         )
 
-        primary = cluster.primary()
-        assert primary.addr is not None
-        stats = await cluster.nodes[0].channel.call(
-            primary.addr, "hagent", "stats", {}
-        )
-        report.epoch_final = stats["epoch"]
+        for shard in sorted(cluster.shard_hagents):
+            primary = cluster.primary(shard)
+            assert primary.addr is not None
+            stats = await cluster.nodes[0].channel.call(
+                primary.addr, "hagent", "stats", {}
+            )
+            if shard == 0:
+                report.epoch_final = stats["epoch"]
+            report.splits += stats["splits"]
+            report.merges += stats["merges"]
+            report.takeovers += stats["takeovers"]
+            report.hash_version = max(report.hash_version, stats["version"])
+            report.xshard_merges += stats.get("xshard_merges", 0)
+            report.xshard_absorbs += stats.get("xshard_absorbs", 0)
+            report.xshard_aborts += stats.get("xshard_aborts", 0)
+            if stats.get("owned", [shard]):
+                report.iagents_final += stats["iagents"]
         report.agents = len(agents)
         report.ops = config.ops
-        report.splits = stats["splits"]
-        report.merges = stats["merges"]
-        report.takeovers = stats["takeovers"]
-        report.iagents_final = stats["iagents"]
-        report.hash_version = stats["version"]
+        routing: Dict[str, int] = {}
+        for node in cluster.nodes:
+            for key, value in node.router.counters().items():
+                routing[key] = routing.get(key, 0) + value
+        report.routing = routing
         counters = cluster.merged_counters()
         report.locates = counters.locates
         report.locate_failures = counters.locate_failures
@@ -668,6 +834,7 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         report.not_responsible = counters.not_responsible
         report.no_record_retries = counters.no_record_retries
         report.transport_retries = counters.transport_retries
+        report.wrong_shard_retries = counters.wrong_shard_retries
         # Batching happens in the node hosts' republish loops (their
         # clients are distinct from the driver's), so count both.
         for node_client in [n.client for n in cluster.nodes if n.client] + list(
@@ -689,7 +856,7 @@ async def serve_cluster(config: Optional[ClusterConfig] = None) -> None:
     for hagent in cluster.hagents:
         assert hagent.addr is not None
         print(
-            f"hagent-{hagent.rank} {hagent.addr[0]}:{hagent.addr[1]} "
+            f"{hagent.replica_name} {hagent.addr[0]}:{hagent.addr[1]} "
             f"({hagent.role})"
         )
     for node in cluster.nodes:

@@ -35,6 +35,7 @@ __all__ = [
     "FailureDetector",
     "FenceDecision",
     "next_epoch",
+    "sharded_single_primary_violations",
     "single_primary_violations",
 ]
 
@@ -197,3 +198,19 @@ def single_primary_violations(
         for epoch, holders in sorted(by_epoch.items())
         if len(holders) > 1
     ]
+
+
+def sharded_single_primary_violations(
+    claims_by_shard: Dict[int, Iterable[Tuple[int, str]]],
+) -> List[Tuple[int, int, Tuple[str, ...]]]:
+    """The invariant per coordinator shard: epochs are a *per-shard*
+    sequence (every shard legitimately starts at epoch 1), so the check
+    runs within each shard and never across them. Returns violating
+    ``(shard, epoch, claimants)`` triples -- empty means it held
+    everywhere.
+    """
+    violations: List[Tuple[int, int, Tuple[str, ...]]] = []
+    for shard in sorted(claims_by_shard):
+        for epoch, holders in single_primary_violations(claims_by_shard[shard]):
+            violations.append((shard, epoch, holders))
+    return violations

@@ -80,6 +80,13 @@ from repro.service.replication import (
     FailureDetector,
     next_epoch,
 )
+from repro.service.routing import (
+    WRONG_SHARD,
+    ShardMap,
+    ShardRouter,
+    shard_prefix,
+    validate_shards,
+)
 from repro.storage import DurableStore
 
 __all__ = ["HAgentServer", "NodeServer", "ServiceConfig"]
@@ -163,6 +170,20 @@ class ServiceConfig:
     #: that trigger promotion without waiting out the silence window: a
     #: refused connect means the process is *gone*, not merely slow.
     fast_fail_threshold: int = 3
+
+    #: Allow an idle shard coordinator to merge its whole subtree into
+    #: its sibling shard (the fenced two-phase protocol). Off by
+    #: default: collapsing a shard is a topology decision, not routine
+    #: load balancing, so deployments (and the benchmarks) opt in.
+    cross_shard_merge: bool = False
+
+    #: Artificial one-way delay added to every coordinator-to-node and
+    #: coordinator-to-IAgent RPC (s). Zero in production. The sharded
+    #: coordination benchmark sets a WAN-representative RTT here: on a
+    #: localhost loop the real round-trip cost of the rehash pipeline
+    #: rounds to zero, which hides exactly the serialization that
+    #: prefix sharding removes.
+    coordinator_rpc_delay: float = 0.0
 
     #: Protocol tunables shared with the simulator mechanism.
     mechanism: HashMechanismConfig = field(default_factory=_default_mechanism_config)
@@ -354,9 +375,13 @@ class IAgentEndpoint:
         node: "NodeServer",
         pattern: Optional[str],
         store: Optional[DurableStore] = None,
+        shard: int = 0,
     ) -> None:
         self.owner = owner
         self.node = node
+        #: Which coordinator shard this leaf reports to and takes
+        #: rehash orders from.
+        self.shard = shard
         self.coverage = pattern
         #: agent id -> [node name, sequence number].
         self.records: Dict[AgentId, List] = {}
@@ -561,7 +586,7 @@ class IAgentEndpoint:
             now = time.monotonic()
             try:
                 reply = await self.node.channel.call(
-                    self.node.hagent_addr,
+                    self.node.coordinator_addr(self.shard),
                     "hagent",
                     "load-report",
                     {
@@ -572,16 +597,31 @@ class IAgentEndpoint:
                         ),
                         "records": len(self.records),
                         "node": self.node.name,
+                        "shard": self.shard,
                     },
                     timeout=config.rpc_timeout,
                 )
-            except (ServiceRpcError, RemoteOpError):
+            except RemoteOpError as error:
+                if error.code == WRONG_SHARD:
+                    # The whole shard was merged into its sibling; this
+                    # leaf was drained during the hand-off and only the
+                    # retire racing this loop is missing. Retire now --
+                    # any tail records re-register through soft state.
+                    await self.node.refresh_shard_map(self.shard)
+                    if self.node.iagents.get(self.owner) is self:
+                        self.node.retire_orphan(self.owner)
+                    return
+                failures += 1
+                if failures % 3 == 0:
+                    await self.node.find_primary(self.shard)
+                continue
+            except ServiceRpcError:
                 # Best-effort, like the simulator -- but a dead or
                 # deposed coordinator may have failed over, so every few
                 # misses the node re-discovers the current primary.
                 failures += 1
                 if failures % 3 == 0:
-                    await self.node.find_primary()
+                    await self.node.find_primary(self.shard)
                 continue
             failures = 0
             if reply.get("status") == "stale":
@@ -609,37 +649,58 @@ class LHAgentEndpoint:
 
     def __init__(self, node: "NodeServer") -> None:
         self.node = node
-        self.copy: Optional[HashFunctionCopy] = None
-        #: The epoch this copy was fetched under. Versions are only
+        #: One secondary copy per coordinator shard, fetched lazily the
+        #: first time an agent of that prefix is resolved here.
+        self.copies: Dict[int, HashFunctionCopy] = {}
+        #: The epoch each copy was fetched under. Versions are only
         #: comparable within one epoch: a promoted standby may restart
         #: version numbering below the dead primary's, so refreshes are
         #: epoch-qualified and an epoch change always accepts the
         #: authoritative copy regardless of version.
-        self.copy_epoch = 0
+        self.copy_epochs: Dict[int, int] = {}
         self.node_addrs: Dict[str, Tuple[str, int]] = {}
-        self._fetch_lock = asyncio.Lock()
+        self._fetch_locks: Dict[int, asyncio.Lock] = {}
         self.whois_served = 0
         self.refreshes = 0
         self.delta_refreshes = 0
         self.full_refreshes = 0
 
+    @property
+    def copy(self) -> Optional[HashFunctionCopy]:
+        """Shard 0's secondary copy -- the whole copy pre-sharding."""
+        return self.copies.get(0)
+
+    @copy.setter
+    def copy(self, value: Optional[HashFunctionCopy]) -> None:
+        if value is None:
+            self.copies.pop(0, None)
+        else:
+            self.copies[0] = value
+
+    def _shard_for(self, agent_id: AgentId) -> int:
+        return self.node.router.shard_for(agent_id)
+
     async def op_whois(self, body: Dict) -> Dict:
-        if self.copy is None:
-            await self._fetch_primary_copy()
+        shard = self._shard_for(body["agent"])
+        if shard not in self.copies:
+            await self._fetch_primary_copy(shard)
         self.whois_served += 1
         return self._resolve(body["agent"])
 
     async def op_refresh(self, body: Dict) -> Dict:
+        shard = self._shard_for(body["agent"])
         stale_version = body.get("stale_version", -1)
-        if self.copy is None or self.copy.version <= stale_version:
-            await self._fetch_primary_copy()
+        copy = self.copies.get(shard)
+        if copy is None or copy.version <= stale_version:
+            await self._fetch_primary_copy(shard)
         return self._resolve(body["agent"])
 
     async def op_whois_batch(self, body: Dict) -> Dict:
-        """Resolve many agents against one consistent secondary copy."""
-        if self.copy is None:
-            await self._fetch_primary_copy()
+        """Resolve many agents against consistent per-shard copies."""
         agents = body["agents"]
+        for shard in {self._shard_for(agent) for agent in agents}:
+            if shard not in self.copies:
+                await self._fetch_primary_copy(shard)
         self.whois_served += len(agents)
         return {"mappings": [self._resolve(agent) for agent in agents]}
 
@@ -647,40 +708,59 @@ class LHAgentEndpoint:
         return {"version": self.copy.version if self.copy else -1}
 
     def _resolve(self, agent_id: AgentId) -> Dict:
-        assert self.copy is not None
-        owner, node = self.copy.resolve(agent_id)
+        shard = self._shard_for(agent_id)
+        copy = self.copies[shard]
+        owner, node = copy.resolve(agent_id)
         addr = self.node_addrs.get(node) if node is not None else None
         return {
             "iagent": owner,
             "node": node,
             "addr": list(addr) if addr is not None else None,
-            "version": self.copy.version,
+            "version": copy.version,
         }
 
-    async def _fetch_primary_copy(self) -> None:
-        async with self._fetch_lock:
-            await self._fetch_locked()
+    async def _fetch_primary_copy(self, shard: int = 0) -> None:
+        lock = self._fetch_locks.setdefault(shard, asyncio.Lock())
+        async with lock:
+            await self._fetch_locked(shard)
 
-    async def _fetch_locked(self) -> None:
+    async def _fetch_locked(self, shard: int) -> None:
         try:
-            reply = await self._fetch_once()
+            reply = await self._fetch_once(shard)
         except (ServiceRpcError, RemoteOpError) as error:
-            if isinstance(error, RemoteOpError) and error.code not in (
+            if isinstance(error, RemoteOpError) and error.code == WRONG_SHARD:
+                # That coordinator released its prefix to a sibling: pull
+                # the shard map, follow the redirect, retry once there.
+                await self.node.refresh_shard_map(shard)
+                reply = await self._fetch_once(shard)
+            elif (
+                isinstance(error, RemoteOpError)
+                and error.code == "precondition"
+                and self.copies.get(shard) is not None
+            ):
+                # The coordinator cannot serve the function right now
+                # (e.g. a replica promoted before its first sync after
+                # a crash cascade). Soft state: keep answering from the
+                # cached copy rather than failing every locate.
+                return
+            elif isinstance(error, RemoteOpError) and error.code not in (
                 NOT_PRIMARY,
             ):
                 raise
-            # The coordinator is unreachable or deposed: re-discover the
-            # current primary through the node's replica address book
-            # and retry once against it.
-            if await self.node.find_primary() is None:
-                raise
-            reply = await self._fetch_once()
+            else:
+                # The coordinator is unreachable or deposed: re-discover
+                # the current primary through the node's replica address
+                # book and retry once against it.
+                if await self.node.find_primary(shard) is None:
+                    raise
+                reply = await self._fetch_once(shard)
         self.refreshes += 1
-        epoch = reply.get("epoch", self.copy_epoch)
-        if reply.get("mode") == "delta" and self.copy is not None:
-            self.copy.apply_ops(reply["ops"])
+        copy = self.copies.get(shard)
+        epoch = reply.get("epoch", self.copy_epochs.get(shard, 0))
+        if reply.get("mode") == "delta" and copy is not None:
+            copy.apply_ops(reply["ops"])
             self.delta_refreshes += 1
-            self.copy_epoch = epoch
+            self.copy_epochs[shard] = epoch
             return
         self.full_refreshes += 1
         fresh = HashFunctionCopy.from_bundle(reply)
@@ -688,28 +768,36 @@ class LHAgentEndpoint:
             {name: tuple(addr) for name, addr in reply.get("node_addrs", {}).items()}
         )
         if (
-            self.copy is None
-            or epoch != self.copy_epoch
-            or fresh.version >= self.copy.version
+            copy is None
+            or epoch != self.copy_epochs.get(shard, 0)
+            or fresh.version >= copy.version
         ):
-            self.copy = fresh
-        self.copy_epoch = epoch
+            self.copies[shard] = fresh
+        self.copy_epochs[shard] = epoch
 
-    async def _fetch_once(self) -> Dict:
+    async def _fetch_once(self, shard: int) -> Dict:
         node = self.node
         config = node.config
-        if config.mechanism.delta_sync and self.copy is not None:
+        copy = self.copies.get(shard)
+        target = node.coordinator_addr(shard)
+        if config.mechanism.delta_sync and copy is not None:
             return await node.channel.call(
-                node.hagent_addr,
+                target,
                 "hagent",
                 "get-hash-delta",
-                {"since": self.copy.version, "epoch": self.copy_epoch},
+                {
+                    "since": copy.version,
+                    "epoch": self.copy_epochs.get(shard, 0),
+                    "shard": shard,
+                },
                 timeout=config.rpc_timeout,
             )
+        body = {"shard": shard} if node.router.shards > 1 else None
         return await node.channel.call(
-            node.hagent_addr,
+            target,
             "hagent",
             "get-hash-function",
+            body,
             timeout=config.rpc_timeout,
         )
 
@@ -783,17 +871,38 @@ class NodeServer(_FramedServer):
         config: Optional[ServiceConfig] = None,
         tracer: Optional[Tracer] = None,
         hagent_addrs: Optional[List[Address]] = None,
+        shards: int = 1,
+        shard_addrs: Optional[Dict[int, List[Address]]] = None,
     ) -> None:
         super().__init__(config or ServiceConfig(), tracer)
         self.name = name
-        #: The coordinator this node currently believes is primary;
-        #: repointed by ``new-primary`` announcements or re-discovery.
-        self.hagent_addr = hagent_addr
-        #: Every known HAgent replica address, for primary re-discovery
-        #: when the believed primary stops answering.
-        self.hagent_addrs: List[Address] = list(hagent_addrs or [hagent_addr])
-        #: Fencing token guard: rejects rehash ops from deposed primaries.
-        self.fence = EpochFence()
+        #: id-prefix -> coordinator routing, with a last-known-good
+        #: primary cached per shard. ``hagent_addr`` is shard 0's boot
+        #: coordinator; further shards' replica books arrive through
+        #: ``shard_addrs``.
+        shard_map = ShardMap(shards=validate_shards(shards))
+        for addr in list(hagent_addrs or [hagent_addr]):
+            book = shard_map.replicas_of(0)
+            if addr not in book:
+                book.append(addr)
+        for shard, addrs in (shard_addrs or {}).items():
+            book = shard_map.replicas_of(shard)
+            for addr in addrs:
+                if addr not in book:
+                    book.append(addr)
+        self.router = ShardRouter(shard_map)
+        self.router.set_primary(0, hagent_addr)
+        for shard in range(1, shards):
+            book = shard_map.replicas_of(shard)
+            if book:
+                self.router.set_primary(shard, book[0])
+        #: One fencing token guard per shard: rehash ops are serialized
+        #: by their shard's epoch sequence, independently of the others.
+        self.fences: Dict[int, EpochFence] = {
+            shard: EpochFence() for shard in range(shards)
+        }
+        #: Shard 0's fence, under its pre-sharding name.
+        self.fence = self.fences[0]
         self.fence_rejections = 0
         self.orphans_retired = 0
         self.channel = RpcChannel(
@@ -817,6 +926,49 @@ class NodeServer(_FramedServer):
             else None
         )
 
+    @property
+    def hagent_addr(self) -> Address:
+        """Shard 0's believed-primary coordinator (pre-sharding name).
+
+        Repointed by ``new-primary`` announcements or re-discovery.
+        """
+        addr = self.router.peek(0)
+        if addr is None:
+            # A failed discovery scan leaves the cache empty; fall back
+            # to the book head rather than blowing up the caller.
+            return self.router.map.replicas_of(0)[0]
+        return addr
+
+    @hagent_addr.setter
+    def hagent_addr(self, addr: Address) -> None:
+        self.router.set_primary(0, addr)
+
+    @property
+    def hagent_addrs(self) -> List[Address]:
+        """Shard 0's replica address book (the live list: append works)."""
+        return self.router.map.replicas_of(0)
+
+    def coordinator_addr(self, shard: int = 0) -> Address:
+        """The cached last-known-good primary of ``shard``'s coordinator.
+
+        Follows the shard map's ownership redirects (an absorbed
+        prefix's traffic goes to the absorbing shard) and falls back to
+        the shard's first configured replica before any discovery ran.
+        """
+        owner = self.router.map.owner.get(shard, shard)
+        addr = self.router.primary(owner)
+        if addr is not None:
+            return addr
+        book = self.router.map.replicas_of(owner)
+        if not book:
+            raise ServiceRpcError(
+                f"no coordinator known for shard {owner}", op="coordinator-addr"
+            )
+        return book[0]
+
+    def shard_for(self, agent_id: AgentId) -> int:
+        return self.router.shard_for(agent_id)
+
     async def start(self, host: Optional[str] = None, port: int = 0) -> Address:
         addr = await super().start(host, port)
         self.client = ServiceClient(
@@ -831,13 +983,20 @@ class NodeServer(_FramedServer):
             channel=self.channel,
             tracer=self.tracer,
         )
-        await self.channel.call(
-            self.hagent_addr,
-            "hagent",
-            "register-node",
-            {"name": self.name, "host": addr[0], "port": addr[1]},
-            timeout=self.config.rpc_timeout,
-        )
+        # Register with every shard's coordinator: each shard spawns and
+        # takes over IAgents independently, so each needs this node in
+        # its address book. Shard 0 keeps the exact pre-sharding call.
+        for shard in range(self.router.shards):
+            body = {"name": self.name, "host": addr[0], "port": addr[1]}
+            if shard:
+                body["shard"] = shard
+            await self.channel.call(
+                self.coordinator_addr(shard),
+                "hagent",
+                "register-node",
+                body,
+                timeout=self.config.rpc_timeout,
+            )
         self.spawn(self.host.republish_loop(), name=f"{self.name}-republish")
         return addr
 
@@ -878,28 +1037,32 @@ class NodeServer(_FramedServer):
         """Refuse a coordinator-issued op from a deposed primary.
 
         Ops carrying no ``epoch`` (driver and test calls) pass freely;
-        epoch-stamped ones must clear this node's :class:`EpochFence`.
+        epoch-stamped ones must clear the issuing *shard's*
+        :class:`EpochFence` -- each shard's epoch sequence fences
+        independently (ops default to shard 0, the pre-sharding wire).
         """
         epoch = body.get("epoch")
         if epoch is None:
             return
-        decision = self.fence.admit(epoch, body.get("claimant"))
+        fence = self.fences.setdefault(int(body.get("shard", 0)), EpochFence())
+        decision = fence.admit(epoch, body.get("claimant"))
         if not decision.admitted:
             self.fence_rejections += 1
             raise _Reject(f"{decision.reason} (op {op!r} at {self.name})")
 
-    async def find_primary(self) -> Optional[Address]:
-        """Scan the replica address book for the highest-epoch primary.
+    async def find_primary(self, shard: int = 0) -> Optional[Address]:
+        """Scan one shard's replica book for its highest-epoch primary.
 
-        Returns the primary's address (repointing :attr:`hagent_addr`
-        and advancing the fence), or None when no replica answers as
-        primary -- an election may still be in flight.
+        Full discovery -- the fallback when the cached last-known-good
+        coordinator refused, counted as such in the router stats.
+        Returns the primary's address (caching it and advancing the
+        shard's fence), or None when no replica answers as primary --
+        an election may still be in flight.
         """
+        self.router.invalidate(shard)
+        self.router.record_discovery()
         best: Optional[Tuple[int, Address]] = None
-        candidates = list(self.hagent_addrs)
-        if self.hagent_addr not in candidates:
-            candidates.append(self.hagent_addr)
-        for addr in candidates:
+        for addr in self.router.candidates(shard):
             try:
                 reply = await self.channel.call(
                     addr,
@@ -916,9 +1079,34 @@ class NodeServer(_FramedServer):
                 best = (epoch, addr)
         if best is None:
             return None
-        self.fence.admit(best[0])
-        self.hagent_addr = best[1]
+        self.fences.setdefault(shard, EpochFence()).admit(best[0])
+        self.router.set_primary(shard, best[1])
         return best[1]
+
+    async def refresh_shard_map(self, shard: int) -> None:
+        """Pull the shard map after a ``wrong-shard`` refusal.
+
+        Any replica of the refusing shard can answer ``shard-map``; the
+        reply's ownership row re-points the absorbed prefix at its
+        absorbing coordinator.
+        """
+        self.router.record_redirect()
+        for addr in self.router.candidates(shard):
+            try:
+                reply = await self.channel.call(
+                    addr,
+                    "hagent",
+                    "shard-map",
+                    timeout=min(0.5, self.config.rpc_timeout),
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+            absorbed_by = reply.get("absorbed_by")
+            if absorbed_by is not None:
+                self.router.map.absorb(shard, absorbed_by)
+            for owned in reply.get("owned", []):
+                self.router.map.absorb(owned, reply.get("shard", shard))
+            return
 
     def retire_orphan(self, owner: AgentId) -> None:
         """Drop a shard the coordinator no longer knows (post-failover)."""
@@ -933,16 +1121,16 @@ class NodeServer(_FramedServer):
 
     def nodeop_new_primary(self, body: Dict) -> Dict:
         """A promoted HAgent replica announces its epoch and address."""
-        decision = self.fence.admit(body["epoch"], body.get("claimant"))
+        shard = int(body.get("shard", 0))
+        fence = self.fences.setdefault(shard, EpochFence())
+        decision = fence.admit(body["epoch"], body.get("claimant"))
         if not decision.admitted:
             self.fence_rejections += 1
             raise _Reject(
                 f"{decision.reason} (new-primary announcement at {self.name})"
             )
-        self.hagent_addr = (body["host"], body["port"])
-        if self.hagent_addr not in self.hagent_addrs:
-            self.hagent_addrs.append(self.hagent_addr)
-        return {"status": OK, "epoch": self.fence.epoch}
+        self.router.set_primary(shard, (body["host"], body["port"]))
+        return {"status": OK, "epoch": fence.epoch}
 
     # -- node-management ops (addressed to the "host" target) ------------
 
@@ -953,11 +1141,11 @@ class NodeServer(_FramedServer):
         return self.config.durable_store(self.data_root, f"iagent-{owner.value:x}")
 
     def _host_iagent(
-        self, owner: AgentId, pattern: Optional[str], recover: bool
+        self, owner: AgentId, pattern: Optional[str], recover: bool, shard: int = 0
     ) -> Dict:
         """Create an IAgent endpoint, fresh or warm-recovered from disk."""
         store = self._iagent_store(owner)
-        endpoint = IAgentEndpoint(owner, self, pattern, store=store)
+        endpoint = IAgentEndpoint(owner, self, pattern, store=store, shard=shard)
         recovery_s = 0.0
         if store is not None:
             if recover and store.has_data:
@@ -1002,7 +1190,10 @@ class NodeServer(_FramedServer):
         """Spawn (or re-host, on takeover) an IAgent on this node."""
         self.check_fence(body, "host-iagent")
         return self._host_iagent(
-            body["owner"], body.get("pattern"), bool(body.get("recover"))
+            body["owner"],
+            body.get("pattern"),
+            bool(body.get("recover")),
+            shard=int(body.get("shard", 0)),
         )
 
     def nodeop_restart_iagent(self, body: Dict) -> Dict:
@@ -1015,15 +1206,17 @@ class NodeServer(_FramedServer):
         owner: AgentId = body["owner"]
         if self.data_root is None:
             raise _Reject("no-durable-state: node started without --data-dir")
+        shard = int(body.get("shard", 0))
         endpoint = self.iagents.pop(owner, None)
         if endpoint is not None:
+            shard = endpoint.shard
             if endpoint.report_task is not None:
                 endpoint.report_task.cancel()
             if endpoint.store is not None:
                 endpoint.store.abort()
         elif owner not in self.crashed:
             raise _Reject(f"{AGENT_NOT_FOUND}: no agent {owner} on {self.name}")
-        return self._host_iagent(owner, None, recover=True)
+        return self._host_iagent(owner, None, recover=True, shard=shard)
 
     def nodeop_retire_iagent(self, body: Dict) -> Dict:
         """Gracefully remove a merged-away IAgent."""
@@ -1067,6 +1260,11 @@ class NodeServer(_FramedServer):
             "fence_rejections": self.fence_rejections,
             "orphans_retired": self.orphans_retired,
             "hagent_addr": list(self.hagent_addr),
+            "shards": self.router.shards,
+            "shard_epochs": {
+                str(shard): fence.epoch for shard, fence in self.fences.items()
+            },
+            "routing": self.router.counters(),
             "lhagent": {
                 "version": self.lhagent.copy.version if self.lhagent.copy else -1,
                 "whois_served": self.lhagent.whois_served,
@@ -1112,13 +1310,46 @@ class HAgentServer(_FramedServer):
         namer: Optional[AgentNamer] = None,
         rank: int = 0,
         role: Optional[str] = None,
+        shard: int = 0,
+        shards: int = 1,
     ) -> None:
         super().__init__(config or ServiceConfig(), tracer)
         if rank < 0:
             raise ValueError("replica ranks start at 0")
+        validate_shards(shards)
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
         self.rank = rank
+        #: Which top-level id prefix this coordinator serves, out of how
+        #: many. A single-shard deployment is shard 0 of 1 -- every
+        #: shard-aware path collapses to the pre-sharding behaviour.
+        self.shard = shard
+        self.shards = shards
+        #: The prefixes this replica set currently serves: its own, plus
+        #: any sibling it absorbed through a cross-shard merge. Empty
+        #: after *releasing* (this coordinator became a redirect stub).
+        self.owned: Set[int] = {shard}
+        #: Bumped whenever ownership changes; lets clients order maps.
+        self.map_version = 1
+        #: Set on release: the shard now serving this one's prefix.
+        self.absorbed_by: Optional[int] = None
+        #: shard -> that shard's replica address book (for cross-shard
+        #: ops); see :meth:`set_shard_peers`.
+        self.shard_peers: Dict[int, List[Address]] = {}
+        self._shard_primaries: Dict[int, Address] = {}
+        #: A granted-but-uncommitted cross-shard merge this replica (as
+        #: the absorbing side) has prepared; cleared on commit or when
+        #: this replica's epoch moves.
+        self._xshard_grant: Optional[Dict] = None
+        self.xshard_merges = 0
+        self.xshard_absorbs = 0
+        self.xshard_aborts = 0
         self.role = role if role is not None else ("primary" if rank == 0 else "standby")
-        self.replica_name = f"hagent-{rank}"
+        # Shard 0 keeps the pre-sharding replica names (and therefore
+        # claimant strings and store names) byte-identical.
+        self.replica_name = (
+            f"hagent-{rank}" if shard == 0 else f"hagent-s{shard}-{rank}"
+        )
         #: The highest epoch this replica has witnessed; its own when
         #: primary. 0 = a standby that has not synced yet.
         self.epoch = 1 if self.role == "primary" else 0
@@ -1127,6 +1358,13 @@ class HAgentServer(_FramedServer):
         self.peers: Dict[int, Address] = {}
         #: Where this replica believes the current primary listens.
         self.primary_addr: Optional[Address] = None
+        #: Last non-``None`` value of :attr:`primary_addr`. The standby
+        #: loop resets ``primary_addr`` when its pointer goes stale (the
+        #: peer answered NOT_PRIMARY), but the promotion preflight must
+        #: still exclude that rank from the standby quorum: a primary
+        #: that demoted and then died would otherwise count as a standby
+        #: whose vote a lone survivor can never collect.
+        self.last_primary_addr: Optional[Address] = None
         self.detector: Optional[FailureDetector] = None
         #: Promotion history (epoch, version, wall time) of *this* replica.
         self.promotions: List[Dict] = []
@@ -1137,7 +1375,10 @@ class HAgentServer(_FramedServer):
         #: ``time.monotonic()`` of the most recent promotion, if any.
         self.promoted_at: Optional[float] = None
         self.syncs = 0
-        self.namer = namer or AgentNamer(seed=0xD1EC7)
+        # Each shard draws IAgent ids from its own namer stream so two
+        # shards can never mint the same owner id; shard 0 keeps the
+        # historical seed.
+        self.namer = namer or AgentNamer(seed=0xD1EC7 + shard)
         self.channel = RpcChannel(
             rpc_timeout=self.config.rpc_timeout,
             max_frame=self.config.max_frame,
@@ -1159,13 +1400,17 @@ class HAgentServer(_FramedServer):
         self.merges = 0
         self.takeovers = 0
         self.rehash_log: List[Dict] = []
-        # Rank 0 keeps the pre-replication store name so single-replica
-        # deployments stay restart-compatible with their old state.
-        self.store: Optional[DurableStore] = (
-            self.config.durable_store(
-                Path(self.config.data_dir),
-                "hagent" if rank == 0 else f"hagent-{rank}",
+        # Rank 0 of shard 0 keeps the pre-replication store name so
+        # single-replica deployments stay restart-compatible with their
+        # old state; other shards get their own directories.
+        if shard == 0:
+            store_name = "hagent" if rank == 0 else f"hagent-{rank}"
+        else:
+            store_name = (
+                f"hagent-s{shard}" if rank == 0 else f"hagent-s{shard}-{rank}"
             )
+        self.store: Optional[DurableStore] = (
+            self.config.durable_store(Path(self.config.data_dir), store_name)
             if self.config.data_dir is not None
             else None
         )
@@ -1192,6 +1437,13 @@ class HAgentServer(_FramedServer):
                 # Until an announcement says otherwise, assume the
                 # lowest-ranked peer is the primary.
                 self.primary_addr = self.peers[others[0]]
+                self.last_primary_addr = self.primary_addr
+
+    def set_shard_peers(self, shard_peers: Dict[int, List[Address]]) -> None:
+        """Install the other shards' replica books (for cross-shard ops)."""
+        self.shard_peers = {
+            shard: list(addrs) for shard, addrs in shard_peers.items()
+        }
 
     def _record_claim(self) -> None:
         claim = (self.epoch, self.replica_name)
@@ -1216,6 +1468,9 @@ class HAgentServer(_FramedServer):
             "node_order": list(self.node_order),
             "namer": self.namer.state,
             "journal": list(self.journal),
+            "owned": sorted(self.owned),
+            "map_version": self.map_version,
+            "absorbed_by": self.absorbed_by,
         }
 
     def _hlog(self, op: Dict) -> None:
@@ -1251,6 +1506,12 @@ class HAgentServer(_FramedServer):
             self.node_order = list(state["node_order"])
             self.namer.state = state["namer"]
             self.journal.extend(state["journal"])
+            # Pre-sharding snapshots carry no ownership row; keep the
+            # boot one (this replica's own prefix).
+            if "owned" in state:
+                self.owned = set(state["owned"])
+                self.map_version = state.get("map_version", self.map_version)
+                self.absorbed_by = state.get("absorbed_by")
         replayed = 0
         for record in self.store.wal.replay(after=base):
             self._replay_mutation(record.value)
@@ -1287,6 +1548,12 @@ class HAgentServer(_FramedServer):
             # restarted replica can never claim an epoch at or below one
             # it already saw.
             self.epoch = max(self.epoch, op["epoch"])
+        elif kind == "shard":
+            # A durable ownership change: this replica set absorbed a
+            # sibling prefix, or released its own to one.
+            self.owned = set(op["owned"])
+            self.map_version = op["map_version"]
+            self.absorbed_by = op.get("absorbed_by")
         else:  # pragma: no cover - would be a writer bug
             raise ValueError(f"unknown HAgent mutation {kind!r}")
 
@@ -1322,7 +1589,14 @@ class HAgentServer(_FramedServer):
             raise _Reject(f"unknown-target: {target!r} (this is the HAgent)")
         op = request.op
         body = request.body or {}
-        if op in ("register-node", "bootstrap", "load-report"):
+        if op in (
+            "register-node",
+            "bootstrap",
+            "load-report",
+            "shard-merge",
+            "shard-merge-prepare",
+            "shard-merge-commit",
+        ):
             # Primary-only: these either mutate authoritative state or
             # feed the rehash policy. Reads (hash function, stats) stay
             # answerable on standbys for discovery and convergence checks.
@@ -1338,13 +1612,26 @@ class HAgentServer(_FramedServer):
                 )
             if op == "register-node":
                 return self._op_register_node(body)
+            if op == "shard-merge-prepare":
+                return self._op_shard_merge_prepare(body)
+            if op == "shard-merge-commit":
+                return await self._op_shard_merge_commit(body)
+            self._check_shard(body, op)
             if op == "bootstrap":
                 return await self._op_bootstrap(body)
+            if op == "shard-merge":
+                return await self._op_shard_merge(body)
             return self._op_load_report(body)
         if op == "get-hash-function":
+            self._check_shard(body, op)
             return self.bundle()
         if op == "get-hash-delta":
+            self._check_shard(body, op)
             return self._op_get_delta(body)
+        if op == "shard-map":
+            return self._op_shard_map(body)
+        if op == "shard-release":
+            return self._op_shard_release(body)
         if op == "replica-sync":
             return self._op_replica_sync(body)
         if op == "new-primary":
@@ -1360,8 +1647,38 @@ class HAgentServer(_FramedServer):
                 "role": self.role,
                 "rank": self.rank,
                 "epoch": self.epoch,
+                "shard": self.shard,
             }
         raise _Reject(f"unknown-op: {op!r}")
+
+    def _check_shard(self, body: Dict, op: str) -> None:
+        """Refuse ops addressed to a prefix this replica set no longer
+        (or never) served -- the client follows the ``shard-map``."""
+        shard = body.get("shard")
+        if shard is None or shard in self.owned:
+            return
+        where = (
+            f"absorbed by shard {self.absorbed_by}"
+            if self.absorbed_by is not None
+            else f"served by {sorted(self.owned) or 'nobody here'}"
+        )
+        raise _Reject(
+            f"{WRONG_SHARD}: shard {shard} is not served by"
+            f" {self.replica_name} (op {op!r}; {where};"
+            f" map v{self.map_version})"
+        )
+
+    def _op_shard_map(self, body: Dict) -> Dict:
+        """The routing row this replica can vouch for (any role)."""
+        return {
+            "status": OK,
+            "shards": self.shards,
+            "shard": self.shard,
+            "owned": sorted(self.owned),
+            "map_version": self.map_version,
+            "absorbed_by": self.absorbed_by,
+            "prefix": shard_prefix(self.shard, self.shards),
+        }
 
     def _snapshot_size(self) -> int:
         return 64 + 96 * len(self.tree) if self.tree else 64
@@ -1471,6 +1788,13 @@ class HAgentServer(_FramedServer):
             "epoch_claims": [
                 [epoch, name] for epoch, name in self.epoch_claims
             ],
+            "shard": self.shard,
+            "shards": self.shards,
+            "owned": sorted(self.owned),
+            "map_version": self.map_version,
+            "xshard_merges": self.xshard_merges,
+            "xshard_absorbs": self.xshard_absorbs,
+            "xshard_aborts": self.xshard_aborts,
         }
 
     # ------------------------------------------------------------------
@@ -1514,6 +1838,9 @@ class HAgentServer(_FramedServer):
             name: list(addr) for name, addr in self.node_addrs.items()
         }
         reply["node_order"] = list(self.node_order)
+        reply["owned"] = sorted(self.owned)
+        reply["map_version"] = self.map_version
+        reply["absorbed_by"] = self.absorbed_by
         return reply
 
     def _op_new_primary(self, body: Dict) -> Dict:
@@ -1529,6 +1856,7 @@ class HAgentServer(_FramedServer):
         self.epoch = epoch
         self._hlog({"op": "epoch", "epoch": epoch})
         self.primary_addr = (body["host"], body["port"])
+        self.last_primary_addr = self.primary_addr
         if self.role == "primary":
             self._demote(f"deposed by {claimant or 'a peer'} at epoch {epoch}")
         elif self.detector is not None:
@@ -1572,6 +1900,20 @@ class HAgentServer(_FramedServer):
         }
         self.node_order = list(reply.get("node_order", self.node_order))
         self.namer.state = reply["namer"]
+        if "owned" in reply and reply.get("map_version", 0) >= self.map_version:
+            owned = set(reply["owned"])
+            if owned != self.owned or reply["map_version"] != self.map_version:
+                self.owned = owned
+                self.map_version = reply["map_version"]
+                self.absorbed_by = reply.get("absorbed_by")
+                self._hlog(
+                    {
+                        "op": "shard",
+                        "owned": sorted(self.owned),
+                        "map_version": self.map_version,
+                        "absorbed_by": self.absorbed_by,
+                    }
+                )
         epoch = reply.get("epoch", self.epoch)
         if epoch > self.epoch:
             self.epoch = epoch
@@ -1643,6 +1985,14 @@ class HAgentServer(_FramedServer):
                         self._apply_sync_reply(reply)
                         detector.record_ok(time.monotonic())
                         synced = True
+            if synced and self.tree is None:
+                # The primary answered but had no tree yet (the sync
+                # landed before bootstrap): poll fast until the first
+                # real copy arrives. Otherwise a primary that dies
+                # within one beat of bootstrapping leaves this standby
+                # *blind*, and a blind promotion installs an empty copy
+                # over a shard that already has live IAgents.
+                pause = min(0.02, config.heartbeat_interval)
             if not synced and detector.should_promote(time.monotonic()):
                 if await self._preflight_promotion():
                     await self._promote()
@@ -1673,6 +2023,7 @@ class HAgentServer(_FramedServer):
             self.epoch = best[0]
             self._hlog({"op": "epoch", "epoch": best[0]})
         self.primary_addr = best[1]
+        self.last_primary_addr = best[1]
         return best[1]
 
     async def _preflight_promotion(self) -> bool:
@@ -1686,12 +2037,23 @@ class HAgentServer(_FramedServer):
         """
         if self.partitioned:
             return False
+        # The (ex-)primary is not part of the voting set. ``primary_addr``
+        # may have been reset to ``None`` after a NOT_PRIMARY bounce off
+        # a demoted peer -- fall back to the last known pointer so that
+        # a primary that demoted and then died is still excluded, not
+        # silently counted as a standby whose vote can never arrive.
+        known_primary = (
+            self.primary_addr
+            if self.primary_addr is not None
+            else self.last_primary_addr
+        )
         standby_ranks = [
             rank
             for rank, addr in self.peers.items()
-            if rank != self.rank and addr != self.primary_addr
+            if rank != self.rank and addr != known_primary
         ]
         reached = 0
+        best_peer_version = 0
         for rank in sorted(standby_ranks):
             try:
                 reply = await self.channel.call(
@@ -1700,6 +2062,7 @@ class HAgentServer(_FramedServer):
             except (ServiceRpcError, RemoteOpError):
                 continue
             reached += 1
+            best_peer_version = max(best_peer_version, reply.get("version", 0))
             peer_epoch = reply.get("epoch", 0)
             if peer_epoch > self.epoch or (
                 reply.get("role") == "primary" and peer_epoch >= self.epoch
@@ -1710,9 +2073,19 @@ class HAgentServer(_FramedServer):
                     self._hlog({"op": "epoch", "epoch": peer_epoch})
                 if reply.get("role") == "primary":
                     self.primary_addr = self.peers[rank]
+                    self.last_primary_addr = self.primary_addr
                 if self.detector is not None:
                     self.detector.record_ok(time.monotonic())
                 return False
+        if self.version == 0 and self.tree is None and best_peer_version > 0:
+            # This replica is *blind* (never completed a sync since it
+            # (re)joined) while a reachable standby holds a real copy:
+            # defer -- that peer's own detector fires within its rank
+            # stagger and promotes with the tree intact. Promoting
+            # blind here would install an empty copy over live state.
+            # With no better candidate reachable, fall through: a blind
+            # claim beats a leaderless shard (soft state re-fills it).
+            return False
         total = len(standby_ranks) + 1
         return (reached + 1) * 2 > total
 
@@ -1721,7 +2094,11 @@ class HAgentServer(_FramedServer):
         claimed = next_epoch(self.epoch)
         self.role = "primary"
         self.epoch = claimed
+        # Any cross-shard grant the deposed primary issued died with its
+        # epoch; a committing initiator will be refused and abort.
+        self._xshard_grant = None
         self.primary_addr = self.addr
+        self.last_primary_addr = self.addr
         self.promoted_at = time.monotonic()
         self.promotions.append(
             {"epoch": claimed, "version": self.version, "at": self.promoted_at}
@@ -1753,6 +2130,7 @@ class HAgentServer(_FramedServer):
             "claimant": self.replica_name,
             "host": self.addr[0],
             "port": self.addr[1],
+            "shard": self.shard,
         }
         lost_race = False
         for name in list(self.node_order):
@@ -1791,6 +2169,7 @@ class HAgentServer(_FramedServer):
         self.role = "standby"
         self.demotions += 1
         self.primary_addr = None
+        self._xshard_grant = None
         self._log("demote", reason=reason, epoch=self.epoch)
         self.spawn(self._standby_loop(), name=f"{self.replica_name}-sync")
 
@@ -1827,6 +2206,24 @@ class HAgentServer(_FramedServer):
             if streak >= config.merge_patience:
                 self._merge_streak.pop(owner, None)
                 self.spawn(self._merge(owner), name=f"merge-{owner.short()}")
+        elif (
+            self.config.cross_shard_merge
+            and config.enable_merge
+            and rate < config.t_min
+            and len(self.tree) == 1
+            and self.shards > 1
+            and self.owned == {self.shard}
+        ):
+            # The subtree is down to its root and still idle: the only
+            # merge left crosses the shard boundary -- hand the whole
+            # prefix to the sibling shard (opt-in; fenced two-phase).
+            streak = self._merge_streak.get(owner, 0) + 1
+            self._merge_streak[owner] = streak
+            if streak >= config.merge_patience:
+                self._merge_streak.pop(owner, None)
+                self.spawn(
+                    self.initiate_shard_merge(), name=f"xshard-merge-{self.shard}"
+                )
         else:
             self._merge_streak.pop(owner, None)
         return {"status": OK}
@@ -1967,6 +2364,294 @@ class HAgentServer(_FramedServer):
             self._log("merge", owner=owner, kind=outcome.kind, moved=len(records))
 
     # ------------------------------------------------------------------
+    # Cross-shard merge: hand a whole prefix to the sibling shard.
+    #
+    # Fenced two-phase through BOTH shards' epochs: the initiator drains
+    # its leaves with ops fenced by its own epoch (a deposed initiator
+    # is refused by its nodes and aborts), and the absorbing side runs a
+    # fenced op against its own nodes before acknowledging the commit (a
+    # deposed absorber is refused by *its* nodes, demotes, and rejects)
+    # -- so a stale primary on either side can never serialize the
+    # hand-off, and the records land on exactly one shard's serve path.
+    # ------------------------------------------------------------------
+
+    async def _op_shard_merge(self, body: Dict) -> Dict:
+        """Driver/test trigger for :meth:`initiate_shard_merge`."""
+        return await self.initiate_shard_merge(body.get("into"))
+
+    async def initiate_shard_merge(self, into: Optional[int] = None) -> Dict:
+        """Merge this whole shard's subtree into a sibling shard."""
+        buddy = into if into is not None else self.shard ^ 1
+        if self.shards < 2 or buddy == self.shard or not 0 <= buddy < self.shards:
+            raise _Reject("precondition: no sibling shard to merge into")
+        if self.role != "primary":
+            raise _Reject(f"{NOT_PRIMARY}: {self.replica_name} is a standby")
+        if self.owned != {self.shard}:
+            raise _Reject(
+                "precondition: shard already released or holding absorbed"
+                f" prefixes ({sorted(self.owned)})"
+            )
+        async with self._rehash_lock:
+            self.xshard_merges += 1
+            buddy_addr = await self._shard_primary(buddy)
+            if buddy_addr is None:
+                return self._xshard_abandon("no reachable primary for buddy shard")
+
+            # Phase 1: the grant. The buddy primary records the pending
+            # hand-off under both sides' current epochs.
+            try:
+                grant = await self.channel.call(
+                    buddy_addr,
+                    "hagent",
+                    "shard-merge-prepare",
+                    {
+                        "from_shard": self.shard,
+                        "epoch": self.epoch,
+                        "claimant": self.replica_name,
+                    },
+                    timeout=self.config.rpc_timeout,
+                )
+            except (ServiceRpcError, RemoteOpError) as error:
+                return self._xshard_abandon(f"prepare refused: {error}")
+
+            # Phase 2a: drain our own leaves through our own epoch fence.
+            # A deposed initiator is refused right here and aborts with
+            # nothing moved.
+            drained: Dict[Any, Dict[str, Any]] = {}
+            try:
+                for owner in list(self.iagent_nodes):
+                    pattern = (
+                        self.tree.hyper_label(owner).pattern()
+                        if self.tree is not None and self.tree.has_owner(owner)
+                        else None
+                    )
+                    reply = await self._rpc_iagent(owner, "extract-all")
+                    drained[owner] = {
+                        "records": reply["records"],
+                        "loads": reply["loads"],
+                        "pattern": pattern,
+                    }
+            except (ServiceRpcError, RemoteOpError) as error:
+                await self._xshard_restore(drained)
+                return self._xshard_abandon(f"drain fenced off: {error}")
+
+            records: Dict[AgentId, List] = {}
+            loads: Dict[AgentId, int] = {}
+            for bucket in drained.values():
+                records.update(bucket["records"])
+                loads.update(bucket["loads"])
+
+            # Phase 2b: commit at the buddy, both epochs echoed. The
+            # buddy re-checks the grant, fences itself against its own
+            # nodes, applies, and journals the absorb.
+            try:
+                await self.channel.call(
+                    buddy_addr,
+                    "hagent",
+                    "shard-merge-commit",
+                    {
+                        "from_shard": self.shard,
+                        "epoch": self.epoch,
+                        "buddy_epoch": grant["epoch"],
+                        "records": records,
+                        "loads": loads,
+                    },
+                    timeout=self.config.rpc_timeout * 2,
+                )
+            except (ServiceRpcError, RemoteOpError) as error:
+                await self._xshard_restore(drained)
+                return self._xshard_abandon(f"commit refused: {error}")
+
+            # Phase 3: release. The buddy also broadcasts this to our
+            # peer replicas (covering an initiator deposed in the
+            # commit window), so doing it locally is idempotent.
+            self.apply_shard_release(buddy)
+            for owner in drained:
+                node = self.iagent_nodes.get(owner)
+                if node is None:
+                    continue
+                try:
+                    await self._rpc_node(node, "retire-iagent", {"owner": owner})
+                except (ServiceRpcError, RemoteOpError):
+                    pass  # the leaf retires itself on its next report
+            self._log("xshard-release", into=buddy, moved=len(records))
+            return {"status": OK, "into": buddy, "moved": len(records)}
+
+    def _xshard_abandon(self, reason: str) -> Dict:
+        self.xshard_aborts += 1
+        self._log("xshard-abort", reason=reason)
+        return {"status": "aborted", "reason": reason}
+
+    async def _xshard_restore(self, drained: Dict[Any, Dict[str, Any]]) -> None:
+        """Abort path: put drained records back where they came from.
+
+        Deliberately *unfenced*: even a just-deposed initiator may (and
+        must) undo its drain -- the adopt only restores seq-gated
+        records into leaves whose coverage the new primary inherited
+        unchanged, so it can never roll anything forward.
+        """
+        for owner, bucket in drained.items():
+            node = self.iagent_nodes.get(owner)
+            addr = self.node_addrs.get(node) if node is not None else None
+            if addr is None:
+                continue
+            body: Dict[str, Any] = {
+                "records": bucket["records"],
+                "loads": bucket["loads"],
+            }
+            if bucket["pattern"] is not None:
+                body["pattern"] = bucket["pattern"]
+            try:
+                await self.channel.call(
+                    addr, owner, "adopt", body, timeout=self.config.rpc_timeout
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue  # soft-state re-registration is the backstop
+
+    def _op_shard_merge_prepare(self, body: Dict) -> Dict:
+        """Absorbing side, phase 1: record the pending hand-off."""
+        from_shard = body["from_shard"]
+        if from_shard == self.shard or not 0 <= from_shard < self.shards:
+            raise _Reject(f"precondition: cannot absorb shard {from_shard}")
+        if self.shard not in self.owned:
+            raise _Reject(
+                f"{WRONG_SHARD}: {self.replica_name} released its own prefix"
+            )
+        if self.tree is None:
+            raise _Reject("precondition: absorbing shard not bootstrapped yet")
+        self._xshard_grant = {
+            "from_shard": from_shard,
+            "epoch": body["epoch"],
+            "buddy_epoch": self.epoch,
+        }
+        return {"status": OK, "epoch": self.epoch, "claimant": self.replica_name}
+
+    async def _op_shard_merge_commit(self, body: Dict) -> Dict:
+        """Absorbing side, phase 2: fence, apply, journal, broadcast."""
+        from_shard = body["from_shard"]
+        grant = self._xshard_grant
+        if (
+            grant is None
+            or grant["from_shard"] != from_shard
+            or grant["epoch"] != body["epoch"]
+            or grant["buddy_epoch"] != body.get("buddy_epoch")
+            or self.epoch != grant["buddy_epoch"]
+        ):
+            raise _Reject(
+                f"{STALE_EPOCH}: no live grant for shard {from_shard}"
+                f" at epoch {body.get('buddy_epoch')}"
+                f" ({self.replica_name} is at epoch {self.epoch})"
+            )
+        async with self._rehash_lock:
+            assert self.tree is not None
+            records = body.get("records", {})
+            loads = body.get("loads", {})
+            per_absorber: Dict[Any, Dict[str, Any]] = {}
+            for agent_id, record in records.items():
+                absorber = self.tree.lookup(agent_id.bits)
+                bucket = per_absorber.setdefault(
+                    absorber, {"records": {}, "loads": {}}
+                )
+                bucket["records"][agent_id] = record
+                bucket["loads"][agent_id] = loads.get(agent_id, 0)
+            if not per_absorber and self.iagent_nodes:
+                # Nothing to adopt, but the fencing round-trip is still
+                # mandatory: an empty fenced adopt against one of our
+                # own leaves proves this primary has not been deposed.
+                first = next(iter(self.iagent_nodes))
+                per_absorber[first] = {"records": {}, "loads": {}}
+            try:
+                for absorber, bucket in per_absorber.items():
+                    await self._rpc_iagent(absorber, "adopt", bucket)
+            except (ServiceRpcError, RemoteOpError) as error:
+                # Fenced off by our own nodes (we were deposed) or the
+                # leaf is unreachable: refuse, so the initiator restores.
+                self._xshard_grant = None
+                raise _Reject(
+                    f"{STALE_EPOCH}: absorb fenced off at this shard's"
+                    f" nodes ({error})"
+                )
+            self._xshard_grant = None
+            self.owned.add(from_shard)
+            self.map_version += 1
+            self.xshard_absorbs += 1
+            self._hlog(
+                {
+                    "op": "shard",
+                    "owned": sorted(self.owned),
+                    "map_version": self.map_version,
+                    "absorbed_by": self.absorbed_by,
+                }
+            )
+            self._log(
+                "xshard-absorb", from_shard=from_shard, moved=len(records)
+            )
+        # Push the release to every initiator-shard replica: if the
+        # initiator was deposed between its drain and this commit, its
+        # freshly promoted successor still learns the prefix is gone.
+        for addr in self.shard_peers.get(from_shard, []):
+            try:
+                await self.channel.call(
+                    addr,
+                    "hagent",
+                    "shard-release",
+                    {
+                        "from_shard": from_shard,
+                        "into": self.shard,
+                        "map_version": self.map_version,
+                    },
+                    timeout=min(0.5, self.config.rpc_timeout),
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue  # best-effort; replica-sync propagates it too
+        return {"status": OK, "absorbed": from_shard}
+
+    def _op_shard_release(self, body: Dict) -> Dict:
+        """The absorbing shard tells this (initiator-side) replica its
+        prefix was handed off -- idempotent, any role."""
+        if body["from_shard"] == self.shard and self.shard in self.owned:
+            self.apply_shard_release(body["into"])
+        return {"status": OK, "owned": sorted(self.owned)}
+
+    def apply_shard_release(self, into: int) -> None:
+        """Durably mark this shard's prefix as served by ``into``."""
+        if self.absorbed_by == into and not self.owned:
+            return
+        self.owned = set()
+        self.absorbed_by = into
+        self.map_version += 1
+        self._hlog(
+            {
+                "op": "shard",
+                "owned": [],
+                "map_version": self.map_version,
+                "absorbed_by": into,
+            }
+        )
+
+    async def _shard_primary(self, shard: int) -> Optional[Address]:
+        """The current primary of another shard's replica set."""
+        cached = self._shard_primaries.get(shard)
+        candidates: List[Address] = []
+        if cached is not None:
+            candidates.append(cached)
+        for addr in self.shard_peers.get(shard, []):
+            if addr not in candidates:
+                candidates.append(addr)
+        for addr in candidates:
+            try:
+                reply = await self.channel.call(
+                    addr, "hagent", "ping", timeout=min(0.5, self.config.rpc_timeout)
+                )
+            except (ServiceRpcError, RemoteOpError):
+                continue
+            if reply.get("role") == "primary" and reply.get("shard", shard) == shard:
+                self._shard_primaries[shard] = addr
+                return addr
+        self._shard_primaries.pop(shard, None)
+        return None
+
+    # ------------------------------------------------------------------
     # Liveness monitoring and takeover
     # ------------------------------------------------------------------
 
@@ -2042,10 +2727,15 @@ class HAgentServer(_FramedServer):
         return reply["loads"]
 
     def _fenced(self, body: Optional[Dict]) -> Dict:
-        """Stamp an outgoing coordinator op with this replica's epoch."""
+        """Stamp an outgoing coordinator op with this replica's epoch.
+
+        The shard rides along so the receiving node checks the op
+        against *this* shard's fence, not another coordinator's.
+        """
         stamped = dict(body or {})
         stamped.setdefault("epoch", self.epoch)
         stamped.setdefault("claimant", self.replica_name)
+        stamped.setdefault("shard", self.shard)
         return stamped
 
     async def _rpc_node(self, node: str, op: str, body: Dict) -> Dict:
@@ -2054,6 +2744,8 @@ class HAgentServer(_FramedServer):
                 f"{op} to {node} blocked: {self.replica_name} is partitioned",
                 op=op,
             )
+        if self.config.coordinator_rpc_delay:
+            await asyncio.sleep(self.config.coordinator_rpc_delay)
         try:
             return await self.channel.call(
                 self.node_addrs[node],
@@ -2083,6 +2775,8 @@ class HAgentServer(_FramedServer):
                 f"{op} to {owner} blocked: {self.replica_name} is partitioned",
                 op=op,
             )
+        if self.config.coordinator_rpc_delay:
+            await asyncio.sleep(self.config.coordinator_rpc_delay)
         try:
             return await self.channel.call(
                 self.node_addrs[node],

@@ -149,6 +149,11 @@ INTERNED_OPS: Tuple[str, ...] = (
     "register-batch",
     "locate-batch",
     "whois-batch",
+    "shard-map",
+    "shard-merge",
+    "shard-merge-prepare",
+    "shard-merge-commit",
+    "shard-release",
 )
 _OP_INDEX: Dict[str, int] = {name: index for index, name in enumerate(INTERNED_OPS)}
 
