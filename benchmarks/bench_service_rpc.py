@@ -58,7 +58,7 @@ from typing import Dict, List, Tuple
 from repro.core.config import HashMechanismConfig
 from repro.platform.naming import AgentId
 from repro.service.client import ClientConfig, ServiceClient
-from repro.service.cluster import ClusterConfig, _Cluster
+from repro.service.cluster import ClusterConfig, booted_cluster
 from repro.service.server import ServiceConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -183,9 +183,7 @@ async def _bench_codec(
         service=ServiceConfig(wire=codec),
         client=ClientConfig(wire=codec, batch_size=BATCH_SIZE),
     )
-    cluster = _Cluster(config)
-    await cluster.start()
-    try:
+    async with booted_cluster(config) as cluster:
         agents = [await cluster.spawn_agent() for _ in range(agent_count)]
         driver = cluster.clients[0]
         negotiated = set(driver.channel.negotiated.values())
@@ -199,8 +197,6 @@ async def _bench_codec(
         negotiated = set(driver.channel.negotiated.values())
         assert negotiated == {codec}, (codec, negotiated)
         return results
-    finally:
-        await cluster.stop()
 
 
 # ----------------------------------------------------------------------
@@ -244,9 +240,7 @@ async def _bench_sharded(
         ),
         client=ClientConfig(wire="binary"),
     )
-    cluster = _Cluster(config)
-    await cluster.start()
-    try:
+    async with booted_cluster(config) as cluster:
         for _ in range(agent_count):
             await cluster.spawn_agent()
         channel = cluster.clients[0].channel
@@ -339,8 +333,6 @@ async def _bench_sharded(
             "splits_per_sec": round(achieved / storm_duration, 2),
         }
         return {"reports": reports, "rehash": rehash}
-    finally:
-        await cluster.stop()
 
 
 def run_sharded(

@@ -22,14 +22,18 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/b.json
 
 Unless ``--sweep-only``, the runner also refreshes the service-layer
-snapshot (``BENCH_service.json``) through ``bench_service_rpc.py`` --
-the codec grid plus the sharded-coordinator section -- so one
-invocation advances both trajectories.
+snapshot (``BENCH_service.json``) through ``bench_service_rpc.py`` (the
+codec grid plus the sharded-coordinator section) and
+``bench_service_load.py`` (the capacity curves: saturation throughput
+vs nodes / replicas / shards) -- so one invocation advances every
+trajectory.
 
 ``--quick`` is the CI arm: one round per sweep arm, a smaller grid and
-fast pytest-benchmark settings (the service bench runs its quick arm
-too). Its numbers are *not* comparable to a full run and should never
-be committed over a full snapshot.
+fast pytest-benchmark settings (the service benches run their quick
+arms too). Its numbers are *not* comparable to a full run and should
+never be committed over a full snapshot. ``--check`` makes the service
+benches compare their fresh numbers against the committed gate
+constants and fail the run on regression -- the CI perf gate.
 """
 
 from __future__ import annotations
@@ -60,22 +64,37 @@ BENCH_FILES = (
 )
 
 
-def run_service_bench(quick: bool = False) -> None:
-    """Refresh ``BENCH_service.json`` via ``bench_service_rpc.py``.
+#: The service-layer benches, in run order. ``bench_service_rpc.py``
+#: rewrites BENCH_service.json wholesale; ``bench_service_load.py``
+#: merges its ``capacity`` section into the fresh file, so the order
+#: matters.
+SERVICE_BENCH_FILES = (
+    "benchmarks/bench_service_rpc.py",
+    "benchmarks/bench_service_load.py",
+)
+
+
+def run_service_bench(quick: bool = False, check: bool = False) -> None:
+    """Refresh ``BENCH_service.json`` via the service benches.
 
     The service snapshot is its own file (codec grid + sharded
-    coordinator section), but the trajectory should advance whenever
-    this runner does -- including the CI ``--quick`` arm.
+    coordinator section + capacity curves), but the trajectory should
+    advance whenever this runner does -- including the CI ``--quick``
+    arm. With ``check=True`` each bench also compares its fresh numbers
+    against its committed gate constants and raises on regression.
     """
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
-    command = [sys.executable, "benchmarks/bench_service_rpc.py"]
-    if quick:
-        command.append("--quick")
-    subprocess.run(command, cwd=REPO_ROOT, env=env, check=True)
+    for bench_file in SERVICE_BENCH_FILES:
+        command = [sys.executable, bench_file]
+        if quick:
+            command.append("--quick")
+        if check:
+            command.append("--check")
+        subprocess.run(command, cwd=REPO_ROOT, env=env, check=True)
 
 
 def run_suite(bench_file: str, scratch: Path, quick: bool = False) -> dict:
@@ -200,6 +219,13 @@ def main(argv=None) -> int:
         help="CI smoke: one round per arm, smaller grid, fast pytest-"
         "benchmark settings (numbers not comparable to a full run)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: the service benches compare their fresh "
+        "numbers against the committed gate constants and fail the "
+        "run on regression",
+    )
     args = parser.parse_args(argv)
 
     medians: dict = {}
@@ -207,7 +233,7 @@ def main(argv=None) -> int:
         with tempfile.TemporaryDirectory() as scratch:
             for bench_file in BENCH_FILES:
                 medians.update(run_suite(bench_file, Path(scratch), args.quick))
-        run_service_bench(args.quick)
+        run_service_bench(args.quick, args.check)
     medians.update(run_sweep_bench(args.quick))
 
     snapshot = {

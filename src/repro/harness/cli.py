@@ -56,6 +56,22 @@ set, journal and durable store, and node servers route per shard (see
 ``docs/PROTOCOLS.md`` §12). ``--shards 1`` (the default) is
 byte-compatible with the unsharded protocol.
 
+Load generation and capacity::
+
+    python -m repro load --nodes 5 --agents 200 --clients 64 --duration 20
+    python -m repro load --mode open --rate 800 --duration 10 --p99-budget 150
+    python -m repro load --saturation --p99-budget 150 --rate-lo 100 --rate-hi 4000
+
+``load`` drives a weighted locate/move/register/batch mix against the
+live cluster through :mod:`repro.service.loadgen`: closed loop (``--clients``
+looping workers) or open loop (seeded Poisson arrivals at ``--rate``,
+latency measured from each op's *scheduled* arrival so a backlog shows
+up in the percentiles). Runs are seeded (``--seeds``) and replay the
+same op sequences; the report carries p50/p95/p99/p999, error rate and
+throughput, and the command exits 0 only if nothing failed and the p99
+stayed inside ``--p99-budget``. ``--saturation`` binary-searches the
+open-loop rate for the knee where the budget is first exceeded.
+
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
 Execution: ``--jobs N`` fans the grid over N worker processes (default:
@@ -466,12 +482,99 @@ def cmd_chaos(args) -> int:
     return 0 if identical and applied > 0 else 1
 
 
+def cmd_load(args) -> int:
+    """Drive a load-generation run (or saturation search) live.
+
+    Exits 0 only if the run passed: every op succeeded, nothing was
+    abandoned in the drain window, and the measured p99 stayed inside
+    ``--p99-budget`` when one was given.
+    """
+    import asyncio
+    import json as json_module
+
+    from repro.service.loadgen import (
+        LoadConfig,
+        OpMix,
+        run_load,
+        saturation_search,
+    )
+
+    cluster_config = _cluster_config(args)
+    mix = OpMix.parse(args.mix) if args.mix else OpMix()
+    load = LoadConfig(
+        mode=args.mode,
+        clients=args.clients,
+        rate=args.rate,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        drain_s=args.drain,
+        ops_per_client=args.ops_per_client,
+        population=args.agents,
+        mix=mix,
+        seed=args.seeds,
+        p99_budget_ms=args.p99_budget,
+    )
+
+    if args.saturation:
+        budget = args.p99_budget if args.p99_budget is not None else 150.0
+        result = asyncio.run(
+            saturation_search(
+                cluster_config,
+                load,
+                budget_p99_ms=budget,
+                rate_lo=args.rate_lo,
+                rate_hi=args.rate_hi,
+                probes=args.probes,
+            )
+        )
+        for probe in result["probes"]:
+            verdict = "ok" if probe["ok"] else "over budget"
+            print(
+                f"  probe @ {probe['rate']:8.1f} ops/s: "
+                f"p99 {probe['p99_ms']:.2f} ms, "
+                f"{probe['throughput_ops_s']:.1f} ops/s measured ({verdict})"
+            )
+        if result["knee_rate"] is None:
+            print(f"saturated below the search floor ({args.rate_lo:g} ops/s)")
+        else:
+            latency = result["latency"]
+            print(
+                f"saturation knee: {result['knee_rate']:g} ops/s within "
+                f"p99 <= {budget:g} ms "
+                f"(p50 {latency['p50_ms']:.2f} / p99 {latency['p99_ms']:.2f} ms)"
+            )
+        if args.json is not None:
+            payload = json_module.dumps(result, indent=2, sort_keys=True)
+            if args.json:
+                from pathlib import Path
+
+                Path(args.json).write_text(payload)
+                print(f"result written to {args.json}")
+            else:
+                print(payload)
+        return 0 if result["knee_rate"] is not None else 1
+
+    report = asyncio.run(run_load(cluster_config, load))
+    print(report.render())
+    if args.json is not None:
+        payload = json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload)
+            print(f"report written to {args.json}")
+        else:
+            print(payload)
+    return 0 if report.passed else 1
+
+
 #: Live-service commands: separate from COMMANDS so ``all`` (which
 #: regenerates the paper's simulation results) never boots sockets.
 SERVICE_COMMANDS = {
     "serve": cmd_serve,
     "cluster": cmd_cluster,
     "chaos": cmd_chaos,
+    "load": cmd_load,
 }
 
 
@@ -626,6 +729,99 @@ def main(argv: List[str] = None) -> int:
         metavar="PATH",
         default=None,
         help="stream protocol trace events to PATH as JSON lines",
+    )
+    loadgen = parser.add_argument_group("load generator (load)")
+    loadgen.add_argument(
+        "--mode",
+        choices=["closed", "open"],
+        default="closed",
+        help="closed loop (N looping clients) or open loop (Poisson "
+        "arrivals at --rate, coordinated-omission corrected)",
+    )
+    loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent closed-loop clients (default 64)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        metavar="OPS",
+        help="open-loop arrival rate in ops/sec (default 500)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="measure-phase length in seconds (default 10)",
+    )
+    loadgen.add_argument(
+        "--warmup",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="unrecorded warmup before the measure phase (default 2)",
+    )
+    loadgen.add_argument(
+        "--drain",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="grace window for in-flight ops after the measure phase",
+    )
+    loadgen.add_argument(
+        "--ops-per-client",
+        type=int,
+        default=None,
+        metavar="N",
+        help="closed loop: stop each client after exactly N measured ops "
+        "instead of at --duration (deterministic op sequences)",
+    )
+    loadgen.add_argument(
+        "--mix",
+        metavar="SPEC",
+        default=None,
+        help="op mix weights, e.g. locate=0.6,move=0.25,register=0.1,"
+        "batch=0.05 (the default mix)",
+    )
+    loadgen.add_argument(
+        "--p99-budget",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="fail the run if the measured p99 exceeds this many ms "
+        "(saturation search default: 150)",
+    )
+    loadgen.add_argument(
+        "--saturation",
+        action="store_true",
+        help="binary-search the open-loop rate for the saturation knee "
+        "(highest rate with no errors and p99 within --p99-budget)",
+    )
+    loadgen.add_argument(
+        "--rate-lo",
+        type=float,
+        default=100.0,
+        metavar="OPS",
+        help="saturation search floor (default 100 ops/s)",
+    )
+    loadgen.add_argument(
+        "--rate-hi",
+        type=float,
+        default=4000.0,
+        metavar="OPS",
+        help="saturation search ceiling (default 4000 ops/s)",
+    )
+    loadgen.add_argument(
+        "--probes",
+        type=int,
+        default=6,
+        metavar="N",
+        help="saturation search probes, fresh cluster each (default 6)",
     )
     args = parser.parse_args(argv)
 

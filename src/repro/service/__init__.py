@@ -26,13 +26,32 @@ Modules
   paper's stale-secondary-copy recovery loop.
 * :mod:`repro.service.cluster` -- boot an N-node localhost cluster and
   drive a scripted workload (the CI live-cluster smoke).
+* :mod:`repro.service.loadgen` -- open- and closed-loop load generation
+  against the live wire: weighted deterministic op streams, a streaming
+  latency histogram (p50/p95/p99/p999) and the saturation-knee search
+  behind ``BENCH_service.json``'s ``capacity`` section.
 
 Everything is standard library only (``asyncio`` + ``json``); no
 ``[service]`` extra is required.
 """
 
 from repro.service.client import ClientConfig, ClientCounters, RpcChannel, ServiceClient
-from repro.service.cluster import ClusterConfig, ClusterReport, run_cluster
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    booted_cluster,
+    run_cluster,
+)
+from repro.service.loadgen import (
+    LatencyRecorder,
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    OpMix,
+    OpStream,
+    run_load,
+    saturation_search,
+)
 from repro.service.routing import (
     WRONG_SHARD,
     ShardMap,
@@ -63,7 +82,13 @@ __all__ = [
     "ClusterReport",
     "FrameDecoder",
     "HAgentServer",
+    "LatencyRecorder",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
     "NodeServer",
+    "OpMix",
+    "OpStream",
     "RpcChannel",
     "ServiceClient",
     "ServiceConfig",
@@ -71,11 +96,14 @@ __all__ = [
     "ShardRouter",
     "WRONG_SHARD",
     "WireError",
+    "booted_cluster",
     "decode_frame",
     "encode_frame",
     "from_jsonable",
     "prefix_bits",
     "run_cluster",
+    "run_load",
+    "saturation_search",
     "shard_of",
     "shard_prefix",
     "to_jsonable",

@@ -27,8 +27,9 @@ from __future__ import annotations
 import asyncio
 import random
 import time
+from contextlib import asynccontextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.metrics.trace import Tracer, wall_clock
 from repro.platform.chaos import ChaosSchedule
@@ -632,6 +633,26 @@ class _Cluster:
         for client in self.clients:
             merged.merge(client.counters)
         return merged
+
+
+@asynccontextmanager
+async def booted_cluster(
+    config: Optional[ClusterConfig] = None,
+) -> AsyncIterator[_Cluster]:
+    """A started cluster as an async context manager.
+
+    Boots the whole topology (HAgent replica sets per shard, node
+    servers, per-node service clients) and guarantees teardown on any
+    exit path -- the shared entry point for callers that drive their
+    own workload against the live wire (the load generator, the RPC
+    benchmarks) instead of the scripted :func:`run_cluster` drill.
+    """
+    cluster = _Cluster(config or ClusterConfig())
+    try:
+        await cluster.start()
+        yield cluster
+    finally:
+        await cluster.stop()
 
 
 async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
