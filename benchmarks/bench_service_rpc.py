@@ -25,10 +25,22 @@ ways per shard count:
 * ``reports`` -- benign pipelined load reports, aggregate ops/sec
   across every shard's primary.
 
+A **discovery** section covers the multi-result path (PROTOCOLS.md
+§13) three ways:
+
+* ``walk``    -- the prefix-pruned Hamming walk over a ~1k-leaf tree
+  against a brute popcount scan of all 4096 agent ids, same answers
+  asserted before either arm is timed.
+* ``capability_rpc`` -- sequential JSON ``discover-capability``
+  round-trips against the batched binary ``discover-capability-batch``
+  RPC over a live cluster.
+* ``shard_consistency`` -- the same seeded population queried at 1 / 2
+  / 4 shards; the canonicalized result sets must be identical.
+
 Writes ops/sec and p50/p99 latency for all six codec arms plus the
-sharded section to ``BENCH_service.json`` at the repo root. Commit the
-refreshed snapshot when a PR moves the numbers; diffs of that file are
-the perf history.
+sharded and discovery sections to ``BENCH_service.json`` at the repo
+root. Commit the refreshed snapshot when a PR moves the numbers; diffs
+of that file are the perf history.
 
 Usage::
 
@@ -39,9 +51,12 @@ Usage::
 ``--check`` exits non-zero unless (a) binary is at least as fast as
 JSON on the pipelined and batched locate arms (small tolerance for CI
 noise), (b) the best pipelined/batched binary arm clears 3x the
-sequential JSON baseline, and (c) rehash throughput at 4 shards clears
-1.6x the single-shard baseline. ``--quick`` numbers are not comparable
-to a full run and should never be committed over a full snapshot.
+sequential JSON baseline, (c) rehash throughput at 4 shards clears
+1.6x the single-shard baseline, (d) the pruned Hamming walk clears 5x
+the brute scan, (e) batched binary capability discovery clears 3x
+sequential JSON, and (f) discovery results are shard-count invariant.
+``--quick`` numbers are not comparable to a full run and should never
+be committed over a full snapshot.
 """
 
 from __future__ import annotations
@@ -49,14 +64,18 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import random
 import statistics
 import sys
 import time
+from collections import deque
 from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.core.config import HashMechanismConfig
-from repro.platform.naming import AgentId
+from repro.core.hash_tree import HashTree
+from repro.discovery.capability import PREDICATE_PALETTE, assign_capabilities
+from repro.platform.naming import AgentId, AgentNamer
 from repro.service.client import ClientConfig, ServiceClient
 from repro.service.cluster import ClusterConfig, booted_cluster
 from repro.service.server import ServiceConfig
@@ -84,6 +103,16 @@ REHASH_DEADLINE_S = 45.0
 #: hides the sequential-RPC serialization inside each split that
 #: sharding actually removes; a WAN-representative delay restores it.
 RPC_DELAY_S = 0.004
+
+#: Agent population of the Hamming-walk micro-bench (the gate is
+#: quoted at this size, so ``--quick`` does not shrink it).
+DISCOVERY_WALK_AGENTS = 4096
+
+#: Hamming radius of the discovery arms.
+DISCOVERY_D = 2
+
+#: Shard counts the discovery-consistency arm sweeps.
+DISCOVERY_SHARD_COUNTS = (1, 2, 4)
 
 
 # ----------------------------------------------------------------------
@@ -387,9 +416,231 @@ def run_sharded(
     return section
 
 
+# ----------------------------------------------------------------------
+# Discovery section (PROTOCOLS.md §13)
+# ----------------------------------------------------------------------
+
+
+def _grow_balanced_tree(leaves: int, width: int) -> HashTree:
+    """A tree grown breadth-first to ``leaves`` owners.
+
+    Splitting the shallowest leaf each step (always by its first
+    candidate, the paper's preferred one) yields the near-balanced
+    shape a uniform id population drives the mechanism toward."""
+    tree = HashTree("o0", width=width)
+    queue = deque(["o0"])
+    count = 1
+    while count < leaves and queue:
+        owner = queue.popleft()
+        candidates = tree.split_candidates(owner)
+        if not candidates:
+            continue
+        new_owner = f"o{count}"
+        tree.apply_split(candidates[0], new_owner)
+        count += 1
+        queue.append(owner)
+        queue.append(new_owner)
+    return tree
+
+
+def _bench_walk(agent_count: int, queries: int, d: int) -> Dict:
+    """Prefix-pruned walk + per-owner scan vs brute popcount scan."""
+    namer = AgentNamer(seed=13)
+    agents = [namer.next_id() for _ in range(agent_count)]
+    leaves = max(256, agent_count // 4)
+    tree = _grow_balanced_tree(leaves, agents[0].width)
+    buckets: Dict[str, List[AgentId]] = {}
+    for agent in agents:
+        buckets.setdefault(tree.lookup(agent.bits), []).append(agent)
+    rng = random.Random(29)
+    query_ids = [agents[rng.randrange(agent_count)] for _ in range(queries)]
+    values = [agent.value for agent in agents]
+
+    def pruned(query: AgentId) -> List[int]:
+        qv = query.value
+        return [
+            agent.value
+            for owner in tree.find_within_hamming(query.bits, d)
+            for agent in buckets.get(owner, ())
+            if agent.value != qv and bin(agent.value ^ qv).count("1") <= d
+        ]
+
+    def brute(query: AgentId) -> List[int]:
+        qv = query.value
+        return [v for v in values if v != qv and bin(v ^ qv).count("1") <= d]
+
+    # The arms must agree before timing either means anything.
+    for query in query_ids[:16]:
+        assert sorted(pruned(query)) == sorted(brute(query))
+    sample = query_ids[: min(32, queries)]
+    scanned = sum(
+        len(buckets.get(owner, ()))
+        for query in sample
+        for owner in tree.find_within_hamming(query.bits, d)
+    ) / len(sample)
+
+    start = time.perf_counter()
+    for query in query_ids:
+        pruned(query)
+    pruned_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for query in query_ids:
+        brute(query)
+    brute_s = time.perf_counter() - start
+    return {
+        "agents": agent_count,
+        "leaves": len(tree),
+        "d": d,
+        "queries": queries,
+        "avg_candidates_scanned": round(scanned, 1),
+        "pruned_queries_per_sec": round(queries / pruned_s, 1),
+        "brute_queries_per_sec": round(queries / brute_s, 1),
+        "speedup_vs_brute": round(brute_s / pruned_s, 2),
+    }
+
+
+async def _bench_capability_rpc(
+    codec: str, batched: bool, agent_count: int, query_count: int
+) -> Dict:
+    """Time ``query_count`` capability discoveries over a live cluster."""
+    config = ClusterConfig(
+        nodes=3,
+        agents=0,
+        ops=0,
+        seed=5,
+        service=ServiceConfig(wire=codec),
+        client=ClientConfig(wire=codec, batch_size=BATCH_SIZE),
+    )
+    async with booted_cluster(config) as cluster:
+        for index in range(agent_count):
+            await cluster.spawn_agent(assign_capabilities(index))
+        client = cluster.clients[0]
+        predicates = [
+            PREDICATE_PALETTE[index % len(PREDICATE_PALETTE)]
+            for index in range(query_count)
+        ]
+        # Warm the connection pool + secondary copies out of band.
+        await client.discover_capability(predicates[0])
+        start = time.perf_counter()
+        if batched:
+            results = await client.discover_capability_batch(predicates)
+        else:
+            results = [
+                await client.discover_capability(predicate)
+                for predicate in predicates
+            ]
+        duration = time.perf_counter() - start
+        assert all(found is not None for found in results)
+        return {
+            "codec": codec,
+            "discipline": "batched" if batched else "sequential",
+            "agents": agent_count,
+            "queries": query_count,
+            "matches": sum(len(found) for found in results),
+            "duration_s": round(duration, 6),
+            "queries_per_sec": round(query_count / duration, 1),
+        }
+
+
+async def _discovery_shard_results(shards: int, agent_count: int) -> List:
+    """Canonicalized discovery answers for one shard count."""
+    config = ClusterConfig(
+        nodes=4,
+        agents=0,
+        ops=0,
+        seed=17,
+        shards=shards,
+        service=ServiceConfig(wire="binary"),
+        client=ClientConfig(wire="binary"),
+    )
+    async with booted_cluster(config) as cluster:
+        agents = [
+            await cluster.spawn_agent(assign_capabilities(index))
+            for index in range(agent_count)
+        ]
+        client = cluster.clients[0]
+        results: List = []
+        for query in agents[:8]:
+            for d in (1, DISCOVERY_D):
+                found = await client.discover_similar(query, d)
+                results.append(
+                    [[match["agent"].value, match["distance"]] for match in found]
+                )
+        for predicate in PREDICATE_PALETTE:
+            found = await client.discover_capability(predicate)
+            results.append(sorted(match["agent"].value for match in found))
+        return results
+
+
+def run_discovery(quick: bool) -> Dict:
+    walk_queries = 64 if quick else 256
+    # Population held at 32 in both modes: the arm measures RPC
+    # discipline (round-trip amortization), and match-payload codec
+    # cost grows with population on both sides of the ratio.
+    rpc_agents = 32
+    rpc_queries = 24 if quick else 64
+    shard_agents = 32 if quick else 64
+    print(
+        f"== discovery: walk over {DISCOVERY_WALK_AGENTS} agents, "
+        f"{rpc_queries} capability queries, shard sweep =="
+    )
+    walk = _bench_walk(DISCOVERY_WALK_AGENTS, walk_queries, DISCOVERY_D)
+    print(
+        f"  walk       {walk['pruned_queries_per_sec']:>9.1f} q/s pruned vs "
+        f"{walk['brute_queries_per_sec']:.1f} q/s brute "
+        f"({walk['speedup_vs_brute']:.1f}x, "
+        f"{walk['avg_candidates_scanned']:.0f}/{walk['agents']} scanned)"
+    )
+    sequential = asyncio.run(
+        _bench_capability_rpc("json", False, rpc_agents, rpc_queries)
+    )
+    batched = asyncio.run(
+        _bench_capability_rpc("binary", True, rpc_agents, rpc_queries)
+    )
+    rpc_speedup = round(
+        batched["queries_per_sec"] / sequential["queries_per_sec"], 2
+    )
+    print(
+        f"  capability {batched['queries_per_sec']:>9.1f} q/s batched binary "
+        f"vs {sequential['queries_per_sec']:.1f} q/s sequential JSON "
+        f"({rpc_speedup:.1f}x)"
+    )
+    baseline = asyncio.run(_discovery_shard_results(1, shard_agents))
+    identical = all(
+        asyncio.run(_discovery_shard_results(shards, shard_agents)) == baseline
+        for shards in DISCOVERY_SHARD_COUNTS[1:]
+    )
+    print(
+        f"  shards     result sets "
+        f"{'identical' if identical else 'DIVERGED'} at "
+        f"{'/'.join(str(s) for s in DISCOVERY_SHARD_COUNTS)} shards"
+    )
+    return {
+        "config": {
+            "walk_agents": DISCOVERY_WALK_AGENTS,
+            "walk_queries": walk_queries,
+            "d": DISCOVERY_D,
+            "rpc_agents": rpc_agents,
+            "rpc_queries": rpc_queries,
+            "shard_agents": shard_agents,
+            "shard_counts": list(DISCOVERY_SHARD_COUNTS),
+        },
+        "walk": walk,
+        "capability_rpc": {
+            "sequential_json": sequential,
+            "batched_binary": batched,
+            "speedup_batched_binary_vs_sequential_json": rpc_speedup,
+        },
+        "shard_consistency": {
+            "counts": list(DISCOVERY_SHARD_COUNTS),
+            "identical": identical,
+        },
+    }
+
+
 def run(quick: bool, nodes: int, agents: int, ops: int) -> Dict:
     snapshot: Dict = {
-        "schema": 2,
+        "schema": 3,
         "generated_unix": int(time.time()),
         "quick": quick,
         "config": {
@@ -425,6 +676,7 @@ def run(quick: bool, nodes: int, agents: int, ops: int) -> Dict:
         split_target=12 if quick else 32,
         report_ops=384 if quick else 1536,
     )
+    snapshot["discovery"] = run_discovery(quick)
     return snapshot
 
 
@@ -458,6 +710,29 @@ def check(snapshot: Dict, tolerance: float = 0.9) -> List[str]:
             failures.append(
                 f"4-shard rehash throughput ({four:.2f} splits/s) is below "
                 f"1.6x the single-shard baseline ({one:.2f} splits/s)"
+            )
+    discovery = snapshot.get("discovery")
+    if discovery is not None:
+        walk = discovery["walk"]
+        if walk["speedup_vs_brute"] < 5.0:
+            failures.append(
+                f"pruned Hamming walk ({walk['pruned_queries_per_sec']:.0f} "
+                f"q/s) is below 5x the brute scan "
+                f"({walk['brute_queries_per_sec']:.0f} q/s) at "
+                f"{walk['agents']} agents, d={walk['d']}"
+            )
+        rpc = discovery["capability_rpc"]
+        if rpc["speedup_batched_binary_vs_sequential_json"] < 3.0:
+            failures.append(
+                f"batched binary capability discovery "
+                f"({rpc['batched_binary']['queries_per_sec']:.0f} q/s) is "
+                f"below 3x sequential JSON "
+                f"({rpc['sequential_json']['queries_per_sec']:.0f} q/s)"
+            )
+        if not discovery["shard_consistency"]["identical"]:
+            failures.append(
+                "discovery result sets diverged across "
+                f"{discovery['shard_consistency']['counts']} shards"
             )
     return failures
 

@@ -254,6 +254,7 @@ class HAgent(Agent):
         moved_records: Dict[AgentId, str] = {}
         moved_loads: Dict[AgentId, int] = {}
         moved_pending: Dict[AgentId, list] = {}
+        moved_caps: Dict[AgentId, Dict] = {}
         for affected in outcome.affected_owners:
             pattern = self.tree.hyper_label(affected).pattern()
             reply = yield from self._rpc_iagent(
@@ -262,6 +263,7 @@ class HAgent(Agent):
             moved_records.update(reply["records"])
             moved_loads.update(reply["loads"])
             moved_pending.update(reply.get("pending", {}))
+            moved_caps.update(reply.get("capabilities", {}))
         new_pattern = self.tree.hyper_label(new_owner).pattern()
         yield from self._rpc_iagent(
             new_owner,
@@ -270,6 +272,7 @@ class HAgent(Agent):
                 "records": moved_records,
                 "loads": moved_loads,
                 "pending": moved_pending,
+                "capabilities": moved_caps,
                 "pattern": new_pattern,
             },
         )
@@ -325,14 +328,15 @@ class HAgent(Agent):
             reply = yield from self._rpc_iagent(owner, "extract-all")
             records, loads = reply["records"], reply["loads"]
             pending = reply.get("pending", {})
+            caps = reply.get("capabilities", {})
         except RpcError:
             # The IAgent vanished; its agents will re-register via the
             # NOT_RESPONSIBLE path as they move.
-            records, loads, pending = {}, {}, {}
+            records, loads, pending, caps = {}, {}, {}, {}
 
         # Re-route every orphaned record through the updated tree.
         def empty_bucket() -> Dict:
-            return {"records": {}, "loads": {}, "pending": {}}
+            return {"records": {}, "loads": {}, "pending": {}, "capabilities": {}}
 
         per_absorber: Dict[AgentId, Dict] = {
             absorber: empty_bucket() for absorber in outcome.absorbers
@@ -342,6 +346,8 @@ class HAgent(Agent):
             bucket = per_absorber.setdefault(absorber, empty_bucket())
             bucket["records"][agent_id] = node
             bucket["loads"][agent_id] = loads.get(agent_id, 0)
+            if agent_id in caps:
+                bucket["capabilities"][agent_id] = caps[agent_id]
         for agent_id, entries in pending.items():
             absorber = self.tree.lookup(agent_id.bits)
             bucket = per_absorber.setdefault(absorber, empty_bucket())

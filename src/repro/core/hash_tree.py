@@ -53,6 +53,7 @@ and the naive §3 traversal agree across arbitrary rehash interleavings.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
@@ -322,6 +323,85 @@ class HashTree:
     def covers(self, owner: OwnerKey, bits: str) -> bool:
         """Whether ``owner`` serves the id with representation ``bits``."""
         return self.hyper_label(owner).matches(bits)
+
+    def find_within_hamming(self, bits: str, d: int) -> Dict[OwnerKey, int]:
+        """Owners whose region intersects the Hamming ball of radius ``d``.
+
+        A prefix-pruned walk (the cutespamtk ``find_all_hamming_distance``
+        idea adapted to owner leaves): descending an edge whose valid bit
+        disagrees with the query costs one mismatch, skipped label bits
+        are wildcards and cost nothing, and a subtree is pruned as soon
+        as its accumulated mismatch count exceeds the budget. The value
+        recorded per owner is that count -- the *exact* minimum Hamming
+        distance between ``bits`` and any id in the owner's region, since
+        every non-valid position can be chosen to agree with the query.
+
+        The owner covering ``bits`` itself is included (at distance 0):
+        it may hold near neighbours even though the query id is excluded
+        from agent-level results.
+        """
+        if d < 0:
+            raise ValueError(f"hamming radius must be non-negative, got {d}")
+        if len(bits) < self.width:
+            raise ValueError(
+                f"id bits shorter ({len(bits)}) than tree width ({self.width})"
+            )
+        found: Dict[OwnerKey, int] = {}
+        root = self._root
+        stack: List[Tuple[_TreeNode, int, int]] = [
+            (root, len(root.label), 0)
+        ]
+        while stack:
+            node, consumed, mismatches = stack.pop()
+            if node.is_leaf:
+                found[node.owner] = mismatches
+                continue
+            query_bit = bits[consumed]
+            assert node.left is not None and node.right is not None
+            for child in (node.left, node.right):
+                cost = mismatches + (0 if child.label[0] == query_bit else 1)
+                if cost <= d:
+                    stack.append((child, consumed + len(child.label), cost))
+        return found
+
+    def nearest(self, bits: str, k: int) -> List[Tuple[OwnerKey, int]]:
+        """The ``k`` owners nearest to ``bits``, best-first.
+
+        Returns ``(owner, min_distance)`` pairs in non-decreasing order
+        of the minimum Hamming distance between the query and any id in
+        the owner's region -- a best-first frontier expansion over the
+        same mismatch lower bound :meth:`find_within_hamming` prunes on,
+        so only subtrees that can still beat the current k-th best are
+        ever expanded.
+        """
+        if k <= 0:
+            return []
+        if len(bits) < self.width:
+            raise ValueError(
+                f"id bits shorter ({len(bits)}) than tree width ({self.width})"
+            )
+        root = self._root
+        # (mismatches, tiebreak, node, consumed); the tiebreak keeps the
+        # heap away from comparing _TreeNode instances.
+        frontier: List[Tuple[int, int, _TreeNode, int]] = [
+            (0, 0, root, len(root.label))
+        ]
+        tiebreak = 0
+        best: List[Tuple[OwnerKey, int]] = []
+        while frontier and len(best) < k:
+            mismatches, _, node, consumed = heapq.heappop(frontier)
+            if node.is_leaf:
+                best.append((node.owner, mismatches))
+                continue
+            query_bit = bits[consumed]
+            assert node.left is not None and node.right is not None
+            for child in (node.left, node.right):
+                cost = mismatches + (0 if child.label[0] == query_bit else 1)
+                tiebreak += 1
+                heapq.heappush(
+                    frontier, (cost, tiebreak, child, consumed + len(child.label))
+                )
+        return best
 
     # ------------------------------------------------------------------
     # Split

@@ -35,6 +35,8 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional
 
 from repro.core.load import GroupedLoadStatistics, LoadStatistics
+from repro.discovery.capability import matches_predicate, validate_capabilities
+from repro.discovery.hamming import ids_within
 from repro.platform.agents import MobileAgent
 from repro.platform.events import Timeout
 from repro.platform.messages import Request, RpcError
@@ -77,6 +79,10 @@ class IAgent(MobileAgent):
         self.coverage: Optional[str] = None
         #: agent id -> node name (the paper's "precise current location").
         self.records: Dict[AgentId, str] = {}
+        #: agent id -> typed capability set (the discovery subsystem).
+        #: Capabilities ride with the location record: extract/adopt
+        #: move them alongside, so rehashing never strands them.
+        self.capabilities: Dict[AgentId, Dict] = {}
         #: agent id -> list of undelivered relay messages (the messaging
         #: extension, :mod:`repro.core.messaging`): each entry is a dict
         #: with ``payload``, ``ack`` routing info and a ``deadline``.
@@ -146,6 +152,9 @@ class IAgent(MobileAgent):
         if not pattern_matches(self.coverage, agent_id.bits):
             return {"status": NOT_RESPONSIBLE}
         self.records[agent_id] = node
+        caps = body.get("capabilities")
+        if caps is not None:
+            self.capabilities[agent_id] = validate_capabilities(caps)
         self.stats.record_update(agent_id, self.sim.now)
         return {"status": OK}
 
@@ -169,6 +178,7 @@ class IAgent(MobileAgent):
         if not pattern_matches(self.coverage, agent_id.bits):
             return {"status": NOT_RESPONSIBLE}
         self.records.pop(agent_id, None)
+        self.capabilities.pop(agent_id, None)
         self.stats.forget_agent(agent_id)
         return {"status": OK}
 
@@ -181,6 +191,69 @@ class IAgent(MobileAgent):
         if node is None:
             return {"status": NO_RECORD}
         return {"status": OK, "node": node}
+
+    # -- discovery subsystem ---------------------------------------------
+
+    def _check_candidate_pattern(self, body: Dict) -> Optional[Dict]:
+        """Staleness gate for multi-result queries.
+
+        The querying side learned of this IAgent from a secondary copy
+        and passes the coverage pattern that copy attributed to it. If
+        our actual coverage differs -- we split, merged or took over
+        since -- answering would silently return a partial result set,
+        so bounce with NOT_RESPONSIBLE and let the §4.3 refresh loop
+        recompute the candidates.
+        """
+        pattern = body.get("pattern")
+        if pattern is not None and pattern != self.coverage:
+            return {"status": NOT_RESPONSIBLE}
+        return None
+
+    def _op_set_capabilities(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        if agent_id not in self.records:
+            return {"status": NO_RECORD}
+        caps = body.get("capabilities")
+        if caps is None:
+            self.capabilities.pop(agent_id, None)
+        else:
+            self.capabilities[agent_id] = validate_capabilities(caps)
+        self.stats.record_update(agent_id, self.sim.now)
+        return {"status": OK}
+
+    def _op_discover_similar(self, body: Dict) -> Dict:
+        stale = self._check_candidate_pattern(body)
+        if stale is not None:
+            return stale
+        matches = [
+            {
+                "agent": other,
+                "node": self.records[other],
+                "seq": 0,
+                "distance": dist,
+            }
+            for other, dist in ids_within(self.records, body["agent"], body["d"])
+        ]
+        return {"status": OK, "matches": matches}
+
+    def _op_discover_capability(self, body: Dict) -> Dict:
+        stale = self._check_candidate_pattern(body)
+        if stale is not None:
+            return stale
+        predicate = body["predicate"]
+        matches = [
+            {
+                "agent": agent_id,
+                "node": self.records[agent_id],
+                "seq": 0,
+                "capabilities": caps,
+            }
+            for agent_id, caps in sorted(self.capabilities.items())
+            if agent_id in self.records and matches_predicate(caps, predicate)
+        ]
+        return {"status": OK, "matches": matches}
 
     # -- messaging extension (paper §6 future work) ----------------------
 
@@ -293,11 +366,14 @@ class IAgent(MobileAgent):
         moved_records: Dict[AgentId, str] = {}
         moved_loads: Dict[AgentId, int] = {}
         moved_pending: Dict[AgentId, list] = {}
+        moved_caps: Dict[AgentId, Dict] = {}
         for agent_id in list(self.records):
             if not pattern_matches(pattern, agent_id.bits):
                 moved_records[agent_id] = self.records.pop(agent_id)
                 moved_loads[agent_id] = self._load_of(agent_id)
                 self.stats.forget_agent(agent_id)
+                if agent_id in self.capabilities:
+                    moved_caps[agent_id] = self.capabilities.pop(agent_id)
                 if agent_id in self.pending_messages:
                     moved_pending[agent_id] = self.pending_messages.pop(agent_id)
         # Orphaned relay mail for agents that never registered here also
@@ -312,18 +388,20 @@ class IAgent(MobileAgent):
             "records": moved_records,
             "loads": moved_loads,
             "pending": moved_pending,
+            "capabilities": moved_caps,
         }
 
     def _op_extract_all(self, body: Dict) -> Dict:
         """Give up everything (this IAgent is being merged away)."""
         records, self.records = self.records, {}
         pending, self.pending_messages = self.pending_messages, {}
+        caps, self.capabilities = self.capabilities, {}
         loads = {agent_id: self._load_of(agent_id) for agent_id in records}
         for agent_id in records:
             self.stats.forget_agent(agent_id)
         self.coverage = None
         return {"status": OK, "records": records, "loads": loads,
-                "pending": pending}
+                "pending": pending, "capabilities": caps}
 
     def _op_adopt(self, body: Dict) -> Dict:
         """Take over transferred records (and optionally new coverage)."""
@@ -331,6 +409,8 @@ class IAgent(MobileAgent):
             self.coverage = body["pattern"]
         for agent_id, node in body.get("records", {}).items():
             self.records[agent_id] = node
+        for agent_id, caps in body.get("capabilities", {}).items():
+            self.capabilities[agent_id] = caps
         for agent_id, load in body.get("loads", {}).items():
             self.stats.adopt_agent(agent_id, load)
         for agent_id, entries in body.get("pending", {}).items():

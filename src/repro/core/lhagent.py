@@ -13,11 +13,12 @@ which serves snapshots only).
 
 Wire protocol:
 
-===========  ==========================================  =================
-``whois``    ``{"agent": AgentId}``                      owner + node + version
-``refresh``  ``{"stale_version": int, "agent": AgentId}``  fresh whois
-``version``  --                                          current copy version
-===========  ==========================================  =================
+======================  ==========================================  =================
+``whois``               ``{"agent": AgentId}``                      owner + node + version
+``refresh``             ``{"stale_version": int, "agent": AgentId}``  fresh whois
+``discover-candidates``  ``{"agent": AgentId?, "d": int?}``         candidate IAgents
+``version``             --                                          current copy version
+======================  ==========================================  =================
 """
 
 from __future__ import annotations
@@ -86,6 +87,45 @@ class HashFunctionCopy:
         owner = self.tree.lookup(agent_id.bits)
         return owner, self.iagent_nodes.get(owner)
 
+    def candidates(
+        self, agent_id: Optional[AgentId], d: Optional[int]
+    ) -> List[Dict]:
+        """Candidate IAgents for a discovery query, best bound first.
+
+        With a radius ``d``, the prefix-pruned Hamming walk selects only
+        the IAgents whose region intersects the ball around ``agent_id``
+        (``bound`` is the exact minimum distance to the region). With
+        ``d=None`` (capability discovery) every IAgent is a candidate at
+        bound 0 -- capabilities are not clustered by id prefix.
+
+        This is the *shared* candidate step: the simulator LHAgent and
+        the live LHAgentEndpoint both serve ``discover-candidates`` from
+        their cached copies through this method, which is what pins the
+        two stacks to the same algorithm.
+        """
+        if d is None:
+            bounds = {owner: 0 for owner in self.tree.owners()}
+        else:
+            if agent_id is None:
+                raise CoreError("similarity discovery requires an agent id")
+            bounds = self.tree.find_within_hamming(agent_id.bits, d)
+        out = [
+            {
+                "iagent": owner,
+                "node": self.iagent_nodes.get(owner),
+                "bound": bound,
+                # The coverage pattern this copy believes the candidate
+                # serves. The candidate echoes NOT_RESPONSIBLE when its
+                # actual coverage differs, which is the staleness signal
+                # driving the §4.3 refresh loop for multi-result queries
+                # (there is no single queried id to bounce on).
+                "pattern": self.tree.hyper_label(owner).pattern(),
+            }
+            for owner, bound in bounds.items()
+        ]
+        out.sort(key=lambda c: (c["bound"], str(c["iagent"])))
+        return out
+
 
 class LHAgent(Agent):
     """The Local Hash Agent of one node."""
@@ -109,6 +149,8 @@ class LHAgent(Agent):
             return self._whois(request.body)
         if request.op == "refresh":
             return self._refresh(request.body)
+        if request.op == "discover-candidates":
+            return self._discover_candidates(request.body)
         if request.op == "version":
             return {"version": self.copy.version if self.copy else -1}
         raise ValueError(f"LHAgent does not understand op {request.op!r}")
@@ -120,6 +162,17 @@ class LHAgent(Agent):
         self.whois_served += 1
         owner, node = self.copy.resolve(body["agent"])
         return {"iagent": owner, "node": node, "version": self.copy.version}
+
+    def _discover_candidates(self, body: Dict) -> Generator:
+        """Candidate IAgents for a discovery query, from the cached copy."""
+        if self.copy is None:
+            yield from self._fetch_primary_copy()
+        stale_version = body.get("stale_version")
+        if stale_version is not None and self.copy.version <= stale_version:
+            yield from self._fetch_primary_copy()
+        self.whois_served += 1
+        cands = self.copy.candidates(body.get("agent"), body.get("d"))
+        return {"candidates": cands, "version": self.copy.version}
 
     def _refresh(self, body: Dict) -> Generator:
         """Refresh the copy if it is no newer than the requester's.

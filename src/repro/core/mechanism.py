@@ -27,6 +27,7 @@ from repro.core.hash_tree import HashTree
 from repro.core.iagent import IAgent, NO_RECORD, NOT_RESPONSIBLE, OK
 from repro.core.lhagent import LHAgent
 from repro.core.placement import PlacementPolicy
+from repro.discovery.hamming import merge_matches
 from repro.core.replication import BackupHAgent
 from repro.platform.events import Timeout
 from repro.platform.messages import AgentNotFound, RpcError, RpcTimeout
@@ -206,6 +207,115 @@ class HashLocationMechanism(LocationMechanism):
                 f"could not locate {agent_id}: {reply['status']}"
             )
         return reply["node"]
+
+    # ------------------------------------------------------------------
+    # Discovery (similarity + capability, ROADMAP item 2)
+    # ------------------------------------------------------------------
+
+    def set_capabilities(
+        self, requester_node: str, agent_id: AgentId, capabilities: Optional[Dict]
+    ) -> Generator:
+        """Attach (or with ``None`` clear) an agent's capability set."""
+        reply = yield from self.iagent_request(
+            requester_node,
+            agent_id,
+            "set-capabilities",
+            {"agent": agent_id, "capabilities": capabilities},
+            tolerate_no_record=True,
+        )
+        if reply["status"] != OK:
+            raise CoreError(
+                f"set-capabilities for {agent_id} failed: {reply['status']}"
+            )
+
+    def discover_similar(
+        self, requester_node: str, agent_id: AgentId, d: int
+    ) -> Generator:
+        """All agents with ids within Hamming distance ``d`` of ``agent_id``.
+
+        Returns merged match dicts (``agent``, ``node``, ``distance``),
+        nearest first; the query agent itself is never included.
+        """
+        self.counters.bump("discover_similar")
+        result = yield from self._discover(
+            requester_node, "discover-similar", {"agent": agent_id, "d": d},
+            agent_id=agent_id, d=d,
+        )
+        return result
+
+    def discover_capability(
+        self, requester_node: str, predicate: Dict
+    ) -> Generator:
+        """All agents whose capability set satisfies ``predicate``."""
+        self.counters.bump("discover_capability")
+        result = yield from self._discover(
+            requester_node, "discover-capability", {"predicate": predicate},
+            agent_id=None, d=None,
+        )
+        return result
+
+    def _discover(
+        self,
+        requester_node: str,
+        op: str,
+        body: Dict,
+        agent_id: Optional[AgentId],
+        d: Optional[int],
+    ) -> Generator:
+        """The multi-result variant of the §4.3 loop.
+
+        Candidates come from the local LHAgent's secondary copy; every
+        candidate is asked with the coverage pattern the copy attributed
+        to it. Any bounce (NOT_RESPONSIBLE on a pattern mismatch, or a
+        vanished IAgent) invalidates the *whole* candidate set -- the
+        copy is refreshed past the version that produced it and the
+        query restarts, so a merged result set is never assembled from
+        two different views of the tree.
+        """
+        config = self.config
+        lhagent = self.lhagents[requester_node]
+        stale_version = None
+        last_status = "unresolved"
+        for _attempt in range(config.max_retries):
+            reply = yield self.runtime.rpc(
+                requester_node,
+                requester_node,
+                lhagent.agent_id,
+                "discover-candidates",
+                {"agent": agent_id, "d": d, "stale_version": stale_version},
+                timeout=config.rpc_timeout,
+            )
+            version = reply["version"]
+            partials = []
+            stale = False
+            for cand in reply["candidates"]:
+                cand_body = dict(body)
+                cand_body["pattern"] = cand["pattern"]
+                try:
+                    cand_reply = yield self.runtime.rpc(
+                        requester_node,
+                        cand["node"],
+                        cand["iagent"],
+                        op,
+                        cand_body,
+                        timeout=config.rpc_timeout,
+                    )
+                except (AgentNotFound, RpcTimeout):
+                    stale, last_status = True, "unreachable"
+                    break
+                if cand_reply["status"] != OK:
+                    stale, last_status = True, cand_reply["status"]
+                    break
+                partials.append(cand_reply["matches"])
+            if not stale:
+                return merge_matches(partials)
+            self.counters.retries += 1
+            self.counters.bump("discover_retries")
+            stale_version = version
+            yield Timeout(config.retry_backoff)
+        raise LocateFailedError(
+            f"discovery {op} did not converge: {last_status}"
+        )
 
     # ------------------------------------------------------------------
     # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3)

@@ -1,0 +1,146 @@
+"""Typed capability sets and the predicate language over them.
+
+A capability set is a JSON-style mapping from capability name to a typed
+value, e.g. ``{"ocr": {"langs": ["en", "el"]}, "gpu": True}``. The set is
+attached to the agent's *location record*: it is stored by the IAgent
+currently responsible for the agent, rides along through put/extract/
+adopt (so splits, merges and takeovers preserve it), and is journaled
+through the same DurableStore path as the record itself so it survives
+WAL recovery.
+
+Predicate semantics (:func:`matches_predicate`) -- every key in the
+predicate must be satisfied by the capability set (conjunction):
+
+* ``True`` -- capability present and truthy (``{"gpu": True}``);
+* scalar (str/int/float/False/None) -- equality;
+* list -- the capability value is a list containing every listed element
+  (subset, ``{"ocr": {"langs": ["en"]}}`` matches ``["en", "el"]``);
+* dict -- recurse: the capability value is a dict satisfying the nested
+  predicate.
+"""
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import CoreError
+
+__all__ = [
+    "CapabilityError",
+    "Capabilities",
+    "Predicate",
+    "validate_capabilities",
+    "matches_predicate",
+    "CAPABILITY_PALETTE",
+    "PREDICATE_PALETTE",
+    "assign_capabilities",
+]
+
+Capabilities = Dict[str, object]
+Predicate = Dict[str, object]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class CapabilityError(CoreError):
+    """A capability set or predicate is malformed."""
+
+
+def _validate_value(name: str, value: object, depth: int = 0) -> None:
+    if depth > 8:
+        raise CapabilityError(f"capability {name!r} nests deeper than 8 levels")
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, list):
+        for item in value:
+            _validate_value(name, item, depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if not isinstance(key, str):
+                raise CapabilityError(
+                    f"capability {name!r} has non-string key {key!r}"
+                )
+            _validate_value(name, sub, depth + 1)
+        return
+    raise CapabilityError(
+        f"capability {name!r} has unsupported value type {type(value).__name__}"
+    )
+
+
+def validate_capabilities(caps: Capabilities) -> Capabilities:
+    """Check that ``caps`` is a well-formed capability set and return it."""
+    if not isinstance(caps, dict):
+        raise CapabilityError(
+            f"capability set must be a dict, got {type(caps).__name__}"
+        )
+    for name, value in caps.items():
+        if not isinstance(name, str) or not name:
+            raise CapabilityError(f"capability name must be a non-empty str, got {name!r}")
+        _validate_value(name, value)
+    return caps
+
+
+def _matches_value(have: object, want: object) -> bool:
+    if want is True:
+        return bool(have)
+    if isinstance(want, list):
+        if not isinstance(have, list):
+            return False
+        return all(item in have for item in want)
+    if isinstance(want, dict):
+        if not isinstance(have, dict):
+            return False
+        return all(_matches_value(have.get(key), sub) for key, sub in want.items())
+    return type(have) is type(want) and have == want
+
+
+def matches_predicate(caps: Optional[Capabilities], predicate: Predicate) -> bool:
+    """Whether capability set ``caps`` satisfies ``predicate`` (AND of keys)."""
+    if not isinstance(predicate, dict):
+        raise CapabilityError(
+            f"predicate must be a dict, got {type(predicate).__name__}"
+        )
+    if caps is None:
+        caps = {}
+    for name, want in predicate.items():
+        if want is True:
+            if not caps.get(name):
+                return False
+        elif name not in caps or not _matches_value(caps[name], want):
+            return False
+    return True
+
+
+#: Deterministic capability sets the load generator and drills hand out,
+#: cycled by population index. Shapes cover every predicate form: bare
+#: booleans, scalars, list containment and nested dicts.
+CAPABILITY_PALETTE: Tuple[Capabilities, ...] = (
+    {"gpu": True, "ocr": {"langs": ["en", "el"]}},
+    {"gpu": False, "store": ["s3", "local"], "tier": "edge"},
+    {"ocr": {"langs": ["en"]}, "tier": "core"},
+    {"store": ["local"], "relay": True, "hops": 3},
+    {"gpu": True, "tier": "core", "hops": 1},
+    {"relay": True, "store": ["s3"], "ocr": {"langs": ["el", "fr"]}},
+)
+
+#: Predicates the load generator draws from; each matches a strict,
+#: non-empty subset of CAPABILITY_PALETTE.
+PREDICATE_PALETTE: Tuple[Predicate, ...] = (
+    {"gpu": True},
+    {"tier": "core"},
+    {"ocr": {"langs": ["en"]}},
+    {"store": ["s3"]},
+    {"relay": True},
+    {"gpu": True, "tier": "core"},
+)
+
+
+def assign_capabilities(index: int) -> Capabilities:
+    """The palette capability set for population member ``index``."""
+    return dict(CAPABILITY_PALETTE[index % len(CAPABILITY_PALETTE)])
+
+
+def palette_expectations(predicate: Predicate) -> Iterator[int]:
+    """Palette indices whose capability set satisfies ``predicate``."""
+    for i, caps in enumerate(CAPABILITY_PALETTE):
+        if matches_predicate(caps, predicate):
+            yield i

@@ -72,6 +72,19 @@ throughput, and the command exits 0 only if nothing failed and the p99
 stayed inside ``--p99-budget``. ``--saturation`` binary-searches the
 open-loop rate for the knee where the budget is first exceeded.
 
+Discovery::
+
+    python -m repro discover --nodes 5 --shards 2 --agents 32 --queries 24
+    python -m repro load --mix locate=0.5,move=0.2,similar=0.2,capability=0.1
+
+``discover`` runs the verified discovery drill: a live cluster serves
+Hamming-similarity (``--d`` radius) and capability discovery queries
+interleaved with locates and migrations, some through the batched
+multi-result RPCs, and the command exits 0 only if **every** returned
+result set matched the driver's brute-force ground truth. The ``load``
+mix accepts ``similar=``/``capability=`` weights to blend discovery
+queries into the capacity workloads.
+
 Options: ``--seeds N`` replications (default 3), ``--quick`` shrinks the
 workloads for a fast sanity pass, ``--chart`` adds an ASCII rendering.
 Execution: ``--jobs N`` fans the grid over N worker processes (default:
@@ -568,6 +581,46 @@ def cmd_load(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_discover(args) -> int:
+    """Run the verified live discovery drill; exit 0 only on PASS.
+
+    Boots a cluster, registers ``--agents`` agents whose capability
+    sets cycle the palette, interleaves ``--ops`` locate/migrate ops
+    with ``--queries`` similarity (radius ``--d``) and capability
+    discovery queries -- some through the batched multi-result RPCs --
+    and verifies every returned result set against the driver's own
+    ground truth.
+    """
+    import asyncio
+    import json as json_module
+
+    from repro.discovery.drill import (
+        DiscoveryDrillConfig,
+        run_discovery_drill,
+    )
+
+    config = DiscoveryDrillConfig(
+        cluster=_cluster_config(args),
+        agents=args.agents,
+        queries=args.queries,
+        ops=args.ops,
+        d=args.d,
+        seed=args.seeds,
+    )
+    report = asyncio.run(run_discovery_drill(config))
+    print(report.render())
+    if args.json is not None:
+        payload = json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload)
+            print(f"report written to {args.json}")
+        else:
+            print(payload)
+    return 0 if report.passed else 1
+
+
 #: Live-service commands: separate from COMMANDS so ``all`` (which
 #: regenerates the paper's simulation results) never boots sockets.
 SERVICE_COMMANDS = {
@@ -575,6 +628,7 @@ SERVICE_COMMANDS = {
     "cluster": cmd_cluster,
     "chaos": cmd_chaos,
     "load": cmd_load,
+    "discover": cmd_discover,
 }
 
 
@@ -786,7 +840,23 @@ def main(argv: List[str] = None) -> int:
         metavar="SPEC",
         default=None,
         help="op mix weights, e.g. locate=0.6,move=0.25,register=0.1,"
-        "batch=0.05 (the default mix)",
+        "batch=0.05 (the default mix); similar=W and capability=W add "
+        "multi-result discovery queries to the mix",
+    )
+    discovery = parser.add_argument_group("discovery drill (discover)")
+    discovery.add_argument(
+        "--queries",
+        type=int,
+        default=20,
+        metavar="N",
+        help="discovery queries to issue and verify (default 20)",
+    )
+    discovery.add_argument(
+        "--d",
+        type=int,
+        default=2,
+        metavar="D",
+        help="Hamming radius of the similarity queries (default 2)",
     )
     loadgen.add_argument(
         "--p99-budget",

@@ -29,6 +29,13 @@ Two layers:
   amortize one round-trip over N operations -- safe because LHAgent
   lazy refresh already tolerates staleness -- and fall back to the
   single-op recovery loop for any item the batch could not settle.
+  Multi-result discovery queries
+  (:meth:`~ServiceClient.discover_similar` /
+  :meth:`~ServiceClient.discover_capability` and their batched forms)
+  fan one query out to every candidate IAgent and merge, where a single
+  stale candidate invalidates the whole round -- the merged set must
+  come from one view of the hash tree (see
+  :mod:`repro.discovery`).
 
 Counters mirror the simulator's mechanism counters so the live smoke
 run reports the same vocabulary (retries, refreshes, bounces).
@@ -41,6 +48,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.discovery.hamming import merge_matches
 from repro.metrics.trace import Tracer
 from repro.platform.messages import Request, Response
 from repro.platform.naming import AgentId
@@ -211,6 +219,15 @@ class ClientCounters:
     batch_rpcs: int = 0
     #: Items settled directly by a batched RPC (no single-op fallback).
     batched_ops: int = 0
+    #: Hamming-similarity discovery queries issued.
+    discover_similars: int = 0
+    #: Capability discovery queries issued.
+    discover_capabilities: int = 0
+    #: Discovery rounds recomputed because a candidate bounced -- the
+    #: multi-result analogue of ``not_responsible``: one stale candidate
+    #: invalidates the whole set (the merged result must come from a
+    #: single tree view).
+    discovery_retries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -533,9 +550,15 @@ class ServiceClient:
     # Protocol operations
     # ------------------------------------------------------------------
 
-    async def register(self, agent_id: AgentId, node: str, seq: int = 0) -> None:
+    async def register(
+        self,
+        agent_id: AgentId,
+        node: str,
+        seq: int = 0,
+        capabilities: Optional[Dict] = None,
+    ) -> None:
         self.counters.registers += 1
-        await self._update_op("register", agent_id, node, seq)
+        await self._update_op("register", agent_id, node, seq, capabilities)
 
     async def update(self, agent_id: AgentId, node: str, seq: int) -> None:
         self.counters.updates += 1
@@ -554,10 +577,8 @@ class ServiceClient:
         self.counters.locates += 1
         return await self._locate_resolved(agent_id)
 
-    async def register_batch(
-        self, items: Sequence[Tuple[AgentId, str, int]]
-    ) -> None:
-        """Publish many ``(agent, node, seq)`` records in bulk.
+    async def register_batch(self, items: Sequence[Tuple]) -> None:
+        """Publish many ``(agent, node, seq[, capabilities])`` records.
 
         One ``whois-batch`` resolves every agent, then one
         ``register-batch`` RPC per responsible IAgent (chunked at
@@ -566,20 +587,27 @@ class ServiceClient:
         sequence numbers make late or replayed publishes harmless, and
         any item the batch cannot settle (unresolved mapping, bounce,
         transport failure) falls back to the single-op §4.3 recovery
-        loop.
+        loop. A fourth tuple element, when present, is the agent's typed
+        capability set and registers atomically with the record.
         """
-        items = list(items)
+        items = [
+            (item[0], item[1], item[2], item[3] if len(item) > 3 else None)
+            for item in items
+        ]
         if not items:
             return
         self.counters.registers += len(items)
-        groups, fallback = await self._group_by_iagent([a for a, _, _ in items])
+        groups, fallback = await self._group_by_iagent([a for a, _, _, _ in items])
 
         async def send(key: Tuple[Address, Any], indices: List[int]) -> List[int]:
             addr, iagent = key
-            ops = [
-                {"agent": items[i][0], "node": items[i][1], "seq": items[i][2]}
-                for i in indices
-            ]
+            ops = []
+            for i in indices:
+                agent, node, seq, caps = items[i]
+                op = {"agent": agent, "node": node, "seq": seq}
+                if caps is not None:
+                    op["capabilities"] = caps
+                ops.append(op)
             return self._settle_batch(
                 indices,
                 await self._batch_rpc(addr, iagent, "register-batch", {"ops": ops}),
@@ -591,8 +619,8 @@ class ServiceClient:
         ):
             fallback.extend(bad)
         for index in fallback:
-            agent, node, seq = items[index]
-            await self._update_op("register", agent, node, seq)
+            agent, node, seq, caps = items[index]
+            await self._update_op("register", agent, node, seq, caps)
 
     async def locate_batch(
         self, agent_ids: Sequence[AgentId]
@@ -630,6 +658,90 @@ class ServiceClient:
         for index in fallback:
             results[agents[index]] = await self._locate_resolved(agents[index])
         return results
+
+    # ------------------------------------------------------------------
+    # Discovery: multi-result queries over the hash tree
+    # ------------------------------------------------------------------
+
+    async def set_capabilities(
+        self, agent_id: AgentId, capabilities: Optional[Dict]
+    ) -> None:
+        """Publish (or with ``None`` clear) an agent's capability set."""
+        reply = await self._iagent_request(
+            agent_id,
+            "set-capabilities",
+            {"agent": agent_id, "capabilities": capabilities},
+            tolerate_no_record=True,
+        )
+        if reply.get("status") != "ok":
+            raise ServiceError(
+                f"set-capabilities {agent_id} failed: {reply.get('status')}"
+            )
+
+    async def discover_similar(self, agent_id: AgentId, d: int) -> List[Dict]:
+        """Every registered agent within Hamming distance ``d`` of
+        ``agent_id`` (the query id itself excluded), as
+        ``{"agent", "node", "seq", "distance"}`` matches sorted by
+        ``(distance, agent)``.
+        """
+        self.counters.discover_similars += 1
+        return await self._discover(
+            "discover-similar", {"agent": agent_id, "d": d}, agent_id, d
+        )
+
+    async def discover_capability(self, predicate: Dict) -> List[Dict]:
+        """Every registered agent whose capability set satisfies
+        ``predicate``, as ``{"agent", "node", "seq", "capabilities"}``
+        matches.
+        """
+        self.counters.discover_capabilities += 1
+        return await self._discover(
+            "discover-capability", {"predicate": predicate}, None, None
+        )
+
+    async def discover_similar_batch(
+        self, queries: Sequence[Tuple[AgentId, int]]
+    ) -> List[List[Dict]]:
+        """Run many ``(agent, d)`` similarity queries in bulk.
+
+        One ``discover-candidates`` round resolves the full candidate
+        set, then each candidate IAgent answers every query through one
+        ``discover-similar-batch`` RPC (chunked at ``batch_size``) --
+        the per-query shard pruning of the single-op path is traded for
+        round-trip amortization; correctness is unchanged because each
+        IAgent's exact filter already drops everything outside the ball.
+        Any query a batch round cannot settle (bounce, transport
+        failure) falls back to the single-op §4.3 loop.
+        """
+        queries = list(queries)
+        self.counters.discover_similars += len(queries)
+        bodies = [{"agent": agent, "d": d} for agent, d in queries]
+        merged = await self._discover_batch_round("discover-similar", bodies)
+        return [
+            m
+            if m is not None
+            else await self._discover("discover-similar", bodies[i], *queries[i])
+            for i, m in enumerate(merged)
+        ]
+
+    async def discover_capability_batch(
+        self, predicates: Sequence[Dict]
+    ) -> List[List[Dict]]:
+        """Run many capability queries in bulk; same shape as
+        :meth:`discover_similar_batch`.
+        """
+        predicates = list(predicates)
+        self.counters.discover_capabilities += len(predicates)
+        bodies = [{"predicate": predicate} for predicate in predicates]
+        merged = await self._discover_batch_round("discover-capability", bodies)
+        return [
+            m
+            if m is not None
+            else await self._discover(
+                "discover-capability", bodies[i], None, None
+            )
+            for i, m in enumerate(merged)
+        ]
 
     async def close(self) -> None:
         await self.channel.close()
@@ -709,6 +821,168 @@ class ServiceClient:
         return bad
 
     # ------------------------------------------------------------------
+    # Discovery plumbing: candidates / fan-out / merge, with the §4.3
+    # whole-set refresh on any stale candidate
+    # ------------------------------------------------------------------
+
+    async def _discover(
+        self,
+        op: str,
+        body: Dict,
+        agent: Optional[AgentId],
+        d: Optional[int],
+    ) -> List[Dict]:
+        """Resolve candidates, fan the query out, merge -- retrying the
+        *whole* candidate set whenever any single candidate bounces.
+
+        A multi-result query must not mix two views of the hash tree: a
+        candidate set computed from a stale secondary copy can silently
+        miss a leaf that split away, so one ``not-responsible`` (or a
+        vanished IAgent) invalidates the round. The retry passes the
+        versions the bounced round was computed from as
+        ``stale_versions`` so the LHAgent refreshes past them before
+        recomputing candidates.
+        """
+        config = self.config
+        self.counters.ops += 1
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + config.op_deadline
+        stale_versions: Optional[List[List[int]]] = None
+        for attempt in range(config.max_retries):
+            if attempt and loop.time() >= deadline:
+                break
+            await self._sleep(attempt)
+            cand_body: Dict[str, Any] = {"agent": agent, "d": d}
+            if stale_versions is not None:
+                cand_body["stale_versions"] = stale_versions
+            try:
+                reply = await self.channel.call(
+                    self.lhagent_addr,
+                    "lhagent",
+                    "discover-candidates",
+                    cand_body,
+                    timeout=config.rpc_timeout,
+                )
+            except (ServiceRpcError, RemoteOpError):
+                self.counters.retries += 1
+                self.counters.transport_retries += 1
+                continue
+            partials, stale = await self._discover_fan_out(
+                op, body, reply.get("candidates", [])
+            )
+            if not stale:
+                return merge_matches(partials)
+            self.counters.retries += 1
+            self.counters.discovery_retries += 1
+            stale_versions = reply.get("versions", [])
+        raise ServiceLocateError(f"{op} exhausted its retry budget")
+
+    async def _discover_fan_out(
+        self, op: str, body: Dict, candidates: List[Dict]
+    ) -> Tuple[List[List[Dict]], bool]:
+        """One query to every candidate IAgent, concurrently.
+
+        Returns ``(partials, stale)``; ``stale`` is True when any
+        candidate could not vouch for its slice of the id space.
+        """
+
+        async def ask(cand: Dict) -> Optional[List[Dict]]:
+            if cand.get("addr") is None:
+                return None
+            item = dict(body)
+            item["pattern"] = cand.get("pattern")
+            try:
+                reply = await self.channel.call(
+                    tuple(cand["addr"]),
+                    cand["iagent"],
+                    op,
+                    item,
+                    timeout=self.config.rpc_timeout,
+                )
+            except RemoteOpError as error:
+                if error.code in (AGENT_NOT_FOUND, WRONG_SHARD):
+                    return None
+                raise
+            except ServiceRpcError:
+                return None
+            if reply.get("status") != "ok":
+                if reply.get("status") == "not-responsible":
+                    self.counters.not_responsible += 1
+                return None
+            return reply.get("matches", [])
+
+        replies = await asyncio.gather(
+            *(ask(cand) for cand in candidates), return_exceptions=True
+        )
+        for item in replies:
+            if isinstance(item, BaseException):
+                raise item
+        partials = [item for item in replies if item is not None]
+        return partials, len(partials) < len(candidates)
+
+    async def _discover_batch_round(
+        self, op: str, bodies: List[Dict]
+    ) -> List[Optional[List[Dict]]]:
+        """One batched round: every query to every candidate IAgent.
+
+        Returns merged matches per query, or ``None`` where the query
+        must fall back to the single-op retry loop (stale candidate,
+        transport failure, unresolved address).
+        """
+        n = len(bodies)
+        if n == 0:
+            return []
+        self.counters.ops += n
+        try:
+            reply = await self.channel.call(
+                self.lhagent_addr,
+                "lhagent",
+                "discover-candidates",
+                {},
+                timeout=self.config.rpc_timeout,
+            )
+            candidates = reply["candidates"]
+        except (ServiceRpcError, RemoteOpError, KeyError):
+            return [None] * n
+        partials: List[List[List[Dict]]] = [[] for _ in range(n)]
+        failed: set = set()
+
+        async def ask(cand: Dict, indices: List[int]) -> List[int]:
+            if cand.get("addr") is None:
+                return indices
+            ops = []
+            for i in indices:
+                item = dict(bodies[i])
+                item["pattern"] = cand.get("pattern")
+                ops.append(item)
+            reply = await self._batch_rpc(
+                tuple(cand["addr"]), cand["iagent"], op + "-batch", {"ops": ops}
+            )
+            if reply is None:
+                return indices
+            bad: List[int] = []
+            items = reply.get("results", [])
+            for i, item in zip(indices, items):
+                if isinstance(item, dict) and item.get("status") == "ok":
+                    partials[i].append(item.get("matches", []))
+                else:
+                    bad.append(i)
+            bad.extend(indices[len(items) :])
+            return bad
+
+        size = max(1, self.config.batch_size)
+        calls = []
+        for cand in candidates:
+            for start in range(0, n, size):
+                calls.append(ask(cand, list(range(start, min(n, start + size)))))
+        for bad in await asyncio.gather(*calls):
+            failed.update(bad)
+        self.counters.batched_ops += n - len(failed)
+        return [
+            None if i in failed else merge_matches(partials[i]) for i in range(n)
+        ]
+
+    # ------------------------------------------------------------------
     # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3), live
     # ------------------------------------------------------------------
 
@@ -724,11 +998,17 @@ class ServiceClient:
         return reply["node"]
 
     async def _update_op(
-        self, op: str, agent_id: AgentId, node: str, seq: int
+        self,
+        op: str,
+        agent_id: AgentId,
+        node: str,
+        seq: int,
+        capabilities: Optional[Dict] = None,
     ) -> None:
-        reply = await self._iagent_request(
-            agent_id, op, {"agent": agent_id, "node": node, "seq": seq}
-        )
+        body = {"agent": agent_id, "node": node, "seq": seq}
+        if capabilities is not None:
+            body["capabilities"] = capabilities
+        reply = await self._iagent_request(agent_id, op, body)
         if reply.get("status") != "ok":
             raise ServiceError(f"{op} for {agent_id} failed: {reply.get('status')}")
 

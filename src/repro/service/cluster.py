@@ -525,13 +525,21 @@ class _Cluster:
     def client_for(self, node_index: int) -> ServiceClient:
         return self.clients[node_index]
 
-    async def spawn_agent(self) -> AgentId:
-        """Create a mobile agent on a random home node and register it."""
+    async def spawn_agent(
+        self, capabilities: Optional[Dict] = None
+    ) -> AgentId:
+        """Create a mobile agent on a random home node and register it.
+
+        ``capabilities``, when given, is the agent's typed capability
+        set and registers atomically with the location record.
+        """
         agent = self.namer.next_id()
         home = self.rng.randrange(len(self.nodes))
         self.truth[agent] = (home, 0)
         await self._notify_host(home, "agent-arrive", agent, 0)
-        await self.client_for(home).register(agent, self.nodes[home].name, 0)
+        await self.client_for(home).register(
+            agent, self.nodes[home].name, 0, capabilities
+        )
         return agent
 
     async def migrate_agent(self, agent: AgentId) -> None:

@@ -17,7 +17,8 @@ Three layers:
 * :class:`OpStream` -- a deterministic per-lane operation stream. Each
   lane (a closed-loop worker, or the single open-loop dispatcher) owns
   a disjoint slice of the agent population, draws weighted operations
-  (:class:`OpMix`: locate / move / register / batch-locate) from its
+  (:class:`OpMix`: locate / move / register / batch-locate, plus the
+  multi-result similar / capability discovery queries) from its
   own seeded RNG, and tracks per-agent sequence numbers itself -- so
   two same-seed runs generate *identical* op sequences regardless of
   how the event loop interleaves them, and a run can be replayed.
@@ -51,6 +52,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.discovery.capability import PREDICATE_PALETTE, assign_capabilities
 from repro.platform.naming import AgentId, AgentNamer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.cluster import ClusterConfig, booted_cluster
@@ -73,7 +75,9 @@ OP_LOCATE = "locate"
 OP_MOVE = "move"
 OP_REGISTER = "register"
 OP_BATCH = "batch"
-OP_KINDS = (OP_LOCATE, OP_MOVE, OP_REGISTER, OP_BATCH)
+OP_SIMILAR = "similar"
+OP_CAPABILITY = "capability"
+OP_KINDS = (OP_LOCATE, OP_MOVE, OP_REGISTER, OP_BATCH, OP_SIMILAR, OP_CAPABILITY)
 
 MODE_CLOSED = "closed"
 MODE_OPEN = "open"
@@ -202,6 +206,10 @@ class OpMix:
     move: float = 0.25
     register: float = 0.10
     batch: float = 0.05
+    #: Hamming-similarity discovery queries (multi-result reads).
+    similar: float = 0.0
+    #: Capability discovery queries (multi-result reads).
+    capability: float = 0.0
 
     def weights(self) -> Tuple[Tuple[str, float], ...]:
         """``(kind, cumulative_upper_bound)`` pairs over (0, 1]."""
@@ -210,6 +218,8 @@ class OpMix:
             (OP_MOVE, self.move),
             (OP_REGISTER, self.register),
             (OP_BATCH, self.batch),
+            (OP_SIMILAR, self.similar),
+            (OP_CAPABILITY, self.capability),
         ]
         if any(weight < 0 for _, weight in raw):
             raise ValueError(f"negative mix weight in {self}")
@@ -231,6 +241,8 @@ class OpMix:
             OP_MOVE: self.move,
             OP_REGISTER: self.register,
             OP_BATCH: self.batch,
+            OP_SIMILAR: self.similar,
+            OP_CAPABILITY: self.capability,
         }
 
     @classmethod
@@ -270,6 +282,12 @@ class Op:
     seq: int = 0
     #: The whole sample for a batch-locate (None otherwise).
     batch: Optional[Tuple[AgentId, ...]] = None
+    #: Hamming radius of a similar-discovery query (None otherwise;
+    #: also mirrored into ``seq`` so ``key()`` pins it).
+    d: Optional[int] = None
+    #: Predicate of a capability-discovery query (None otherwise; its
+    #: palette index is mirrored into ``seq``).
+    predicate: Optional[Dict] = None
 
     def key(self) -> Tuple[str, str, int]:
         """A compact, comparable identity for determinism checks."""
@@ -333,7 +351,9 @@ class OpStream:
                 break
         if kind == OP_MOVE and not self.owned:
             kind = OP_LOCATE if self.shared else OP_REGISTER
-        if kind in (OP_LOCATE, OP_BATCH) and not self.shared:
+        if kind in (OP_LOCATE, OP_BATCH, OP_SIMILAR, OP_CAPABILITY) and (
+            not self.shared
+        ):
             kind = OP_REGISTER
         if kind == OP_REGISTER:
             return self.spawn()
@@ -349,6 +369,19 @@ class OpStream:
                 for _ in range(min(self.batch_k, len(self.shared)))
             )
             return Op(kind=OP_BATCH, agent=sample[0], batch=sample)
+        if kind == OP_SIMILAR:
+            agent = self.shared[self.rng.randrange(len(self.shared))]
+            d = 1 + self.rng.randrange(2)
+            return Op(kind=OP_SIMILAR, agent=agent, seq=d, d=d)
+        if kind == OP_CAPABILITY:
+            agent = self.shared[self.rng.randrange(len(self.shared))]
+            index = self.rng.randrange(len(PREDICATE_PALETTE))
+            return Op(
+                kind=OP_CAPABILITY,
+                agent=agent,
+                seq=index,
+                predicate=PREDICATE_PALETTE[index],
+            )
         agent = self.shared[self.rng.randrange(len(self.shared))]
         return Op(kind=OP_LOCATE, agent=agent)
 
@@ -453,6 +486,8 @@ class LoadReport:
     ops_abandoned: int = 0
     #: Agents resolved by batch ops (each batch op counts once above).
     batch_items: int = 0
+    #: Matches returned by measured discovery ops (similar+capability).
+    discovery_matches: int = 0
     #: Open-loop arrivals that had to wait for an in-flight slot.
     throttled: int = 0
     throughput_ops_s: float = 0.0
@@ -530,6 +565,11 @@ class LoadReport:
             f"{staleness['not_responsible']} not-responsible, "
             f"{staleness['wrong_shard_retries']} wrong-shard"
         )
+        if self.discovery_matches:
+            lines.append(
+                f"  discovery   {self.discovery_matches} matches returned, "
+                f"{self.counters.get('discovery_retries', 0)} stale-set retries"
+            )
         if self.throttled:
             lines.append(f"  open loop   {self.throttled} arrivals throttled")
         for message in self.errors_sample:
@@ -574,6 +614,7 @@ class LoadGenerator:
         self.kind_failed = {kind: 0 for kind in OP_KINDS}
         self.op_logs: List[List[Tuple[str, str, int]]] = [[] for _ in self.streams]
         self.batch_items = 0
+        self.discovery_matches = 0
         self.throttled = 0
         self.abandoned = 0
         self.errors_sample: List[str] = []
@@ -596,7 +637,19 @@ class LoadGenerator:
         for index in range(config.population):
             ops.append(self.streams[index % len(self.streams)].spawn())
         shared = [op.agent for op in ops]
-        batch = [(op.agent, op.node or self.node_names[0], op.seq) for op in ops]
+        # A capability-discovery mix needs targets to *have* capability
+        # sets: cycle the palette over the population (deterministic by
+        # slot index), riding along in the same register-batch records.
+        with_caps = config.mix.capability > 0
+        batch = [
+            (
+                op.agent,
+                op.node or self.node_names[0],
+                op.seq,
+                assign_capabilities(index) if with_caps else None,
+            )
+            for index, op in enumerate(ops)
+        ]
         chunk = max(1, len(batch) // len(self.clients) + 1)
         await asyncio.gather(
             *(
@@ -623,6 +676,12 @@ class LoadGenerator:
         if op.kind == OP_REGISTER:
             await client.register(op.agent, op.node or self.node_names[0], op.seq)
             return 0
+        if op.kind == OP_SIMILAR:
+            found = await client.discover_similar(op.agent, op.d or 1)
+            return len(found)
+        if op.kind == OP_CAPABILITY:
+            found = await client.discover_capability(op.predicate or {})
+            return len(found)
         batch = list(op.batch or ())
         located = await client.locate_batch(batch)
         return len(located)
@@ -652,7 +711,10 @@ class LoadGenerator:
             elapsed = loop.time() - started_at
             self.recorder.record(elapsed)
             self.kind_recorders[op.kind].record(elapsed)
-            self.batch_items += items
+            if op.kind in (OP_SIMILAR, OP_CAPABILITY):
+                self.discovery_matches += items
+            else:
+                self.batch_items += items
 
     # -- closed loop ---------------------------------------------------
 
@@ -761,6 +823,7 @@ class LoadGenerator:
         report.ops_abandoned = self.abandoned
         report.ops_ok = report.ops_issued - report.ops_failed - report.ops_abandoned
         report.batch_items = self.batch_items
+        report.discovery_matches = self.discovery_matches
         report.throttled = self.throttled
         report.throughput_ops_s = round(report.ops_ok / report.measure_s, 1)
         report.latency = self.recorder.summary()

@@ -57,6 +57,8 @@ from repro.core.iagent import NO_RECORD, NOT_RESPONSIBLE, OK, pattern_matches
 from repro.core.lhagent import HashFunctionCopy
 from repro.core.load import LoadStatistics
 from repro.core.rehashing import plan_split
+from repro.discovery.capability import matches_predicate, validate_capabilities
+from repro.discovery.hamming import ids_within, shards_within
 from repro.metrics.trace import Tracer
 from repro.platform.messages import Request, Response
 from repro.platform.naming import AgentId, AgentNamer
@@ -385,6 +387,9 @@ class IAgentEndpoint:
         self.coverage = pattern
         #: agent id -> [node name, sequence number].
         self.records: Dict[AgentId, List] = {}
+        #: agent id -> typed capability set (discovery subsystem). Rides
+        #: with the record through extract/adopt and the journal.
+        self.capabilities: Dict[AgentId, Dict] = {}
         self.stats = LoadStatistics(node.config.mechanism.rate_window)
         self.report_task: Optional[asyncio.Task] = None
         self.store = store
@@ -396,8 +401,8 @@ class IAgentEndpoint:
 
     @staticmethod
     def initial_state() -> Dict:
-        """The durable-state shape: coverage + the record table."""
-        return {"coverage": None, "records": {}}
+        """The durable-state shape: coverage + records + capabilities."""
+        return {"coverage": None, "records": {}, "capabilities": {}}
 
     @staticmethod
     def apply_mutation(state: Dict, op: Dict) -> None:
@@ -407,35 +412,55 @@ class IAgentEndpoint:
         conflict rule), so ``recover()`` = the same transitions, re-run.
         """
         records = state["records"]
+        # setdefault: snapshots written before the discovery subsystem
+        # have no capability table.
+        capabilities = state.setdefault("capabilities", {})
         kind = op["op"]
         if kind == "put":
             existing = records.get(op["agent"])
             if existing is None or op["seq"] >= existing[1]:
                 records[op["agent"]] = [op["node"], op["seq"]]
+                if "caps" in op:
+                    capabilities[op["agent"]] = op["caps"]
         elif kind == "del":
             records.pop(op["agent"], None)
+            capabilities.pop(op["agent"], None)
+        elif kind == "caps":
+            if op["caps"] is None:
+                capabilities.pop(op["agent"], None)
+            elif op["agent"] in records:
+                capabilities[op["agent"]] = op["caps"]
         elif kind == "coverage":
             state["coverage"] = op["pattern"]
         elif kind == "extract":
             for agent_id in list(records):
                 if not pattern_matches(op["pattern"], agent_id.bits):
                     del records[agent_id]
+                    capabilities.pop(agent_id, None)
             state["coverage"] = op["pattern"]
         elif kind == "clear":
             state["records"] = {}
+            state["capabilities"] = {}
             state["coverage"] = None
         elif kind == "adopt":
             if "pattern" in op:
                 state["coverage"] = op["pattern"]
+            caps_in = op.get("capabilities", {})
             for agent_id, record in op.get("records", {}).items():
                 existing = records.get(agent_id)
                 if existing is None or record[1] >= existing[1]:
                     records[agent_id] = list(record)
+                    if agent_id in caps_in:
+                        capabilities[agent_id] = caps_in[agent_id]
         else:  # pragma: no cover - would be a writer bug
             raise ValueError(f"unknown IAgent mutation {kind!r}")
 
     def durable_state(self) -> Dict:
-        return {"coverage": self.coverage, "records": self.records}
+        return {
+            "coverage": self.coverage,
+            "records": self.records,
+            "capabilities": self.capabilities,
+        }
 
     def _log(self, op: Dict) -> None:
         """Journal one applied mutation; fold into a snapshot when due."""
@@ -460,7 +485,12 @@ class IAgentEndpoint:
         existing = self.records.get(agent_id)
         if existing is None or seq >= existing[1]:
             self.records[agent_id] = [node, seq]
-            self._log({"op": "put", "agent": agent_id, "node": node, "seq": seq})
+            entry = {"op": "put", "agent": agent_id, "node": node, "seq": seq}
+            caps = body.get("capabilities")
+            if caps is not None:
+                self.capabilities[agent_id] = validate_capabilities(caps)
+                entry["caps"] = caps
+            self._log(entry)
         self.stats.record_update(agent_id, time.monotonic())
         return {"status": OK}
 
@@ -481,6 +511,7 @@ class IAgentEndpoint:
         existing = self.records.get(agent_id)
         if existing is not None and body.get("seq", 0) >= existing[1]:
             del self.records[agent_id]
+            self.capabilities.pop(agent_id, None)
             self.stats.forget_agent(agent_id)
             self._log({"op": "del", "agent": agent_id})
         return {"status": OK}
@@ -513,21 +544,31 @@ class IAgentEndpoint:
         pattern = body["pattern"]
         moved_records: Dict[AgentId, List] = {}
         moved_loads: Dict[AgentId, int] = {}
+        moved_caps: Dict[AgentId, Dict] = {}
         for agent_id in list(self.records):
             if not pattern_matches(pattern, agent_id.bits):
                 moved_records[agent_id] = self.records.pop(agent_id)
                 moved_loads[agent_id] = self.stats.per_agent.get(agent_id, 0)
                 self.stats.forget_agent(agent_id)
+                if agent_id in self.capabilities:
+                    moved_caps[agent_id] = self.capabilities.pop(agent_id)
         self.coverage = pattern
         self.stats.total.reset(time.monotonic())
-        # Replay recomputes the dropped records from the pattern, so the
-        # journal entry is O(1) regardless of how many records moved.
+        # Replay recomputes the dropped records (and their capabilities)
+        # from the pattern, so the journal entry is O(1) regardless of
+        # how many records moved.
         self._log({"op": "extract", "pattern": pattern})
-        return {"status": OK, "records": moved_records, "loads": moved_loads}
+        return {
+            "status": OK,
+            "records": moved_records,
+            "loads": moved_loads,
+            "capabilities": moved_caps,
+        }
 
     def op_extract_all(self, body: Dict) -> Dict:
         self.node.check_fence(body, "extract-all")
         records, self.records = self.records, {}
+        caps, self.capabilities = self.capabilities, {}
         loads = {
             agent_id: self.stats.per_agent.get(agent_id, 0) for agent_id in records
         }
@@ -535,16 +576,20 @@ class IAgentEndpoint:
             self.stats.forget_agent(agent_id)
         self.coverage = None
         self._log({"op": "clear"})
-        return {"status": OK, "records": records, "loads": loads}
+        return {"status": OK, "records": records, "loads": loads,
+                "capabilities": caps}
 
     def op_adopt(self, body: Dict) -> Dict:
         self.node.check_fence(body, "adopt")
         if "pattern" in body:
             self.coverage = body["pattern"]
+        caps_in = body.get("capabilities", {})
         for agent_id, record in body.get("records", {}).items():
             existing = self.records.get(agent_id)
             if existing is None or record[1] >= existing[1]:
                 self.records[agent_id] = list(record)
+                if agent_id in caps_in:
+                    self.capabilities[agent_id] = caps_in[agent_id]
         for agent_id, load in body.get("loads", {}).items():
             self.stats.adopt_agent(agent_id, load)
         # Adopted records come from another shard, so (unlike extract)
@@ -556,6 +601,8 @@ class IAgentEndpoint:
                 for agent_id, record in body.get("records", {}).items()
             },
         }
+        if caps_in:
+            entry["capabilities"] = dict(caps_in)
         if "pattern" in body:
             entry["pattern"] = body["pattern"]
         self._log(entry)
@@ -566,6 +613,90 @@ class IAgentEndpoint:
         self.coverage = body["pattern"]
         self._log({"op": "coverage", "pattern": body["pattern"]})
         return {"status": OK}
+
+    # -- discovery subsystem --------------------------------------------
+
+    def op_set_capabilities(self, body: Dict) -> Dict:
+        agent_id = body["agent"]
+        if not pattern_matches(self.coverage, agent_id.bits):
+            return {"status": NOT_RESPONSIBLE}
+        if agent_id not in self.records:
+            return {"status": NO_RECORD}
+        caps = body.get("capabilities")
+        if caps is None:
+            self.capabilities.pop(agent_id, None)
+        else:
+            self.capabilities[agent_id] = validate_capabilities(caps)
+        self.stats.record_update(agent_id, time.monotonic())
+        self._log({"op": "caps", "agent": agent_id, "caps": caps})
+        return {"status": OK}
+
+    def _check_candidate_pattern(self, body: Dict) -> Optional[Dict]:
+        """Staleness gate for multi-result queries.
+
+        The client learned of this IAgent from a secondary copy and
+        passes the coverage pattern that copy attributed to it. If the
+        actual coverage differs -- this leaf split, merged or was taken
+        over since -- answering would silently return a partial result
+        set, so bounce with NOT_RESPONSIBLE and let the client refresh
+        its copy and recompute the candidate set (§4.3, per query).
+        """
+        pattern = body.get("pattern")
+        if pattern is not None and pattern != self.coverage:
+            return {"status": NOT_RESPONSIBLE}
+        return None
+
+    def op_discover_similar(self, body: Dict) -> Dict:
+        stale = self._check_candidate_pattern(body)
+        if stale is not None:
+            return stale
+        matches = [
+            {
+                "agent": other,
+                "node": self.records[other][0],
+                "seq": self.records[other][1],
+                "distance": dist,
+            }
+            for other, dist in ids_within(self.records, body["agent"], body["d"])
+        ]
+        return {"status": OK, "matches": matches}
+
+    def op_discover_capability(self, body: Dict) -> Dict:
+        stale = self._check_candidate_pattern(body)
+        if stale is not None:
+            return stale
+        predicate = body["predicate"]
+        # Filter first, sort the (much smaller) match set after: sorting
+        # the whole capability table per query dominates batched rounds.
+        hits = sorted(
+            agent_id
+            for agent_id, caps in self.capabilities.items()
+            if agent_id in self.records and matches_predicate(caps, predicate)
+        )
+        matches = [
+            {
+                "agent": agent_id,
+                "node": self.records[agent_id][0],
+                "seq": self.records[agent_id][1],
+                "capabilities": self.capabilities[agent_id],
+            }
+            for agent_id in hits
+        ]
+        return {"status": OK, "matches": matches}
+
+    def op_discover_similar_batch(self, body: Dict) -> Dict:
+        """Run many similarity queries in one round-trip."""
+        return {
+            "status": OK,
+            "results": [self.op_discover_similar(op) for op in body["ops"]],
+        }
+
+    def op_discover_capability_batch(self, body: Dict) -> Dict:
+        """Run many capability queries in one round-trip."""
+        return {
+            "status": OK,
+            "results": [self.op_discover_capability(op) for op in body["ops"]],
+        }
 
     def op_ping(self, body: Dict) -> Dict:
         return {
@@ -706,6 +837,60 @@ class LHAgentEndpoint:
 
     def op_version(self, body: Dict) -> Dict:
         return {"version": self.copy.version if self.copy else -1}
+
+    async def op_discover_candidates(self, body: Dict) -> Dict:
+        """Candidate IAgents for a discovery query, across shards.
+
+        Similarity queries fan out only to the shards whose id prefix
+        can still reach the Hamming ball (``shards_within``); capability
+        queries fan out to every shard. Per candidate the reply carries
+        the owning IAgent, its node + address, the distance lower bound
+        and the coverage pattern this copy attributes to it -- the
+        pattern is echoed to the IAgent, whose mismatch bounce is the
+        staleness signal for multi-result queries.
+
+        ``stale_versions`` (a list of ``[shard, version]`` pairs) names
+        copies the caller saw bounce; those are refreshed past the given
+        version before candidates are recomputed.
+        """
+        agent = body.get("agent")
+        d = body.get("d")
+        shards = self.node.router.shards
+        if d is not None and agent is not None:
+            shard_list = shards_within(agent.bits, d, shards)
+        else:
+            shard_list = list(range(shards))
+        stale_versions = {
+            int(shard): int(version)
+            for shard, version in body.get("stale_versions") or []
+        }
+        candidates = []
+        versions = {}
+        for shard in shard_list:
+            copy = self.copies.get(shard)
+            stale_below = stale_versions.get(shard)
+            if copy is None or (
+                stale_below is not None and copy.version <= stale_below
+            ):
+                await self._fetch_primary_copy(shard)
+                copy = self.copies[shard]
+            for cand in copy.candidates(agent, d):
+                node_name = cand["node"]
+                addr = (
+                    self.node_addrs.get(node_name)
+                    if node_name is not None
+                    else None
+                )
+                entry = dict(cand)
+                entry["addr"] = list(addr) if addr is not None else None
+                entry["shard"] = shard
+                candidates.append(entry)
+            versions[shard] = copy.version
+        self.whois_served += len(shard_list)
+        return {
+            "candidates": candidates,
+            "versions": [[shard, version] for shard, version in versions.items()],
+        }
 
     def _resolve(self, agent_id: AgentId) -> Dict:
         shard = self._shard_for(agent_id)
@@ -1154,6 +1339,7 @@ class NodeServer(_FramedServer):
                     apply=IAgentEndpoint.apply_mutation,
                 )
                 endpoint.records = result.state["records"]
+                endpoint.capabilities = result.state.get("capabilities", {})
                 # A pattern from the HAgent (takeover) wins; otherwise
                 # the recovered coverage stands. "" covers everything,
                 # so test against None, not truthiness.
@@ -2286,6 +2472,7 @@ class HAgentServer(_FramedServer):
 
             moved_records: Dict[AgentId, List] = {}
             moved_loads: Dict[AgentId, int] = {}
+            moved_caps: Dict[AgentId, Dict] = {}
             for affected in outcome.affected_owners:
                 pattern = self.tree.hyper_label(affected).pattern()
                 try:
@@ -2296,6 +2483,7 @@ class HAgentServer(_FramedServer):
                     continue  # its records re-converge via re-registration
                 moved_records.update(reply["records"])
                 moved_loads.update(reply["loads"])
+                moved_caps.update(reply.get("capabilities", {}))
             new_pattern = self.tree.hyper_label(new_owner).pattern()
             try:
                 await self._rpc_iagent(
@@ -2304,6 +2492,7 @@ class HAgentServer(_FramedServer):
                     {
                         "records": moved_records,
                         "loads": moved_loads,
+                        "capabilities": moved_caps,
                         "pattern": new_pattern,
                     },
                 )
@@ -2335,20 +2524,23 @@ class HAgentServer(_FramedServer):
             try:
                 reply = await self._rpc_iagent(owner, "extract-all", node_name=node)
                 records, loads = reply["records"], reply["loads"]
+                caps = reply.get("capabilities", {})
             except (ServiceRpcError, RemoteOpError):
-                records, loads = {}, {}  # re-converges via re-registration
+                records, loads, caps = {}, {}, {}  # re-converges via re-registration
+
+            def _bucket() -> Dict:
+                return {"records": {}, "loads": {}, "capabilities": {}}
 
             per_absorber: Dict[Any, Dict] = {
-                absorber: {"records": {}, "loads": {}}
-                for absorber in outcome.absorbers
+                absorber: _bucket() for absorber in outcome.absorbers
             }
             for agent_id, record in records.items():
                 absorber = self.tree.lookup(agent_id.bits)
-                bucket = per_absorber.setdefault(
-                    absorber, {"records": {}, "loads": {}}
-                )
+                bucket = per_absorber.setdefault(absorber, _bucket())
                 bucket["records"][agent_id] = record
                 bucket["loads"][agent_id] = loads.get(agent_id, 0)
+                if agent_id in caps:
+                    bucket["capabilities"][agent_id] = caps[agent_id]
             for absorber, bucket in per_absorber.items():
                 bucket["pattern"] = self.tree.hyper_label(absorber).pattern()
                 try:
@@ -2429,6 +2621,7 @@ class HAgentServer(_FramedServer):
                     drained[owner] = {
                         "records": reply["records"],
                         "loads": reply["loads"],
+                        "capabilities": reply.get("capabilities", {}),
                         "pattern": pattern,
                     }
             except (ServiceRpcError, RemoteOpError) as error:
@@ -2437,9 +2630,11 @@ class HAgentServer(_FramedServer):
 
             records: Dict[AgentId, List] = {}
             loads: Dict[AgentId, int] = {}
+            caps: Dict[AgentId, Dict] = {}
             for bucket in drained.values():
                 records.update(bucket["records"])
                 loads.update(bucket["loads"])
+                caps.update(bucket["capabilities"])
 
             # Phase 2b: commit at the buddy, both epochs echoed. The
             # buddy re-checks the grant, fences itself against its own
@@ -2455,6 +2650,7 @@ class HAgentServer(_FramedServer):
                         "buddy_epoch": grant["epoch"],
                         "records": records,
                         "loads": loads,
+                        "capabilities": caps,
                     },
                     timeout=self.config.rpc_timeout * 2,
                 )
@@ -2498,6 +2694,7 @@ class HAgentServer(_FramedServer):
             body: Dict[str, Any] = {
                 "records": bucket["records"],
                 "loads": bucket["loads"],
+                "capabilities": bucket.get("capabilities", {}),
             }
             if bucket["pattern"] is not None:
                 body["pattern"] = bucket["pattern"]
@@ -2546,14 +2743,17 @@ class HAgentServer(_FramedServer):
             assert self.tree is not None
             records = body.get("records", {})
             loads = body.get("loads", {})
+            caps = body.get("capabilities", {})
             per_absorber: Dict[Any, Dict[str, Any]] = {}
             for agent_id, record in records.items():
                 absorber = self.tree.lookup(agent_id.bits)
                 bucket = per_absorber.setdefault(
-                    absorber, {"records": {}, "loads": {}}
+                    absorber, {"records": {}, "loads": {}, "capabilities": {}}
                 )
                 bucket["records"][agent_id] = record
                 bucket["loads"][agent_id] = loads.get(agent_id, 0)
+                if agent_id in caps:
+                    bucket["capabilities"][agent_id] = caps[agent_id]
             if not per_absorber and self.iagent_nodes:
                 # Nothing to adopt, but the fencing round-trip is still
                 # mandatory: an empty fenced adopt against one of our

@@ -23,7 +23,12 @@ from repro.workloads.mobility import (
     UniformItinerary,
 )
 from repro.workloads.population import TAgent, spawn_population, PopulationChurn
-from repro.workloads.queries import QueryClient, QueryWorkload
+from repro.workloads.queries import (
+    QueryClient,
+    QueryWorkload,
+    zipf_targets,
+    zipf_weights,
+)
 from repro.workloads.scenarios import (
     EXP1_AGENT_COUNTS,
     EXP2_RESIDENCE_TIMES_MS,
@@ -59,4 +64,6 @@ __all__ = [
     "UniformResidence",
     "exp1_scenario",
     "exp2_scenario",
+    "zipf_targets",
+    "zipf_weights",
 ]

@@ -21,7 +21,37 @@ from repro.platform.events import Timeout
 from repro.platform.messages import RpcError
 from repro.platform.naming import AgentId
 
-__all__ = ["QueryClient", "QueryWorkload"]
+__all__ = ["QueryClient", "QueryWorkload", "zipf_targets", "zipf_weights"]
+
+
+def zipf_weights(count: int, s: float = 1.0) -> List[float]:
+    """Zipf popularity weights: the rank-``r`` target gets ``1 / r**s``.
+
+    ``s = 0`` degenerates to uniform choice; larger ``s`` concentrates
+    queries on the first few targets (hot agents). The weights are not
+    normalized -- ``random.choices`` only needs relative magnitudes.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if s < 0:
+        raise ValueError("s must be non-negative")
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+def zipf_targets(s: float = 1.0):
+    """A ``Scenario.target_weights_fn`` for Zipf-skewed query targets.
+
+    Usage: ``scenario.with_overrides(target_weights_fn=zipf_targets(1.2))``
+    -- the harness calls the returned function with the population size
+    and feeds the weights to :class:`QueryWorkload`.
+    """
+    if s < 0:
+        raise ValueError("s must be non-negative")
+
+    def weights(count: int) -> List[float]:
+        return zipf_weights(count, s)
+
+    return weights
 
 
 class QueryClient(Agent):

@@ -1,0 +1,111 @@
+"""Unit tests for typed capability sets and the predicate language."""
+
+import pytest
+
+from repro.discovery.capability import (
+    CAPABILITY_PALETTE,
+    PREDICATE_PALETTE,
+    CapabilityError,
+    assign_capabilities,
+    matches_predicate,
+    palette_expectations,
+    validate_capabilities,
+)
+from repro.platform.jsonable import from_jsonable, to_jsonable
+
+
+class TestValidate:
+    def test_accepts_typed_sets(self):
+        caps = {"ocr": {"langs": ["en", "el"]}, "gpu": True, "hops": 3}
+        assert validate_capabilities(caps) is caps
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(CapabilityError):
+            validate_capabilities(["gpu"])  # type: ignore[arg-type]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CapabilityError):
+            validate_capabilities({"": True})
+
+    def test_rejects_non_string_nested_keys(self):
+        with pytest.raises(CapabilityError):
+            validate_capabilities({"ocr": {1: "en"}})
+
+    def test_rejects_unsupported_values(self):
+        with pytest.raises(CapabilityError):
+            validate_capabilities({"blob": object()})
+
+    def test_rejects_absurd_nesting(self):
+        value: object = "leaf"
+        for _ in range(12):
+            value = {"n": value}
+        with pytest.raises(CapabilityError):
+            validate_capabilities({"deep": value})
+
+
+class TestMatches:
+    CAPS = {
+        "gpu": True,
+        "tier": "edge",
+        "hops": 3,
+        "store": ["s3", "local"],
+        "ocr": {"langs": ["en", "el"], "dpi": 300},
+    }
+
+    def test_presence(self):
+        assert matches_predicate(self.CAPS, {"gpu": True})
+        assert not matches_predicate(self.CAPS, {"relay": True})
+        assert not matches_predicate({"gpu": False}, {"gpu": True})
+
+    def test_scalar_equality(self):
+        assert matches_predicate(self.CAPS, {"tier": "edge"})
+        assert matches_predicate(self.CAPS, {"hops": 3})
+        assert not matches_predicate(self.CAPS, {"tier": "core"})
+
+    def test_list_subset(self):
+        assert matches_predicate(self.CAPS, {"store": ["s3"]})
+        assert matches_predicate(self.CAPS, {"store": ["local", "s3"]})
+        assert not matches_predicate(self.CAPS, {"store": ["gcs"]})
+
+    def test_nested_dict(self):
+        assert matches_predicate(self.CAPS, {"ocr": {"langs": ["en"]}})
+        assert matches_predicate(self.CAPS, {"ocr": {"dpi": 300}})
+        assert not matches_predicate(self.CAPS, {"ocr": {"langs": ["fr"]}})
+
+    def test_conjunction(self):
+        assert matches_predicate(self.CAPS, {"gpu": True, "tier": "edge"})
+        assert not matches_predicate(self.CAPS, {"gpu": True, "tier": "core"})
+
+    def test_empty_predicate_matches_anything(self):
+        assert matches_predicate(self.CAPS, {})
+        assert matches_predicate({}, {})
+        assert matches_predicate(None, {})
+
+    def test_missing_caps_never_match_nonempty_predicate(self):
+        assert not matches_predicate(None, {"gpu": True})
+        assert not matches_predicate({}, {"tier": "edge"})
+
+    def test_malformed_predicate_rejected(self):
+        with pytest.raises(CapabilityError):
+            matches_predicate(self.CAPS, ["gpu"])  # type: ignore[arg-type]
+
+
+class TestPalette:
+    def test_assignment_cycles_deterministically(self):
+        n = len(CAPABILITY_PALETTE)
+        assert assign_capabilities(0) == assign_capabilities(n)
+        assert assign_capabilities(2) == CAPABILITY_PALETTE[2]
+
+    def test_every_palette_set_validates(self):
+        for caps in CAPABILITY_PALETTE:
+            validate_capabilities(caps)
+
+    def test_every_predicate_matches_a_strict_nonempty_subset(self):
+        n = len(CAPABILITY_PALETTE)
+        for predicate in PREDICATE_PALETTE:
+            hits = list(palette_expectations(predicate))
+            assert 0 < len(hits) < n, predicate
+
+    def test_palette_survives_the_wire_codec(self):
+        for caps in CAPABILITY_PALETTE:
+            assert from_jsonable(to_jsonable(caps)) == caps

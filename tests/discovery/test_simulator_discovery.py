@@ -1,0 +1,177 @@
+"""Simulator-side discovery: mechanism-level queries vs ground truth.
+
+The simulator and the live service run the same candidate + exact-filter
+algorithm; here the simulator's results are pinned against brute force
+over the runtime's tracked agent population (the live twin of these
+assertions lives in ``tests/service/test_discovery_live.py``, and
+``test_matches_live_result_shape`` there pins the two stacks to each
+other on identical populations).
+"""
+
+from repro.discovery.capability import assign_capabilities, matches_predicate
+from repro.discovery.hamming import ids_within
+from repro.workloads.mobility import ConstantResidence
+from repro.workloads.population import spawn_population
+
+from tests.conftest import build_runtime, drain, install_hash_mechanism, run_until
+
+
+def _setup(nodes=4, agents=12, **overrides):
+    runtime = build_runtime(nodes=nodes)
+    mechanism = install_hash_mechanism(runtime, **overrides)
+    population = spawn_population(runtime, agents, ConstantResidence(30.0))
+    drain(runtime, 2.0)  # let every agent register
+    return runtime, mechanism, population
+
+
+def _set_all_capabilities(runtime, mechanism, population):
+    caps_by_agent = {}
+    for i, agent in enumerate(population):
+        caps = assign_capabilities(i)
+        caps_by_agent[agent.agent_id] = caps
+
+        def assign(agent=agent, caps=caps):
+            yield from mechanism.set_capabilities(
+                "node-0", agent.agent_id, caps
+            )
+
+        runtime.sim.run_process(assign())
+    return caps_by_agent
+
+
+class TestSimilarDiscovery:
+    def test_matches_brute_force_over_population(self):
+        runtime, mechanism, population = _setup()
+        ids = [agent.agent_id for agent in population]
+        where = {agent.agent_id: agent.node_name for agent in population}
+        for query in population[:4]:
+            for d in (1, 2, 3):
+
+                def discover(query=query, d=d):
+                    found = yield from mechanism.discover_similar(
+                        "node-1", query.agent_id, d
+                    )
+                    return found
+
+                found = runtime.sim.run_process(discover())
+                expected = ids_within(ids, query.agent_id, d)
+                assert [(m["agent"], m["distance"]) for m in found] == expected
+                for match in found:
+                    assert match["node"] == where[match["agent"]]
+
+    def test_query_agent_never_in_its_own_results(self):
+        runtime, mechanism, population = _setup()
+        query = population[0]
+
+        def discover():
+            found = yield from mechanism.discover_similar(
+                "node-2", query.agent_id, 8
+            )
+            return found
+
+        found = runtime.sim.run_process(discover())
+        assert all(m["agent"] != query.agent_id for m in found)
+
+
+class TestCapabilityDiscovery:
+    def test_matches_brute_force_over_population(self):
+        runtime, mechanism, population = _setup()
+        caps_by_agent = _set_all_capabilities(runtime, mechanism, population)
+        for predicate in ({"gpu": True}, {"tier": "core"}, {"store": ["s3"]}):
+
+            def discover(predicate=predicate):
+                found = yield from mechanism.discover_capability(
+                    "node-3", predicate
+                )
+                return found
+
+            found = runtime.sim.run_process(discover())
+            expected = {
+                agent_id
+                for agent_id, caps in caps_by_agent.items()
+                if matches_predicate(caps, predicate)
+            }
+            assert {m["agent"] for m in found} == expected
+            for match in found:
+                assert matches_predicate(match["capabilities"], predicate)
+
+    def test_agents_without_capabilities_are_invisible(self):
+        runtime, mechanism, population = _setup()
+        # Only half the population advertises capabilities.
+        advertised = population[: len(population) // 2]
+        for i, agent in enumerate(advertised):
+
+            def assign(agent=agent, caps=assign_capabilities(0)):
+                yield from mechanism.set_capabilities(
+                    "node-0", agent.agent_id, caps
+                )
+
+            runtime.sim.run_process(assign())
+
+        def discover():
+            found = yield from mechanism.discover_capability("node-0", {})
+            return found
+
+        found = runtime.sim.run_process(discover())
+        assert {m["agent"] for m in found} == {
+            agent.agent_id for agent in advertised
+        }
+
+
+class TestCapabilitySurvival:
+    def test_capabilities_survive_splits(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(runtime, t_max=30.0)
+        population = spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 1.0)
+        caps_by_agent = _set_all_capabilities(runtime, mechanism, population)
+        run_until(runtime, lambda: mechanism.iagent_count >= 3, timeout=30.0)
+        assert mechanism.hagent.splits >= 2
+
+        def discover():
+            found = yield from mechanism.discover_capability("node-0", {})
+            return found
+
+        found = runtime.sim.run_process(discover())
+        assert {m["agent"] for m in found} == set(caps_by_agent)
+        # And the per-IAgent tables agree record-by-record.
+        total = sum(len(ia.capabilities) for ia in mechanism.iagents.values())
+        assert total == len(caps_by_agent)
+        for iagent in mechanism.iagents.values():
+            for agent_id, caps in iagent.capabilities.items():
+                assert agent_id in iagent.records
+                assert caps == caps_by_agent[agent_id]
+
+    def test_capabilities_survive_merges(self):
+        runtime = build_runtime(nodes=6)
+        mechanism = install_hash_mechanism(
+            runtime, t_max=30.0, t_min=8.0, merge_patience=2
+        )
+        population = spawn_population(runtime, 40, ConstantResidence(0.25))
+        drain(runtime, 1.0)
+        caps_by_agent = _set_all_capabilities(runtime, mechanism, population)
+        run_until(runtime, lambda: mechanism.iagent_count >= 3, timeout=30.0)
+        peak = mechanism.iagent_count
+        survivors = population[:4]
+
+        def retire():
+            for agent in population[4:]:
+                if agent.alive:
+                    yield from agent.die()
+
+        runtime.sim.spawn(retire(), name="retire")
+        run_until(
+            runtime, lambda: mechanism.iagent_count < peak, timeout=60.0
+        )
+        assert mechanism.hagent.merges >= 1
+
+        def discover():
+            found = yield from mechanism.discover_capability("node-0", {})
+            return found
+
+        found = runtime.sim.run_process(discover())
+        assert {m["agent"] for m in found} == {
+            agent.agent_id for agent in survivors
+        }
+        for match in found:
+            assert match["capabilities"] == caps_by_agent[match["agent"]]

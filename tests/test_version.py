@@ -1,0 +1,22 @@
+"""The package version and the distribution metadata must agree."""
+
+import re
+from pathlib import Path
+
+from repro import __version__
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_package_version_matches_pyproject():
+    # No tomllib on the 3.9 floor: a line-anchored regex is enough for
+    # the [project] table's version field.
+    match = re.search(
+        r'^version = "([^"]+)"$', PYPROJECT.read_text(), re.MULTILINE
+    )
+    assert match is not None, "pyproject.toml has no version field"
+    assert match.group(1) == __version__
+
+
+def test_version_is_semver():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", __version__)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.workloads.mobility import ConstantResidence
 from repro.workloads.population import spawn_population
-from repro.workloads.queries import QueryWorkload
+from repro.workloads.queries import QueryWorkload, zipf_targets, zipf_weights
 
 from tests.conftest import build_runtime, install_hash_mechanism, run_until
 
@@ -127,3 +127,66 @@ class TestTargetWeights:
                 total_queries=5,
                 target_weights=[1.0, -2.0],
             )
+
+
+class TestZipfWeights:
+    def test_harmonic_series_at_s_one(self):
+        assert zipf_weights(4) == [1.0, 1 / 2, 1 / 3, 1 / 4]
+
+    def test_s_zero_is_uniform(self):
+        assert zipf_weights(5, s=0.0) == [1.0] * 5
+
+    def test_strictly_decreasing_for_positive_s(self):
+        weights = zipf_weights(10, s=1.3)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_empty_population(self):
+        assert zipf_weights(0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(-1)
+        with pytest.raises(ValueError):
+            zipf_weights(3, s=-0.5)
+        with pytest.raises(ValueError):
+            zipf_targets(-1.0)
+
+    def test_targets_factory_matches_weights(self):
+        fn = zipf_targets(1.5)
+        assert fn(6) == zipf_weights(6, 1.5)
+
+    def test_zipf_skews_picks_toward_first_targets(self):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        agents = spawn_population(runtime, 8, ConstantResidence(0.5))
+        targets = [agent.agent_id for agent in agents]
+        workload = QueryWorkload(
+            runtime,
+            targets=targets,
+            total_queries=5,
+            clients=1,
+            target_weights=zipf_weights(len(targets), s=2.0),
+        )
+        rng = runtime.streams.get("zipf-test")
+        picks = [workload.pick_target(rng) for _ in range(800)]
+        hot = picks.count(targets[0]) / len(picks)
+        cold = picks.count(targets[-1]) / len(picks)
+        assert hot > 0.5  # 1 / zeta(2, 8) ~ 0.65 of the mass on rank 1
+        assert cold < 0.05
+
+    def test_scenario_config_drives_skewed_experiment(self):
+        """``target_weights_fn`` in a Scenario reaches the workload: a
+        Zipf-skewed run completes its quota like the uniform one."""
+        from repro.harness.experiment import run_experiment
+        from repro.workloads.scenarios import exp1_scenario
+
+        scenario = exp1_scenario(
+            6,
+            total_queries=12,
+            warmup=1.0,
+            query_clients=2,
+            target_weights_fn=zipf_targets(1.2),
+        )
+        result = run_experiment(scenario, "hash")
+        assert len(result.metrics.location_times) == 12
+        assert result.metrics.failed_locates == 0
