@@ -23,9 +23,10 @@ Usage::
 
 Unless ``--sweep-only``, the runner also refreshes the service-layer
 snapshot (``BENCH_service.json``) through ``bench_service_rpc.py`` (the
-codec grid plus the sharded-coordinator section) and
+codec grid plus the sharded-coordinator section),
 ``bench_service_load.py`` (the capacity curves: saturation throughput
-vs nodes / replicas / shards) -- so one invocation advances every
+vs nodes / replicas / shards) and ``bench_service_netem.py`` (the
+hostile-network resilience gates) -- so one invocation advances every
 trajectory.
 
 ``--quick`` is the CI arm: one round per sweep arm, a smaller grid and
@@ -66,11 +67,12 @@ BENCH_FILES = (
 
 #: The service-layer benches, in run order. ``bench_service_rpc.py``
 #: rewrites BENCH_service.json wholesale; ``bench_service_load.py``
-#: merges its ``capacity`` section into the fresh file, so the order
-#: matters.
+#: and ``bench_service_netem.py`` merge their ``capacity`` and
+#: ``netem`` sections into the fresh file, so the order matters.
 SERVICE_BENCH_FILES = (
     "benchmarks/bench_service_rpc.py",
     "benchmarks/bench_service_load.py",
+    "benchmarks/bench_service_netem.py",
 )
 
 

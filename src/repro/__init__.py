@@ -70,7 +70,7 @@ from repro.workloads import (
     spawn_population,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Agent",

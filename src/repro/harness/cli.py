@@ -56,6 +56,22 @@ set, journal and durable store, and node servers route per shard (see
 ``docs/PROTOCOLS.md`` §12). ``--shards 1`` (the default) is
 byte-compatible with the unsharded protocol.
 
+Hostile networks and churn::
+
+    python -m repro cluster --nodes 5 --netem 7 --chaos-duration 6
+    python -m repro cluster --nodes 6 --churn 5 --chaos-duration 6
+
+``--netem SEED`` runs a seeded schedule of pure *wire-level* faults --
+latency/jitter degradation, packet loss, slow-loris partial writes,
+connection resets and asymmetric partitions -- through an in-process
+transport shim wrapped around every live connection (see
+``docs/PROTOCOLS.md`` §14). Clients survive it with adaptive
+(Jacobson-style) timeouts, per-endpoint circuit breakers, hedged reads
+and flagged degraded-mode answers; the run must still verify 100% and
+the controller's fault-log digest is bit-identical for the same seed.
+``--churn SEED`` runs a seeded node leave/join process that never
+takes more than half the population down at once.
+
 Load generation and capacity::
 
     python -m repro load --nodes 5 --agents 200 --clients 64 --duration 20
@@ -394,6 +410,8 @@ def _cluster_config(args):
         crash_hagent=crash_hagent,
         chaos_seed=chaos_seed,
         chaos_duration=getattr(args, "chaos_duration", None) or 6.0,
+        netem_seed=getattr(args, "netem", None),
+        churn_seed=getattr(args, "churn", None),
         service=ServiceConfig(
             data_dir=data_dir,
             fsync=getattr(args, "fsync", "interval"),
@@ -758,6 +776,24 @@ def main(argv: List[str] = None) -> int:
         metavar="S",
         help="chaos schedule length in seconds, settle tail included "
         "(default: 6 for the live cluster, 3 for the simulator)",
+    )
+    service.add_argument(
+        "--netem",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run a seeded hostile-network schedule (latency/jitter, "
+        "loss, slow-loris writes, resets, asymmetric partitions) over "
+        "the live cluster's wires; same seed -> bit-identical fault log "
+        "(shares --chaos-duration)",
+    )
+    service.add_argument(
+        "--churn",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run a seeded node join/leave churn process alongside the "
+        "live workload (shares --chaos-duration)",
     )
     service.add_argument(
         "--data-dir",

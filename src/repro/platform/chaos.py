@@ -31,9 +31,9 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["CHAOS_KINDS", "ChaosEvent", "ChaosSchedule"]
+__all__ = ["CHAOS_KINDS", "LINK_CHAOS_KINDS", "ChaosEvent", "ChaosSchedule"]
 
 #: Every event kind a schedule may contain. ``*-hagent`` events target
 #: the coordinator role, ``*-iagent`` a directory shard, ``*-node`` a
@@ -51,11 +51,24 @@ CHAOS_KINDS = frozenset(
         "recover-node",
         "partition-node",
         "heal-node",
+        "link-degrade",
+        "link-restore",
+        "link-slow",
+        "link-unslow",
+        "link-reset",
+        "partition-asym",
+        "heal-asym",
     }
 )
 
 #: The opening kinds a generator may draw, with their closing partner
 #: (None = the event is a point fault with no pair).
+#:
+#: Link-fault kinds live in :data:`_LINK_PAIRED`, NOT here: the default
+#: generation palette is ``sorted(_PAIRED)``, so adding keys to this
+#: dict would silently change the event stream (and digest) of every
+#: pre-existing seed. Keeping the link kinds separate preserves old
+#: digests byte-for-byte.
 _PAIRED: Dict[str, Optional[str]] = {
     "crash-hagent": "restart-hagent",
     "partition-hagent": "heal-hagent",
@@ -65,6 +78,48 @@ _PAIRED: Dict[str, Optional[str]] = {
     "restart-iagent": None,  # the warm restart is itself the recovery
 }
 
+#: Wire-level fault kinds (netem). Opening kinds carry value-typed
+#: ``params`` drawn at generation time; closers that need state (the
+#: asymmetric heal must know the blocked direction) copy the opener's
+#: params. Opt in by passing these kinds explicitly -- they are never
+#: part of the default palette.
+_LINK_PAIRED: Dict[str, Optional[str]] = {
+    "link-degrade": "link-restore",
+    "link-slow": "link-unslow",
+    "link-reset": None,  # an aborted connection is re-dialed, not healed
+    "partition-asym": "heal-asym",
+}
+
+#: Public view of the opening link-fault kinds, for palette builders.
+LINK_CHAOS_KINDS: Tuple[str, ...] = tuple(sorted(_LINK_PAIRED))
+
+#: Every opening kind a generator accepts (legacy + link faults).
+_ALL_PAIRED: Dict[str, Optional[str]] = {**_PAIRED, **_LINK_PAIRED}
+
+
+def _draw_link_params(
+    kind: str, rng: random.Random
+) -> Optional[Tuple[Tuple[str, Any], ...]]:
+    """Value parameters for a link-fault opening event.
+
+    Only link kinds consume RNG draws here, so schedules generated from
+    legacy palettes see an unchanged draw sequence.
+    """
+    if kind == "link-degrade":
+        return (
+            ("delay_ms", round(rng.uniform(5.0, 40.0), 1)),
+            ("jitter_ms", round(rng.uniform(5.0, 50.0), 1)),
+            ("loss", round(rng.uniform(0.01, 0.08), 3)),
+        )
+    if kind == "link-slow":
+        return (
+            ("chunk", rng.choice((64, 128, 256))),
+            ("chunk_delay_ms", round(rng.uniform(2.0, 10.0), 1)),
+        )
+    if kind == "partition-asym":
+        return (("direction", rng.choice(("in", "out"))),)
+    return None
+
 
 @dataclass(frozen=True)
 class ChaosEvent:
@@ -73,22 +128,38 @@ class ChaosEvent:
     #: Seconds into the run (simulated or wall-clock, per runtime).
     at: float
     kind: str
-    #: A node name for ``*-node`` kinds, else the role (``"hagent"``,
-    #: ``"iagent"``) resolved by the applying runtime.
+    #: A node name for ``*-node`` and ``link-*``/``*-asym`` kinds, else
+    #: the role (``"hagent"``, ``"iagent"``) resolved by the applying
+    #: runtime.
     target: str
+    #: Value parameters for link-fault kinds, stored as a sorted tuple
+    #: of pairs so the event stays hashable. ``None`` (the legacy shape)
+    #: is omitted from :meth:`to_dict`, keeping old digests unchanged.
+    params: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CHAOS_KINDS:
             raise ValueError(f"unknown chaos kind {self.kind!r}")
         if self.at < 0:
             raise ValueError(f"chaos event before the run starts: {self.at}")
+        if self.params is not None:
+            object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The value parameters as a plain dict (empty for legacy events)."""
+        return dict(self.params or ())
 
     def to_dict(self) -> Dict:
-        return {"at": self.at, "kind": self.kind, "target": self.target}
+        data: Dict[str, Any] = {"at": self.at, "kind": self.kind, "target": self.target}
+        if self.params is not None:
+            data["params"] = dict(self.params)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ChaosEvent":
-        return cls(at=data["at"], kind=data["kind"], target=data["target"])
+        raw = data.get("params")
+        params = tuple(sorted(raw.items())) if raw is not None else None
+        return cls(at=data["at"], kind=data["kind"], target=data["target"], params=params)
 
 
 @dataclass(frozen=True)
@@ -129,12 +200,16 @@ class ChaosSchedule:
             raise ValueError("duration must be positive")
         palette = sorted(kinds if kinds is not None else _PAIRED)
         for kind in palette:
-            if kind not in _PAIRED:
+            if kind not in _ALL_PAIRED:
                 raise ValueError(
-                    f"{kind!r} is not an opening chaos kind (one of {sorted(_PAIRED)})"
+                    f"{kind!r} is not an opening chaos kind "
+                    f"(one of {sorted(_ALL_PAIRED)})"
                 )
         node_palette = sorted(nodes)
-        if not node_palette and any(kind.endswith("-node") for kind in palette):
+        needs_nodes = any(
+            kind.endswith("-node") or kind in _LINK_PAIRED for kind in palette
+        )
+        if not node_palette and needs_nodes:
             raise ValueError("node-targeting kinds need a non-empty node list")
         # A string seed keeps the stream independent from any other
         # Random(seed) user while staying deterministic across runs.
@@ -145,21 +220,29 @@ class ChaosSchedule:
         events: List[ChaosEvent] = []
         for _ in range(count):
             kind = rng.choice(palette)
-            if kind.endswith("-node"):
+            if kind.endswith("-node") or kind in _LINK_PAIRED:
                 target = rng.choice(node_palette)
             elif kind.endswith("-hagent"):
                 target = "hagent"
             else:
                 target = "iagent"
-            closing = _PAIRED[kind]
+            params = _draw_link_params(kind, rng)
+            closing = _ALL_PAIRED[kind]
             if closing is None:
                 at = rng.uniform(0.0, horizon)
-                events.append(ChaosEvent(at=at, kind=kind, target=target))
+                events.append(ChaosEvent(at=at, kind=kind, target=target, params=params))
                 continue
             outage = rng.uniform(min_outage, max_outage)
             at = rng.uniform(0.0, max(0.0, horizon - outage))
-            events.append(ChaosEvent(at=at, kind=kind, target=target))
-            events.append(ChaosEvent(at=at + outage, kind=closing, target=target))
+            events.append(ChaosEvent(at=at, kind=kind, target=target, params=params))
+            # The asymmetric heal must unblock the same direction the
+            # opener blocked, so stateful closers copy the params.
+            closing_params = params if closing == "heal-asym" else None
+            events.append(
+                ChaosEvent(
+                    at=at + outage, kind=closing, target=target, params=closing_params
+                )
+            )
         events.sort(key=lambda event: (event.at, event.kind, event.target))
         return cls(seed=seed, duration=duration, events=tuple(events))
 
@@ -193,5 +276,9 @@ class ChaosSchedule:
     def describe(self) -> str:
         lines = [f"chaos schedule seed={self.seed} duration={self.duration:g}s"]
         for event in self.events:
-            lines.append(f"  t={event.at:7.3f}s  {event.kind:<16} {event.target}")
+            line = f"  t={event.at:7.3f}s  {event.kind:<16} {event.target}"
+            if event.params:
+                args = " ".join(f"{key}={value}" for key, value in event.params)
+                line = f"{line}  [{args}]"
+            lines.append(line)
         return "\n".join(lines)

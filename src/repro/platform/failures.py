@@ -28,6 +28,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.platform.chaos import ChaosSchedule
 from repro.platform.events import Timeout
+from repro.platform.network import LinkOverlay
 
 __all__ = ["FailureInjector"]
 
@@ -40,10 +41,18 @@ class FailureInjector:
         #: Structured fault events, in application order.
         self.log: List[Dict] = []
 
-    def _record(self, kind: str, target: str, node: Optional[str] = None) -> Dict:
+    def _record(
+        self,
+        kind: str,
+        target: str,
+        node: Optional[str] = None,
+        params: Optional[Dict] = None,
+    ) -> Dict:
         event: Dict = {"t": self.runtime.sim.now, "kind": kind, "target": target}
         if node is not None or kind.endswith("-agent"):
             event["node"] = node
+        if params:
+            event["params"] = dict(params)
         self.log.append(event)
         return event
 
@@ -124,6 +133,46 @@ class FailureInjector:
         return True
 
     # ------------------------------------------------------------------
+    # Link-level faults (idempotent, layered)
+    # ------------------------------------------------------------------
+
+    def link_degrade(
+        self,
+        node_name: str,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        layer: str = "degrade",
+    ) -> bool:
+        """Degrade every wire touching ``node_name`` (extra delay/jitter
+        in seconds, an extra independent loss probability).
+
+        Layers compose: a ``degrade`` and a ``slow`` overlay on the same
+        node stack, and each clears independently. A partition on the
+        same node dominates while it lasts -- healing it resumes the
+        degraded (not clean) wire. Re-installing an identical overlay is
+        a logged-nothing no-op.
+        """
+        self.runtime.get_node(node_name)
+        overlay = LinkOverlay(delay=delay, jitter=jitter, loss=loss)
+        if not self.runtime.network.set_overlay(node_name, layer, overlay):
+            return False
+        self._record(
+            "link-degrade",
+            node_name,
+            params={"layer": layer, "delay": delay, "jitter": jitter, "loss": loss},
+        )
+        return True
+
+    def link_restore(self, node_name: str, layer: str = "degrade") -> bool:
+        """Clear one overlay layer (no-op if it is not installed)."""
+        self.runtime.get_node(node_name)
+        if not self.runtime.network.clear_overlay(node_name, layer):
+            return False
+        self._record("link-restore", node_name, params={"layer": layer})
+        return True
+
+    # ------------------------------------------------------------------
     # Scheduled faults
     # ------------------------------------------------------------------
 
@@ -179,11 +228,14 @@ class FailureInjector:
                 delay = event.at - self.runtime.sim.now
                 if delay > 0:
                     yield Timeout(delay)
-                self._apply_event(event.kind, event.target)
+                self._apply_event(event.kind, event.target, event.params_dict())
 
         self.runtime.sim.spawn(script(), name="chaos-schedule")
 
-    def _apply_event(self, kind: str, target: str) -> None:
+    def _apply_event(
+        self, kind: str, target: str, params: Optional[Dict] = None
+    ) -> None:
+        params = params or {}
         if kind == "crash-node":
             self.crash_node(target)
         elif kind == "recover-node":
@@ -208,6 +260,39 @@ class FailureInjector:
             victim = self._pick_iagent(stopped=True)
             if victim is not None:
                 self.recover_agent(victim)
+        # Link-fault kinds map onto the simulator's coarser network
+        # model (the live netem path applies them exactly; here they
+        # are documented approximations so one schedule drives both).
+        elif kind == "link-degrade":
+            self.link_degrade(
+                target,
+                delay=params.get("delay_ms", 0.0) / 1000.0,
+                jitter=params.get("jitter_ms", 0.0) / 1000.0,
+                loss=params.get("loss", 0.0),
+            )
+        elif kind == "link-restore":
+            self.link_restore(target)
+        elif kind == "link-slow":
+            # The simulator has no partial writes; a slow-loris sender
+            # approximates as per-message delay (one chunk pause each).
+            self.link_degrade(
+                target,
+                delay=params.get("chunk_delay_ms", 5.0) / 1000.0,
+                layer="slow",
+            )
+        elif kind == "link-unslow":
+            self.link_restore(target, layer="slow")
+        elif kind in ("partition-asym", "heal-asym"):
+            # The sim network drops whole nodes, not directions: an
+            # asymmetric partition coarsens to a symmetric one here.
+            if kind == "partition-asym":
+                self.partition_node(target)
+            else:
+                self.heal_node(target)
+        elif kind == "link-reset":
+            # No live connections to abort in the simulator; log the
+            # event so replayed schedules stay audit-complete.
+            self._record("link-reset", target)
         else:  # pragma: no cover - ChaosEvent validates kinds
             raise ValueError(f"unknown chaos kind {kind!r}")
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
-__all__ = ["LinkModel", "Network"]
+__all__ = ["LinkModel", "LinkOverlay", "Network"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,24 @@ class LinkModel:
         return self.loss > 0 and rng.random() < self.loss
 
 
+@dataclass(frozen=True)
+class LinkOverlay:
+    """Extra impairment layered onto every wire touching one node.
+
+    Overlays model *transient* hostile-network conditions (the chaos
+    schedule's ``link-degrade`` family) without touching the static
+    per-pair :class:`LinkModel` topology: each transmission to or from
+    an overlaid node pays ``delay + uniform(0, jitter)`` extra seconds
+    and survives an extra independent ``loss`` draw. Layers compose --
+    a node can carry a ``degrade`` and a ``slow`` overlay at once, and
+    each is cleared independently.
+    """
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    loss: float = 0.0
+
+
 #: Default local (same-node) delivery delay in seconds.
 LOCAL_DELAY = 0.00005
 
@@ -84,6 +102,9 @@ class Network:
         self._link_cache: Dict[Tuple[str, str], LinkModel] = {}
         self._receivers: Dict[str, Callable] = {}
         self._partitioned: Set[str] = set()
+        #: node -> {layer name -> overlay}; empty = clean network, and
+        #: the send path never touches the RNG for it (determinism).
+        self._overlays: Dict[str, Dict[str, LinkOverlay]] = {}
         #: Counters for the overhead benchmarks.
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -127,6 +148,37 @@ class Network:
         return name in self._partitioned
 
     # ------------------------------------------------------------------
+    # Link overlays (transient degradation, fault injection)
+    # ------------------------------------------------------------------
+
+    def set_overlay(self, name: str, layer: str, overlay: LinkOverlay) -> bool:
+        """Layer ``overlay`` onto every wire touching ``name``.
+
+        Returns False (state unchanged) when the identical overlay is
+        already installed on that layer -- the injector's idempotence
+        contract. Composes freely with partitions: a partitioned *and*
+        degraded node stays dark until healed, then resumes degraded.
+        """
+        layers = self._overlays.setdefault(name, {})
+        if layers.get(layer) == overlay:
+            return False
+        layers[layer] = overlay
+        return True
+
+    def clear_overlay(self, name: str, layer: str) -> bool:
+        """Remove one overlay layer (False if it was not installed)."""
+        layers = self._overlays.get(name)
+        if layers is None or layer not in layers:
+            return False
+        del layers[layer]
+        if not layers:
+            del self._overlays[name]
+        return True
+
+    def overlays_of(self, name: str) -> Dict[str, LinkOverlay]:
+        return dict(self._overlays.get(name, {}))
+
+    # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
 
@@ -160,6 +212,16 @@ class Network:
                 if link.sample_lost(self._rng):
                     return
                 delay = link.sample_delay(size, self._rng)
+            if self._overlays:
+                # Overlay draws happen only while an overlay is live, so
+                # clean stretches of a run keep legacy draw sequences.
+                for endpoint in (src, dst):
+                    for overlay in self._overlays.get(endpoint, {}).values():
+                        if overlay.loss > 0 and self._rng.random() < overlay.loss:
+                            return
+                        delay += overlay.delay
+                        if overlay.jitter > 0:
+                            delay += self._rng.uniform(0.0, overlay.jitter)
         self._sim.schedule(delay, self._deliver, dst, payload)
 
     def transfer_delay(self, src: str, dst: str, size: int) -> float:

@@ -30,10 +30,28 @@ import asyncio
 import time
 from typing import Dict, List, Optional
 
-from repro.platform.chaos import ChaosSchedule
+from repro.platform.chaos import LINK_CHAOS_KINDS, ChaosSchedule
 from repro.service.client import RemoteOpError, ServiceRpcError
 
-__all__ = ["LIVE_CHAOS_KINDS", "LiveChaosDriver", "live_chaos_palette"]
+__all__ = [
+    "LIVE_CHAOS_KINDS",
+    "LiveChaosDriver",
+    "live_chaos_palette",
+    "netem_chaos_palette",
+]
+
+#: Every link-fault kind (opening or closing) the netem path handles.
+_NETEM_KINDS = frozenset(
+    {
+        "link-degrade",
+        "link-restore",
+        "link-slow",
+        "link-unslow",
+        "link-reset",
+        "partition-asym",
+        "heal-asym",
+    }
+)
 
 #: Opening kinds the live driver can express. ``crash-node`` is
 #: simulator-only (a live NodeServer cannot lose and regain its
@@ -58,6 +76,16 @@ def live_chaos_palette(durable: bool) -> List[str]:
     if not durable:
         kinds.remove("restart-iagent")
     return kinds
+
+
+def netem_chaos_palette() -> List[str]:
+    """The opening-kind palette of a hostile-network (``--netem``) run.
+
+    Pure wire-level faults: latency/jitter/loss degradation, slow-loris
+    writes, connection resets and asymmetric partitions, applied through
+    the cluster's :class:`repro.service.netem.NetemController`.
+    """
+    return list(LINK_CHAOS_KINDS)
 
 
 class LiveChaosDriver:
@@ -104,7 +132,9 @@ class LiveChaosDriver:
                 await asyncio.sleep(delay)
             outcome = "ok"
             try:
-                outcome = await self._apply(event.kind, event.target)
+                outcome = await self._apply(
+                    event.kind, event.target, event.params_dict()
+                )
             except (ServiceRpcError, RemoteOpError, asyncio.TimeoutError) as err:
                 outcome = f"error: {err}"
             self.applied.append(
@@ -116,8 +146,13 @@ class LiveChaosDriver:
                 }
             )
 
-    async def _apply(self, kind: str, target: str) -> str:
+    async def _apply(self, kind: str, target: str, params: Dict) -> str:
         cluster = self.cluster
+        if kind in _NETEM_KINDS:
+            netem = getattr(cluster, "netem", None)
+            if netem is None:
+                return "skipped: no netem controller"
+            return netem.apply_event(kind, target, params)
         if kind == "crash-hagent":
             # Never amputate the shard's last live replica: the
             # schedule's paired restart has not run yet, so require a

@@ -37,8 +37,23 @@ Two layers:
   come from one view of the hash tree (see
   :mod:`repro.discovery`).
 
+Between the two sits the hostile-network resilience stack (see
+``docs/PROTOCOLS.md`` §14): every RPC passes the endpoint's circuit
+breaker (:class:`CircuitBreaker` -- fail fast on a link that stopped
+answering, probe it back to life after a cooldown), runs under an
+adaptive Jacobson/Karels timeout (:class:`RttEstimator`) clamped to
+the remaining per-operation deadline, and -- for idempotent reads --
+may race a hedged duplicate on a dedicated pooled connection once the
+primary looks tail-slow, under a strict duplicate budget. When a
+locate's resolved path sits behind an open breaker and
+``ClientConfig.degraded_reads`` is on, the client serves its
+last-known answer flagged ``degraded=True`` (:class:`LocateAnswer`)
+instead of burning the retry budget against a known-dead link.
+
 Counters mirror the simulator's mechanism counters so the live smoke
-run reports the same vocabulary (retries, refreshes, bounces).
+run reports the same vocabulary (retries, refreshes, bounces), plus
+the resilience set: hedges and hedge wins, breaker opens / fast-fails
+/ probes, degraded answers.
 """
 
 from __future__ import annotations
@@ -53,6 +68,7 @@ from repro.metrics.trace import Tracer
 from repro.platform.messages import Request, Response
 from repro.platform.naming import AgentId
 from repro.service import wire
+from repro.service.netem import NetemController
 from repro.service.routing import WRONG_SHARD
 
 __all__ = [
@@ -60,10 +76,14 @@ __all__ = [
     "NOT_PRIMARY",
     "STALE_EPOCH",
     "WRONG_SHARD",
+    "BreakerOpenError",
+    "CircuitBreaker",
     "ClientConfig",
     "ClientCounters",
+    "LocateAnswer",
     "RemoteOpError",
     "RpcChannel",
+    "RttEstimator",
     "ServiceClient",
     "ServiceError",
     "ServiceLocateError",
@@ -127,6 +147,16 @@ class ServiceTimeout(ServiceRpcError):
     """The reply did not arrive within the per-RPC timeout."""
 
 
+class BreakerOpenError(ServiceRpcError):
+    """The endpoint's circuit breaker is open: failed fast, no RPC sent.
+
+    A :class:`ServiceRpcError` subclass so every retry loop treats it
+    like any other transport failure -- back off, refresh, re-resolve --
+    without a fresh socket timeout being burned on a link already known
+    to be dead.
+    """
+
+
 class RemoteOpError(ServiceError):
     """The server replied with an error envelope.
 
@@ -141,6 +171,149 @@ class RemoteOpError(ServiceError):
 
 class ServiceLocateError(ServiceError):
     """A locate exhausted its retry budget without an answer."""
+
+
+@dataclass(frozen=True)
+class LocateAnswer:
+    """A locate result with its freshness contract.
+
+    ``degraded=True`` means the answer came from the client's last-known
+    cache because the resolved path's circuit breaker was open: it is
+    *possibly stale* (the agent may have moved since) and the caller
+    accepted that by enabling ``ClientConfig.degraded_reads``.
+    """
+
+    node: str
+    degraded: bool = False
+
+
+def _consume_task_error(task: "asyncio.Task") -> None:
+    """Swallow an abandoned task's outcome (cancelled hedge losers)."""
+    if not task.cancelled():
+        task.exception()
+
+
+class RttEstimator:
+    """Jacobson/Karels adaptive RPC timeout (the RFC 6298 shape).
+
+    ``srtt`` is an EWMA of observed RTTs, ``rttvar`` an EWMA of their
+    deviation; the retransmission-style timeout is
+    ``srtt + 4 * rttvar`` clamped to ``[floor, cap]``. Pure and
+    deterministic: the state after ``observe(s1..sn)`` is a function of
+    the samples alone, which the hypothesis tests pin.
+    """
+
+    def __init__(
+        self,
+        floor: float = 0.25,
+        cap: float = 2.0,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+    ) -> None:
+        self.floor = floor
+        self.cap = cap
+        self.alpha = alpha
+        self.beta = beta
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.samples = 0
+
+    def observe(self, sample: float) -> None:
+        """Feed one measured round-trip time (seconds)."""
+        sample = max(0.0, sample)
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar += self.beta * (abs(self.srtt - sample) - self.rttvar)
+            self.srtt += self.alpha * (sample - self.srtt)
+        self.samples += 1
+
+    def timeout(self) -> float:
+        """The adaptive per-RPC timeout; ``cap`` until the first sample."""
+        if self.srtt is None:
+            return self.cap
+        return min(self.cap, max(self.floor, self.srtt + 4.0 * self.rttvar))
+
+    def hedge_delay(self) -> float:
+        """How long to wait before hedging an idempotent read.
+
+        ``srtt + 2 * rttvar`` sits near the ~p95 of a well-behaved RTT
+        distribution (the timeout's ``4 * rttvar`` sits past the max of
+        a bounded-jitter one and would almost never hedge), so a hedge
+        fires only for replies already in the distribution's tail --
+        the duplicate-load cost stays a few percent.
+        """
+        if self.srtt is None:
+            return self.cap
+        return min(self.cap, self.srtt + 2.0 * self.rttvar)
+
+
+class CircuitBreaker:
+    """Per-endpoint closed / open / half-open breaker.
+
+    ``threshold`` consecutive transport failures open the breaker;
+    while open every call fails fast (no socket burned). After
+    ``cooldown`` seconds one *probe* call is admitted (half-open); its
+    success closes the breaker, its failure re-opens it for another
+    cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self._probing = False
+        self._probe_at = 0.0
+
+    def admit(self, now: float) -> Tuple[bool, bool]:
+        """``(allowed, is_probe)`` for a call starting at ``now``."""
+        if self.state == self.CLOSED:
+            return True, False
+        if self.state == self.OPEN:
+            if now - self.opened_at < self.cooldown:
+                return False, False
+            self.state = self.HALF_OPEN
+            self._probing = True
+            self._probe_at = now
+            return True, True
+        # Half-open: one probe at a time, but a probe whose caller was
+        # cancelled must not wedge the breaker -- re-admit after a
+        # cooldown's worth of silence.
+        if self._probing and now - self._probe_at < self.cooldown:
+            return False, False
+        self._probing = True
+        self._probe_at = now
+        return True, True
+
+    def is_open(self, now: float) -> bool:
+        """True while calls would fail fast (no probe due yet)."""
+        return self.state == self.OPEN and now - self.opened_at < self.cooldown
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self._probing = False
+
+    def record_failure(self, now: float) -> bool:
+        """Count one transport failure; True when this *opens* the breaker."""
+        self._probing = False
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = now
+            return True
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+            return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -190,6 +363,49 @@ class ClientConfig:
     #: Items per batched RPC chunk (``register-batch``/``locate-batch``).
     batch_size: int = 64
 
+    #: Adaptive per-endpoint RPC timeouts: Jacobson-style
+    #: ``srtt + 4 * rttvar`` clamped to ``[timeout_floor, rpc_timeout]``
+    #: replaces the fixed ``rpc_timeout`` once an endpoint has RTT
+    #: samples. Lost frames on a hostile link are then detected in a
+    #: few observed RTTs instead of a full fixed timeout.
+    adaptive_timeout: bool = True
+
+    #: Lower clamp of the adaptive timeout, seconds.
+    timeout_floor: float = 0.25
+
+    #: Hedge idempotent reads (locate, discovery fan-out): when the
+    #: primary reply is slower than the endpoint's p95-derived hedge
+    #: delay, a duplicate request races it and the first reply wins.
+    hedge: bool = True
+
+    #: Hedge delay floor, seconds -- on a clean LAN the hedge delay is
+    #: clamped up to this so near-instant replies never spawn duplicates.
+    hedge_delay_floor: float = 0.05
+
+    #: Hedge budget: at most this fraction of hedge-eligible calls may
+    #: spawn a duplicate. Caps the tail-at-scale failure mode where
+    #: load-induced queueing pushes every RTT past the hedge delay and
+    #: the duplicates themselves become the overload. The default
+    #: leaves headroom for ~10% per-RPC failure (5% frame loss, two
+    #: frames per round trip) with jitter tails on top.
+    hedge_budget: float = 0.2
+
+    #: Consecutive transport failures that open an endpoint's breaker.
+    breaker_threshold: int = 5
+
+    #: Seconds an open breaker fails fast before admitting a probe.
+    breaker_cooldown: float = 1.0
+
+    #: Serve the last-known locate answer (flagged ``degraded=True``)
+    #: when the resolved path's breaker is open, instead of burning the
+    #: retry budget against a link already known dead. See
+    #: :class:`LocateAnswer` for the staleness contract.
+    degraded_reads: bool = True
+
+    #: Wire-level fault injection: when set, every connection this
+    #: client dials is shimmed through the controller.
+    netem: Optional[NetemController] = None
+
 
 @dataclass
 class ClientCounters:
@@ -228,6 +444,22 @@ class ClientCounters:
     #: invalidates the whole set (the merged result must come from a
     #: single tree view).
     discovery_retries: int = 0
+    #: Backoff sleeps actually taken (round 0 is free, so this counts
+    #: rounds that paid a delay).
+    backoff_sleeps: int = 0
+    #: Hedged duplicate reads fired (primary slower than hedge delay).
+    hedges: int = 0
+    #: Hedges whose duplicate answered before the primary.
+    hedge_wins: int = 0
+    #: Circuit-breaker transitions to open (closed or half-open origin).
+    breaker_opens: int = 0
+    #: Calls failed fast because an endpoint's breaker was open.
+    breaker_fastfails: int = 0
+    #: Half-open probe calls admitted through an open breaker.
+    breaker_probes: int = 0
+    #: Locate answers served from the degraded-mode cache (possibly
+    #: stale, flagged ``degraded=True``) while a breaker was open.
+    degraded_answers: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -338,6 +570,7 @@ class RpcChannel:
         pipeline_depth: int = 32,
         pool_size: int = 2,
         pool_idle_s: float = 30.0,
+        netem: Optional[NetemController] = None,
     ) -> None:
         self.rpc_timeout = rpc_timeout
         self.max_frame = max_frame
@@ -346,6 +579,7 @@ class RpcChannel:
         self.pipeline_depth = max(1, pipeline_depth)
         self.pool_size = max(1, pool_size)
         self.pool_idle_s = pool_idle_s
+        self.netem = netem
         #: Codec negotiated with each address, for observability/tests.
         self.negotiated: Dict[Address, str] = {}
         self._pools: Dict[Address, List[_Connection]] = {}
@@ -359,14 +593,24 @@ class RpcChannel:
         op: str,
         body: Any = None,
         timeout: Optional[float] = None,
+        lane: Optional[int] = None,
     ) -> Any:
-        """One RPC: returns the reply value or raises a service error."""
+        """One RPC: returns the reply value or raises a service error.
+
+        ``lane`` pins the call to the pool's n-th connection (opening it
+        if needed). Lanes at or beyond ``pool_size`` are dedicated:
+        :meth:`_pick` never routes regular traffic onto them. A hedged
+        duplicate on such a lane dodges the primary connection's
+        head-of-line queue, without which FIFO framing would deliver the
+        duplicate strictly after the original and the hedge could never
+        win.
+        """
         timeout = self.rpc_timeout if timeout is None else timeout
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
         self._reap_idle(loop.time())
         try:
-            conn = await asyncio.wait_for(self._acquire(addr, op), timeout)
+            conn = await asyncio.wait_for(self._acquire(addr, op, lane), timeout)
         except asyncio.TimeoutError:
             message = f"{op} to {format_addr(addr)} timed out connecting"
             self._trace(op, addr, f"timeout: {message}")
@@ -429,15 +673,35 @@ class RpcChannel:
         return pool
 
     def _pick(self, pool: List[_Connection]) -> Optional[_Connection]:
-        """The least-loaded live connection usable without a new socket."""
-        if not pool:
+        """The least-loaded live connection usable without a new socket.
+
+        Only the first ``pool_size`` connections are candidates: lanes
+        beyond that (the hedge lane) are dedicated and must not absorb
+        regular traffic, or their queues would stop being empty.
+        """
+        candidates = pool[: self.pool_size]
+        if not candidates:
             return None
-        conn = min(pool, key=lambda c: c.in_flight)
-        if conn.in_flight < self.pipeline_depth or len(pool) >= self.pool_size:
+        conn = min(candidates, key=lambda c: c.in_flight)
+        if conn.in_flight < self.pipeline_depth or len(candidates) >= self.pool_size:
             return conn
         return None
 
-    async def _acquire(self, addr: Address, op: str) -> _Connection:
+    async def _acquire(
+        self, addr: Address, op: str, lane: Optional[int] = None
+    ) -> _Connection:
+        if lane is not None:
+            pool = self._live_pool(addr)
+            if lane < len(pool):
+                return pool[lane]
+            lock = self._open_locks.setdefault(addr, asyncio.Lock())
+            async with lock:
+                pool = self._live_pool(addr)
+                if lane < len(pool):
+                    return pool[lane]
+                conn = await self._open(addr, op)
+                pool.append(conn)
+                return conn
         conn = self._pick(self._live_pool(addr))
         if conn is not None:
             return conn
@@ -453,7 +717,10 @@ class RpcChannel:
 
     async def _open(self, addr: Address, op: str) -> _Connection:
         try:
-            reader, writer = await asyncio.open_connection(addr[0], addr[1])
+            if self.netem is not None:
+                reader, writer = await self.netem.open_connection(addr[0], addr[1])
+            else:
+                reader, writer = await asyncio.open_connection(addr[0], addr[1])
         except (ConnectionError, OSError) as error:
             refused = isinstance(error, ConnectionRefusedError)
             raise ServiceRpcError(
@@ -542,9 +809,171 @@ class ServiceClient:
             pipeline_depth=self.config.pipeline_depth,
             pool_size=self.config.pool_size,
             pool_idle_s=self.config.pool_idle_s,
+            netem=self.config.netem,
         )
         self.rng = rng or self.config.rng or random.Random()
         self.counters = ClientCounters()
+        #: Per-endpoint adaptive RTT state driving timeouts and hedges.
+        self._rtts: Dict[Address, RttEstimator] = {}
+        #: Hedge-eligible calls seen; the denominator of the hedge budget.
+        self._hedge_eligible = 0
+        #: Per-endpoint circuit breakers (transport failures only).
+        self._breakers: Dict[Address, CircuitBreaker] = {}
+        #: Last-known locate answers, the degraded-mode read source.
+        self._last_known: Dict[AgentId, str] = {}
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing: adaptive timeouts, breakers, hedged reads
+    # ------------------------------------------------------------------
+
+    def _rtt_for(self, addr: Address) -> RttEstimator:
+        estimator = self._rtts.get(addr)
+        if estimator is None:
+            estimator = self._rtts[addr] = RttEstimator(
+                floor=self.config.timeout_floor, cap=self.config.rpc_timeout
+            )
+        return estimator
+
+    def _breaker_for(self, addr: Address) -> CircuitBreaker:
+        breaker = self._breakers.get(addr)
+        if breaker is None:
+            breaker = self._breakers[addr] = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+            )
+        return breaker
+
+    def _rpc_budget(
+        self, addr: Address, deadline: Optional[float], now: float, op: str
+    ) -> float:
+        """The per-RPC timeout: adaptive estimate clamped to the
+        remaining op deadline; raises when the deadline is exhausted."""
+        timeout = self.config.rpc_timeout
+        if self.config.adaptive_timeout:
+            timeout = min(timeout, self._rtt_for(addr).timeout())
+        if deadline is not None:
+            remaining = deadline - now
+            if remaining <= 0:
+                raise ServiceTimeout(
+                    f"{op} to {format_addr(addr)}: op deadline exhausted",
+                    op=op,
+                    addr=addr,
+                )
+            timeout = min(timeout, remaining)
+        return timeout
+
+    async def _call(
+        self,
+        addr: Address,
+        to: Any,
+        op: str,
+        body: Any = None,
+        deadline: Optional[float] = None,
+        hedge: bool = False,
+    ) -> Any:
+        """One RPC through the resilience stack.
+
+        Wraps :meth:`RpcChannel.call` with (in order): the endpoint's
+        circuit breaker (fail fast on a known-dead link), the adaptive
+        Jacobson timeout clamped to the remaining op deadline, and --
+        for idempotent reads -- a hedged duplicate after the endpoint's
+        p95-derived delay. Successful round trips (including remote
+        *op* errors, which prove the transport) feed the RTT estimator
+        and close the breaker.
+        """
+        addr = tuple(addr)  # type: ignore[assignment]
+        loop = asyncio.get_event_loop()
+        now = loop.time()
+        timeout = self._rpc_budget(addr, deadline, now, op)
+        breaker = self._breaker_for(addr)
+        allowed, probe = breaker.admit(now)
+        if not allowed:
+            self.counters.breaker_fastfails += 1
+            raise BreakerOpenError(
+                f"{op} to {format_addr(addr)}: circuit breaker open",
+                op=op,
+                addr=addr,
+            )
+        if probe:
+            self.counters.breaker_probes += 1
+        start = loop.time()
+        try:
+            if hedge and self.config.hedge:
+                value = await self._hedged_call(addr, to, op, body, timeout)
+            else:
+                value = await self.channel.call(addr, to, op, body, timeout=timeout)
+        except ServiceRpcError:
+            if breaker.record_failure(loop.time()):
+                self.counters.breaker_opens += 1
+            raise
+        except RemoteOpError:
+            # The peer answered: the transport is healthy even though
+            # the operation was rejected.
+            breaker.record_success()
+            self._rtt_for(addr).observe(loop.time() - start)
+            raise
+        breaker.record_success()
+        self._rtt_for(addr).observe(loop.time() - start)
+        return value
+
+    async def _hedged_call(
+        self, addr: Address, to: Any, op: str, body: Any, timeout: float
+    ) -> Any:
+        """Race a duplicate read once the primary looks tail-slow.
+
+        The duplicate is pinned to a different pooled connection
+        (``lane=1``): frames on one connection are delivered in order,
+        so a same-connection duplicate would queue behind the slow
+        primary and could never answer first. A budget caps duplicates
+        at ``hedge_budget`` of eligible calls so load-induced queueing
+        cannot amplify itself.
+        """
+        self._hedge_eligible += 1
+        delay = max(self.config.hedge_delay_floor, self._rtt_for(addr).hedge_delay())
+        if delay >= timeout:
+            return await self.channel.call(addr, to, op, body, timeout=timeout)
+        primary = asyncio.ensure_future(
+            self.channel.call(addr, to, op, body, timeout=timeout)
+        )
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if done:
+            return primary.result()
+        budget = self.config.hedge_budget * max(20.0, float(self._hedge_eligible))
+        if self.counters.hedges >= budget:
+            return await primary
+        self.counters.hedges += 1
+        secondary = asyncio.ensure_future(
+            self.channel.call(
+                addr, to, op, body, timeout=timeout, lane=self.channel.pool_size
+            )
+        )
+        pending = {primary, secondary}
+        first_error: Optional[BaseException] = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for future in done:
+                    try:
+                        value = future.result()
+                    except (ServiceRpcError, RemoteOpError) as error:
+                        if first_error is None:
+                            first_error = error
+                        continue
+                    if future is secondary:
+                        self.counters.hedge_wins += 1
+                    return value
+            assert first_error is not None
+            raise first_error
+        finally:
+            for future in (primary, secondary):
+                if not future.done():
+                    # A loser may lose the cancellation race and finish
+                    # with an exception nobody awaits; consume it so the
+                    # loop never logs "exception was never retrieved".
+                    future.cancel()
+                    future.add_done_callback(_consume_task_error)
 
     # ------------------------------------------------------------------
     # Protocol operations
@@ -574,6 +1003,12 @@ class ServiceClient:
 
     async def locate(self, agent_id: AgentId) -> str:
         """Resolve an agent to its current node name."""
+        return (await self.locate_full(agent_id)).node
+
+    async def locate_full(self, agent_id: AgentId) -> LocateAnswer:
+        """Like :meth:`locate`, but carrying the freshness contract:
+        ``degraded=True`` marks a possibly-stale cached answer served
+        because the resolved path's breaker was open."""
         self.counters.locates += 1
         return await self._locate_resolved(agent_id)
 
@@ -597,7 +1032,13 @@ class ServiceClient:
         if not items:
             return
         self.counters.registers += len(items)
-        groups, fallback = await self._group_by_iagent([a for a, _, _, _ in items])
+        # One op deadline bounds the whole batch -- including every
+        # single-op fallback -- so repeated transport faults cannot
+        # stretch a batch to N times the configured budget.
+        deadline = asyncio.get_event_loop().time() + self.config.op_deadline
+        groups, fallback = await self._group_by_iagent(
+            [a for a, _, _, _ in items], deadline
+        )
 
         async def send(key: Tuple[Address, Any], indices: List[int]) -> List[int]:
             addr, iagent = key
@@ -610,7 +1051,9 @@ class ServiceClient:
                 ops.append(op)
             return self._settle_batch(
                 indices,
-                await self._batch_rpc(addr, iagent, "register-batch", {"ops": ops}),
+                await self._batch_rpc(
+                    addr, iagent, "register-batch", {"ops": ops}, deadline
+                ),
                 lambda i, item: None,
             )
 
@@ -620,7 +1063,7 @@ class ServiceClient:
             fallback.extend(bad)
         for index in fallback:
             agent, node, seq, caps = items[index]
-            await self._update_op("register", agent, node, seq, caps)
+            await self._update_op("register", agent, node, seq, caps, deadline)
 
     async def locate_batch(
         self, agent_ids: Sequence[AgentId]
@@ -637,13 +1080,18 @@ class ServiceClient:
         if not agents:
             return {}
         self.counters.locates += len(agents)
-        groups, fallback = await self._group_by_iagent(agents)
+        deadline = asyncio.get_event_loop().time() + self.config.op_deadline
+        groups, fallback = await self._group_by_iagent(agents, deadline)
         results: Dict[AgentId, str] = {}
 
         async def send(key: Tuple[Address, Any], indices: List[int]) -> List[int]:
             addr, iagent = key
             reply = await self._batch_rpc(
-                addr, iagent, "locate-batch", {"agents": [agents[i] for i in indices]}
+                addr,
+                iagent,
+                "locate-batch",
+                {"agents": [agents[i] for i in indices]},
+                deadline,
             )
             return self._settle_batch(
                 indices,
@@ -656,7 +1104,8 @@ class ServiceClient:
         ):
             fallback.extend(bad)
         for index in fallback:
-            results[agents[index]] = await self._locate_resolved(agents[index])
+            answer = await self._locate_resolved(agents[index], deadline)
+            results[agents[index]] = answer.node
         return results
 
     # ------------------------------------------------------------------
@@ -715,12 +1164,15 @@ class ServiceClient:
         """
         queries = list(queries)
         self.counters.discover_similars += len(queries)
+        deadline = asyncio.get_event_loop().time() + self.config.op_deadline
         bodies = [{"agent": agent, "d": d} for agent, d in queries]
-        merged = await self._discover_batch_round("discover-similar", bodies)
+        merged = await self._discover_batch_round("discover-similar", bodies, deadline)
         return [
             m
             if m is not None
-            else await self._discover("discover-similar", bodies[i], *queries[i])
+            else await self._discover(
+                "discover-similar", bodies[i], *queries[i], deadline=deadline
+            )
             for i, m in enumerate(merged)
         ]
 
@@ -732,13 +1184,16 @@ class ServiceClient:
         """
         predicates = list(predicates)
         self.counters.discover_capabilities += len(predicates)
+        deadline = asyncio.get_event_loop().time() + self.config.op_deadline
         bodies = [{"predicate": predicate} for predicate in predicates]
-        merged = await self._discover_batch_round("discover-capability", bodies)
+        merged = await self._discover_batch_round(
+            "discover-capability", bodies, deadline
+        )
         return [
             m
             if m is not None
             else await self._discover(
-                "discover-capability", bodies[i], None, None
+                "discover-capability", bodies[i], None, None, deadline=deadline
             )
             for i, m in enumerate(merged)
         ]
@@ -751,7 +1206,7 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     async def _group_by_iagent(
-        self, agents: List[AgentId]
+        self, agents: List[AgentId], deadline: Optional[float] = None
     ) -> Tuple[Dict[Tuple[Address, Any], List[int]], List[int]]:
         """Map each agent index to its responsible IAgent via whois-batch.
 
@@ -760,12 +1215,12 @@ class ServiceClient:
         """
         self.counters.ops += len(agents)
         try:
-            reply = await self.channel.call(
+            reply = await self._call(
                 self.lhagent_addr,
                 "lhagent",
                 "whois-batch",
                 {"agents": agents},
-                timeout=self.config.rpc_timeout,
+                deadline=deadline,
             )
             mappings = reply["mappings"]
         except (ServiceRpcError, RemoteOpError, KeyError):
@@ -791,10 +1246,15 @@ class ServiceClient:
         return chunks
 
     async def _batch_rpc(
-        self, addr: Address, iagent: Any, op: str, body: Dict
+        self,
+        addr: Address,
+        iagent: Any,
+        op: str,
+        body: Dict,
+        deadline: Optional[float] = None,
     ) -> Optional[Dict]:
         try:
-            reply = await self.channel.call(addr, iagent, op, body)
+            reply = await self._call(addr, iagent, op, body, deadline=deadline)
         except (ServiceRpcError, RemoteOpError):
             return None
         self.counters.batch_rpcs += 1
@@ -831,6 +1291,7 @@ class ServiceClient:
         body: Dict,
         agent: Optional[AgentId],
         d: Optional[int],
+        deadline: Optional[float] = None,
     ) -> List[Dict]:
         """Resolve candidates, fan the query out, merge -- retrying the
         *whole* candidate set whenever any single candidate bounces.
@@ -846,29 +1307,30 @@ class ServiceClient:
         config = self.config
         self.counters.ops += 1
         loop = asyncio.get_event_loop()
-        deadline = loop.time() + config.op_deadline
+        if deadline is None:
+            deadline = loop.time() + config.op_deadline
         stale_versions: Optional[List[List[int]]] = None
         for attempt in range(config.max_retries):
             if attempt and loop.time() >= deadline:
                 break
-            await self._sleep(attempt)
+            await self._sleep(attempt, deadline)
             cand_body: Dict[str, Any] = {"agent": agent, "d": d}
             if stale_versions is not None:
                 cand_body["stale_versions"] = stale_versions
             try:
-                reply = await self.channel.call(
+                reply = await self._call(
                     self.lhagent_addr,
                     "lhagent",
                     "discover-candidates",
                     cand_body,
-                    timeout=config.rpc_timeout,
+                    deadline=deadline,
                 )
             except (ServiceRpcError, RemoteOpError):
                 self.counters.retries += 1
                 self.counters.transport_retries += 1
                 continue
             partials, stale = await self._discover_fan_out(
-                op, body, reply.get("candidates", [])
+                op, body, reply.get("candidates", []), deadline
             )
             if not stale:
                 return merge_matches(partials)
@@ -878,7 +1340,11 @@ class ServiceClient:
         raise ServiceLocateError(f"{op} exhausted its retry budget")
 
     async def _discover_fan_out(
-        self, op: str, body: Dict, candidates: List[Dict]
+        self,
+        op: str,
+        body: Dict,
+        candidates: List[Dict],
+        deadline: Optional[float] = None,
     ) -> Tuple[List[List[Dict]], bool]:
         """One query to every candidate IAgent, concurrently.
 
@@ -892,12 +1358,13 @@ class ServiceClient:
             item = dict(body)
             item["pattern"] = cand.get("pattern")
             try:
-                reply = await self.channel.call(
+                reply = await self._call(
                     tuple(cand["addr"]),
                     cand["iagent"],
                     op,
                     item,
-                    timeout=self.config.rpc_timeout,
+                    deadline=deadline,
+                    hedge=True,
                 )
             except RemoteOpError as error:
                 if error.code in (AGENT_NOT_FOUND, WRONG_SHARD):
@@ -921,7 +1388,7 @@ class ServiceClient:
         return partials, len(partials) < len(candidates)
 
     async def _discover_batch_round(
-        self, op: str, bodies: List[Dict]
+        self, op: str, bodies: List[Dict], deadline: Optional[float] = None
     ) -> List[Optional[List[Dict]]]:
         """One batched round: every query to every candidate IAgent.
 
@@ -934,12 +1401,12 @@ class ServiceClient:
             return []
         self.counters.ops += n
         try:
-            reply = await self.channel.call(
+            reply = await self._call(
                 self.lhagent_addr,
                 "lhagent",
                 "discover-candidates",
                 {},
-                timeout=self.config.rpc_timeout,
+                deadline=deadline,
             )
             candidates = reply["candidates"]
         except (ServiceRpcError, RemoteOpError, KeyError):
@@ -956,7 +1423,8 @@ class ServiceClient:
                 item["pattern"] = cand.get("pattern")
                 ops.append(item)
             reply = await self._batch_rpc(
-                tuple(cand["addr"]), cand["iagent"], op + "-batch", {"ops": ops}
+                tuple(cand["addr"]), cand["iagent"], op + "-batch", {"ops": ops},
+                deadline,
             )
             if reply is None:
                 return indices
@@ -986,16 +1454,27 @@ class ServiceClient:
     # The resolve / ask / refresh-and-retry loop (§2.3 + §4.3), live
     # ------------------------------------------------------------------
 
-    async def _locate_resolved(self, agent_id: AgentId) -> str:
+    async def _locate_resolved(
+        self, agent_id: AgentId, deadline: Optional[float] = None
+    ) -> LocateAnswer:
         reply = await self._iagent_request(
-            agent_id, "locate", {"agent": agent_id}, tolerate_no_record=True
+            agent_id,
+            "locate",
+            {"agent": agent_id},
+            tolerate_no_record=True,
+            deadline=deadline,
+            degraded_key=agent_id,
         )
         if reply.get("status") != "ok":
             self.counters.locate_failures += 1
             raise ServiceLocateError(
                 f"could not locate {agent_id}: {reply.get('status')}"
             )
-        return reply["node"]
+        node = reply["node"]
+        degraded = bool(reply.get("degraded"))
+        if not degraded:
+            self._last_known[agent_id] = node
+        return LocateAnswer(node=node, degraded=degraded)
 
     async def _update_op(
         self,
@@ -1004,13 +1483,15 @@ class ServiceClient:
         node: str,
         seq: int,
         capabilities: Optional[Dict] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         body = {"agent": agent_id, "node": node, "seq": seq}
         if capabilities is not None:
             body["capabilities"] = capabilities
-        reply = await self._iagent_request(agent_id, op, body)
+        reply = await self._iagent_request(agent_id, op, body, deadline=deadline)
         if reply.get("status") != "ok":
             raise ServiceError(f"{op} for {agent_id} failed: {reply.get('status')}")
+        self._last_known[agent_id] = node
 
     async def _iagent_request(
         self,
@@ -1018,29 +1499,51 @@ class ServiceClient:
         op: str,
         body: Dict,
         tolerate_no_record: bool = False,
+        deadline: Optional[float] = None,
+        degraded_key: Optional[AgentId] = None,
     ) -> Dict:
         config = self.config
         self.counters.ops += 1
         loop = asyncio.get_event_loop()
-        deadline = loop.time() + config.op_deadline
-        mapping = await self._whois(agent_id)
+        if deadline is None:
+            deadline = loop.time() + config.op_deadline
+        mapping = await self._whois_safe(agent_id, deadline)
         last_status = "unresolved"
         for attempt in range(config.max_retries):
             if attempt and loop.time() >= deadline:
                 break
             if mapping.get("addr") is None:
                 self.counters.retries += 1
-                await self._sleep(attempt)
-                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                await self._sleep(attempt, deadline)
+                mapping = await self._refresh(
+                    agent_id, mapping.get("version", -1), deadline
+                )
                 last_status = "unresolved"
                 continue
+            addr = tuple(mapping["addr"])
+            if (
+                degraded_key is not None
+                and config.degraded_reads
+                and degraded_key in self._last_known
+                and self._breaker_for(addr).is_open(loop.time())
+            ):
+                # The resolved path is known dead and a probe is not
+                # yet due: serve the last-known answer, explicitly
+                # flagged, instead of burning the budget on fast-fails.
+                self.counters.degraded_answers += 1
+                return {
+                    "status": "ok",
+                    "node": self._last_known[degraded_key],
+                    "degraded": True,
+                }
             try:
-                reply = await self.channel.call(
-                    tuple(mapping["addr"]),
+                reply = await self._call(
+                    addr,
                     mapping["iagent"],
                     op,
                     body,
-                    timeout=config.rpc_timeout,
+                    deadline=deadline,
+                    hedge=op == "locate",
                 )
             except (ServiceRpcError, RemoteOpError) as error:
                 if isinstance(error, RemoteOpError) and error.code not in (
@@ -1056,45 +1559,68 @@ class ServiceClient:
                     self.counters.wrong_shard_retries += 1
                 else:
                     self.counters.transport_retries += 1
-                await self._sleep(attempt)
-                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                await self._sleep(attempt, deadline)
+                mapping = await self._refresh(
+                    agent_id, mapping.get("version", -1), deadline
+                )
                 last_status = "unreachable"
                 continue
             status = reply.get("status")
             if status == "not-responsible":
                 self.counters.retries += 1
                 self.counters.not_responsible += 1
-                mapping = await self._refresh(agent_id, mapping.get("version", -1))
+                mapping = await self._refresh(
+                    agent_id, mapping.get("version", -1), deadline
+                )
                 last_status = status
                 continue
             if status == "no-record" and tolerate_no_record:
                 self.counters.retries += 1
                 self.counters.no_record_retries += 1
                 last_status = status
-                await self._sleep(attempt)
-                mapping = await self._whois(agent_id)
+                await self._sleep(attempt, deadline)
+                mapping = await self._whois_safe(agent_id, deadline)
                 continue
             return reply
         return {"status": last_status}
 
-    async def _whois(self, agent_id: AgentId) -> Dict:
-        return await self.channel.call(
+    async def _whois(
+        self, agent_id: AgentId, deadline: Optional[float] = None
+    ) -> Dict:
+        return await self._call(
             self.lhagent_addr,
             "lhagent",
             "whois",
             {"agent": agent_id},
-            timeout=self.config.rpc_timeout,
+            deadline=deadline,
+            hedge=True,
         )
 
-    async def _refresh(self, agent_id: AgentId, stale_version: int) -> Dict:
+    async def _whois_safe(self, agent_id: AgentId, deadline: float) -> Dict:
+        """``whois`` that degrades to an unresolved mapping on transport
+        failure, so the §4.3 retry loop owns recovery instead of the
+        caller seeing a raw transport error."""
+        try:
+            return await self._whois(agent_id, deadline)
+        except ServiceRpcError:
+            self.counters.transport_retries += 1
+            return {"iagent": None, "addr": None, "version": -1}
+
+    async def _refresh(
+        self, agent_id: AgentId, stale_version: int, deadline: Optional[float] = None
+    ) -> Dict:
         self.counters.refreshes += 1
         try:
-            return await self.channel.call(
+            # Hedging a refresh is safe: the LHAgent coalesces
+            # concurrent fetches for a shard into one flight, so the
+            # duplicate joins the primary's fetch instead of doubling it.
+            return await self._call(
                 self.lhagent_addr,
                 "lhagent",
                 "refresh",
                 {"agent": agent_id, "stale_version": stale_version},
-                timeout=self.config.rpc_timeout,
+                deadline=deadline,
+                hedge=True,
             )
         except ServiceRpcError:
             # The LHAgent itself is briefly unreachable (e.g. its fetch
@@ -1102,11 +1628,21 @@ class ServiceClient:
             # let the retry loop back off and try again.
             return {"iagent": None, "addr": None, "version": stale_version}
 
-    async def _sleep(self, attempt: int) -> None:
-        """Capped exponential backoff with jitter; round 0 is free."""
+    async def _sleep(self, attempt: int, deadline: Optional[float] = None) -> None:
+        """Capped exponential backoff with jitter; round 0 is free.
+
+        The sleep is clamped to the remaining op deadline so a backoff
+        can never be the thing that overshoots it.
+        """
         if attempt == 0:
             return
         config = self.config
         delay = min(config.backoff_cap, config.backoff_base * (2 ** (attempt - 1)))
         span = delay * config.backoff_jitter
-        await asyncio.sleep(delay - span + self.rng.random() * span)
+        delay = delay - span + self.rng.random() * span
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - asyncio.get_event_loop().time()))
+        if delay <= 0:
+            return
+        self.counters.backoff_sleeps += 1
+        await asyncio.sleep(delay)

@@ -28,13 +28,17 @@ import asyncio
 import random
 import time
 from contextlib import asynccontextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.metrics.trace import Tracer, wall_clock
 from repro.platform.chaos import ChaosSchedule
 from repro.platform.naming import AgentId, AgentNamer
-from repro.service.chaos import LiveChaosDriver, live_chaos_palette
+from repro.service.chaos import (
+    LiveChaosDriver,
+    live_chaos_palette,
+    netem_chaos_palette,
+)
 from repro.service.client import (
     ClientConfig,
     ClientCounters,
@@ -43,9 +47,11 @@ from repro.service.client import (
     ServiceLocateError,
     ServiceRpcError,
 )
+from repro.service.netem import NetemController
 from repro.service.replication import sharded_single_primary_violations
 from repro.service.routing import validate_shards
 from repro.service.server import HAgentServer, NodeServer, ServiceConfig
+from repro.workloads.scenarios import churn_schedule
 
 __all__ = ["ClusterConfig", "ClusterReport", "run_cluster", "serve_cluster"]
 
@@ -80,6 +86,16 @@ class ClusterConfig:
     chaos_seed: Optional[int] = None
     #: Wall-clock length of the chaos schedule, settle tail included.
     chaos_duration: float = 6.0
+    #: Seed of a hostile-network schedule (wire-level faults through a
+    #: :class:`~repro.service.netem.NetemController`: latency/jitter,
+    #: loss, slow-loris writes, resets, asymmetric partitions). None =
+    #: clean network. Shares ``chaos_duration``.
+    netem_seed: Optional[int] = None
+    #: Seed of a node join/leave churn process (seeded
+    #: ``partition-node``/``heal-node`` pairs from
+    #: :func:`repro.workloads.scenarios.churn_schedule`). None = stable
+    #: membership. Shares ``chaos_duration``.
+    churn_seed: Optional[int] = None
     service: ServiceConfig = field(default_factory=ServiceConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
     #: Workload mix (weights; the remainder registers new agents).
@@ -162,6 +178,21 @@ class ClusterReport:
     routing: Optional[Dict] = None
     #: Client ops re-resolved after a ``wrong-shard`` bounce.
     wrong_shard_retries: int = 0
+    #: Resilience behaviour under hostile networks (all zero on clean
+    #: runs): hedged duplicate reads fired / won, circuit-breaker opens
+    #: and fast-fails, and degraded-mode (possibly-stale, flagged)
+    #: locate answers served while a breaker was open.
+    hedges: int = 0
+    hedge_wins: int = 0
+    breaker_opens: int = 0
+    breaker_fastfails: int = 0
+    degraded_answers: int = 0
+    #: Hostile-network run summary (seed, schedule digest, the netem
+    #: controller's fault-log digest -- the replay artifact -- and
+    #: frame drop/delay counts), or None.
+    netem: Optional[Dict] = None
+    #: Churn run summary (seed, digest, applied events), or None.
+    churn: Optional[Dict] = None
 
     @property
     def passed(self) -> bool:
@@ -264,6 +295,27 @@ class ClusterReport:
                 f"{len(self.chaos['applied'])} events applied "
                 f"(digest {self.chaos['digest'][:12]}...)"
             )
+        if self.hedges or self.breaker_opens or self.degraded_answers:
+            lines.append(
+                f"  resilience  {self.hedges} hedges ({self.hedge_wins} won), "
+                f"{self.breaker_opens} breaker opens "
+                f"({self.breaker_fastfails} fast-fails), "
+                f"{self.degraded_answers} degraded answers"
+            )
+        if self.netem is not None:
+            lines.append(
+                f"  netem       seed {self.netem['seed']}, "
+                f"{len(self.netem['applied'])} link faults applied, "
+                f"{self.netem['frames_dropped']} frames dropped / "
+                f"{self.netem['frames_delayed']} delayed "
+                f"(fault log {self.netem['fault_log_digest'][:12]}...)"
+            )
+        if self.churn is not None:
+            lines.append(
+                f"  churn       seed {self.churn['seed']}, "
+                f"{len(self.churn['applied'])} leave/join events "
+                f"(digest {self.churn['digest'][:12]}...)"
+            )
         return "\n".join(lines)
 
 
@@ -271,6 +323,16 @@ class _Cluster:
     """The booted topology plus the driver's ground truth."""
 
     def __init__(self, config: ClusterConfig) -> None:
+        #: Wire-level fault injection, shared by every server and client
+        #: in the topology (installed through the frozen configs below).
+        self.netem: Optional[NetemController] = None
+        if config.netem_seed is not None:
+            self.netem = NetemController(config.netem_seed)
+            config = replace(
+                config,
+                service=replace(config.service, netem=self.netem),
+                client=replace(config.client, netem=self.netem),
+            )
         self.config = config
         self.tracer = (
             Tracer(clock=wall_clock())
@@ -364,6 +426,9 @@ class _Cluster:
             )
             await node.start()
             self.nodes.append(node)
+            if self.netem is not None:
+                assert node.addr is not None
+                self.netem.bind(node.name, node.addr)
         # Bootstrap each shard's single-IAgent hash function (paper
         # §2.2); shard 0's bootstrap body is the pre-sharding one.
         await self.nodes[0].channel.call(
@@ -395,6 +460,8 @@ class _Cluster:
             await node.stop()
         for hagent in self.hagents:
             await hagent.stop()
+        if self.netem is not None:
+            self.netem.shutdown()
         if self.tracer is not None:
             self.tracer.close_sink()
 
@@ -560,13 +627,22 @@ class _Cluster:
         await self._notify_host(old_home, "agent-depart", agent, seq)
 
     async def locate_agent(self, agent: AgentId, requester: int) -> bool:
-        """Locate from a random node; True iff the answer matches truth."""
+        """Locate from a random node; True iff the answer matches truth.
+
+        A *degraded* answer (served from the client's last-known cache
+        while a circuit breaker is open) is accepted without comparing
+        it to truth: the protocol explicitly flags it as possibly stale
+        (§4.3's staleness window writ large), and the final sweep runs
+        on a healed cluster where no answer may be degraded anyway.
+        """
         client = self.client_for(requester)
         try:
-            found = await client.locate(agent)
+            answer = await client.locate_full(agent)
         except ServiceLocateError:
             return False
-        return found == self.nodes[self.truth[agent][0]].name
+        if answer.degraded:
+            return True
+        return answer.node == self.nodes[self.truth[agent][0]].name
 
     async def _heaviest_iagent(self) -> Tuple[AgentId, Tuple[str, int], int]:
         """The reachable IAgent holding the most records, any shard."""
@@ -681,11 +757,34 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
     started = time.monotonic()
     chaos_driver: Optional[LiveChaosDriver] = None
     extra_chaos: List[LiveChaosDriver] = []
+    netem_driver: Optional[LiveChaosDriver] = None
+    churn_driver: Optional[LiveChaosDriver] = None
     try:
         await cluster.start()
         agents: List[AgentId] = []
         for _ in range(config.agents):
             agents.append(await cluster.spawn_agent())
+
+        if config.netem_seed is not None:
+            # A pure wire-fault schedule over the node links; replaying
+            # the same seed replays the same fault log bit for bit (the
+            # controller's log digest is the artifact CI diffs).
+            netem_schedule = ChaosSchedule.generate(
+                config.netem_seed,
+                config.chaos_duration,
+                nodes=[node.name for node in cluster.nodes],
+                kinds=netem_chaos_palette(),
+            )
+            netem_driver = LiveChaosDriver(cluster, netem_schedule)
+            netem_driver.start()
+        if config.churn_seed is not None:
+            churn = churn_schedule(
+                config.churn_seed,
+                config.chaos_duration,
+                nodes=[node.name for node in cluster.nodes],
+            )
+            churn_driver = LiveChaosDriver(cluster, churn)
+            churn_driver.start()
 
         if config.chaos_seed is not None:
             # Shard 0's schedule is generated from exactly the inputs a
@@ -798,6 +897,25 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
                     }
                     for driver in extra_chaos
                 ]
+        if netem_driver is not None:
+            await netem_driver.drain()
+            assert cluster.netem is not None
+            report.netem = {
+                "seed": netem_driver.schedule.seed,
+                "schedule_digest": netem_driver.schedule.digest(),
+                "applied": netem_driver.applied,
+                "fault_log_digest": cluster.netem.log_digest(),
+                "frames_dropped": cluster.netem.frames_dropped,
+                "frames_delayed": cluster.netem.frames_delayed,
+                "resets_injected": cluster.netem.resets_injected,
+            }
+        if churn_driver is not None:
+            await churn_driver.drain()
+            report.churn = {
+                "seed": churn_driver.schedule.seed,
+                "digest": churn_driver.schedule.digest(),
+                "applied": churn_driver.applied,
+            }
 
         # Final sweep: every agent in the population must still resolve
         # to its true node -- the crash must have healed completely.
@@ -864,6 +982,11 @@ async def run_cluster(config: Optional[ClusterConfig] = None) -> ClusterReport:
         report.no_record_retries = counters.no_record_retries
         report.transport_retries = counters.transport_retries
         report.wrong_shard_retries = counters.wrong_shard_retries
+        report.hedges = counters.hedges
+        report.hedge_wins = counters.hedge_wins
+        report.breaker_opens = counters.breaker_opens
+        report.breaker_fastfails = counters.breaker_fastfails
+        report.degraded_answers = counters.degraded_answers
         # Batching happens in the node hosts' republish loops (their
         # clients are distinct from the driver's), so count both.
         for node_client in [n.client for n in cluster.nodes if n.client] + list(

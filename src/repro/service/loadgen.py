@@ -406,6 +406,12 @@ class LoadConfig:
     #: Open-loop target arrival rate, ops/sec.
     rate: float = 500.0
 
+    #: Optional open-loop rate *profile*: a callable ``(t) -> ops/sec``
+    #: of seconds since the measure window started (negative during
+    #: warmup), overriding :attr:`rate` per arrival. Flash-crowd runs
+    #: plug :class:`repro.workloads.scenarios.FlashCrowd` in here.
+    rate_profile: object = None
+
     #: Measure-phase length (seconds); ignored by closed-loop runs that
     #: set ``ops_per_client``.
     duration_s: float = 10.0
@@ -498,6 +504,10 @@ class LoadReport:
     #: Client-counter deltas over the measure+drain window (retries,
     #: refreshes, bounces -- staleness is counted, never hidden).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Successful measured ops per whole second of the measure window
+    #: (index 0 = first second). A partition run is judged on this:
+    #: goodput must never hit zero while part of the cluster is dark.
+    goodput_timeline: List[int] = field(default_factory=list)
     #: First few error messages, for debugging a failed run.
     errors_sample: List[str] = field(default_factory=list)
     p99_budget_ms: Optional[float] = None
@@ -570,6 +580,24 @@ class LoadReport:
                 f"  discovery   {self.discovery_matches} matches returned, "
                 f"{self.counters.get('discovery_retries', 0)} stale-set retries"
             )
+        resilience = {
+            key: self.counters.get(key, 0)
+            for key in (
+                "hedges",
+                "hedge_wins",
+                "breaker_opens",
+                "breaker_fastfails",
+                "degraded_answers",
+            )
+        }
+        if any(resilience.values()):
+            lines.append(
+                f"  resilience  {resilience['hedges']} hedges "
+                f"({resilience['hedge_wins']} won), "
+                f"{resilience['breaker_opens']} breaker opens "
+                f"({resilience['breaker_fastfails']} fast-fails), "
+                f"{resilience['degraded_answers']} degraded answers"
+            )
         if self.throttled:
             lines.append(f"  open loop   {self.throttled} arrivals throttled")
         for message in self.errors_sample:
@@ -615,6 +643,8 @@ class LoadGenerator:
         self.op_logs: List[List[Tuple[str, str, int]]] = [[] for _ in self.streams]
         self.batch_items = 0
         self.discovery_matches = 0
+        #: Successful measured ops keyed by whole second of the window.
+        self.goodput: Dict[int, int] = {}
         self.throttled = 0
         self.abandoned = 0
         self.errors_sample: List[str] = []
@@ -711,6 +741,10 @@ class LoadGenerator:
             elapsed = loop.time() - started_at
             self.recorder.record(elapsed)
             self.kind_recorders[op.kind].record(elapsed)
+            # Bucket goodput by the op's *completion* second: a hole in
+            # the timeline means nothing finished during that second.
+            bucket = max(0, int(loop.time() - self._measure_start))
+            self.goodput[bucket] = self.goodput.get(bucket, 0) + 1
             if op.kind in (OP_SIMILAR, OP_CAPABILITY):
                 self.discovery_matches += items
             else:
@@ -748,10 +782,20 @@ class LoadGenerator:
         arrivals = random.Random(f"repro-loadgen-{config.seed}-arrivals")
         semaphore = asyncio.Semaphore(config.max_in_flight)
         tasks: "set[asyncio.Task]" = set()
+        profile = config.rate_profile
         next_at = loop.time()
         dispatched = 0
         while True:
-            next_at += arrivals.expovariate(config.rate)
+            # A rate profile is sampled at each arrival instant, giving
+            # a (piecewise-constant approximation of a) non-homogeneous
+            # Poisson process -- exact for the trapezoid flash crowd's
+            # flat segments, close enough on its short ramps.
+            rate = (
+                float(profile(next_at - self._measure_start))
+                if profile is not None
+                else config.rate
+            )
+            next_at += arrivals.expovariate(max(1e-9, rate))
             if next_at >= self._measure_end:
                 break
             delay = next_at - loop.time()
@@ -837,6 +881,12 @@ class LoadGenerator:
             for kind in OP_KINDS
             if self.kind_issued[kind]
         }
+        # Full seconds only: the trailing partial bucket (and drain-time
+        # completions) would read as a spurious goodput dip.
+        seconds = max(1, int(report.measure_s))
+        report.goodput_timeline = [
+            self.goodput.get(index, 0) for index in range(seconds)
+        ]
         after = self._merged_counters()
         report.counters = {
             key: after[key] - self._counters_before.get(key, 0) for key in after

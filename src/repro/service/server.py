@@ -77,6 +77,7 @@ from repro.service.client import (
     ServiceTimeout,
     format_addr,
 )
+from repro.service.netem import NetemController
 from repro.service.replication import (
     EpochFence,
     FailureDetector,
@@ -129,6 +130,13 @@ class ServiceConfig:
     #: An IAgent silent for this long is pinged; a failed ping triggers
     #: takeover (s).
     liveness_timeout: float = 1.0
+
+    #: Ping attempts before a silent IAgent is declared dead. One lost
+    #: frame must not amputate a live shard on a lossy network: at 5%
+    #: frame loss a single ping fails ~10% of the time, three in a row
+    #: ~0.1% -- takeover stays prompt for real crashes (refused
+    #: connections fail fast) but stops firing on wire noise.
+    liveness_ping_retries: int = 3
 
     #: Frame-size ceiling on every connection.
     max_frame: int = wire.DEFAULT_MAX_FRAME
@@ -186,6 +194,12 @@ class ServiceConfig:
     #: rounds to zero, which hides exactly the serialization that
     #: prefix sharding removes.
     coordinator_rpc_delay: float = 0.0
+
+    #: Wire-level fault injection (latency/jitter/loss/resets/partial
+    #: writes/asymmetric partitions). When set, every connection this
+    #: deployment accepts or dials is shimmed through the controller;
+    #: ``None`` (production) adds zero overhead.
+    netem: Optional[NetemController] = None
 
     #: Protocol tunables shared with the simulator mechanism.
     mechanism: HashMechanismConfig = field(default_factory=_default_mechanism_config)
@@ -268,6 +282,11 @@ class _FramedServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self.config.netem is not None and self.addr is not None:
+            # Acceptor-side shim: this server's *responses* pass through
+            # the fault model (the initiator shims its own requests), so
+            # each direction of each link is shimmed exactly once.
+            writer = self.config.netem.wrap_server_writer(writer, self.addr)
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -293,26 +312,55 @@ class _FramedServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         codec = wire.CODEC_JSON
-        while True:
-            frame = await wire.read_frame(
-                reader, max_frame=self.config.max_frame, codec=codec
-            )
-            if frame is None:
-                return
-            if self.partitioned:
-                continue  # injected partition: drop the request silently
-            offered = wire.hello_codecs(frame)
-            if offered is not None:
-                # Codec negotiation: ack (always JSON-framed), then
-                # switch this connection to the agreed codec.
-                codec = wire.negotiate_codec(offered, accept=self.config.wire)
-                writer.write(wire.encode_hello_ack(codec))
-                await writer.drain()
-                continue
-            response = await self._respond(frame)
-            await wire.write_frame(
-                writer, response, max_frame=self.config.max_frame, codec=codec
-            )
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        try:
+            while True:
+                frame = await wire.read_frame(
+                    reader, max_frame=self.config.max_frame, codec=codec
+                )
+                if frame is None:
+                    return
+                if self.partitioned:
+                    continue  # injected partition: drop the request silently
+                offered = wire.hello_codecs(frame)
+                if offered is not None:
+                    # Codec negotiation: ack (always JSON-framed), then
+                    # switch this connection to the agreed codec.
+                    codec = wire.negotiate_codec(offered, accept=self.config.wire)
+                    async with write_lock:
+                        writer.write(wire.encode_hello_ack(codec))
+                        await writer.drain()
+                    continue
+                # Dispatch concurrently: one slow handler (say, a forward
+                # over a degraded link waiting out retries) must not
+                # head-of-line block every request pipelined behind it on
+                # this connection -- the correlated timeout burst that
+                # causes would trip the callers' circuit breakers.
+                task = asyncio.create_task(
+                    self._respond_one(frame, writer, write_lock, codec)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def _respond_one(
+        self,
+        frame: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        codec: str,
+    ) -> None:
+        response = await self._respond(frame)
+        try:
+            async with write_lock:
+                await wire.write_frame(
+                    writer, response, max_frame=self.config.max_frame, codec=codec
+                )
+        except (ConnectionError, OSError):
+            pass  # the peer went away; its retry path owns recovery
 
     async def _respond(self, frame: Any) -> Response:
         if (
@@ -790,11 +838,12 @@ class LHAgentEndpoint:
         #: authoritative copy regardless of version.
         self.copy_epochs: Dict[int, int] = {}
         self.node_addrs: Dict[str, Tuple[str, int]] = {}
-        self._fetch_locks: Dict[int, asyncio.Lock] = {}
+        self._fetch_flights: Dict[int, "asyncio.Task[None]"] = {}
         self.whois_served = 0
         self.refreshes = 0
         self.delta_refreshes = 0
         self.full_refreshes = 0
+        self.coalesced_fetches = 0
 
     @property
     def copy(self) -> Optional[HashFunctionCopy]:
@@ -905,9 +954,33 @@ class LHAgentEndpoint:
         }
 
     async def _fetch_primary_copy(self, shard: int = 0) -> None:
-        lock = self._fetch_locks.setdefault(shard, asyncio.Lock())
-        async with lock:
-            await self._fetch_locked(shard)
+        """Fetch the shard's copy, coalescing concurrent callers.
+
+        Single-flight: requests that arrive while a fetch is already on
+        the wire share its outcome instead of queueing their own round
+        trip. Under loss-driven retry storms every client refresh used
+        to serialize one full coordinator round trip each behind a
+        lock, turning the LHAgent into a seconds-deep queue; one shared
+        fetch serves the whole burst. The flight is shielded so one
+        timed-out caller does not cancel it for the rest.
+        """
+        flight = self._fetch_flights.get(shard)
+        if flight is None:
+            flight = asyncio.ensure_future(self._fetch_locked(shard))
+            self._fetch_flights[shard] = flight
+            flight.add_done_callback(
+                lambda task, shard=shard: self._flight_done(shard, task)
+            )
+        else:
+            self.coalesced_fetches += 1
+        await asyncio.shield(flight)
+
+    def _flight_done(self, shard: int, task: "asyncio.Task[None]") -> None:
+        self._fetch_flights.pop(shard, None)
+        if not task.cancelled():
+            # Every waiter may have been cancelled (callers time out);
+            # consume the outcome so an orphaned failure never logs.
+            task.exception()
 
     async def _fetch_locked(self, shard: int) -> None:
         try:
@@ -965,6 +1038,11 @@ class LHAgentEndpoint:
         config = node.config
         copy = self.copies.get(shard)
         target = node.coordinator_addr(shard)
+        # Tighter than the general server RPC timeout: every whois stuck
+        # behind this flight inherits its latency, so one lost frame on
+        # a hostile link must not stall resolution for a full
+        # ``rpc_timeout`` (the _fetch_locked fallback retries once).
+        timeout = min(0.75, config.rpc_timeout)
         if config.mechanism.delta_sync and copy is not None:
             return await node.channel.call(
                 target,
@@ -975,7 +1053,7 @@ class LHAgentEndpoint:
                     "epoch": self.copy_epochs.get(shard, 0),
                     "shard": shard,
                 },
-                timeout=config.rpc_timeout,
+                timeout=timeout,
             )
         body = {"shard": shard} if node.router.shards > 1 else None
         return await node.channel.call(
@@ -983,7 +1061,7 @@ class LHAgentEndpoint:
             "hagent",
             "get-hash-function",
             body,
-            timeout=config.rpc_timeout,
+            timeout=timeout,
         )
 
 
@@ -1095,6 +1173,7 @@ class NodeServer(_FramedServer):
             max_frame=self.config.max_frame,
             tracer=tracer,
             wire_format=self.config.wire,
+            netem=self.config.netem,
         )
         self.lhagent = LHAgentEndpoint(self)
         self.host = HostEndpoint(self)
@@ -1570,6 +1649,7 @@ class HAgentServer(_FramedServer):
             max_frame=self.config.max_frame,
             tracer=tracer,
             wire_format=self.config.wire,
+            netem=self.config.netem,
         )
         self.tree: Optional[HashTree] = None
         self.iagent_nodes: Dict[Any, str] = {}
@@ -2868,10 +2948,17 @@ class HAgentServer(_FramedServer):
                 last = self._last_report.get(owner, now)
                 if now - last < config.liveness_timeout:
                     continue
-                try:
-                    await self._rpc_iagent(owner, "ping", timeout=0.5)
+                alive = False
+                for attempt in range(max(1, config.liveness_ping_retries)):
+                    try:
+                        await self._rpc_iagent(owner, "ping", timeout=0.5)
+                        alive = True
+                        break
+                    except (ServiceRpcError, RemoteOpError):
+                        await asyncio.sleep(0.05 * (attempt + 1))
+                if alive:
                     self._last_report[owner] = time.monotonic()
-                except (ServiceRpcError, RemoteOpError):
+                else:
                     await self._takeover(owner)
 
     async def _takeover(self, owner: AgentId) -> None:

@@ -8,9 +8,12 @@ the ablation benches can sweep around the paper's point.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
+from typing import List, Sequence
 
 from repro.core.config import HashMechanismConfig
+from repro.platform.chaos import ChaosEvent, ChaosSchedule
 from repro.workloads.mobility import ConstantResidence, ResidenceModel
 
 __all__ = [
@@ -21,7 +24,9 @@ __all__ = [
     "EXP1_AGENT_COUNTS",
     "EXP2_AGENT_COUNT",
     "EXP2_RESIDENCE_TIMES_MS",
+    "FlashCrowd",
     "Scenario",
+    "churn_schedule",
     "exp1_scenario",
     "exp2_scenario",
 ]
@@ -94,6 +99,97 @@ class Scenario:
 
     def with_overrides(self, **overrides) -> "Scenario":
         return replace(self, **overrides)
+
+
+def churn_schedule(
+    seed: int,
+    duration: float,
+    nodes: Sequence[str],
+    rate_hz: float = 1.5,
+    min_live_fraction: float = 0.5,
+    min_outage: float = 0.3,
+    max_outage_fraction: float = 0.2,
+    settle_fraction: float = 0.3,
+) -> ChaosSchedule:
+    """A seeded node join/leave churn process as a replayable schedule.
+
+    Each leave/rejoin is a ``partition-node``/``heal-node`` pair -- the
+    live analogue of a MANET node drifting out of range and back
+    (Neogy et al. study exactly this regime). The process is generated
+    chronologically so it can guarantee an invariant plain uniform
+    sampling cannot: at most ``floor((1 - min_live_fraction) * n)``
+    nodes are ever gone at once, keeping a quorum of the population
+    reachable through the whole run. Every outage heals before the
+    settle tail, so post-run verification judges a whole cluster.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    node_palette = sorted(nodes)
+    if not node_palette:
+        raise ValueError("churn needs a non-empty node list")
+    rng = random.Random(f"churn-schedule:{seed}:{duration}")
+    horizon = duration * (1.0 - settle_fraction)
+    max_outage = max(min_outage, duration * max_outage_fraction)
+    max_down = max(1, int(len(node_palette) * (1.0 - min_live_fraction)))
+    events: List[ChaosEvent] = []
+    #: node -> heal time, for the concurrently-down invariant.
+    down_until: dict = {}
+    now = 0.0
+    while True:
+        now += rng.expovariate(rate_hz)
+        if now >= horizon:
+            break
+        down_until = {k: t for k, t in down_until.items() if t > now}
+        candidates = [n for n in node_palette if n not in down_until]
+        if len(down_until) >= max_down or not candidates:
+            continue  # churn arrival suppressed: too few nodes live
+        target = rng.choice(candidates)
+        outage = min(rng.uniform(min_outage, max_outage), horizon - now)
+        events.append(ChaosEvent(at=now, kind="partition-node", target=target))
+        events.append(
+            ChaosEvent(at=now + outage, kind="heal-node", target=target)
+        )
+        down_until[target] = now + outage
+    events.sort(key=lambda event: (event.at, event.kind, event.target))
+    return ChaosSchedule(seed=seed, duration=duration, events=tuple(events))
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A trapezoid arrival-rate profile: base -> ramp -> peak -> decay.
+
+    Callable ``(t) -> rate`` so it plugs straight into the load
+    generator's open loop as ``LoadConfig.rate_profile``; ``t`` is
+    seconds since the measured window started.
+    """
+
+    base_rate: float
+    peak_rate: float
+    #: Seconds into the run the crowd starts arriving.
+    at: float
+    #: Seconds the ramp up (and back down) takes.
+    ramp_s: float = 1.0
+    #: Seconds the peak holds.
+    hold_s: float = 2.0
+
+    def rate_at(self, t: float) -> float:
+        if t < self.at:
+            return self.base_rate
+        t -= self.at
+        if t < self.ramp_s:
+            frac = t / self.ramp_s
+            return self.base_rate + (self.peak_rate - self.base_rate) * frac
+        t -= self.ramp_s
+        if t < self.hold_s:
+            return self.peak_rate
+        t -= self.hold_s
+        if t < self.ramp_s:
+            frac = 1.0 - t / self.ramp_s
+            return self.base_rate + (self.peak_rate - self.base_rate) * frac
+        return self.base_rate
+
+    def __call__(self, t: float) -> float:
+        return self.rate_at(t)
 
 
 def exp1_scenario(num_agents: int, seed: int = 1, **overrides) -> Scenario:

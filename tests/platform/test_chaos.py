@@ -8,8 +8,15 @@ replaying a schedule against the same scenario must be bit-identical.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.platform.chaos import CHAOS_KINDS, ChaosEvent, ChaosSchedule
+from repro.platform.chaos import (
+    CHAOS_KINDS,
+    LINK_CHAOS_KINDS,
+    ChaosEvent,
+    ChaosSchedule,
+)
 from repro.platform.failures import FailureInjector
 
 from tests.conftest import build_runtime, drain, install_hash_mechanism
@@ -184,3 +191,100 @@ class TestSimReplay:
         drain(runtime, schedule.duration)
         kinds = [entry["kind"] for entry in injector.log]
         assert kinds == ["partition-node", "heal-node"]
+
+
+class TestLinkFaultGeneration:
+    """The extended link-fault palette (PR 10) rides the same seeded
+    generator without disturbing legacy draws."""
+
+    def test_link_events_carry_their_parameters(self):
+        schedule = ChaosSchedule.generate(
+            5, 20.0, NODES, kinds=LINK_CHAOS_KINDS, faults=24
+        )
+        seen = set()
+        for event in schedule.events:
+            seen.add(event.kind)
+            params = event.params_dict()
+            if event.kind == "link-degrade":
+                assert set(params) == {"delay_ms", "jitter_ms", "loss"}
+                assert 0.0 < params["loss"] < 1.0
+            elif event.kind == "link-slow":
+                assert set(params) == {"chunk", "chunk_delay_ms"}
+                assert params["chunk"] in (64, 128, 256)
+            elif event.kind == "partition-asym":
+                assert params["direction"] in ("in", "out")
+            elif event.kind == "link-reset":
+                assert event.params is None
+        assert {"link-degrade", "link-slow", "partition-asym", "link-reset"} <= seen
+
+    def test_asym_heal_copies_the_blocked_direction(self):
+        schedule = ChaosSchedule.generate(
+            5, 20.0, NODES, kinds=["partition-asym"], faults=6
+        )
+        opens = {
+            (e.target, e.at): e.params_dict()["direction"]
+            for e in schedule.events
+            if e.kind == "partition-asym"
+        }
+        heals = [e for e in schedule.events if e.kind == "heal-asym"]
+        assert len(heals) == len(opens) == 6
+        for heal in heals:
+            # Every heal names a direction some opener on that node
+            # blocked -- an "in" block healed "out" would leak forever.
+            assert heal.params_dict()["direction"] in {
+                direction
+                for (target, _), direction in opens.items()
+                if target == heal.target
+            }
+
+    def test_reset_has_no_closing_half(self):
+        schedule = ChaosSchedule.generate(
+            5, 20.0, NODES, kinds=["link-reset"], faults=5
+        )
+        assert len(schedule) == 5
+        assert all(event.kind == "link-reset" for event in schedule.events)
+
+    def test_legacy_params_stay_off_the_wire(self):
+        # Pre-link-fault kinds must serialize exactly as they did
+        # before ``params`` existed, or historical digests change.
+        event = ChaosEvent(at=1.0, kind="crash-node", target="node-0")
+        assert "params" not in event.to_dict()
+
+    def test_link_event_dict_round_trip(self):
+        schedule = ChaosSchedule.generate(9, 12.0, NODES, kinds=LINK_CHAOS_KINDS)
+        restored = ChaosSchedule.from_dict(schedule.to_dict())
+        assert restored == schedule
+        assert restored.digest() == schedule.digest()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([None, LINK_CHAOS_KINDS]),
+    )
+    def test_round_trip_preserves_digest_for_any_seed(self, seed, kinds):
+        schedule = ChaosSchedule.generate(seed, 8.0, NODES, kinds=kinds)
+        assert ChaosSchedule.from_dict(schedule.to_dict()).digest() == (
+            schedule.digest()
+        )
+
+
+class TestLegacyDigestStability:
+    """Old seeds must keep replaying bit-identically.
+
+    These digests were recorded when the link-fault palette landed; a
+    change means historical chaos runs (and the committed bench
+    baselines keyed on them) no longer reproduce. Only the *default*
+    palette is pinned -- link kinds are opt-in precisely so they could
+    not disturb these streams.
+    """
+
+    PINNED = {
+        (7, 3.0): "1230faf6318f584f39dfde2bc9405373358efb33ee1493c5b1a6b49b19153cc6",
+        (11, 10.0): "84c9fa36f08b14d4c4c675762da422decdb1f5e859c92acf99229cf79db9cdcb",
+    }
+
+    def test_default_palette_digests_are_frozen(self):
+        for (seed, duration), digest in self.PINNED.items():
+            assert (
+                ChaosSchedule.generate(seed, duration, NODES).digest() == digest
+            ), f"legacy schedule (seed={seed}, duration={duration}) drifted"

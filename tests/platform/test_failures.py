@@ -3,10 +3,11 @@
 import pytest
 
 from repro.platform.agents import Agent
+from repro.platform.chaos import ChaosEvent, ChaosSchedule
 from repro.platform.failures import FailureInjector
 from repro.platform.messages import RpcTimeout
 
-from tests.conftest import build_runtime
+from tests.conftest import build_runtime, drain, install_hash_mechanism
 
 
 class Echo(Agent):
@@ -207,3 +208,142 @@ class TestScheduledNodeCrash:
         assert call(runtime, agent) == "pong"
         kinds = [entry["kind"] for entry in injector.log]
         assert kinds == ["crash-node", "recover-node"]
+
+
+class TestLinkFaults:
+    """Overlay-based link degradation: idempotent, layered, and the
+    sim-side approximation of the live netem chaos kinds."""
+
+    def test_degrade_slows_calls_and_restore_heals(self):
+        runtime = build_runtime()
+        agent = runtime.create_agent(Echo, "node-1", tracked=False)
+        injector = FailureInjector(runtime)
+        assert call(runtime, agent) == "pong"
+        # A one-way delay past the RPC timeout: the call now times out.
+        assert injector.link_degrade("node-1", delay=0.5) is True
+        assert call(runtime, agent, timeout=0.3) == "timeout"
+        assert injector.link_restore("node-1") is True
+        assert call(runtime, agent, timeout=0.3) == "pong"
+
+    def test_overlays_are_idempotent(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        assert injector.link_degrade("node-1", delay=0.05, loss=0.1) is True
+        # The identical overlay is a logged-nothing no-op.
+        assert injector.link_degrade("node-1", delay=0.05, loss=0.1) is False
+        # A *different* overlay on the same layer replaces it.
+        assert injector.link_degrade("node-1", delay=0.10, loss=0.1) is True
+        assert injector.link_restore("node-1") is True
+        assert injector.link_restore("node-1") is False
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["link-degrade", "link-degrade", "link-restore"]
+
+    def test_layers_compose_and_clear_independently(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        assert injector.link_degrade("node-1", delay=0.05) is True
+        assert injector.link_degrade("node-1", delay=0.01, layer="slow") is True
+        network = runtime.network
+        assert set(network.overlays_of("node-1")) == {"degrade", "slow"}
+        assert injector.link_restore("node-1") is True
+        assert set(network.overlays_of("node-1")) == {"slow"}
+        assert injector.link_restore("node-1", layer="slow") is True
+        assert network.overlays_of("node-1") == {}
+
+    def test_fault_log_records_overlay_parameters(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        injector.link_degrade("node-1", delay=0.02, jitter=0.01, loss=0.05)
+        entry = injector.log[-1]
+        assert entry["kind"] == "link-degrade"
+        assert entry["params"] == {
+            "layer": "degrade",
+            "delay": 0.02,
+            "jitter": 0.01,
+            "loss": 0.05,
+        }
+
+    def test_unknown_node_raises_before_logging(self):
+        runtime = build_runtime()
+        injector = FailureInjector(runtime)
+        with pytest.raises(KeyError):
+            injector.link_degrade("no-such-node", delay=0.1)
+        assert injector.log == []
+
+
+class TestLinkChaosReplay:
+    """Link-fault chaos kinds through ``apply_schedule``: the sim
+    coarsens what it cannot express, but replays stay audit-complete."""
+
+    def _run(self, events, duration=3.0):
+        runtime = build_runtime()
+        install_hash_mechanism(runtime)
+        injector = FailureInjector(runtime)
+        schedule = ChaosSchedule(seed=0, duration=duration, events=tuple(events))
+        injector.apply_schedule(schedule)
+        drain(runtime, duration)
+        return runtime, injector
+
+    def test_link_degrade_pair_installs_and_clears_the_overlay(self):
+        runtime, injector = self._run(
+            [
+                ChaosEvent(
+                    at=0.5,
+                    kind="link-degrade",
+                    target="node-1",
+                    params=(("delay_ms", 20.0), ("loss", 0.05)),
+                ),
+                ChaosEvent(at=1.5, kind="link-restore", target="node-1"),
+            ]
+        )
+        kinds = [entry["kind"] for entry in injector.log]
+        assert kinds == ["link-degrade", "link-restore"]
+        # Milliseconds on the wire format, seconds in the simulator.
+        assert injector.log[0]["params"]["delay"] == pytest.approx(0.02)
+        assert runtime.network.overlays_of("node-1") == {}
+
+    def test_slow_loris_rides_its_own_layer(self):
+        runtime, injector = self._run(
+            [
+                ChaosEvent(
+                    at=0.5,
+                    kind="link-slow",
+                    target="node-1",
+                    params=(("chunk", 64), ("chunk_delay_ms", 5.0)),
+                ),
+                ChaosEvent(at=1.5, kind="link-unslow", target="node-1"),
+            ]
+        )
+        assert [e["kind"] for e in injector.log] == ["link-degrade", "link-restore"]
+        assert injector.log[0]["params"]["layer"] == "slow"
+        assert runtime.network.overlays_of("node-1") == {}
+
+    def test_asymmetric_partition_coarsens_to_symmetric(self):
+        # The sim network drops whole nodes, not directions; the event
+        # still opens and heals deterministically.
+        runtime, injector = self._run(
+            [
+                ChaosEvent(
+                    at=0.5,
+                    kind="partition-asym",
+                    target="node-1",
+                    params=(("direction", "in"),),
+                ),
+                ChaosEvent(
+                    at=1.5,
+                    kind="heal-asym",
+                    target="node-1",
+                    params=(("direction", "in"),),
+                ),
+            ]
+        )
+        assert [e["kind"] for e in injector.log] == ["partition-node", "heal-node"]
+        assert not runtime.network.is_partitioned("node-1")
+
+    def test_link_reset_is_a_logged_no_op(self):
+        # No live connections exist in the simulator; the event is
+        # logged so a replayed schedule's audit trail stays complete.
+        _, injector = self._run(
+            [ChaosEvent(at=0.5, kind="link-reset", target="node-1")]
+        )
+        assert [e["kind"] for e in injector.log] == ["link-reset"]

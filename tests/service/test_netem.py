@@ -1,0 +1,486 @@
+"""Wire-level fault injection and client resilience tests.
+
+The shim tests run real asyncio TCP servers on ephemeral localhost
+ports and push bytes through :class:`NetemController`'s data plane --
+no mocks on the wire. The client tests drive the resilience stack
+(adaptive timeouts, hedging, breakers, degraded reads) against black
+holes and stub channels where the behaviour must be deterministic, and
+the replay tests boot whole hostile clusters twice to prove the fault
+log is bit-identical for a seed.
+"""
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.service.client import (
+    CircuitBreaker,
+    ClientConfig,
+    ServiceClient,
+    ServiceLocateError,
+)
+from repro.service.cluster import ClusterConfig, run_cluster
+from repro.service.netem import DIR_IN, DIR_OUT, NetemController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_echo():
+    """A newline-framed echo server on an ephemeral port."""
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(line)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def echo_once(netem, port, payload=b"ping\n", timeout=5.0):
+    reader, writer = await netem.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        return await asyncio.wait_for(reader.readline(), timeout=timeout)
+    finally:
+        writer.close()
+
+
+class TestShimDataPlane:
+    def test_clean_link_passes_frames_through(self):
+        async def scenario():
+            server, port = await start_echo()
+            netem = NetemController(seed=1)
+            try:
+                assert await echo_once(netem, port) == b"ping\n"
+                assert netem.frames_dropped == 0
+            finally:
+                netem.shutdown()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_degrade_adds_latency(self):
+        async def scenario():
+            server, port = await start_echo()
+            netem = NetemController(seed=1)
+            try:
+                assert netem.degrade(port, delay_ms=120.0)
+                started = time.monotonic()
+                assert await echo_once(netem, port) == b"ping\n"
+                # The delay applies per direction; one round trip pays
+                # at least one injected delay.
+                assert time.monotonic() - started >= 0.1
+                assert netem.frames_delayed >= 1
+            finally:
+                netem.shutdown()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_blocked_direction_drops_frames_until_unblocked(self):
+        async def scenario():
+            server, port = await start_echo()
+            netem = NetemController(seed=1)
+            try:
+                assert netem.block(port, DIR_IN)
+                reader, writer = await netem.open_connection("127.0.0.1", port)
+                writer.write(b"lost\n")
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.readline(), timeout=0.3)
+                assert netem.frames_dropped >= 1
+                # Healing restores delivery for *new* frames; the
+                # dropped one is gone (loss, not queueing).
+                assert netem.unblock(port, DIR_IN)
+                writer.write(b"after\n")
+                assert await asyncio.wait_for(
+                    reader.readline(), timeout=5.0
+                ) == b"after\n"
+                writer.close()
+            finally:
+                netem.shutdown()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_reset_aborts_live_connections(self):
+        async def scenario():
+            server, port = await start_echo()
+            netem = NetemController(seed=1)
+            try:
+                reader, writer = await netem.open_connection("127.0.0.1", port)
+                writer.write(b"warm\n")
+                assert await asyncio.wait_for(reader.readline(), timeout=5.0)
+                assert netem.reset(port) >= 1
+                assert netem.resets_injected >= 1
+                # The aborted connection surfaces as EOF or a reset on
+                # the next read, never a hang.
+                try:
+                    tail = await asyncio.wait_for(reader.read(64), timeout=5.0)
+                    assert tail == b""
+                except (ConnectionError, OSError):
+                    pass
+            finally:
+                netem.shutdown()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_slow_loris_dribbles_but_delivers_intact(self):
+        async def scenario():
+            server, port = await start_echo()
+            netem = NetemController(seed=1)
+            try:
+                assert netem.slow(port, chunk=8, chunk_delay_ms=3.0)
+                payload = b"x" * 63 + b"\n"
+                started = time.monotonic()
+                assert await echo_once(netem, port, payload) == payload
+                # 64 bytes in 8-byte chunks pays several chunk pauses.
+                assert time.monotonic() - started >= 0.01
+            finally:
+                netem.shutdown()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_seeded_loss_is_deterministic_per_connection(self):
+        async def scenario():
+            server, port = await start_echo()
+            outcomes = []
+            for _ in range(2):
+                netem = NetemController(seed=42)
+                try:
+                    assert netem.degrade(port, loss=0.5)
+                    reader, writer = await netem.open_connection(
+                        "127.0.0.1", port
+                    )
+                    for index in range(20):
+                        writer.write(f"m{index}\n".encode())
+                    await asyncio.sleep(0.3)
+                    writer.close()
+                    outcomes.append(netem.frames_dropped)
+                finally:
+                    netem.shutdown()
+            # Same seed, same connection sequence: the loss draws are
+            # replayed, so both runs drop the same frames.
+            assert outcomes[0] == outcomes[1]
+            assert 0 < outcomes[0] < 20
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+class TestControlPlane:
+    def test_faults_are_idempotent(self):
+        netem = NetemController(seed=0)
+        assert netem.degrade(9001, delay_ms=10.0) is True
+        assert netem.degrade(9001, delay_ms=10.0) is False
+        assert netem.restore(9001) is True
+        assert netem.restore(9001) is False
+        assert netem.slow(9001) is True
+        assert netem.slow(9001) is False
+        assert netem.unslow(9001) is True
+        assert netem.unslow(9001) is False
+        assert netem.block(9001, DIR_OUT) is True
+        assert netem.block(9001, DIR_OUT) is False
+        assert netem.unblock(9001, DIR_OUT) is True
+        assert netem.unblock(9001, DIR_OUT) is False
+        # Only the six applied transitions made the log; the no-op
+        # re-applications left no trace.
+        assert len(netem.log) == 6
+
+    def test_apply_event_reports_skips(self):
+        netem = NetemController(seed=0)
+        assert netem.apply_event("link-degrade", 9001, {"delay_ms": 5.0}) == "ok"
+        assert netem.apply_event("link-degrade", 9001, {"delay_ms": 5.0}).startswith(
+            "skipped"
+        )
+        assert netem.apply_event("heal-asym", 9001, {}).startswith("skipped")
+        assert netem.apply_event("link-reset", 9001, {}).startswith("aborted")
+        with pytest.raises(ValueError):
+            netem.apply_event("crash-node", 9001, {})
+
+    def test_named_targets_need_a_binding(self):
+        netem = NetemController(seed=0)
+        with pytest.raises(KeyError):
+            netem.degrade("node-0", delay_ms=5.0)
+        netem.bind("node-0", ("127.0.0.1", 9001))
+        assert netem.degrade("node-0", delay_ms=5.0) is True
+        # Named and port keys resolve to the same link state.
+        assert netem.degrade(9001, delay_ms=5.0) is False
+
+    def test_log_digest_is_a_function_of_the_op_sequence(self):
+        def drive(netem):
+            netem.degrade(9001, delay_ms=10.0, jitter_ms=2.0, loss=0.01)
+            netem.block(9002, DIR_IN)
+            netem.restore(9001)
+
+        first, second = NetemController(seed=1), NetemController(seed=99)
+        drive(first)
+        drive(second)
+        # The digest covers the applied control ops, not the seed or
+        # wall clock -- the replay-determinism artifact.
+        assert first.log_digest() == second.log_digest()
+        second.unblock(9002, DIR_IN)
+        assert first.log_digest() != second.log_digest()
+
+
+class _HedgeStubChannel:
+    """A channel whose primary lane is slow and hedge lane instant."""
+
+    pool_size = 2
+
+    def __init__(self, primary_delay=0.2):
+        self.primary_delay = primary_delay
+        self.lanes = []
+
+    async def call(self, addr, to, op, body, timeout=None, lane=None):
+        self.lanes.append(lane)
+        if lane is None:
+            await asyncio.sleep(self.primary_delay)
+            return {"status": "ok", "who": "primary"}
+        return {"status": "ok", "who": "secondary"}
+
+
+def _seed_rtt(client, addr, sample=0.005, count=8):
+    for _ in range(count):
+        client._rtt_for(addr).observe(sample)
+
+
+class TestHedgedCalls:
+    ADDR = ("127.0.0.1", 9001)
+
+    def test_secondary_wins_on_a_dedicated_lane(self):
+        async def scenario():
+            stub = _HedgeStubChannel()
+            client = ServiceClient(
+                "n0",
+                self.ADDR,
+                config=ClientConfig(hedge_delay_floor=0.01),
+                channel=stub,
+            )
+            _seed_rtt(client, self.ADDR)
+            reply = await client._hedged_call(
+                self.ADDR, "lhagent", "whois", {}, timeout=1.0
+            )
+            assert reply["who"] == "secondary"
+            assert client.counters.hedges == 1
+            assert client.counters.hedge_wins == 1
+            # The duplicate rode a lane beyond the pick pool: in-order
+            # delivery means a same-connection duplicate could never
+            # overtake the slow primary.
+            assert stub.lanes == [None, stub.pool_size]
+
+        run(scenario())
+
+    def test_fast_primary_never_spawns_a_duplicate(self):
+        async def scenario():
+            stub = _HedgeStubChannel(primary_delay=0.0)
+            client = ServiceClient(
+                "n0",
+                self.ADDR,
+                config=ClientConfig(hedge_delay_floor=0.05),
+                channel=stub,
+            )
+            _seed_rtt(client, self.ADDR)
+            reply = await client._hedged_call(
+                self.ADDR, "lhagent", "whois", {}, timeout=1.0
+            )
+            assert reply["who"] == "primary"
+            assert client.counters.hedges == 0
+            assert stub.lanes == [None]
+
+        run(scenario())
+
+    def test_hedge_budget_caps_duplicates(self):
+        async def scenario():
+            stub = _HedgeStubChannel(primary_delay=0.05)
+            client = ServiceClient(
+                "n0",
+                self.ADDR,
+                config=ClientConfig(hedge_delay_floor=0.01, hedge_budget=0.2),
+                channel=stub,
+            )
+            _seed_rtt(client, self.ADDR)
+            for _ in range(30):
+                await client._hedged_call(
+                    self.ADDR, "lhagent", "whois", {}, timeout=1.0
+                )
+            # Every primary was tail-slow, yet only ~hedge_budget of
+            # the eligible calls dared a duplicate -- the tail-at-scale
+            # guard against hedges amplifying an overload.
+            assert client._hedge_eligible == 30
+            assert 0 < client.counters.hedges <= 7
+
+        run(scenario())
+
+    def test_no_hedge_when_delay_exceeds_timeout(self):
+        async def scenario():
+            stub = _HedgeStubChannel(primary_delay=0.0)
+            client = ServiceClient("n0", self.ADDR, channel=stub)
+            # No RTT samples: hedge delay sits at the cap, above the
+            # tiny budgeted timeout, so the call goes out unhedged.
+            reply = await client._hedged_call(
+                self.ADDR, "lhagent", "whois", {}, timeout=0.05
+            )
+            assert reply["who"] == "primary"
+            assert stub.lanes == [None]
+
+        run(scenario())
+
+
+class _MappingStubChannel:
+    """Resolves whois/refresh to a fixed IAgent address; nothing else
+    answers (the IAgent itself is guarded by its breaker in the tests)."""
+
+    pool_size = 2
+
+    def __init__(self, iagent_addr):
+        self.iagent_addr = iagent_addr
+
+    async def call(self, addr, to, op, body, timeout=None, lane=None):
+        assert op in ("whois", "refresh"), f"unexpected op {op} reached the stub"
+        return {"iagent": "ia-0", "addr": list(self.iagent_addr), "version": 1}
+
+
+class TestDegradedReads:
+    def test_open_breaker_serves_last_known_answer(self):
+        async def scenario():
+            iagent_addr = ("127.0.0.1", 9999)
+            client = ServiceClient(
+                "n0",
+                ("127.0.0.1", 9001),
+                config=ClientConfig(),
+                channel=_MappingStubChannel(iagent_addr),
+            )
+            client._last_known["agent-1"] = "node-3"
+            breaker = client._breaker_for(iagent_addr)
+            breaker.state = CircuitBreaker.OPEN
+            breaker.opened_at = asyncio.get_event_loop().time()
+            answer = await client.locate_full("agent-1")
+            assert answer.degraded is True
+            assert answer.node == "node-3"
+            assert client.counters.degraded_answers == 1
+
+        run(scenario())
+
+    def test_degraded_reads_can_be_disabled(self):
+        async def scenario():
+            iagent_addr = ("127.0.0.1", 9999)
+            client = ServiceClient(
+                "n0",
+                ("127.0.0.1", 9001),
+                config=ClientConfig(
+                    degraded_reads=False,
+                    op_deadline=0.4,
+                    max_retries=3,
+                    backoff_base=0.01,
+                    backoff_cap=0.02,
+                    rng=random.Random(1),
+                ),
+                channel=_MappingStubChannel(iagent_addr),
+            )
+            client._last_known["agent-1"] = "node-3"
+            breaker = client._breaker_for(iagent_addr)
+            breaker.state = CircuitBreaker.OPEN
+            breaker.opened_at = asyncio.get_event_loop().time() + 60.0
+            with pytest.raises(ServiceLocateError):
+                await client.locate_full("agent-1")
+            assert client.counters.degraded_answers == 0
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_locate_against_a_black_hole_honours_op_deadline(self):
+        """§4.3's retry loop must stay bounded by ``op_deadline`` even
+        when every frame vanishes: each RPC budget is clamped to the
+        remaining deadline, so a black-holed server cannot stretch the
+        operation past deadline + one scheduling epsilon."""
+
+        async def scenario():
+            async def swallow(reader, writer):
+                await reader.read()  # never answer
+
+            server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ServiceClient(
+                "n0",
+                ("127.0.0.1", port),
+                config=ClientConfig(
+                    rpc_timeout=0.3,
+                    op_deadline=1.0,
+                    max_retries=1000,
+                    backoff_base=0.01,
+                    backoff_cap=0.05,
+                    rng=random.Random(7),
+                ),
+            )
+            started = time.monotonic()
+            try:
+                with pytest.raises(ServiceLocateError):
+                    await client.locate("agent-1")
+            finally:
+                elapsed = time.monotonic() - started
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            assert elapsed < 2.5, f"deadline overrun: {elapsed:.2f}s"
+            assert client.counters.transport_retries > 0
+
+        run(scenario())
+
+
+class TestHostileReplay:
+    """Whole-cluster determinism: one seed, one fault history."""
+
+    CONFIG = ClusterConfig(
+        nodes=3, agents=6, ops=30, seed=3, netem_seed=5, chaos_duration=2.5
+    )
+
+    def test_same_netem_seed_replays_identical_fault_log(self):
+        first = run(run_cluster(self.CONFIG))
+        second = run(run_cluster(self.CONFIG))
+        for report in (first, second):
+            assert report.passed, report.render()
+            assert report.locate_failures == 0
+            assert report.locate_mismatches == 0
+            assert report.netem is not None
+            assert report.netem["applied"], "no link faults fired"
+        assert first.netem["fault_log_digest"] == second.netem["fault_log_digest"]
+        assert first.netem["schedule_digest"] == second.netem["schedule_digest"]
+
+    def test_churned_cluster_still_verifies(self):
+        report = run(
+            run_cluster(
+                ClusterConfig(
+                    nodes=4,
+                    agents=8,
+                    ops=40,
+                    seed=3,
+                    churn_seed=1,
+                    chaos_duration=3.0,
+                )
+            )
+        )
+        assert report.passed, report.render()
+        assert report.churn is not None
+        assert report.churn["applied"], "churn schedule fired no events"

@@ -1,0 +1,161 @@
+"""Property tests for the client's resilience primitives.
+
+:class:`RttEstimator` and :class:`CircuitBreaker` are pure state
+machines -- no sockets, no clocks of their own -- so hypothesis can
+pin their invariants exactly: the estimator's state is a function of
+its samples alone and its outputs never leave ``[floor, cap]``; the
+breaker never reaches an unknown state and always fails fast while
+open.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.client import CircuitBreaker, RttEstimator
+
+rtt_samples = st.lists(
+    st.floats(min_value=0.0, max_value=30.0, allow_nan=False, allow_infinity=False),
+    max_size=60,
+)
+
+
+class TestRttEstimator:
+    def test_cap_until_first_sample(self):
+        estimator = RttEstimator(floor=0.25, cap=2.0)
+        assert estimator.timeout() == 2.0
+        assert estimator.hedge_delay() == 2.0
+
+    def test_converges_onto_a_constant_rtt(self):
+        estimator = RttEstimator(floor=0.25, cap=2.0)
+        for _ in range(100):
+            estimator.observe(0.1)
+        assert abs(estimator.srtt - 0.1) < 0.01
+        assert estimator.rttvar < 0.01
+        # srtt + 4 * rttvar sits under the floor: the clamp holds.
+        assert estimator.timeout() == 0.25
+
+    def test_negative_samples_are_clamped(self):
+        estimator = RttEstimator()
+        estimator.observe(-5.0)
+        assert estimator.srtt == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(rtt_samples)
+    def test_outputs_stay_within_bounds(self, samples):
+        estimator = RttEstimator(floor=0.25, cap=2.0)
+        for sample in samples:
+            estimator.observe(sample)
+            assert 0.25 <= estimator.timeout() <= 2.0
+            assert 0.0 <= estimator.hedge_delay() <= 2.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(rtt_samples)
+    def test_state_is_a_function_of_the_samples(self, samples):
+        first, second = RttEstimator(), RttEstimator()
+        for sample in samples:
+            first.observe(sample)
+        for sample in samples:
+            second.observe(sample)
+        assert (first.srtt, first.rttvar, first.samples) == (
+            second.srtt,
+            second.rttvar,
+            second.samples,
+        )
+        assert first.timeout() == second.timeout()
+        assert first.hedge_delay() == second.hedge_delay()
+
+    @settings(max_examples=60, deadline=None)
+    @given(rtt_samples)
+    def test_hedge_fires_no_later_than_the_timeout_would(self, samples):
+        # Pre-clamp, srtt + 2 * rttvar <= srtt + 4 * rttvar; both share
+        # the cap, so a hedge never waits past the retransmit point.
+        estimator = RttEstimator(floor=0.0, cap=60.0)
+        for sample in samples:
+            estimator.observe(sample)
+        if estimator.samples:
+            assert estimator.hedge_delay() <= estimator.timeout() + 1e-12
+
+
+class TestCircuitBreaker:
+    def test_threshold_consecutive_failures_open(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        assert breaker.record_failure(10.0) is False
+        assert breaker.record_failure(10.1) is False
+        # The opening transition is reported exactly once.
+        assert breaker.record_failure(10.2) is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.is_open(10.3)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        breaker.record_failure(10.0)
+        breaker.record_failure(10.1)
+        breaker.record_success()
+        assert breaker.record_failure(10.2) is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_fails_fast_until_cooldown_admits_a_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(10.0)
+        assert breaker.admit(10.5) == (False, False)
+        allowed, probe = breaker.admit(11.1)
+        assert allowed and probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(10.0)
+        assert breaker.admit(11.1) == (True, True)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.admit(11.2) == (True, False)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(10.0)
+        breaker.admit(11.1)
+        assert breaker.record_failure(11.2) is True
+        assert breaker.is_open(11.3)
+        assert breaker.admit(11.5) == (False, False)
+        assert breaker.admit(12.3) == (True, True)
+
+    def test_abandoned_probe_does_not_wedge_the_breaker(self):
+        # A probe whose caller was cancelled never reports back; after
+        # a cooldown of silence the half-open breaker re-admits.
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(10.0)
+        assert breaker.admit(11.1) == (True, True)  # probe vanishes
+        assert breaker.admit(11.5) == (False, False)
+        assert breaker.admit(12.2) == (True, True)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ok", "fail", "admit"]),
+                st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_lifecycle_never_leaves_the_state_machine(self, steps):
+        breaker = CircuitBreaker(threshold=2, cooldown=0.5)
+        now = 0.0
+        for action, dt in steps:
+            now += dt
+            if action == "ok":
+                breaker.record_success()
+            elif action == "fail":
+                breaker.record_failure(now)
+            else:
+                allowed, probe = breaker.admit(now)
+                # Fail-fast and probe admission are mutually exclusive
+                # outcomes of a single admit.
+                assert not (probe and not allowed)
+            assert breaker.state in (
+                CircuitBreaker.CLOSED,
+                CircuitBreaker.OPEN,
+                CircuitBreaker.HALF_OPEN,
+            )
+            if breaker.state == CircuitBreaker.CLOSED:
+                assert breaker.failures < breaker.threshold

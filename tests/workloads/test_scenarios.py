@@ -9,7 +9,9 @@ from repro.workloads.scenarios import (
     PAPER_QUERY_TOTAL,
     PAPER_T_MAX,
     PAPER_T_MIN,
+    FlashCrowd,
     Scenario,
+    churn_schedule,
     exp1_scenario,
     exp2_scenario,
 )
@@ -59,3 +61,74 @@ class TestScenarioFactories:
     def test_scenario_names_distinct(self):
         names = {exp1_scenario(n).name for n in EXP1_AGENT_COUNTS}
         assert len(names) == len(EXP1_AGENT_COUNTS)
+
+
+class TestChurnSchedule:
+    NODES = ["node-0", "node-1", "node-2", "node-3", "node-4", "node-5"]
+
+    def test_same_seed_is_byte_identical(self):
+        first = churn_schedule(3, 10.0, self.NODES)
+        second = churn_schedule(3, 10.0, self.NODES)
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_different_seeds_differ(self):
+        assert churn_schedule(1, 10.0, self.NODES) != churn_schedule(
+            2, 10.0, self.NODES
+        )
+
+    def test_every_leave_is_paired_with_a_later_heal(self):
+        schedule = churn_schedule(3, 10.0, self.NODES)
+        assert len(schedule) > 0
+        down = {}
+        for event in schedule.events:
+            assert event.kind in ("partition-node", "heal-node")
+            if event.kind == "partition-node":
+                assert event.target not in down
+                down[event.target] = event.at
+            else:
+                assert event.target in down
+                assert event.at > down.pop(event.target)
+        assert down == {}, "a churned node never rejoined"
+
+    def test_quorum_floor_is_never_violated(self):
+        # At most floor((1 - min_live_fraction) * n) nodes are gone at
+        # once -- the invariant plain uniform sampling cannot give.
+        for seed in range(1, 6):
+            schedule = churn_schedule(
+                seed, 20.0, self.NODES, min_live_fraction=0.5
+            )
+            max_down = len(self.NODES) // 2
+            down = 0
+            for event in schedule.events:
+                down += 1 if event.kind == "partition-node" else -1
+                assert 0 <= down <= max_down
+
+    def test_outages_heal_before_the_settle_tail(self):
+        schedule = churn_schedule(3, 10.0, self.NODES, settle_fraction=0.3)
+        assert all(event.at <= 10.0 * 0.7 + 1e-9 for event in schedule.events)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            churn_schedule(1, 0.0, self.NODES)
+        with pytest.raises(ValueError):
+            churn_schedule(1, 10.0, [])
+
+
+class TestFlashCrowd:
+    def test_trapezoid_shape(self):
+        crowd = FlashCrowd(
+            base_rate=50.0, peak_rate=200.0, at=5.0, ramp_s=1.0, hold_s=2.0
+        )
+        assert crowd.rate_at(0.0) == 50.0
+        assert crowd.rate_at(4.99) == 50.0
+        assert crowd.rate_at(5.5) == pytest.approx(125.0)  # mid ramp-up
+        assert crowd.rate_at(6.0) == 200.0
+        assert crowd.rate_at(7.5) == 200.0  # holding
+        assert crowd.rate_at(8.5) == pytest.approx(125.0)  # mid decay
+        assert crowd.rate_at(9.5) == 50.0
+
+    def test_is_callable_for_the_load_generator(self):
+        crowd = FlashCrowd(base_rate=10.0, peak_rate=40.0, at=1.0)
+        assert crowd(0.0) == crowd.rate_at(0.0)
+        assert crowd(1.5) == crowd.rate_at(1.5)
